@@ -1,0 +1,65 @@
+// Package repro's root benchmarks regenerate every table and figure of
+// the paper's evaluation (plus this repository's ablations) through the
+// experiment harness; `go test -bench .` therefore exercises the whole
+// reproduction at a reduced scale. Use cmd/experiments -full for the
+// paper's 50 000-transaction protocol.
+package repro
+
+import (
+	"io"
+	"testing"
+
+	"repro/internal/exp"
+)
+
+// benchScale keeps each experiment to roughly a second so the full bench
+// suite completes quickly; the shapes (who wins, crossovers) are already
+// stable at this scale.
+func benchScale() exp.Scale {
+	return exp.Scale{TargetCommits: 250, WarmupCommits: 50, Replications: 2, MaxTime: 10_000_000_000}
+}
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, ok := exp.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	sc := benchScale()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := e.Run(sc, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable1(b *testing.B) { benchExperiment(b, "table1") }
+func BenchmarkTable2(b *testing.B) { benchExperiment(b, "table2") }
+func BenchmarkFig1(b *testing.B)   { benchExperiment(b, "fig1") }
+func BenchmarkFig2(b *testing.B)   { benchExperiment(b, "fig2") }
+func BenchmarkFig3(b *testing.B)   { benchExperiment(b, "fig3") }
+func BenchmarkFig4(b *testing.B)   { benchExperiment(b, "fig4") }
+func BenchmarkFig5(b *testing.B)   { benchExperiment(b, "fig5") }
+func BenchmarkFig6(b *testing.B)   { benchExperiment(b, "fig6") }
+func BenchmarkFig7(b *testing.B)   { benchExperiment(b, "fig7") }
+func BenchmarkFig8(b *testing.B)   { benchExperiment(b, "fig8") }
+func BenchmarkFig9(b *testing.B)   { benchExperiment(b, "fig9") }
+func BenchmarkFig10(b *testing.B)  { benchExperiment(b, "fig10") }
+func BenchmarkFig11(b *testing.B)  { benchExperiment(b, "fig11") }
+func BenchmarkFig12(b *testing.B)  { benchExperiment(b, "fig12") }
+func BenchmarkFig13(b *testing.B)  { benchExperiment(b, "fig13") }
+func BenchmarkFig14(b *testing.B)  { benchExperiment(b, "fig14") }
+func BenchmarkFig15(b *testing.B)  { benchExperiment(b, "fig15") }
+
+func BenchmarkAblationWindow(b *testing.B) { benchExperiment(b, "ablation-window") }
+func BenchmarkAblationNoMR1W(b *testing.B) { benchExperiment(b, "ablation-mr1w") }
+func BenchmarkAblationNoAvoidance(b *testing.B) {
+	benchExperiment(b, "ablation-avoidance")
+}
+func BenchmarkAblationGrouping(b *testing.B) { benchExperiment(b, "ablation-grouping") }
+func BenchmarkAblationVictim(b *testing.B)   { benchExperiment(b, "ablation-victim") }
+
+func BenchmarkExtensionReadExpand(b *testing.B) { benchExperiment(b, "ext-readexpand") }
+func BenchmarkExtensionSorted(b *testing.B)     { benchExperiment(b, "ext-sorted") }
+func BenchmarkExtensionC2PL(b *testing.B)       { benchExperiment(b, "ext-c2pl") }

@@ -1,0 +1,73 @@
+// experiments regenerates the paper's tables and figures (and this
+// repository's ablations) as text tables on stdout.
+//
+//	experiments -list            enumerate experiment ids
+//	experiments -all             run everything at the quick scale
+//	experiments -id fig2         run one experiment
+//	experiments -all -full       run everything at the paper's 50k scale
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/exp"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	all := flag.Bool("all", false, "run every experiment")
+	id := flag.String("id", "", "run a single experiment by id (e.g. fig2)")
+	full := flag.Bool("full", false, "use the paper's full measurement protocol (50000 commits x 5 replications; hours)")
+	commits := flag.Int("commits", 0, "override measured commits per run")
+	reps := flag.Int("reps", 0, "override replications per point")
+	flag.Parse()
+
+	if *list {
+		for _, e := range exp.All() {
+			fmt.Printf("%-20s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	sc := exp.Quick()
+	if *full {
+		sc = exp.Paper()
+	}
+	if *commits > 0 {
+		sc.TargetCommits = *commits
+		sc.WarmupCommits = *commits / 10
+	}
+	if *reps > 0 {
+		sc.Replications = *reps
+	}
+
+	run := func(e exp.Experiment) {
+		start := time.Now()
+		fmt.Printf("== %s: %s\n", e.ID, e.Title)
+		if err := e.Run(sc, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Printf("   (%.1fs)\n\n", time.Since(start).Seconds())
+	}
+
+	switch {
+	case *all:
+		for _, e := range exp.All() {
+			run(e)
+		}
+	case *id != "":
+		e, ok := exp.ByID(*id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "experiments: unknown id %q (try -list)\n", *id)
+			os.Exit(2)
+		}
+		run(e)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,84 @@
+// g2plsim runs a single simulation point and prints both protocols'
+// results. Flags mirror the paper's Table 1 parameters.
+//
+// Example:
+//
+//	g2plsim -clients 50 -latency 500 -readprob 0.25 -commits 2000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/netmodel"
+	"repro/internal/sim"
+)
+
+func main() {
+	p := core.DefaultParams()
+	clients := flag.Int("clients", p.Clients, "number of client sites")
+	latency := flag.Int64("latency", int64(p.Latency), "one-way network latency in time units")
+	env := flag.String("env", "", "network environment from Table 2 (overrides -latency): ss-LAN, ms-LAN, CAN, MAN, s-WAN, l-WAN")
+	items := flag.Int("items", p.Workload.Items, "number of hot data items")
+	readProb := flag.Float64("readprob", 0.5, "probability an access is a read")
+	maxTxn := flag.Int("maxtxnitems", p.Workload.MaxTxnItems, "maximum items per transaction")
+	commits := flag.Int("commits", p.TargetCommits, "measured commits per replication")
+	warmup := flag.Int("warmup", p.WarmupCommits, "transient commits excluded from measurement")
+	reps := flag.Int("reps", p.Replications, "independent replications")
+	seed := flag.Uint64("seed", p.BaseSeed, "base random seed")
+	noMR1W := flag.Bool("nomr1w", false, "disable the MR1W optimization")
+	noAvoid := flag.Bool("noavoidance", false, "disable deadlock-avoidance ordering")
+	fifo := flag.Bool("fifo", false, "disable reader grouping in forward lists")
+	flCap := flag.Int("flcap", 0, "cap forward-list length per window (0 = unlimited)")
+	readExpand := flag.Bool("readexpand", false, "enable the read-expansion extension")
+	windowDelay := flag.Int64("windowdelay", 0, "collection-window delay in time units")
+	flag.Parse()
+
+	p.Clients = *clients
+	p.Latency = sim.Time(*latency)
+	if *env != "" {
+		e, ok := netmodel.EnvironmentByAbbrev(*env)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "g2plsim: unknown environment %q\n", *env)
+			os.Exit(2)
+		}
+		p.Latency = e.Latency
+	}
+	p.Workload.Items = *items
+	p.Workload.ReadProb = *readProb
+	p.Workload.MaxTxnItems = *maxTxn
+	p.TargetCommits = *commits
+	p.WarmupCommits = *warmup
+	p.Replications = *reps
+	p.BaseSeed = *seed
+	p.NoMR1W = *noMR1W
+	p.NoAvoidance = *noAvoid
+	p.FIFOWindows = *fifo
+	p.MaxForwardList = *flCap
+	p.ReadExpand = *readExpand
+	p.WindowDelay = sim.Time(*windowDelay)
+
+	if err := p.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "g2plsim: %v\n", err)
+		os.Exit(2)
+	}
+	c, err := core.Compare(p)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "g2plsim: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("clients=%d latency=%d items=%d readprob=%.2f commits=%d reps=%d\n\n",
+		p.Clients, p.Latency, p.Workload.Items, p.Workload.ReadProb, p.TargetCommits, p.Replications)
+	fmt.Printf("%-8s %-22s %-18s %-18s %-14s %s\n",
+		"protocol", "mean response", "% aborted", "throughput/kt", "msgs/txn", "mean FL len")
+	for _, r := range []struct {
+		name string
+		res  core.ProtocolResult
+	}{{"s-2PL", c.S2PL}, {"g-2PL", c.G2PL}} {
+		fmt.Printf("%-8s %-22s %-18s %-18s %-14s %s\n",
+			r.name, r.res.Response, r.res.AbortPct, r.res.Throughput, r.res.Messages, r.res.WindowLen)
+	}
+	fmt.Printf("\ng-2PL response-time improvement over s-2PL: %.1f%%\n", c.Improvement())
+}

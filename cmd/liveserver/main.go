@@ -1,0 +1,64 @@
+// liveserver runs the goroutine-based client-server system from the
+// command line, printing run statistics and the serializability audit.
+//
+//	liveserver -protocol g2pl -clients 16 -txns 20 -latency 500us
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/live"
+	"repro/internal/serial"
+	"repro/internal/workload"
+)
+
+func main() {
+	proto := flag.String("protocol", "g2pl", "protocol: s2pl or g2pl")
+	clients := flag.Int("clients", 12, "number of client sites")
+	txns := flag.Int("txns", 15, "committed transactions per client")
+	latency := flag.Duration("latency", 300*time.Microsecond, "one-way link latency")
+	items := flag.Int("items", 25, "hot data items")
+	readProb := flag.Float64("readprob", 0.5, "probability an access is a read")
+	seed := flag.Uint64("seed", 1, "random seed")
+	noMR1W := flag.Bool("nomr1w", false, "disable the MR1W optimization")
+	flag.Parse()
+
+	cfg := live.Config{
+		Clients:       *clients,
+		Latency:       *latency,
+		Workload:      workload.Default(),
+		TxnsPerClient: *txns,
+		Seed:          *seed,
+		NoMR1W:        *noMR1W,
+	}
+	cfg.Workload.Items = *items
+	cfg.Workload.ReadProb = *readProb
+	switch *proto {
+	case "s2pl":
+		cfg.Protocol = live.S2PL
+	case "g2pl":
+		cfg.Protocol = live.G2PL
+	default:
+		fmt.Fprintf(os.Stderr, "liveserver: unknown protocol %q\n", *proto)
+		os.Exit(2)
+	}
+
+	res, err := live.Run(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "liveserver: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("protocol=%s clients=%d txns/client=%d latency=%v\n",
+		cfg.Protocol, cfg.Clients, cfg.TxnsPerClient, cfg.Latency)
+	fmt.Printf("commits=%d aborts=%d messages=%d elapsed=%v mean-response=%v\n",
+		res.Stats.Commits, res.Stats.Aborts, res.Stats.Messages,
+		res.Stats.Elapsed.Round(time.Millisecond), res.Stats.MeanResponse.Round(time.Microsecond))
+	if err := serial.Check(res.History); err != nil {
+		fmt.Printf("serializability audit: FAILED: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("serializability audit: ok")
+}

@@ -1,0 +1,45 @@
+// Hotspot: the scenario that motivates the paper — many clients hammering
+// a handful of hot data items over a WAN. Sweeps the hot-set size and
+// shows that g-2PL's advantage grows as data gets hotter (longer forward
+// lists mean more fused release/grant hand-offs).
+//
+//	go run ./examples/hotspot
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+)
+
+func main() {
+	fmt.Println("40 clients, pure updates, s-WAN latency; shrinking hot set:")
+	fmt.Printf("%-10s %-14s %-14s %-12s %s\n",
+		"hot items", "s-2PL resp", "g-2PL resp", "improvement", "mean FL length")
+	for _, items := range []int{25, 10, 5, 2, 1} {
+		p := core.DefaultParams()
+		p.Clients = 40
+		p.Workload.Items = items
+		if p.Workload.MaxTxnItems > items {
+			p.Workload.MaxTxnItems = items
+		}
+		p.Workload.ReadProb = 0
+		p.TargetCommits = 800
+		p.WarmupCommits = 100
+		p.Replications = 3
+
+		cmp, err := core.Compare(p)
+		if err != nil {
+			log.Fatalf("hotspot: items=%d: %v", items, err)
+		}
+		fmt.Printf("%-10d %-14.0f %-14.0f %-12s %.2f\n",
+			items,
+			cmp.S2PL.Response.Mean,
+			cmp.G2PL.Response.Mean,
+			fmt.Sprintf("%.1f%%", cmp.Improvement()),
+			cmp.G2PL.WindowLen.Mean)
+	}
+	fmt.Println("\nThe hotter the data, the longer the forward lists and the bigger the win —")
+	fmt.Println("the paper's 'grouping effect is emphasized when the forward list is longer'.")
+}

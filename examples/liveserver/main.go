@@ -1,0 +1,45 @@
+// Liveserver: run the real goroutine-based client-server system (one
+// server goroutine, one goroutine per client, latency-injected links)
+// under both protocols and audit every execution for serializability.
+//
+//	go run ./examples/liveserver
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/live"
+	"repro/internal/serial"
+	"repro/internal/workload"
+)
+
+func main() {
+	wl := workload.Default()
+	wl.ReadProb = 0.4
+
+	for _, proto := range []live.Protocol{live.S2PL, live.G2PL} {
+		cfg := live.Config{
+			Protocol:      proto,
+			Clients:       12,
+			Latency:       300 * time.Microsecond,
+			Workload:      wl,
+			TxnsPerClient: 15,
+			Seed:          7,
+		}
+		res, err := live.Run(cfg)
+		if err != nil {
+			log.Fatalf("liveserver: %v", err)
+		}
+		verdict := "SERIALIZABLE"
+		if err := serial.Check(res.History); err != nil {
+			verdict = fmt.Sprintf("VIOLATION: %v", err)
+		}
+		fmt.Printf("%-6s commits=%-4d aborts=%-3d messages=%-5d mean-response=%-10v audit=%s\n",
+			proto, res.Stats.Commits, res.Stats.Aborts, res.Stats.Messages,
+			res.Stats.MeanResponse.Round(10*time.Microsecond), verdict)
+	}
+	fmt.Println("\nBoth protocols ran with genuine goroutine concurrency; the recorded")
+	fmt.Println("histories were checked against the multiversion serialization graph.")
+}

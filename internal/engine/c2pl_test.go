@@ -1,0 +1,104 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/serial"
+)
+
+func TestC2PLCompletes(t *testing.T) {
+	cfg := testConfig(C2PL)
+	res := mustRun(t, cfg)
+	if res.Commits != 400 {
+		t.Fatalf("commits = %d", res.Commits)
+	}
+	if res.Protocol.String() != "c-2PL" {
+		t.Fatalf("protocol tag %v", res.Protocol)
+	}
+}
+
+func TestC2PLSerializable(t *testing.T) {
+	for _, pr := range []float64{0, 0.5, 1.0} {
+		for seed := uint64(1); seed <= 3; seed++ {
+			cfg := testConfig(C2PL)
+			cfg.Workload.ReadProb = pr
+			cfg.Seed = seed
+			cfg.TargetCommits = 200
+			res := mustRun(t, cfg)
+			if err := serial.Check(res.History); err != nil {
+				t.Fatalf("pr=%v seed=%d: %v", pr, seed, err)
+			}
+		}
+	}
+}
+
+func TestC2PLSerializableWithLocality(t *testing.T) {
+	cfg := testConfig(C2PL)
+	cfg.Workload.Locality = 0.8
+	cfg.TargetCommits = 300
+	res := mustRun(t, cfg)
+	if err := serial.Check(res.History); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestC2PLDeterministic(t *testing.T) {
+	cfg := testConfig(C2PL)
+	cfg.RecordHistory = false
+	a := mustRun(t, cfg)
+	b := mustRun(t, cfg)
+	if a.MeanResponse() != b.MeanResponse() || a.Messages != b.Messages {
+		t.Fatal("c-2PL runs diverged under identical config")
+	}
+}
+
+// TestC2PLCacheSavesMessages: with high locality and home partitions big
+// enough to cover a transaction, lock caching should cut traffic well
+// below s-2PL's 2n+1 messages per transaction.
+func TestC2PLCacheSavesMessages(t *testing.T) {
+	base := testConfig(S2PL)
+	base.RecordHistory = false
+	base.Workload.Items = 50 // home partitions of 5 items per client
+	base.Workload.MaxTxnItems = 3
+	base.Workload.Locality = 0.95
+	base.TargetCommits = 500
+	s := mustRun(t, base)
+	base.Protocol = C2PL
+	c := mustRun(t, base)
+	sRate := float64(s.Messages) / float64(s.Commits+s.Aborts)
+	cRate := float64(c.Messages) / float64(c.Commits+c.Aborts)
+	if cRate >= sRate {
+		t.Fatalf("c-2PL msgs/txn %.2f not below s-2PL %.2f with 0.9 locality", cRate, sRate)
+	}
+	if c.MeanResponse() >= s.MeanResponse() {
+		t.Fatalf("c-2PL response %.0f not below s-2PL %.0f with 0.9 locality",
+			c.MeanResponse(), s.MeanResponse())
+	}
+}
+
+// TestC2PLSingleClientAllHits: one client touching its own data commits
+// most operations from cache after warm-up.
+func TestC2PLSingleClientAllHits(t *testing.T) {
+	cfg := testConfig(C2PL)
+	cfg.RecordHistory = false
+	cfg.Clients = 1
+	cfg.TargetCommits = 200
+	cfg.WarmupCommits = 50
+	res := mustRun(t, cfg)
+	if res.Aborts != 0 {
+		t.Fatalf("single client aborted %d times", res.Aborts)
+	}
+	// After the cache warms, transactions run without any messages except
+	// the commit, so mean response approaches the think-time sum.
+	if res.MeanResponse() > 20 {
+		t.Fatalf("cached single-client response %.1f too high", res.MeanResponse())
+	}
+}
+
+func TestLocalityValidation(t *testing.T) {
+	cfg := testConfig(C2PL)
+	cfg.Workload.Locality = 1.5
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("Locality > 1 accepted")
+	}
+}

@@ -1,0 +1,266 @@
+// Package engine implements the paper's two protocol engines on top of
+// the discrete-event kernel: the baseline server-based strict two-phase
+// locking protocol (s-2PL, paper §3.1) and the group two-phase locking
+// protocol (g-2PL, paper §3.2-3.4) with its lock grouping, deadlock
+// avoidance and MR1W optimizations.
+//
+// Both engines share the workload, network and measurement machinery so
+// that a comparison under a common seed differs only in the protocol.
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/history"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Protocol selects which engine runs.
+type Protocol int
+
+const (
+	// S2PL is the baseline server-based strict 2PL protocol.
+	S2PL Protocol = iota
+	// G2PL is the group 2PL protocol with all paper optimizations
+	// subject to the Config toggles.
+	G2PL
+)
+
+// String returns the paper's protocol name.
+func (p Protocol) String() string {
+	switch p {
+	case S2PL:
+		return "s-2PL"
+	case G2PL:
+		return "g-2PL"
+	case C2PL:
+		return "c-2PL"
+	}
+	return fmt.Sprintf("Protocol(%d)", int(p))
+}
+
+// VictimPolicy selects which transaction dies to break a deadlock cycle.
+type VictimPolicy int
+
+const (
+	// VictimRequester aborts the transaction whose blocked request closed
+	// the cycle (the paper's "detection initiated when a lock cannot be
+	// granted" resolution).
+	VictimRequester VictimPolicy = iota
+	// VictimLeastHeld aborts the cycle member holding the fewest items,
+	// discarding the least work (an ablation).
+	VictimLeastHeld
+)
+
+// Config describes one simulation run.
+type Config struct {
+	Protocol Protocol
+	Clients  int
+	Workload workload.Config
+	Latency  sim.Time // one-way network latency in ticks (Table 2)
+	Seed     uint64   // replication seed; same seed => same workload
+
+	// Measurement protocol (paper §5): run WarmupCommits commits to pass
+	// the transient, then measure until TargetCommits more commits.
+	TargetCommits int
+	WarmupCommits int
+
+	// g-2PL options. Defaults (false/0) mean: deadlock avoidance ON is
+	// expressed as !NoAvoidance, MR1W ON as !NoMR1W, so the zero value of
+	// Config runs the full protocol of the paper's evaluation.
+	NoAvoidance    bool // disable consistent forward-list ordering
+	NoMR1W         bool // disable multiple-readers/single-writer overlap
+	MaxForwardList int  // cap entries dispatched per window; 0 = unlimited
+	ReadExpand     bool // extension: late readers join a dispatched read group
+
+	// FIFOWindows disables the reader-grouping ordering rule: forward
+	// lists keep pure arrival order (an ablation; the reproduction
+	// default groups a window's readers into maximal parallel segments,
+	// paper §3.2's ordering rules).
+	FIFOWindows bool
+
+	// WindowDelay holds a returning (or freshly requested) item at the
+	// server for this long before dispatching its forward list, letting
+	// the collection window gather more requests (the tunable window of
+	// the paper's footnote 1). 0 dispatches immediately.
+	WindowDelay sim.Time
+
+	// Victim selects the deadlock victim policy, applied identically to
+	// both protocols.
+	Victim VictimPolicy
+
+	// RecordHistory captures every committed transaction's reads/writes
+	// for the serializability oracle. Costs memory; off in sweeps.
+	RecordHistory bool
+
+	// MaxTime aborts the run if the clock passes this value with the
+	// commit target unmet (a livelock guard for tests). 0 = no limit.
+	MaxTime sim.Time
+}
+
+// Validate reports the first configuration error.
+func (c Config) Validate() error {
+	switch {
+	case c.Clients <= 0:
+		return fmt.Errorf("engine: Clients must be positive, got %d", c.Clients)
+	case c.Latency <= 0:
+		return fmt.Errorf("engine: Latency must be positive, got %d", c.Latency)
+	case c.TargetCommits <= 0:
+		return fmt.Errorf("engine: TargetCommits must be positive, got %d", c.TargetCommits)
+	case c.WarmupCommits < 0:
+		return fmt.Errorf("engine: WarmupCommits must be >= 0, got %d", c.WarmupCommits)
+	case c.MaxForwardList < 0:
+		return fmt.Errorf("engine: MaxForwardList must be >= 0, got %d", c.MaxForwardList)
+	case c.WindowDelay < 0:
+		return fmt.Errorf("engine: WindowDelay must be >= 0, got %d", c.WindowDelay)
+	case c.Protocol != S2PL && c.Protocol != G2PL && c.Protocol != C2PL:
+		return fmt.Errorf("engine: unknown protocol %d", int(c.Protocol))
+	}
+	return c.Workload.Validate()
+}
+
+// Result summarizes one run.
+type Result struct {
+	Protocol Protocol
+	Commits  int64 // measured commits
+	Aborts   int64 // measured aborts (all deadlock-induced, paper §5)
+
+	Response stats.Accumulator // response times of measured commits, ticks
+
+	Messages int64 // network messages over the whole run
+	Bytes    int64 // abstract payload units over the whole run
+
+	// OpWait is the time from sending a data request to receiving the
+	// item, per operation, over the whole run — the queueing-delay lens
+	// on the same executions.
+	OpWait stats.Accumulator
+
+	// WindowLen is the forward-list length per dispatch (g-2PL only):
+	// the paper's grouping effect is visible here.
+	WindowLen stats.Accumulator
+
+	// Abort counts by detection site (g-2PL; s-2PL uses only Enqueue).
+	AbortsAtEnqueue  int64 // cycle found when a request blocked
+	AbortsAtDispatch int64 // consistent ordering impossible at dispatch
+
+	Duration sim.Time // simulated time consumed by the whole run
+
+	// History is non-nil when Config.RecordHistory was set; it includes
+	// warmup commits so version chains are complete.
+	History *history.Log
+}
+
+// AbortPct returns the paper's "percentage of transactions aborted":
+// aborts over finished transaction instances, in percent.
+func (r Result) AbortPct() float64 {
+	total := r.Commits + r.Aborts
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(r.Aborts) / float64(total)
+}
+
+// MeanResponse returns the mean transaction response time in ticks.
+func (r Result) MeanResponse() float64 { return r.Response.Mean() }
+
+// Throughput returns measured commits per 1000 simulated ticks.
+func (r Result) Throughput() float64 {
+	if r.Duration == 0 {
+		return 0
+	}
+	return 1000 * float64(r.Commits) / float64(r.Duration)
+}
+
+// Run executes one simulation run and returns its result. It returns an
+// error for invalid configurations or if MaxTime elapses before the
+// commit target is met.
+func Run(cfg Config) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	switch cfg.Protocol {
+	case S2PL:
+		return runS2PL(cfg)
+	case C2PL:
+		return runC2PL(cfg)
+	default:
+		return runG2PL(cfg)
+	}
+}
+
+// collector implements the shared measurement protocol.
+type collector struct {
+	kernel *sim.Kernel
+	warmup int
+	target int
+
+	totalCommits int64
+	commits      int64
+	aborts       int64
+	resp         stats.Accumulator
+	opWait       stats.Accumulator
+	windowLen    stats.Accumulator
+	abortEnq     int64
+	abortDisp    int64
+	log          *history.Log
+	done         bool
+}
+
+func newCollector(k *sim.Kernel, cfg Config) *collector {
+	c := &collector{kernel: k, warmup: cfg.WarmupCommits, target: cfg.TargetCommits}
+	if cfg.RecordHistory {
+		c.log = &history.Log{}
+	}
+	return c
+}
+
+func (c *collector) measuring() bool { return c.totalCommits >= int64(c.warmup) }
+
+func (c *collector) commit(rt sim.Time, rec history.Committed) {
+	if c.done {
+		return
+	}
+	if c.measuring() {
+		c.commits++
+		c.resp.Add(float64(rt))
+	}
+	c.totalCommits++
+	if c.log != nil {
+		c.log.Commit(rec)
+	}
+	if c.commits >= int64(c.target) {
+		c.done = true
+		c.kernel.Stop()
+	}
+}
+
+func (c *collector) abort() {
+	if c.done {
+		return
+	}
+	if c.measuring() {
+		c.aborts++
+	}
+	if c.log != nil {
+		c.log.Abort()
+	}
+}
+
+func (c *collector) result(p Protocol, msgs, bytes int64, dur sim.Time) Result {
+	return Result{
+		Protocol:         p,
+		Commits:          c.commits,
+		Aborts:           c.aborts,
+		Response:         c.resp,
+		Messages:         msgs,
+		Bytes:            bytes,
+		OpWait:           c.opWait,
+		WindowLen:        c.windowLen,
+		AbortsAtEnqueue:  c.abortEnq,
+		AbortsAtDispatch: c.abortDisp,
+		Duration:         dur,
+		History:          c.log,
+	}
+}

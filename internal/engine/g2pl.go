@@ -1,0 +1,784 @@
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/fwdlist"
+	"repro/internal/history"
+	"repro/internal/ids"
+	"repro/internal/netmodel"
+	"repro/internal/prec"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/wfg"
+	"repro/internal/workload"
+)
+
+// g2plTxn is one transaction instance executing under g-2PL.
+type g2plTxn struct {
+	id      ids.Txn
+	client  *g2plClient
+	profile workload.Profile
+	opIdx   int
+	start   sim.Time
+	reqSent sim.Time
+	reads   []history.Read
+	held    []ids.Item // delivered items, in delivery order
+	aborted bool
+	done    bool // committed or abort processed at client
+	// gates counts held items on which this transaction is an MR1W
+	// writer still awaiting reader releases at commit time. While gates
+	// is positive none of the transaction's updates may be released
+	// (paper §3.4); all forwards happen together when it reaches zero.
+	gates int
+}
+
+func (t *g2plTxn) op() workload.Op { return t.profile.Ops[t.opIdx] }
+
+// g2plClient is one client site (MPL 1, sequential execution).
+type g2plClient struct {
+	id  ids.Client
+	gen *workload.Generator
+}
+
+// g2plReq is a pending lock request collected during an item's window.
+type g2plReq struct {
+	txn   *g2plTxn
+	write bool
+	edges []ids.Txn // wait-for edges added on behalf of this request
+}
+
+// flight is the state of one dispatched forward list: the period during
+// which the server does not possess the item (the collection window for
+// the next batch, paper §3.2).
+type flight struct {
+	list    *fwdlist.List
+	member  map[ids.Txn]*g2plTxn
+	segOf   map[ids.Txn]int
+	done    map[ids.Txn]bool // member has forwarded/released the item
+	relWait map[ids.Txn]int  // writer -> reader releases still outstanding
+	gated   map[ids.Txn]bool // writer finished while releases outstanding
+
+	// extras are late readers admitted by the ReadExpand extension.
+	extras map[ids.Txn]*g2plTxn
+
+	// returns is the number of messages the server still awaits before
+	// the window closes; -1 until the final segment is dispatched.
+	returns int
+
+	// version carried by the migrating data, updated as writers commit.
+	version ids.Txn
+}
+
+// unfinished returns the ids of members (including extras) that have not
+// yet released or forwarded the item — the transactions a new pending
+// request must wait for.
+func (f *flight) unfinished() []ids.Txn {
+	var out []ids.Txn
+	for _, t := range f.list.Txns() {
+		if !f.done[t] {
+			out = append(out, t)
+		}
+	}
+	for t := range f.extras {
+		if !f.done[t] {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// g2plItem is the server-side state of one data item.
+type g2plItem struct {
+	id        ids.Item
+	version   ids.Txn
+	atServer  bool
+	pending   []*g2plReq
+	fl        *flight
+	scheduled bool // a delayed dispatch is pending (WindowDelay > 0)
+}
+
+// g2plRun wires the g-2PL simulation together.
+type g2plRun struct {
+	cfg     Config
+	kernel  *sim.Kernel
+	net     *netmodel.Network
+	col     *collector
+	waits   *wfg.Graph
+	order   *prec.Graph
+	items   map[ids.Item]*g2plItem
+	active  map[ids.Txn]*g2plTxn  // live transactions, for victim selection
+	pending map[ids.Txn]*g2plItem // item a transaction's request waits on
+	clients []*g2plClient
+	nextTxn ids.Txn
+
+	// trace, when non-nil, receives one line per protocol event; set
+	// only by debugging tests.
+	trace func(format string, args ...any)
+}
+
+func (r *g2plRun) tracef(format string, args ...any) {
+	if r.trace != nil {
+		r.trace(format, args...)
+	}
+}
+
+func runG2PL(cfg Config) (Result, error) {
+	k := sim.New()
+	r := &g2plRun{
+		cfg:     cfg,
+		kernel:  k,
+		net:     netmodel.New(k, cfg.Latency),
+		col:     newCollector(k, cfg),
+		waits:   wfg.New(),
+		order:   prec.New(),
+		items:   make(map[ids.Item]*g2plItem),
+		active:  make(map[ids.Txn]*g2plTxn),
+		pending: make(map[ids.Txn]*g2plItem),
+		nextTxn: 1,
+	}
+	root := rng.New(cfg.Seed, 1)
+	wl := cfg.Workload
+	wl.HomeSlots = cfg.Clients
+	for i := 0; i < cfg.Clients; i++ {
+		wl.HomeSlot = i
+		c := &g2plClient{
+			id:  ids.Client(i),
+			gen: workload.NewGenerator(wl, root.Split(uint64(i))),
+		}
+		r.clients = append(r.clients, c)
+		k.At(c.gen.Idle(), func() { r.begin(c) })
+	}
+	if cfg.MaxTime > 0 {
+		k.At(cfg.MaxTime, k.Stop)
+	}
+	k.Run()
+	if !r.col.done {
+		return Result{}, fmt.Errorf("engine: g-2PL run hit MaxTime %d with %d/%d commits", cfg.MaxTime, r.col.commits, cfg.TargetCommits)
+	}
+	return r.col.result(G2PL, r.net.Messages, r.net.Bytes, k.Now()), nil
+}
+
+func (r *g2plRun) item(id ids.Item) *g2plItem {
+	it := r.items[id]
+	if it == nil {
+		it = &g2plItem{id: id, atServer: true}
+		r.items[id] = it
+	}
+	return it
+}
+
+// begin starts a fresh transaction and sends its first request.
+func (r *g2plRun) begin(c *g2plClient) {
+	t := &g2plTxn{
+		id:      r.nextTxn,
+		client:  c,
+		profile: c.gen.Next(),
+		start:   r.kernel.Now(),
+	}
+	r.nextTxn++
+	r.active[t.id] = t
+	r.sendRequest(t)
+}
+
+// sendRequest ships the current operation's request to the server.
+func (r *g2plRun) sendRequest(t *g2plTxn) {
+	op := t.op()
+	t.reqSent = r.kernel.Now()
+	r.net.Send(sizeRequest, func() { r.serverRequest(t, op) })
+}
+
+// serverRequest handles an arriving lock request: dispatch immediately if
+// the item rests at the server, join a dispatched read group if the
+// ReadExpand extension allows, otherwise join the collection window.
+func (r *g2plRun) serverRequest(t *g2plTxn, op workload.Op) {
+	it := r.item(op.Item)
+	r.tracef("req %v %v w=%v", op.Item, t.id, op.Write)
+	req := &g2plReq{txn: t, write: op.Write}
+	if it.atServer && it.fl == nil {
+		it.pending = append(it.pending, req)
+		r.pending[t.id] = it
+		r.scheduleDispatch(it)
+		return
+	}
+	if r.cfg.ReadExpand && !op.Write && r.tryExpand(it, t) {
+		return
+	}
+	it.pending = append(it.pending, req)
+	r.pending[t.id] = it
+	r.addPendingEdges(it, req)
+	r.resolveDeadlocks(t)
+}
+
+// resolveDeadlocks aborts victims until no wait-for cycle runs through t.
+func (r *g2plRun) resolveDeadlocks(t *g2plTxn) {
+	for !t.aborted {
+		cycle := r.waits.CycleThrough(t.id)
+		if cycle == nil {
+			return
+		}
+		r.abortTxn(r.chooseVictim(cycle, t))
+	}
+}
+
+// scheduleDispatch arranges for the item's collection window to close:
+// immediately without a WindowDelay, otherwise after the delay so the
+// window can gather more requests.
+func (r *g2plRun) scheduleDispatch(it *g2plItem) {
+	if r.cfg.WindowDelay == 0 {
+		r.dispatchWindow(it)
+		return
+	}
+	if it.scheduled {
+		return
+	}
+	it.scheduled = true
+	r.kernel.After(r.cfg.WindowDelay, func() {
+		it.scheduled = false
+		r.dispatchWindow(it)
+	})
+}
+
+// chooseVictim picks the deadlock victim from a cycle: among live
+// transactions that are pending or hold data, the one holding the fewest
+// items (least work discarded), ties toward the youngest. The s-2PL
+// engine applies the same rule, keeping the comparison fair.
+func (r *g2plRun) chooseVictim(cycle []ids.Txn, fallback *g2plTxn) *g2plTxn {
+	if r.cfg.Victim == VictimRequester {
+		return fallback
+	}
+	best := fallback
+	bestHeld := len(fallback.held)
+	for _, id := range cycle {
+		t := r.active[id]
+		if t == nil || t.done || t.aborted {
+			continue
+		}
+		if r.pending[t.id] == nil && len(t.held) == 0 {
+			continue // aborting it would not unblock any data flow
+		}
+		if len(t.held) < bestHeld || (len(t.held) == bestHeld && t.id > best.id) {
+			best, bestHeld = t, len(t.held)
+		}
+	}
+	return best
+}
+
+// abortTxn aborts a live transaction chosen as a deadlock victim: its
+// pending request (if any) leaves the collection window, its precedence
+// constraints dissolve, and the client is notified to forward any held
+// data unchanged.
+func (r *g2plRun) abortTxn(v *g2plTxn) {
+	v.aborted = true
+	delete(r.active, v.id)
+	if it := r.pending[v.id]; it != nil {
+		delete(r.pending, v.id)
+		for i, q := range it.pending {
+			if q.txn == v {
+				r.clearPendingEdges(q)
+				it.pending = append(it.pending[:i], it.pending[i+1:]...)
+				break
+			}
+		}
+	}
+	r.order.Remove(v.id)
+	r.col.abortEnq++
+	r.net.Send(sizeControl, func() { r.clientAbort(v) })
+}
+
+// tryExpand implements the read-only optimization sketched in paper §3.3:
+// a late read request joins an in-flight, server-dispatched, all-reader
+// forward list instead of waiting for the window to close. It reports
+// whether the request was absorbed.
+func (r *g2plRun) tryExpand(it *g2plItem, t *g2plTxn) bool {
+	fl := it.fl
+	if fl == nil || fl.returns < 0 {
+		return false
+	}
+	// Only safe when the whole list is readers releasing to the server
+	// and the data never left the server (single read-group list).
+	if fl.list.NumSegments() != 1 || fl.list.Segment(0).Write {
+		return false
+	}
+	fl.extras[t.id] = t
+	fl.member[t.id] = t
+	fl.segOf[t.id] = 0
+	fl.returns++
+	// Requests already waiting on this window now also wait for the new
+	// member; missing these edges would let a deadlock through the extra
+	// reader go undetected.
+	for _, q := range it.pending {
+		q.edges = append(q.edges, t.id)
+		r.waits.AddEdge(q.txn.id, t.id)
+	}
+	for _, q := range it.pending {
+		if !q.txn.aborted {
+			r.resolveDeadlocks(q.txn)
+		}
+	}
+	ver := fl.version
+	r.net.Send(sizeData+fl.list.Len(), func() { r.clientData(t, it.id, ver) })
+	return true
+}
+
+// addPendingEdges makes the pending request wait for every unfinished
+// member of the in-flight forward list; a cycle through these edges is
+// exactly the paper's cross-window (read-dependency) deadlock.
+func (r *g2plRun) addPendingEdges(it *g2plItem, req *g2plReq) {
+	if it.fl == nil {
+		return
+	}
+	req.edges = it.fl.unfinished()
+	for _, m := range req.edges {
+		r.waits.AddEdge(req.txn.id, m)
+	}
+	// Granting-order precedence: every in-flight member is granted this
+	// item before the pending request, so wherever both meet again the
+	// member must come first. This is the paper's deadlock-avoidance
+	// mechanism doing its real work: without these constraints a later
+	// window can invert an existing wait and manufacture a deadlock.
+	if !r.cfg.NoAvoidance {
+		for _, m := range req.edges {
+			r.order.Constrain(m, req.txn.id)
+		}
+	}
+}
+
+// clearPendingEdges removes the request's stored wait-for edges.
+func (r *g2plRun) clearPendingEdges(req *g2plReq) {
+	for _, m := range req.edges {
+		r.waits.RemoveEdge(req.txn.id, m)
+	}
+	req.edges = nil
+}
+
+// dispatchWindow closes the collection window of an item resting at the
+// server: order the pending requests (consistently with the precedence
+// graph unless avoidance is disabled), build the forward list, and
+// dispatch its first segment.
+func (r *g2plRun) dispatchWindow(it *g2plItem) {
+	if len(it.pending) == 0 || !it.atServer {
+		return
+	}
+	reqs := it.pending
+	switch {
+	case !r.cfg.NoAvoidance:
+		txns := make([]ids.Txn, len(reqs))
+		writes := make([]bool, len(reqs))
+		byID := make(map[ids.Txn]*g2plReq, len(reqs))
+		for i, q := range reqs {
+			txns[i] = q.txn.id
+			writes[i] = q.write
+			byID[q.txn.id] = q
+		}
+		var ordered []ids.Txn
+		if r.cfg.FIFOWindows {
+			ordered = r.order.Order(txns)
+		} else {
+			ordered = r.order.OrderGrouped(txns, writes)
+		}
+		reqs = make([]*g2plReq, len(ordered))
+		for i, id := range ordered {
+			reqs[i] = byID[id]
+		}
+	case !r.cfg.FIFOWindows:
+		// No precedence constraints to respect: stable-partition the
+		// window's readers ahead of its writers.
+		grouped := make([]*g2plReq, 0, len(reqs))
+		for _, q := range reqs {
+			if !q.write {
+				grouped = append(grouped, q)
+			}
+		}
+		for _, q := range reqs {
+			if q.write {
+				grouped = append(grouped, q)
+			}
+		}
+		reqs = grouped
+	}
+	var rest []*g2plReq
+	if limit := r.cfg.MaxForwardList; limit > 0 && len(reqs) > limit {
+		rest = reqs[limit:]
+		reqs = reqs[:limit]
+	}
+	it.pending = rest
+	for _, q := range reqs {
+		r.clearPendingEdges(q)
+		delete(r.pending, q.txn.id)
+	}
+
+	// The forward-list precedence edges (each member waits for the
+	// preceding segment) can close a wait-for cycle through transactions
+	// blocked on other items. Detect before any data moves and abort the
+	// offending members, latest in the chosen order first — the paper's
+	// "in the case that such reordering of forward lists is not possible,
+	// some transactions may have to be aborted" (§3.3).
+	list := fwdlist.Build(buildEntries(reqs))
+	r.addChainEdges(list)
+	for {
+		victim := -1
+		for i := len(reqs) - 1; i >= 0; i-- {
+			if r.waits.CycleThrough(reqs[i].txn.id) != nil {
+				victim = i
+				break
+			}
+		}
+		if victim < 0 {
+			break
+		}
+		r.removeChainEdges(list)
+		v := reqs[victim]
+		reqs = append(reqs[:victim], reqs[victim+1:]...)
+		v.txn.aborted = true
+		delete(r.active, v.txn.id)
+		r.order.Remove(v.txn.id)
+		r.col.abortDisp++
+		r.net.Send(sizeControl, func() { r.clientAbort(v.txn) })
+		list = fwdlist.Build(buildEntries(reqs))
+		r.addChainEdges(list)
+	}
+	if len(reqs) == 0 {
+		r.removeChainEdges(list)
+		r.dispatchWindow(it) // the cap remainder, if any, forms a new window
+		return
+	}
+	if !r.cfg.NoAvoidance {
+		dispatched := make([]ids.Txn, len(reqs))
+		for i, q := range reqs {
+			dispatched[i] = q.txn.id
+		}
+		r.order.Record(dispatched)
+	}
+	fl := &flight{
+		list:    list,
+		member:  make(map[ids.Txn]*g2plTxn, len(reqs)),
+		segOf:   make(map[ids.Txn]int, len(reqs)),
+		done:    make(map[ids.Txn]bool, len(reqs)),
+		relWait: make(map[ids.Txn]int),
+		gated:   make(map[ids.Txn]bool),
+		extras:  make(map[ids.Txn]*g2plTxn),
+		returns: -1,
+		version: it.version,
+	}
+	for _, q := range reqs {
+		fl.member[q.txn.id] = q.txn
+	}
+	for j := 0; j < list.NumSegments(); j++ {
+		for _, e := range list.Segment(j).Entries {
+			fl.segOf[e.Txn] = j
+		}
+	}
+	it.fl = fl
+	it.atServer = false
+	r.col.windowLen.Add(float64(list.Len()))
+	r.tracef("dispatch %v %v", it.id, list)
+
+	// Requests left in the window (length cap) now wait for the new
+	// in-flight members; this can itself close a deadlock cycle.
+	for _, q := range rest {
+		r.addPendingEdges(it, q)
+	}
+	for _, q := range rest {
+		if !q.txn.aborted {
+			r.resolveDeadlocks(q.txn)
+		}
+	}
+
+	r.deliverSegment(it, 0)
+}
+
+// buildEntries converts ordered requests into forward-list entries.
+func buildEntries(reqs []*g2plReq) []fwdlist.Entry {
+	entries := make([]fwdlist.Entry, len(reqs))
+	for i, q := range reqs {
+		entries[i] = fwdlist.Entry{Txn: q.txn.id, Client: q.txn.client.id, Write: q.write}
+	}
+	return entries
+}
+
+// addChainEdges installs the forward-list precedence waits: each member
+// waits for every member of the preceding segment until that member
+// releases or forwards the item.
+func (r *g2plRun) addChainEdges(list *fwdlist.List) {
+	for j := 1; j < list.NumSegments(); j++ {
+		for _, e := range list.Segment(j).Entries {
+			for _, p := range list.Segment(j - 1).Entries {
+				r.waits.AddEdge(e.Txn, p.Txn)
+			}
+		}
+	}
+}
+
+// removeChainEdges undoes addChainEdges for a tentative list.
+func (r *g2plRun) removeChainEdges(list *fwdlist.List) {
+	for j := 1; j < list.NumSegments(); j++ {
+		for _, e := range list.Segment(j).Entries {
+			for _, p := range list.Segment(j - 1).Entries {
+				r.waits.RemoveEdge(e.Txn, p.Txn)
+			}
+		}
+	}
+}
+
+// deliverSegment ships data to segment j of the in-flight list. For a
+// read group, every reader receives a copy; with MR1W the following
+// writer receives the data at the same time (paper §3.4); without MR1W
+// the writer's data rides on the readers' release messages. A final read
+// group dispatched by a writer is accompanied by the data's return to the
+// server.
+func (r *g2plRun) deliverSegment(it *g2plItem, j int) {
+	fl := it.fl
+	list := fl.list
+	seg := list.Segment(j)
+	ver := fl.version
+	flSize := list.Len()
+	last := j == list.NumSegments()-1
+
+	if seg.Write {
+		w := fl.member[seg.Entries[0].Txn]
+		r.net.Send(sizeData+flSize, func() { r.clientData(w, it.id, ver) })
+		if last {
+			fl.returns = 1
+		}
+		return
+	}
+
+	for _, e := range seg.Entries {
+		t := fl.member[e.Txn]
+		r.net.Send(sizeData+flSize, func() { r.clientData(t, it.id, ver) })
+	}
+	if !last {
+		wEntry := list.Segment(j + 1).Entries[0]
+		fl.relWait[wEntry.Txn] = len(seg.Entries)
+		if !r.cfg.NoMR1W {
+			w := fl.member[wEntry.Txn]
+			r.net.Send(sizeData+flSize, func() { r.clientData(w, it.id, ver) })
+		}
+		return
+	}
+	// Final read group: releases return to the server. If a writer (not
+	// the server) dispatched it, the new version travels home alongside.
+	fl.returns = len(seg.Entries)
+	if j > 0 {
+		fl.returns++
+		r.net.Send(sizeData, func() { r.serverReturn(it, ver) })
+	}
+}
+
+// clientData handles delivery of a data item at a client. An aborted (or
+// already-finished) transaction forwards the item immediately without
+// processing (paper §3.2: "if the transaction aborts, the client forwards
+// the unchanged data to the next client").
+func (r *g2plRun) clientData(t *g2plTxn, item ids.Item, ver ids.Txn) {
+	if t.aborted || t.done {
+		r.finishItem(t, item)
+		return
+	}
+	op := t.op()
+	if op.Item != item {
+		panic(fmt.Sprintf("engine: %v received %v while waiting for %v", t.id, item, op.Item))
+	}
+	r.col.opWait.Add(float64(r.kernel.Now() - t.reqSent))
+	r.tracef("deliver %v %v wait=%d", item, t.id, r.kernel.Now()-t.reqSent)
+	t.held = append(t.held, item)
+	if !op.Write {
+		t.reads = append(t.reads, history.Read{Item: item, Version: ver})
+	}
+	think := t.client.gen.Think()
+	if t.opIdx+1 < len(t.profile.Ops) {
+		r.kernel.After(think, func() {
+			t.opIdx++
+			r.sendRequest(t)
+		})
+		return
+	}
+	r.kernel.After(think, func() { r.commit(t) })
+}
+
+// commit ends the transaction at its client: response time stops here.
+// If the transaction was an MR1W writer with reader releases outstanding
+// it must hold back all of its updates until those releases arrive
+// (paper §3.4) — releasing any update early would let a concurrent reader
+// of the old version observe this transaction's effects elsewhere.
+func (r *g2plRun) commit(t *g2plTxn) {
+	rt := r.kernel.Now() - t.start
+	rec := history.Committed{Txn: t.id, Reads: t.reads}
+	for _, op := range t.profile.Ops {
+		if op.Write {
+			rec.Writes = append(rec.Writes, op.Item)
+		}
+	}
+	t.done = true
+	delete(r.active, t.id)
+	r.tracef("commit %v held=%v rt=%d", t.id, t.held, rt)
+	r.col.commit(rt, rec)
+	r.order.Remove(t.id)
+	for _, item := range t.held {
+		fl := r.item(item).fl
+		if e, ok := fl.list.EntryOf(t.id); ok && e.Write && fl.relWait[t.id] > 0 {
+			fl.gated[t.id] = true
+			t.gates++
+		}
+	}
+	if t.gates == 0 {
+		r.forwardAll(t)
+	}
+	r.kernel.After(t.client.gen.Idle(), func() { r.begin(t.client) })
+}
+
+// forwardAll releases or forwards every held item of a finished
+// transaction down its forward list.
+func (r *g2plRun) forwardAll(t *g2plTxn) {
+	for _, item := range t.held {
+		r.finishItem(t, item)
+	}
+}
+
+// finishItem ends t's involvement with item: a reader sends its release
+// (to the next writer, or to the server from a final read group); a
+// writer forwards the new version once its reader releases are in.
+func (r *g2plRun) finishItem(t *g2plTxn, item ids.Item) {
+	it := r.item(item)
+	fl := it.fl
+	if fl == nil {
+		panic(fmt.Sprintf("engine: finish of %v on %v with no flight", t.id, item))
+	}
+	if _, isExtra := fl.extras[t.id]; isExtra {
+		fl.done[t.id] = true
+		r.net.Send(sizeControl, func() { r.serverRelease(it) })
+		return
+	}
+	e, ok := fl.list.EntryOf(t.id)
+	if !ok {
+		panic(fmt.Sprintf("engine: %v not on forward list of %v", t.id, item))
+	}
+	if !e.Write {
+		r.finishReader(it, t)
+		return
+	}
+	if fl.relWait[t.id] > 0 {
+		fl.gated[t.id] = true
+		return
+	}
+	r.advanceWriter(it, t)
+}
+
+// finishReader marks a reader done and routes its release.
+func (r *g2plRun) finishReader(it *g2plItem, t *g2plTxn) {
+	fl := it.fl
+	j := fl.segOf[t.id]
+	fl.done[t.id] = true
+	r.dropSuccessorEdges(fl, j, t.id)
+	if j+1 < fl.list.NumSegments() {
+		w := fl.member[fl.list.Segment(j + 1).Entries[0].Txn]
+		size := sizeControl
+		if r.cfg.NoMR1W {
+			size = sizeData // the release carries the data to the writer
+		}
+		r.net.Send(size, func() { r.writerRelease(it, w) })
+		return
+	}
+	r.net.Send(sizeControl, func() { r.serverRelease(it) })
+}
+
+// writerRelease handles a reader's release arriving at the next writer's
+// client. Without MR1W the last release is also the data delivery; with
+// MR1W it may clear one of the writer's commit gates.
+func (r *g2plRun) writerRelease(it *g2plItem, w *g2plTxn) {
+	fl := it.fl
+	fl.relWait[w.id]--
+	if fl.relWait[w.id] > 0 {
+		return
+	}
+	if r.cfg.NoMR1W {
+		// Data arrives with the final release: this is the writer's grant.
+		r.clientData(w, it.id, fl.version)
+		return
+	}
+	if !fl.gated[w.id] {
+		return // writer still computing; it advances at its own commit
+	}
+	if w.aborted {
+		r.advanceWriter(it, w)
+		return
+	}
+	w.gates--
+	if w.gates == 0 {
+		r.forwardAll(w)
+	}
+}
+
+// advanceWriter marks a writer done, installs its version on the
+// migrating data (unless it aborted) and dispatches the next segment or
+// returns the data to the server.
+func (r *g2plRun) advanceWriter(it *g2plItem, w *g2plTxn) {
+	fl := it.fl
+	j := fl.segOf[w.id]
+	fl.done[w.id] = true
+	r.dropSuccessorEdges(fl, j, w.id)
+	if !w.aborted {
+		fl.version = w.id
+	}
+	if j+1 < fl.list.NumSegments() {
+		r.deliverSegment(it, j+1)
+		return
+	}
+	ver := fl.version
+	r.net.Send(sizeData, func() { r.serverReturn(it, ver) })
+}
+
+// dropSuccessorEdges removes the wait-for edges from segment j+1 members
+// toward the just-finished member of segment j.
+func (r *g2plRun) dropSuccessorEdges(fl *flight, j int, finished ids.Txn) {
+	if j+1 >= fl.list.NumSegments() {
+		return
+	}
+	for _, e := range fl.list.Segment(j + 1).Entries {
+		r.waits.RemoveEdge(e.Txn, finished)
+	}
+}
+
+// serverReturn installs the returning data at the server.
+func (r *g2plRun) serverReturn(it *g2plItem, ver ids.Txn) {
+	r.tracef("return %v ver=%v", it.id, ver)
+	it.version = ver
+	r.decReturns(it)
+}
+
+// serverRelease handles a final-segment reader's release arriving at the
+// server.
+func (r *g2plRun) serverRelease(it *g2plItem) {
+	r.decReturns(it)
+}
+
+func (r *g2plRun) decReturns(it *g2plItem) {
+	fl := it.fl
+	fl.returns--
+	if fl.returns > 0 {
+		return
+	}
+	// Window closes: remove residual wait edges pointing at members (the
+	// pending requests waiting on this flight now wait on the next one).
+	it.fl = nil
+	it.atServer = true
+	for _, q := range it.pending {
+		r.clearPendingEdges(q)
+	}
+	if len(it.pending) > 0 {
+		r.scheduleDispatch(it)
+	}
+}
+
+// clientAbort processes the server's abort notice at the client: count
+// the abort, forward all held items unchanged, and replace the
+// transaction after an idle period.
+func (r *g2plRun) clientAbort(t *g2plTxn) {
+	t.done = true
+	r.tracef("abortNotice %v held=%v", t.id, t.held)
+	r.col.abort()
+	for _, item := range t.held {
+		r.finishItem(t, item)
+	}
+	r.kernel.After(t.client.gen.Idle(), func() { r.begin(t.client) })
+}

@@ -1,0 +1,295 @@
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/history"
+	"repro/internal/ids"
+	"repro/internal/lock"
+	"repro/internal/netmodel"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/wfg"
+	"repro/internal/workload"
+)
+
+// Message payload sizes in abstract units. Data-carrying messages dwarf
+// control messages; the paper's point is that at gigabit rates this does
+// not matter, but we account for it so experiments can show g-2PL's
+// larger messages explicitly.
+const (
+	sizeRequest = 1
+	sizeData    = 8
+	sizeControl = 1
+)
+
+// s2plTxn is one transaction instance executing under s-2PL.
+type s2plTxn struct {
+	id      ids.Txn
+	client  *s2plClient
+	profile workload.Profile
+	opIdx   int
+	start   sim.Time
+	reqSent sim.Time
+	reads   []history.Read
+}
+
+func (t *s2plTxn) op() workload.Op { return t.profile.Ops[t.opIdx] }
+
+// s2plClient is one client site: multiprogramming level 1, sequential
+// execution (paper §4).
+type s2plClient struct {
+	id  ids.Client
+	gen *workload.Generator
+	cur *s2plTxn
+}
+
+// s2plRun wires the server-side state together. The server is a single
+// site holding the lock table, the wait-for graph and the database
+// versions; its computation takes zero simulated time (paper §4 charges
+// the same cost to both protocols and argues it is off the critical path).
+type s2plRun struct {
+	cfg     Config
+	kernel  *sim.Kernel
+	net     *netmodel.Network
+	col     *collector
+	locks   *lock.Manager
+	waits   *wfg.Graph
+	blocked map[ids.Txn][]ids.Txn // stored wait edges per blocked txn
+	version map[ids.Item]ids.Txn
+	active  map[ids.Txn]*s2plTxn
+	clients []*s2plClient
+	nextTxn ids.Txn
+
+	// trace, when non-nil, receives one line per protocol event; set
+	// only by debugging tests.
+	trace func(format string, args ...any)
+}
+
+func (r *s2plRun) tracef(format string, args ...any) {
+	if r.trace != nil {
+		r.trace(format, args...)
+	}
+}
+
+func runS2PL(cfg Config) (Result, error) {
+	k := sim.New()
+	r := &s2plRun{
+		cfg:     cfg,
+		kernel:  k,
+		net:     netmodel.New(k, cfg.Latency),
+		col:     newCollector(k, cfg),
+		locks:   lock.NewManager(),
+		waits:   wfg.New(),
+		blocked: make(map[ids.Txn][]ids.Txn),
+		version: make(map[ids.Item]ids.Txn),
+		active:  make(map[ids.Txn]*s2plTxn),
+		nextTxn: 1,
+	}
+	root := rng.New(cfg.Seed, 1)
+	wl := cfg.Workload
+	wl.HomeSlots = cfg.Clients
+	for i := 0; i < cfg.Clients; i++ {
+		wl.HomeSlot = i
+		c := &s2plClient{
+			id:  ids.Client(i),
+			gen: workload.NewGenerator(wl, root.Split(uint64(i))),
+		}
+		r.clients = append(r.clients, c)
+		k.At(c.gen.Idle(), func() { r.begin(c) })
+	}
+	if cfg.MaxTime > 0 {
+		k.At(cfg.MaxTime, k.Stop)
+	}
+	k.Run()
+	if !r.col.done {
+		return Result{}, fmt.Errorf("engine: s-2PL run hit MaxTime %d with %d/%d commits", cfg.MaxTime, r.col.commits, cfg.TargetCommits)
+	}
+	return r.col.result(S2PL, r.net.Messages, r.net.Bytes, k.Now()), nil
+}
+
+// begin starts a fresh transaction at client c and sends its first
+// request immediately.
+func (r *s2plRun) begin(c *s2plClient) {
+	t := &s2plTxn{
+		id:      r.nextTxn,
+		client:  c,
+		profile: c.gen.Next(),
+		start:   r.kernel.Now(),
+	}
+	r.nextTxn++
+	c.cur = t
+	r.active[t.id] = t
+	r.sendRequest(t)
+}
+
+// sendRequest ships the current operation's lock request to the server.
+func (r *s2plRun) sendRequest(t *s2plTxn) {
+	op := t.op()
+	t.reqSent = r.kernel.Now()
+	r.net.Send(sizeRequest, func() { r.serverRequest(t, op) })
+}
+
+// serverRequest is the server's request handler: acquire or block, with
+// deadlock detection initiated on block (paper §4).
+func (r *s2plRun) serverRequest(t *s2plTxn, op workload.Op) {
+	mode := lock.Shared
+	if op.Write {
+		mode = lock.Exclusive
+	}
+	r.tracef("req %v %v w=%v", op.Item, t.id, op.Write)
+	if r.locks.Acquire(t.id, op.Item, mode) {
+		r.sendGrant(t, op)
+		return
+	}
+	blockers := r.locks.WaitsFor(t.id)
+	r.blocked[t.id] = blockers
+	for _, b := range blockers {
+		r.waits.AddEdge(t.id, b)
+	}
+	for {
+		cycle := r.waits.CycleThrough(t.id)
+		if cycle == nil {
+			return
+		}
+		// Several cycles can pass through the new request; abort victims
+		// until none remain.
+		r.serverAbort(r.chooseVictim(cycle, t))
+	}
+}
+
+// chooseVictim picks the deadlock victim from a cycle: the transaction
+// holding the fewest locks (least work discarded), breaking ties toward
+// the youngest. Commercial s-2PL implementations use equivalent
+// least-cost policies; the same rule is applied in the g-2PL engine so
+// the protocols are compared under identical victim selection.
+func (r *s2plRun) chooseVictim(cycle []ids.Txn, fallback *s2plTxn) *s2plTxn {
+	if r.cfg.Victim == VictimRequester {
+		return fallback
+	}
+	best := fallback
+	bestHeld := len(r.locks.HeldBy(fallback.id))
+	for _, id := range cycle {
+		t := r.active[id]
+		if t == nil {
+			continue
+		}
+		held := len(r.locks.HeldBy(id))
+		if held < bestHeld || (held == bestHeld && t.id > best.id) {
+			best, bestHeld = t, held
+		}
+	}
+	return best
+}
+
+// sendGrant ships the data item (with its committed version, for reads)
+// to the requesting client.
+func (r *s2plRun) sendGrant(t *s2plTxn, op workload.Op) {
+	ver := r.version[op.Item]
+	r.net.Send(sizeData, func() { r.clientGrant(t, op, ver) })
+}
+
+// serverAbort resolves a deadlock by aborting the chosen victim. Its
+// queued request disappears immediately (server-side state), but its held
+// locks release only after the abort round trip: the client owns the
+// in-flight transaction state in a data-shipping system, so the victim is
+// notified and responds with the release — symmetric with g-2PL's
+// notice-then-forward unwind.
+func (r *s2plRun) serverAbort(t *s2plTxn) {
+	r.clearBlocked(t.id)
+	grants := r.locks.CancelWait(t.id)
+	delete(r.active, t.id)
+	r.deliverGrants(grants)
+	r.col.abortEnq++
+	r.net.Send(sizeControl, func() { r.clientAbort(t) })
+}
+
+// deliverGrants ships promoted lock grants to their waiting clients.
+func (r *s2plRun) deliverGrants(grants []lock.Grant) {
+	for _, g := range grants {
+		t := r.active[g.Txn]
+		if t == nil {
+			continue // aborted while queued; nothing to deliver
+		}
+		r.clearBlocked(t.id)
+		r.sendGrant(t, t.op())
+	}
+}
+
+// clearBlocked removes t's stored wait edges after a grant or abort.
+func (r *s2plRun) clearBlocked(txn ids.Txn) {
+	for _, b := range r.blocked[txn] {
+		r.waits.RemoveEdge(txn, b)
+	}
+	delete(r.blocked, txn)
+}
+
+// clientGrant is the client's grant handler: record the access, think,
+// then issue the next request or commit.
+func (r *s2plRun) clientGrant(t *s2plTxn, op workload.Op, ver ids.Txn) {
+	r.col.opWait.Add(float64(r.kernel.Now() - t.reqSent))
+	r.tracef("deliver %v %v wait=%d", op.Item, t.id, r.kernel.Now()-t.reqSent)
+	if !op.Write {
+		t.reads = append(t.reads, history.Read{Item: op.Item, Version: ver})
+	}
+	think := t.client.gen.Think()
+	if t.opIdx+1 < len(t.profile.Ops) {
+		r.kernel.After(think, func() {
+			t.opIdx++
+			r.sendRequest(t)
+		})
+		return
+	}
+	r.kernel.After(think, func() { r.commit(t) })
+}
+
+// commit ends the transaction at the client: response time stops here and
+// the combined release/update message goes back to the server.
+func (r *s2plRun) commit(t *s2plTxn) {
+	rt := r.kernel.Now() - t.start
+	rec := history.Committed{Txn: t.id, Reads: t.reads}
+	for _, op := range t.profile.Ops {
+		if op.Write {
+			rec.Writes = append(rec.Writes, op.Item)
+		}
+	}
+	r.tracef("commit %v rt=%d", t.id, rt)
+	r.col.commit(rt, rec)
+	r.net.Send(sizeControl+sizeData*len(rec.Writes), func() { r.serverRelease(t, rec.Writes) })
+	r.scheduleNext(t.client)
+}
+
+// serverRelease installs the new versions and releases all locks in one
+// step (the shrinking phase of strict 2PL), promoting waiters.
+func (r *s2plRun) serverRelease(t *s2plTxn, writes []ids.Item) {
+	for _, item := range writes {
+		r.version[item] = t.id
+	}
+	grants := r.locks.Release(t.id)
+	r.waits.RemoveTxn(t.id)
+	delete(r.active, t.id)
+	r.deliverGrants(grants)
+}
+
+// clientAbort handles the server's abort notice: the instance is counted,
+// its lock release travels back to the server, and the client replaces
+// the transaction after an idle period (paper §4).
+func (r *s2plRun) clientAbort(t *s2plTxn) {
+	r.col.abort()
+	r.net.Send(sizeControl, func() { r.serverAbortRelease(t) })
+	r.scheduleNext(t.client)
+}
+
+// serverAbortRelease frees the aborted victim's locks once its release
+// arrives, promoting waiting requests.
+func (r *s2plRun) serverAbortRelease(t *s2plTxn) {
+	grants := r.locks.Release(t.id)
+	r.waits.RemoveTxn(t.id)
+	r.deliverGrants(grants)
+}
+
+// scheduleNext replaces the finished transaction after an idle period.
+func (r *s2plRun) scheduleNext(c *s2plClient) {
+	c.cur = nil
+	r.kernel.After(c.gen.Idle(), func() { r.begin(c) })
+}

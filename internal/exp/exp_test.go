@@ -1,0 +1,113 @@
+package exp
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+// tiny returns a scale small enough to run every experiment in tests.
+func tiny() Scale {
+	return Scale{TargetCommits: 60, WarmupCommits: 10, Replications: 1, MaxTime: 10_000_000_000}
+}
+
+func TestAllHaveUniqueIDs(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range All() {
+		if e.ID == "" || e.Title == "" || e.Run == nil {
+			t.Fatalf("incomplete experiment %+v", e.ID)
+		}
+		if seen[e.ID] {
+			t.Fatalf("duplicate id %s", e.ID)
+		}
+		seen[e.ID] = true
+	}
+	// Every paper table and figure must be present.
+	for _, id := range []string{"table1", "table2", "fig1", "fig2", "fig3", "fig4", "fig5",
+		"fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15"} {
+		if !seen[id] {
+			t.Fatalf("missing experiment %s", id)
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	e, ok := ByID("fig2")
+	if !ok || e.ID != "fig2" {
+		t.Fatal("ByID(fig2) failed")
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Fatal("ByID accepted unknown id")
+	}
+	if len(IDs()) != len(All()) {
+		t.Fatal("IDs length mismatch")
+	}
+}
+
+func TestTablesRender(t *testing.T) {
+	var b strings.Builder
+	e, _ := ByID("table1")
+	if err := e.Run(tiny(), &b); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Number of Clients", "25", "Sequential", "Multiprogramming"} {
+		if !strings.Contains(b.String(), want) {
+			t.Fatalf("table1 missing %q:\n%s", want, b.String())
+		}
+	}
+	b.Reset()
+	e, _ = ByID("table2")
+	if err := e.Run(tiny(), &b); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"ss-LAN", "l-WAN", "750"} {
+		if !strings.Contains(b.String(), want) {
+			t.Fatalf("table2 missing %q", want)
+		}
+	}
+}
+
+func TestFig1ShowsChainAdvantage(t *testing.T) {
+	var b strings.Builder
+	e, _ := ByID("fig1")
+	if err := e.Run(tiny(), &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "g-2PL") || !strings.Contains(out, "s-2PL") {
+		t.Fatalf("fig1 output incomplete:\n%s", out)
+	}
+}
+
+// TestEveryExperimentRuns executes the full registry at a tiny scale:
+// the regeneration path for every paper table/figure must at least run
+// and produce output.
+func TestEveryExperimentRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			var b strings.Builder
+			if err := e.Run(tiny(), &b); err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if len(b.String()) < 20 {
+				t.Fatalf("%s produced no meaningful output", e.ID)
+			}
+		})
+	}
+}
+
+func TestQuickAndPaperScales(t *testing.T) {
+	q, p := Quick(), Paper()
+	if q.TargetCommits >= p.TargetCommits {
+		t.Fatal("quick not quicker than paper")
+	}
+	if p.TargetCommits != 50000 || p.Replications != 5 {
+		t.Fatalf("paper scale wrong: %+v", p)
+	}
+}
+
+var _ = io.Discard

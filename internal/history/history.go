@@ -1,0 +1,104 @@
+// Package history records the data accesses of committed transactions so
+// that the serializability oracle (package serial) can audit an execution
+// produced by either protocol engine or by the live system.
+//
+// Versions are identified by the transaction that installed them;
+// ids.None (0) names the initial version of every item.
+package history
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/ids"
+)
+
+// Read records that a transaction read a specific installed version.
+type Read struct {
+	Item    ids.Item
+	Version ids.Txn // writer that installed the version read; ids.None = initial
+}
+
+// Committed describes one committed transaction.
+type Committed struct {
+	Txn    ids.Txn
+	Reads  []Read
+	Writes []ids.Item
+}
+
+// Log accumulates an execution: committed transactions plus, per item, the
+// order in which write versions were installed. The zero value is ready to
+// use. Log is not safe for concurrent use; the live system serializes
+// access with its own mutex.
+type Log struct {
+	committed []Committed
+	chains    map[ids.Item][]ids.Txn
+	aborted   int64
+}
+
+// Commit appends a committed transaction and extends the version chain of
+// every item it wrote.
+func (l *Log) Commit(c Committed) {
+	l.committed = append(l.committed, c)
+	if len(c.Writes) > 0 && l.chains == nil {
+		l.chains = make(map[ids.Item][]ids.Txn)
+	}
+	for _, item := range c.Writes {
+		l.chains[item] = append(l.chains[item], c.Txn)
+	}
+}
+
+// Abort counts an aborted transaction instance. Aborted work never enters
+// the serializability check — strict 2PL discards it — but the count
+// feeds the abort-percentage metric.
+func (l *Log) Abort() { l.aborted++ }
+
+// Committed returns the committed transactions in commit order.
+func (l *Log) Committed() []Committed { return l.committed }
+
+// Aborted returns the number of aborted instances.
+func (l *Log) Aborted() int64 { return l.aborted }
+
+// Chain returns the install order of write versions for item, excluding
+// the initial version.
+func (l *Log) Chain(item ids.Item) []ids.Txn { return l.chains[item] }
+
+// Items returns the items with at least one installed write, sorted.
+func (l *Log) Items() []ids.Item {
+	out := make([]ids.Item, 0, len(l.chains))
+	for it := range l.chains {
+		out = append(out, it)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Validate checks that every chain entry corresponds to a committed
+// transaction that wrote the item, and vice versa.
+func (l *Log) Validate() error {
+	wrote := make(map[ids.Item]map[ids.Txn]bool)
+	for _, c := range l.committed {
+		for _, item := range c.Writes {
+			m := wrote[item]
+			if m == nil {
+				m = make(map[ids.Txn]bool)
+				wrote[item] = m
+			}
+			if m[c.Txn] {
+				return fmt.Errorf("history: %v committed twice for %v", c.Txn, item)
+			}
+			m[c.Txn] = true
+		}
+	}
+	for item, chain := range l.chains {
+		if len(chain) != len(wrote[item]) {
+			return fmt.Errorf("history: chain of %v has %d entries, %d writers committed", item, len(chain), len(wrote[item]))
+		}
+		for _, t := range chain {
+			if !wrote[item][t] {
+				return fmt.Errorf("history: chain of %v contains non-writer %v", item, t)
+			}
+		}
+	}
+	return nil
+}

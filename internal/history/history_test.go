@@ -1,0 +1,62 @@
+package history
+
+import (
+	"testing"
+
+	"repro/internal/ids"
+)
+
+func TestCommitAndChains(t *testing.T) {
+	var l Log
+	l.Commit(Committed{Txn: 1, Writes: []ids.Item{10, 20}})
+	l.Commit(Committed{Txn: 2, Writes: []ids.Item{10}})
+	l.Commit(Committed{Txn: 3, Reads: []Read{{Item: 10, Version: 2}}})
+	if got := l.Chain(10); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("chain(10) = %v", got)
+	}
+	if got := l.Chain(20); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("chain(20) = %v", got)
+	}
+	if got := l.Chain(99); got != nil {
+		t.Fatalf("chain(99) = %v", got)
+	}
+	items := l.Items()
+	if len(items) != 2 || items[0] != 10 || items[1] != 20 {
+		t.Fatalf("Items = %v", items)
+	}
+	if len(l.Committed()) != 3 {
+		t.Fatalf("committed = %d", len(l.Committed()))
+	}
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAbortCounter(t *testing.T) {
+	var l Log
+	l.Abort()
+	l.Abort()
+	if l.Aborted() != 2 {
+		t.Fatalf("Aborted = %d", l.Aborted())
+	}
+}
+
+func TestValidateDetectsDoubleCommit(t *testing.T) {
+	var l Log
+	l.Commit(Committed{Txn: 1, Writes: []ids.Item{10}})
+	l.Commit(Committed{Txn: 1, Writes: []ids.Item{10}})
+	if err := l.Validate(); err == nil {
+		t.Fatal("double commit not detected")
+	}
+}
+
+func TestZeroValueUsable(t *testing.T) {
+	var l Log
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	l.Commit(Committed{Txn: 5}) // read-only txn with no ops
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

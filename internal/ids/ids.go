@@ -1,0 +1,39 @@
+// Package ids defines the identifier types shared by the locking,
+// deadlock, forwarding and engine packages: transactions, data items and
+// client sites. Keeping them in one tiny package lets every substrate
+// speak the same vocabulary without import cycles.
+package ids
+
+import "fmt"
+
+// Txn identifies one transaction instance. Instances are never reused:
+// an aborted transaction is replaced by a new instance with a new Txn
+// (paper §4), so Txn also serves as a global age/arrival ordering hint —
+// smaller is older.
+type Txn int64
+
+// None is the zero Txn, used as "no transaction".
+const None Txn = 0
+
+// String renders a transaction id as T<n>.
+func (t Txn) String() string { return fmt.Sprintf("T%d", int64(t)) }
+
+// Item identifies one data item in the server's database.
+type Item int32
+
+// String renders an item id as x<n>.
+func (i Item) String() string { return fmt.Sprintf("x%d", int32(i)) }
+
+// Client identifies one client site. The server is site -1.
+type Client int32
+
+// Server is the pseudo-client id of the data server site.
+const Server Client = -1
+
+// String renders a client id as C<n>, or "server" for the server site.
+func (c Client) String() string {
+	if c == Server {
+		return "server"
+	}
+	return fmt.Sprintf("C%d", int32(c))
+}

@@ -1,0 +1,415 @@
+package live
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/history"
+	"repro/internal/ids"
+	"repro/internal/workload"
+)
+
+// liveTxn is one transaction instance at a client.
+type liveTxn struct {
+	id      ids.Txn
+	profile workload.Profile
+	opIdx   int
+	start   time.Time
+	reads   []history.Read
+	writes  []writeUpdate
+	held    []heldItem
+	aborted bool
+	done    bool
+
+	// g-2PL bookkeeping: reader releases received (and required) per
+	// item on which this transaction is the next writer.
+	relGot  map[ids.Item]int
+	relNeed map[ids.Item]int
+	gates   int // items whose releases still gate all forwards
+}
+
+// heldItem is a delivered data item at the client.
+type heldItem struct {
+	item      ids.Item
+	write     bool
+	plan      *flightPlan
+	version   ids.Txn
+	value     int64
+	forwarded bool
+}
+
+func (t *liveTxn) op() workload.Op { return t.profile.Ops[t.opIdx] }
+
+func (t *liveTxn) heldEntry(item ids.Item) *heldItem {
+	for i := range t.held {
+		if t.held[i].item == item {
+			return &t.held[i]
+		}
+	}
+	return nil
+}
+
+// client is one client site: a goroutine running transactions and serving
+// protocol messages, including residual forwarding duties of finished
+// transactions.
+type client struct {
+	cl   *cluster
+	id   ids.Client
+	gen  *workload.Generator
+	mbox *mailbox
+
+	cur       *liveTxn
+	residual  map[ids.Txn]*liveTxn
+	committed int
+	signaled  bool
+}
+
+func newClient(cl *cluster, id ids.Client, gen *workload.Generator) *client {
+	return &client{
+		cl:       cl,
+		id:       id,
+		gen:      gen,
+		mbox:     newMailbox(4096),
+		residual: make(map[ids.Txn]*liveTxn),
+	}
+}
+
+// loop is the client goroutine: a single select over the stop signal, the
+// mailbox and the one pending timer (idle or think time).
+func (c *client) loop() {
+	var timerC <-chan time.Time
+	var onTimer func()
+	arm := func(d time.Duration, fn func()) {
+		timerC = time.After(d)
+		onTimer = fn
+	}
+	c.beginNext(arm)
+	for {
+		select {
+		case <-c.cl.stopc:
+			return
+		case m := <-c.mbox.ch:
+			c.handle(m, arm)
+		case <-timerC:
+			timerC = nil
+			fn := onTimer
+			onTimer = nil
+			if fn != nil {
+				fn()
+			}
+		}
+	}
+}
+
+// beginNext schedules the next transaction after an idle period, or
+// signals the cluster when the commit target is reached (the client keeps
+// serving residual duties either way).
+func (c *client) beginNext(arm func(time.Duration, func())) {
+	if c.committed >= c.cl.cfg.TxnsPerClient {
+		if !c.signaled {
+			c.signaled = true
+			c.cl.targetWG.Done()
+		}
+		return
+	}
+	arm(time.Duration(c.gen.Idle())*tick, func() {
+		c.cur = &liveTxn{
+			id:      c.cl.newTxnID(),
+			profile: c.gen.Next(),
+			start:   time.Now(),
+			relGot:  make(map[ids.Item]int),
+			relNeed: make(map[ids.Item]int),
+		}
+		c.sendRequest()
+	})
+}
+
+func (c *client) sendRequest() {
+	op := c.cur.op()
+	c.cl.net.send(c.cl.server.mbox, reqMsg{
+		txn:    c.cur.id,
+		client: c.id,
+		item:   op.Item,
+		write:  op.Write,
+	})
+}
+
+func (c *client) handle(m message, arm func(time.Duration, func())) {
+	switch msg := m.(type) {
+	case dataMsg:
+		c.onData(msg.txn, msg.item, msg.version, msg.value, msg.plan, arm)
+	case fwdMsg:
+		c.onRelease(msg, arm)
+	case abortMsg:
+		c.onAbort(msg.txn, arm)
+	default:
+		panic(fmt.Sprintf("live: client %v received unexpected %T", c.id, m))
+	}
+}
+
+// txnByID finds the current transaction, a residual one, or creates an
+// aborted stub for a transaction this client has already forgotten (late
+// deliveries for deadlock victims).
+func (c *client) txnByID(id ids.Txn, create bool) *liveTxn {
+	if c.cur != nil && c.cur.id == id {
+		return c.cur
+	}
+	if t := c.residual[id]; t != nil {
+		return t
+	}
+	if !create {
+		return nil
+	}
+	t := &liveTxn{
+		id: id, aborted: true, done: true,
+		relGot:  make(map[ids.Item]int),
+		relNeed: make(map[ids.Item]int),
+	}
+	c.residual[id] = t
+	return t
+}
+
+// onData handles a data delivery (from the server or a forwarding client).
+func (c *client) onData(txn ids.Txn, item ids.Item, ver ids.Txn, val int64, plan *flightPlan, arm func(time.Duration, func())) {
+	t := c.txnByID(txn, plan != nil)
+	if t == nil {
+		return // s-2PL: no late deliveries exist
+	}
+	if t.heldEntry(item) != nil {
+		return // duplicate of a release-carried delivery (basic-mode race)
+	}
+	write := plan == nil // s-2PL carries no plan; mode comes from the op
+	if plan != nil {
+		write = planWrites(plan, txn)
+	}
+	if t.done || t.aborted {
+		// Finished or aborted transaction: hold and forward unchanged
+		// immediately (paper §3.2).
+		t.held = append(t.held, heldItem{item: item, write: write, plan: plan, version: ver, value: val})
+		h := t.heldEntry(item)
+		if write && t.relGot[item] < c.needFor(plan, txn) {
+			// An aborted MR1W writer still gathers the reader releases
+			// before forwarding (conservative, mirrors the engine).
+			t.relNeed[item] = c.needFor(plan, txn)
+			return
+		}
+		c.finishItem(t, h)
+		c.gcResidual(t)
+		return
+	}
+	op := t.op()
+	if op.Item != item {
+		panic(fmt.Sprintf("live: %v received %v while waiting for %v", txn, item, op.Item))
+	}
+	t.held = append(t.held, heldItem{item: item, write: op.Write, plan: plan, version: ver, value: val})
+	if !op.Write {
+		t.reads = append(t.reads, history.Read{Item: item, Version: ver})
+	}
+	think := time.Duration(c.gen.Think()) * tick
+	if t.opIdx+1 < len(t.profile.Ops) {
+		arm(think, func() {
+			t.opIdx++
+			c.sendRequest()
+		})
+		return
+	}
+	arm(think, func() { c.commit(t, arm) })
+}
+
+// needFor returns the reader releases txn must gather on plan, or 0.
+func (c *client) needFor(plan *flightPlan, txn ids.Txn) int {
+	if plan == nil {
+		return 0
+	}
+	j := plan.segOf(txn)
+	if j < 0 {
+		return 0
+	}
+	return plan.relWaitFor(j)
+}
+
+// planWrites reports whether txn is a writer on the plan.
+func planWrites(plan *flightPlan, txn ids.Txn) bool {
+	e, ok := plan.list.EntryOf(txn)
+	return ok && e.Write
+}
+
+// onRelease handles a reader's release addressed to one of this client's
+// writer transactions. In basic mode the final release is also the data
+// delivery; under MR1W it may clear a commit gate or unblock an aborted
+// writer's forward.
+func (c *client) onRelease(m fwdMsg, arm func(time.Duration, func())) {
+	t := c.txnByID(m.to, true)
+	t.relGot[m.item]++
+	need := c.needFor(m.plan, m.to)
+	t.relNeed[m.item] = need
+	if t.relGot[m.item] < need {
+		return
+	}
+	h := t.heldEntry(m.item)
+	if h == nil {
+		// No data yet: the completed releases are the delivery (basic
+		// mode, or an early-data message still in flight — onData
+		// ignores the duplicate).
+		c.onData(m.to, m.item, m.version, m.value, m.plan, arm)
+		return
+	}
+	if t.aborted {
+		c.finishItem(t, h)
+		c.gcResidual(t)
+		return
+	}
+	if t.done && t.gates > 0 {
+		t.gates--
+		if t.gates == 0 {
+			c.forwardAll(t)
+			c.gcResidual(t)
+		}
+	}
+	// Otherwise the transaction is still computing; commit observes the
+	// completed release count and does not gate on this item.
+}
+
+// commit finishes the current transaction.
+func (c *client) commit(t *liveTxn, arm func(time.Duration, func())) {
+	t.done = true
+	rec := history.Committed{Txn: t.id, Reads: t.reads}
+	for i := range t.held {
+		h := &t.held[i]
+		if h.write {
+			rec.Writes = append(rec.Writes, h.item)
+			t.writes = append(t.writes, writeUpdate{item: h.item, value: int64(t.id)})
+		}
+	}
+	c.cl.audit.commit(rec)
+	c.cl.commits.Add(1)
+	c.cl.resp.Add(int64(time.Since(t.start)))
+	c.committed++
+	c.cur = nil
+
+	if c.cl.cfg.Protocol == S2PL {
+		c.cl.net.send(c.cl.server.mbox, releaseMsg{txn: t.id, writes: t.writes})
+	} else {
+		for i := range t.held {
+			h := &t.held[i]
+			if h.write && t.relGot[h.item] < c.needFor(h.plan, t.id) {
+				t.relNeed[h.item] = c.needFor(h.plan, t.id)
+				t.gates++
+			}
+		}
+		if t.gates == 0 {
+			c.forwardAll(t)
+		}
+		c.residual[t.id] = t
+		c.gcResidual(t)
+	}
+	c.beginNext(arm)
+}
+
+// onAbort handles a deadlock-victim notice.
+func (c *client) onAbort(txn ids.Txn, arm func(time.Duration, func())) {
+	t := c.txnByID(txn, false)
+	if t == nil || t.done || t.aborted {
+		return
+	}
+	t.aborted = true
+	t.done = true
+	c.cl.audit.abort()
+	c.cl.aborts.Add(1)
+	if c.cl.cfg.Protocol == S2PL {
+		// The victim's release travels back before the server frees its
+		// locks (abort round trip).
+		c.cl.net.send(c.cl.server.mbox, releaseMsg{txn: t.id})
+	} else {
+		c.forwardAll(t)
+		c.residual[t.id] = t
+		c.gcResidual(t)
+	}
+	if c.cur == t {
+		c.cur = nil
+		c.beginNext(arm)
+	}
+}
+
+// forwardAll releases or forwards every held item of a finished g-2PL
+// transaction whose gates are clear.
+func (c *client) forwardAll(t *liveTxn) {
+	for i := range t.held {
+		h := &t.held[i]
+		if h.write && t.relGot[h.item] < c.needFor(h.plan, t.id) {
+			continue // aborted writer still gathering releases
+		}
+		c.finishItem(t, h)
+	}
+}
+
+// finishItem ends t's involvement with one held item, routing per the
+// flight plan.
+func (c *client) finishItem(t *liveTxn, h *heldItem) {
+	if h.plan == nil || h.forwarded {
+		return
+	}
+	h.forwarded = true
+	plan := h.plan
+	j := plan.segOf(t.id)
+	c.cl.net.send(c.cl.server.mbox, doneMsg{txn: t.id, item: h.item})
+	if !h.write {
+		cli, txn := plan.releaseTarget(j)
+		c.cl.net.send(c.cl.mailboxOf(cli), fwdMsg{
+			item: h.item, from: t.id, to: txn,
+			version: h.version, value: h.value,
+			release: true, plan: plan,
+		})
+		return
+	}
+	ver, val := h.version, h.value
+	if !t.aborted {
+		ver, val = t.id, int64(t.id)
+	}
+	list := plan.list
+	if j+1 >= list.NumSegments() {
+		c.cl.net.send(c.cl.server.mbox, fwdMsg{item: h.item, from: t.id, version: ver, value: val, plan: plan})
+		return
+	}
+	next := list.Segment(j + 1)
+	if next.Write {
+		e := next.Entries[0]
+		c.cl.net.send(c.cl.mailboxOf(e.Client), dataMsg{txn: e.Txn, item: h.item, version: ver, value: val, plan: plan})
+		return
+	}
+	for _, e := range next.Entries {
+		c.cl.net.send(c.cl.mailboxOf(e.Client), dataMsg{txn: e.Txn, item: h.item, version: ver, value: val, plan: plan})
+	}
+	if j+2 < list.NumSegments() {
+		if plan.mr1w {
+			e := list.Segment(j + 2).Entries[0]
+			c.cl.net.send(c.cl.mailboxOf(e.Client), dataMsg{txn: e.Txn, item: h.item, version: ver, value: val, plan: plan})
+		}
+		return
+	}
+	// Final read group dispatched by a writer: the data also goes home.
+	c.cl.net.send(c.cl.server.mbox, fwdMsg{item: h.item, from: t.id, version: ver, value: val, plan: plan})
+}
+
+// gcResidual drops a finished transaction once nothing further can arrive
+// for it: every held item forwarded and every tracked release count
+// complete.
+func (c *client) gcResidual(t *liveTxn) {
+	if !t.done {
+		return
+	}
+	if t.gates > 0 {
+		return
+	}
+	for i := range t.held {
+		if !t.held[i].forwarded {
+			return
+		}
+	}
+	for item, need := range t.relNeed {
+		if t.relGot[item] < need {
+			return
+		}
+	}
+	delete(c.residual, t.id)
+}

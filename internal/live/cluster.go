@@ -1,0 +1,186 @@
+package live
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/history"
+	"repro/internal/ids"
+	"repro/internal/rng"
+	"repro/internal/workload"
+)
+
+// tick is the wall-clock length of one simulation "time unit" used for
+// think and idle times, deliberately small so tests run fast while still
+// exercising real concurrency.
+const tick = 20 * time.Microsecond
+
+// Result of a live cluster run.
+type Result struct {
+	Stats   Stats
+	History *history.Log
+}
+
+// Run executes a live cluster to completion: every client commits
+// Config.TxnsPerClient transactions, the cluster quiesces, and the
+// recorded history is returned for auditing.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cl, err := newCluster(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return cl.run()
+}
+
+// cluster wires the server and client goroutines together.
+type cluster struct {
+	cfg     Config
+	net     *network
+	server  *server
+	clients []*client
+	audit   *auditLog
+
+	stopc    chan struct{}
+	targetWG sync.WaitGroup
+
+	commits atomic.Int64
+	aborts  atomic.Int64
+	resp    atomic.Int64 // summed response nanoseconds over commits
+
+	nextTxn atomic.Int64
+}
+
+func newCluster(cfg Config) (*cluster, error) {
+	cl := &cluster{
+		cfg:   cfg,
+		net:   &network{latency: cfg.Latency},
+		audit: &auditLog{},
+		stopc: make(chan struct{}),
+	}
+	cl.server = newServer(cl)
+	root := rng.New(cfg.Seed, 1)
+	for i := 0; i < cfg.Clients; i++ {
+		cl.clients = append(cl.clients, newClient(cl, ids.Client(i),
+			workload.NewGenerator(cfg.Workload, root.Split(uint64(i)))))
+	}
+	return cl, nil
+}
+
+// mailboxOf resolves a site id to its mailbox (ids.Server is the server).
+func (cl *cluster) mailboxOf(c ids.Client) *mailbox {
+	if c == ids.Server {
+		return cl.server.mbox
+	}
+	return cl.clients[int(c)].mbox
+}
+
+func (cl *cluster) newTxnID() ids.Txn {
+	return ids.Txn(cl.nextTxn.Add(1))
+}
+
+func (cl *cluster) run() (*Result, error) {
+	start := time.Now()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		cl.server.loop()
+	}()
+	cl.targetWG.Add(len(cl.clients))
+	for _, c := range cl.clients {
+		c := c
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c.loop()
+		}()
+	}
+
+	// Wait for every client to reach its commit target.
+	targets := make(chan struct{})
+	go func() {
+		cl.targetWG.Wait()
+		close(targets)
+	}()
+	deadline := 2 * time.Minute
+	select {
+	case <-targets:
+	case <-time.After(deadline):
+		close(cl.stopc)
+		return nil, fmt.Errorf("live: cluster stalled with %d of %d commits",
+			cl.commits.Load(), cl.cfg.Clients*cl.cfg.TxnsPerClient)
+	}
+
+	// Quiesce: the server must see every item home and no transaction
+	// blocked, so the audit log is complete before shutdown.
+	quiet := false
+	for i := 0; i < 5000 && !quiet; i++ {
+		reply := make(chan bool, 1)
+		cl.server.mbox.ch <- quiesceMsg{reply: reply}
+		quiet = <-reply
+		if !quiet {
+			time.Sleep(time.Millisecond)
+		}
+	}
+	close(cl.stopc)
+	cl.server.mbox.ch <- stopMsg{}
+	wg.Wait()
+
+	// Drain any straggler timers so the network's waitgroup settles.
+	drainQuit := make(chan struct{})
+	for _, c := range cl.clients {
+		c := c
+		go func() {
+			for {
+				select {
+				case <-c.mbox.ch:
+				case <-drainQuit:
+					return
+				}
+			}
+		}()
+	}
+	go func() {
+		for {
+			select {
+			case <-cl.server.mbox.ch:
+			case <-drainQuit:
+				return
+			}
+		}
+	}()
+	cl.net.wg.Wait()
+	close(drainQuit)
+
+	if !quiet {
+		return nil, fmt.Errorf("live: cluster did not quiesce (commits=%d)", cl.commits.Load())
+	}
+
+	elapsed := time.Since(start)
+	commits := cl.commits.Load()
+	var mean time.Duration
+	if commits > 0 {
+		mean = time.Duration(cl.resp.Load() / commits)
+	}
+	return &Result{
+		Stats: Stats{
+			Commits:      commits,
+			Aborts:       cl.aborts.Load(),
+			Messages:     cl.net.messages(),
+			Elapsed:      elapsed,
+			MeanResponse: mean,
+		},
+		History: &cl.audit.log,
+	}, nil
+}
+
+// Control messages used only by the cluster harness.
+type (
+	quiesceMsg struct{ reply chan bool }
+	stopMsg    struct{}
+)

@@ -1,0 +1,45 @@
+package live
+
+import (
+	"repro/internal/fwdlist"
+	"repro/internal/ids"
+)
+
+// flightPlan is the immutable routing plan for one dispatched forward
+// list: it travels with every data message of the flight, so each client
+// can derive where to send releases and forwards entirely locally — the
+// paper's "a copy of the forward list is also sent with each data item".
+type flightPlan struct {
+	item ids.Item
+	list *fwdlist.List
+	mr1w bool
+}
+
+// segOf returns the segment index of txn, or -1.
+func (p *flightPlan) segOf(txn ids.Txn) int { return p.list.SegmentOf(txn) }
+
+// releaseTarget returns where a reader in segment j sends its release:
+// the next segment's writer, or the server when the read group is final.
+func (p *flightPlan) releaseTarget(j int) (client ids.Client, txn ids.Txn) {
+	if j+1 < p.list.NumSegments() {
+		e := p.list.Segment(j + 1).Entries[0]
+		return e.Client, e.Txn
+	}
+	return ids.Server, ids.None
+}
+
+// relWaitFor returns how many reader releases the writer in segment j
+// must gather before its delivery (basic mode) or its forwards (MR1W).
+func (p *flightPlan) relWaitFor(j int) int {
+	if j == 0 {
+		return 0
+	}
+	prev := p.list.Segment(j - 1)
+	if prev.Write {
+		return 0
+	}
+	return len(prev.Entries)
+}
+
+// plan size approximates the forward list's wire footprint.
+func (p *flightPlan) size() int { return p.list.Len() }

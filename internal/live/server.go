@@ -1,0 +1,411 @@
+package live
+
+import (
+	"repro/internal/fwdlist"
+	"repro/internal/ids"
+	"repro/internal/lock"
+	"repro/internal/prec"
+	"repro/internal/wfg"
+)
+
+// server is the single data-server site. All state below is owned by the
+// server goroutine (loop); no locks are needed.
+type server struct {
+	cl   *cluster
+	mbox *mailbox
+
+	// s-2PL state.
+	locks   *lock.Manager
+	blocked map[ids.Txn][]ids.Txn
+	reqOf   map[ids.Txn]reqMsg // blocked request per transaction
+
+	// g-2PL state.
+	items map[ids.Item]*liveItem
+	order *prec.Graph
+
+	// Shared.
+	waits    *wfg.Graph
+	versions map[ids.Item]ids.Txn
+	values   map[ids.Item]int64
+}
+
+// liveItem is the g-2PL server-side state of one data item.
+type liveItem struct {
+	id       ids.Item
+	atServer bool
+	pending  []reqMsg
+	edges    map[ids.Txn][]ids.Txn // wait edges stored per pending txn
+	flight   *liveFlight
+}
+
+// liveFlight tracks one dispatched forward list at the server.
+type liveFlight struct {
+	plan     *flightPlan
+	done     map[ids.Txn]bool
+	expected int // returns that close the window, fixed at dispatch
+	received int
+}
+
+func (f *liveFlight) unfinished() []ids.Txn {
+	var out []ids.Txn
+	for _, t := range f.plan.list.Txns() {
+		if !f.done[t] {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+func newServer(cl *cluster) *server {
+	return &server{
+		cl:       cl,
+		mbox:     newMailbox(16 * cl.cfg.Clients),
+		locks:    lock.NewManager(),
+		blocked:  make(map[ids.Txn][]ids.Txn),
+		reqOf:    make(map[ids.Txn]reqMsg),
+		items:    make(map[ids.Item]*liveItem),
+		order:    prec.New(),
+		waits:    wfg.New(),
+		versions: make(map[ids.Item]ids.Txn),
+		values:   make(map[ids.Item]int64),
+	}
+}
+
+func (s *server) loop() {
+	for m := range s.mbox.ch {
+		switch msg := m.(type) {
+		case stopMsg:
+			return
+		case quiesceMsg:
+			msg.reply <- s.quiet()
+		default:
+			if s.cl.cfg.Protocol == S2PL {
+				s.handleS2PL(m)
+			} else {
+				s.handleG2PL(m)
+			}
+		}
+	}
+}
+
+// quiet reports whether no protocol state is in flight.
+func (s *server) quiet() bool {
+	if s.cl.cfg.Protocol == S2PL {
+		return len(s.blocked) == 0 && s.locksIdle()
+	}
+	for _, it := range s.items {
+		if !it.atServer || len(it.pending) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *server) locksIdle() bool {
+	// The lock manager has no direct emptiness query; absence of blocked
+	// transactions plus an empty wait graph approximates quiescence, and
+	// the cluster additionally waits for all clients to finish.
+	return s.waits.Edges() == 0
+}
+
+// ---- s-2PL ----
+
+func (s *server) handleS2PL(m message) {
+	switch msg := m.(type) {
+	case reqMsg:
+		s.s2plRequest(msg)
+	case releaseMsg:
+		s.s2plRelease(msg)
+	}
+}
+
+func (s *server) s2plRequest(m reqMsg) {
+	mode := lock.Shared
+	if m.write {
+		mode = lock.Exclusive
+	}
+	if s.locks.Acquire(m.txn, m.item, mode) {
+		s.s2plGrant(m)
+		return
+	}
+	s.reqOf[m.txn] = m
+	blockers := s.locks.WaitsFor(m.txn)
+	s.blocked[m.txn] = blockers
+	for _, b := range blockers {
+		s.waits.AddEdge(m.txn, b)
+	}
+	if s.waits.CycleThrough(m.txn) != nil {
+		s.s2plAbort(m.txn)
+	}
+}
+
+func (s *server) s2plGrant(m reqMsg) {
+	s.cl.net.send(s.cl.mailboxOf(m.client), dataMsg{
+		txn:     m.txn,
+		item:    m.item,
+		version: s.versions[m.item],
+		value:   s.values[m.item],
+	})
+}
+
+func (s *server) s2plAbort(txn ids.Txn) {
+	m := s.reqOf[txn]
+	s.clearBlocked(txn)
+	grants := s.locks.CancelWait(txn)
+	s.deliverGrants(grants)
+	s.cl.net.send(s.cl.mailboxOf(m.client), abortMsg{txn: txn})
+}
+
+func (s *server) clearBlocked(txn ids.Txn) {
+	for _, b := range s.blocked[txn] {
+		s.waits.RemoveEdge(txn, b)
+	}
+	delete(s.blocked, txn)
+	delete(s.reqOf, txn)
+}
+
+func (s *server) deliverGrants(grants []lock.Grant) {
+	for _, g := range grants {
+		m, ok := s.reqOf[g.Txn]
+		if !ok {
+			continue
+		}
+		s.clearBlocked(g.Txn)
+		s.s2plGrant(m)
+	}
+}
+
+func (s *server) s2plRelease(m releaseMsg) {
+	for _, w := range m.writes {
+		s.versions[w.item] = m.txn
+		s.values[w.item] = w.value
+	}
+	grants := s.locks.Release(m.txn)
+	s.waits.RemoveTxn(m.txn)
+	s.deliverGrants(grants)
+}
+
+// ---- g-2PL ----
+
+func (s *server) handleG2PL(m message) {
+	switch msg := m.(type) {
+	case reqMsg:
+		s.g2plRequest(msg)
+	case fwdMsg:
+		s.g2plHome(msg)
+	case doneMsg:
+		s.g2plDone(msg)
+	}
+}
+
+func (s *server) item(id ids.Item) *liveItem {
+	it := s.items[id]
+	if it == nil {
+		it = &liveItem{id: id, atServer: true, edges: make(map[ids.Txn][]ids.Txn)}
+		s.items[id] = it
+	}
+	return it
+}
+
+func (s *server) g2plRequest(m reqMsg) {
+	it := s.item(m.item)
+	it.pending = append(it.pending, m)
+	if it.atServer && it.flight == nil {
+		s.dispatch(it)
+		return
+	}
+	if it.flight != nil {
+		edges := it.flight.unfinished()
+		it.edges[m.txn] = edges
+		for _, b := range edges {
+			s.waits.AddEdge(m.txn, b)
+			s.order.Constrain(b, m.txn)
+		}
+		if s.waits.CycleThrough(m.txn) != nil {
+			s.g2plAbort(it, m)
+		}
+	}
+}
+
+func (s *server) g2plAbort(it *liveItem, m reqMsg) {
+	for i, q := range it.pending {
+		if q.txn == m.txn {
+			it.pending = append(it.pending[:i], it.pending[i+1:]...)
+			break
+		}
+	}
+	for _, b := range it.edges[m.txn] {
+		s.waits.RemoveEdge(m.txn, b)
+	}
+	delete(it.edges, m.txn)
+	s.order.Remove(m.txn)
+	s.cl.net.send(s.cl.mailboxOf(m.client), abortMsg{txn: m.txn})
+}
+
+// dispatch closes the item's collection window: order the pending
+// requests (reader grouping, precedence-consistent), detect dispatch-time
+// deadlocks, ship the first segment and record the flight.
+func (s *server) dispatch(it *liveItem) {
+	if len(it.pending) == 0 || !it.atServer {
+		return
+	}
+	reqs := it.pending
+	it.pending = nil
+	txns := make([]ids.Txn, len(reqs))
+	writes := make([]bool, len(reqs))
+	byID := make(map[ids.Txn]reqMsg, len(reqs))
+	for i, q := range reqs {
+		txns[i] = q.txn
+		writes[i] = q.write
+		byID[q.txn] = q
+		for _, b := range it.edges[q.txn] {
+			s.waits.RemoveEdge(q.txn, b)
+		}
+		delete(it.edges, q.txn)
+	}
+	ordered := s.order.OrderGrouped(txns, writes)
+	entries := make([]fwdlist.Entry, len(ordered))
+	for i, id := range ordered {
+		q := byID[id]
+		entries[i] = fwdlist.Entry{Txn: q.txn, Client: q.client, Write: q.write}
+	}
+	list := fwdlist.Build(entries)
+	s.addChainEdges(list)
+	// Dispatch-time deadlock check, mirroring the engine: abort members
+	// whose chain position closes a cycle.
+	for {
+		victim := -1
+		for i := len(entries) - 1; i >= 0; i-- {
+			if s.waits.CycleThrough(entries[i].Txn) != nil {
+				victim = i
+				break
+			}
+		}
+		if victim < 0 {
+			break
+		}
+		s.removeChainEdges(list)
+		v := entries[victim]
+		entries = append(entries[:victim], entries[victim+1:]...)
+		s.order.Remove(v.Txn)
+		s.cl.net.send(s.cl.mailboxOf(v.Client), abortMsg{txn: v.Txn})
+		list = fwdlist.Build(entries)
+		s.addChainEdges(list)
+	}
+	if len(entries) == 0 {
+		return
+	}
+	s.order.Record(list.Txns())
+
+	plan := &flightPlan{item: it.id, list: list, mr1w: !s.cl.cfg.NoMR1W}
+	fl := &liveFlight{plan: plan, done: make(map[ids.Txn]bool)}
+	// The window closes when the final segment's traffic is home; the
+	// count is a static property of the plan: a final writer returns the
+	// data (1 message); a final read group sends one release per reader
+	// plus, when a writer dispatched it, the data return.
+	last := list.Segment(list.NumSegments() - 1)
+	if last.Write {
+		fl.expected = 1
+	} else {
+		fl.expected = len(last.Entries)
+		if list.NumSegments() > 1 {
+			fl.expected++
+		}
+	}
+	it.flight = fl
+	it.atServer = false
+
+	// Ship segment 0 (and, under MR1W, its companion writer).
+	seg := list.Segment(0)
+	ver, val := s.versions[it.id], s.values[it.id]
+	if seg.Write {
+		s.sendData(seg.Entries[0], it.id, ver, val, plan)
+		return
+	}
+	for _, e := range seg.Entries {
+		s.sendData(e, it.id, ver, val, plan)
+	}
+	if list.NumSegments() > 1 && plan.mr1w {
+		s.sendData(list.Segment(1).Entries[0], it.id, ver, val, plan)
+	}
+}
+
+func (s *server) sendData(e fwdlist.Entry, item ids.Item, ver ids.Txn, val int64, plan *flightPlan) {
+	s.cl.net.send(s.cl.mailboxOf(e.Client), dataMsg{txn: e.Txn, item: item, version: ver, value: val, plan: plan})
+}
+
+func (s *server) addChainEdges(list *fwdlist.List) {
+	for j := 1; j < list.NumSegments(); j++ {
+		for _, e := range list.Segment(j).Entries {
+			for _, p := range list.Segment(j - 1).Entries {
+				s.waits.AddEdge(e.Txn, p.Txn)
+			}
+		}
+	}
+}
+
+func (s *server) removeChainEdges(list *fwdlist.List) {
+	for j := 1; j < list.NumSegments(); j++ {
+		for _, e := range list.Segment(j).Entries {
+			for _, p := range list.Segment(j - 1).Entries {
+				s.waits.RemoveEdge(e.Txn, p.Txn)
+			}
+		}
+	}
+}
+
+// g2plHome handles data or final-segment releases arriving back at the
+// server; when all expected returns are in, the window closes and the
+// next one dispatches.
+func (s *server) g2plHome(m fwdMsg) {
+	it := s.item(m.item)
+	fl := it.flight
+	if fl == nil {
+		return
+	}
+	if !m.release {
+		s.versions[m.item] = m.version
+		s.values[m.item] = m.value
+	}
+	fl.received++
+	if fl.received < fl.expected {
+		return
+	}
+	it.flight = nil
+	it.atServer = true
+	for txn, edges := range it.edges {
+		for _, b := range edges {
+			s.waits.RemoveEdge(txn, b)
+		}
+		delete(it.edges, txn)
+	}
+	// Re-add edges for any still-pending requests against... none: a new
+	// flight recomputes them at dispatch.
+	s.dispatch(it)
+}
+
+// g2plDone processes a client's cc that a transaction finished an item:
+// the wait-for graph drops the chain edges pointing at it, and the
+// server's view of the flight advances. When the finishing member is a
+// writer that dispatches a final read group or returns data, the client's
+// fwdMsg (g2plHome) carries the authoritative state; done only maintains
+// detection metadata and the expected-returns accounting for flights whose
+// final segment is now known to be in flight.
+func (s *server) g2plDone(m doneMsg) {
+	it := s.item(m.item)
+	fl := it.flight
+	if fl == nil {
+		return
+	}
+	fl.done[m.txn] = true
+	j := fl.plan.segOf(m.txn)
+	if j < 0 {
+		return
+	}
+	list := fl.plan.list
+	if j+1 < list.NumSegments() {
+		for _, e := range list.Segment(j + 1).Entries {
+			s.waits.RemoveEdge(e.Txn, m.txn)
+		}
+	}
+}

@@ -1,0 +1,377 @@
+// Package lock implements the data server's lock manager for the s-2PL
+// protocol: shared/exclusive locks per data item with FIFO wait queues and
+// group grants of compatible readers (paper §3.1).
+//
+// The manager is purely a data structure — it performs no I/O and knows
+// nothing about time; the s-2PL engine drives it from simulation events
+// and the live system drives it from goroutines under its own mutex.
+package lock
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/ids"
+)
+
+// Mode is a lock mode.
+type Mode int
+
+const (
+	// Shared permits concurrent readers.
+	Shared Mode = iota
+	// Exclusive permits a single writer.
+	Exclusive
+)
+
+// String returns "S" or "X".
+func (m Mode) String() string {
+	if m == Shared {
+		return "S"
+	}
+	return "X"
+}
+
+// Compatible reports whether two locks may be held simultaneously.
+func Compatible(a, b Mode) bool { return a == Shared && b == Shared }
+
+// Grant records that a queued request became grantable after a release.
+type Grant struct {
+	Txn  ids.Txn
+	Item ids.Item
+	Mode Mode
+}
+
+type request struct {
+	txn  ids.Txn
+	mode Mode
+}
+
+type itemState struct {
+	holders map[ids.Txn]Mode
+	queue   []request
+}
+
+// Manager is a lock table over data items. The zero value is not usable;
+// construct with NewManager.
+type Manager struct {
+	items map[ids.Item]*itemState
+	// held tracks, per transaction, which items it holds locks on, so
+	// Release/Drop are O(locks held) rather than O(table).
+	held map[ids.Txn]map[ids.Item]Mode
+	// waiting tracks at most one queued request per transaction: the
+	// paper's clients execute sequentially, requesting one item at a time.
+	waiting map[ids.Txn]ids.Item
+}
+
+// NewManager returns an empty lock table.
+func NewManager() *Manager {
+	return &Manager{
+		items:   make(map[ids.Item]*itemState),
+		held:    make(map[ids.Txn]map[ids.Item]Mode),
+		waiting: make(map[ids.Txn]ids.Item),
+	}
+}
+
+func (m *Manager) state(item ids.Item) *itemState {
+	s := m.items[item]
+	if s == nil {
+		s = &itemState{holders: make(map[ids.Txn]Mode)}
+		m.items[item] = s
+	}
+	return s
+}
+
+// Acquire requests a lock and reports whether it was granted immediately.
+// If not, the request joins the item's FIFO queue. A transaction already
+// holding a sufficient lock is granted at once; an upgrade from Shared to
+// Exclusive is granted only while the transaction is the sole holder,
+// otherwise the upgrade waits in the queue.
+//
+// A transaction may have at most one pending request at a time (the
+// paper's sequential execution model); violating that panics, since it
+// indicates an engine bug rather than an input error.
+func (m *Manager) Acquire(txn ids.Txn, item ids.Item, mode Mode) bool {
+	if it, ok := m.waiting[txn]; ok {
+		panic(fmt.Sprintf("lock: %v requested %v while already waiting on %v", txn, item, it))
+	}
+	s := m.state(item)
+	if cur, holds := s.holders[txn]; holds {
+		if cur == Exclusive || mode == Shared {
+			return true // already sufficient
+		}
+		// Upgrade S -> X.
+		if len(s.holders) == 1 {
+			s.holders[txn] = Exclusive
+			m.held[txn][item] = Exclusive
+			return true
+		}
+		s.queue = append(s.queue, request{txn, Exclusive})
+		m.waiting[txn] = item
+		return false
+	}
+	if len(s.queue) == 0 && m.compatibleWithHolders(s, mode) {
+		m.grant(s, txn, item, mode)
+		return true
+	}
+	s.queue = append(s.queue, request{txn, mode})
+	m.waiting[txn] = item
+	return false
+}
+
+func (m *Manager) compatibleWithHolders(s *itemState, mode Mode) bool {
+	if mode == Exclusive {
+		return len(s.holders) == 0
+	}
+	for _, h := range s.holders {
+		if h == Exclusive {
+			return false
+		}
+	}
+	return true
+}
+
+func (m *Manager) grant(s *itemState, txn ids.Txn, item ids.Item, mode Mode) {
+	s.holders[txn] = mode
+	h := m.held[txn]
+	if h == nil {
+		h = make(map[ids.Item]Mode)
+		m.held[txn] = h
+	}
+	h[item] = mode
+}
+
+// promote grants queued requests that are now compatible, preserving FIFO
+// order: it stops at the first request that conflicts with the (possibly
+// just-extended) holder set, so writers are never starved by late readers.
+func (m *Manager) promote(item ids.Item, s *itemState) []Grant {
+	var grants []Grant
+	for len(s.queue) > 0 {
+		r := s.queue[0]
+		if cur, holds := s.holders[r.txn]; holds {
+			// Queued upgrade: grantable only as sole holder.
+			if cur == Shared && r.mode == Exclusive && len(s.holders) == 1 {
+				s.holders[r.txn] = Exclusive
+				m.held[r.txn][item] = Exclusive
+				delete(m.waiting, r.txn)
+				grants = append(grants, Grant{r.txn, item, Exclusive})
+				s.queue = s.queue[1:]
+				continue
+			}
+			break
+		}
+		if !m.compatibleWithHolders(s, r.mode) {
+			break
+		}
+		m.grant(s, r.txn, item, r.mode)
+		delete(m.waiting, r.txn)
+		grants = append(grants, Grant{r.txn, item, r.mode})
+		s.queue = s.queue[1:]
+	}
+	if len(s.queue) == 0 && len(s.holders) == 0 {
+		delete(m.items, item)
+	}
+	return grants
+}
+
+// Release frees every lock held by txn and removes any queued request it
+// has, returning the requests that become granted as a result. This is the
+// shrinking phase of strict 2PL: all locks go at commit or abort.
+// Items release in ascending order so runs are deterministic.
+func (m *Manager) Release(txn ids.Txn) []Grant {
+	var grants []Grant
+	if item, ok := m.waiting[txn]; ok {
+		m.removeQueued(txn, item)
+	}
+	for _, item := range m.itemsHeldSorted(txn) {
+		s := m.items[item]
+		delete(s.holders, txn)
+		grants = append(grants, m.promote(item, s)...)
+	}
+	delete(m.held, txn)
+	return grants
+}
+
+// itemsHeldSorted returns the items txn holds locks on in ascending order,
+// giving Release and Drop a deterministic grant order regardless of map
+// iteration.
+func (m *Manager) itemsHeldSorted(txn ids.Txn) []ids.Item {
+	out := make([]ids.Item, 0, len(m.held[txn]))
+	for item := range m.held[txn] {
+		out = append(out, item)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func (m *Manager) removeQueued(txn ids.Txn, item ids.Item) {
+	s := m.items[item]
+	if s == nil {
+		return
+	}
+	for i, r := range s.queue {
+		if r.txn == txn {
+			s.queue = append(s.queue[:i], s.queue[i+1:]...)
+			break
+		}
+	}
+	delete(m.waiting, txn)
+	// Removing a queue head (e.g. a blocked writer) can unblock others.
+	_ = s // grants from this path are returned by the caller via promote
+}
+
+// CancelWait removes txn's queued (ungranted) request, if any, returning
+// requests that become grantable as a result. Held locks are untouched —
+// in a data-shipping system they release only when the client's abort
+// round trip completes.
+func (m *Manager) CancelWait(txn ids.Txn) []Grant {
+	item, ok := m.waiting[txn]
+	if !ok {
+		return nil
+	}
+	m.removeQueued(txn, item)
+	if s := m.items[item]; s != nil {
+		return m.promote(item, s)
+	}
+	return nil
+}
+
+// Drop aborts txn inside the lock table: its queued request disappears and
+// its held locks are released. It returns newly granted requests. Drop and
+// Release are distinct names because engines treat them differently
+// (commit vs abort) even though the table-level effect is the same.
+func (m *Manager) Drop(txn ids.Txn) []Grant {
+	var grants []Grant
+	if item, ok := m.waiting[txn]; ok {
+		m.removeQueued(txn, item)
+		if s := m.items[item]; s != nil {
+			grants = append(grants, m.promote(item, s)...)
+		}
+	}
+	for _, item := range m.itemsHeldSorted(txn) {
+		s := m.items[item]
+		delete(s.holders, txn)
+		grants = append(grants, m.promote(item, s)...)
+	}
+	delete(m.held, txn)
+	return grants
+}
+
+// HoldersOf returns the transactions currently holding a lock on item.
+func (m *Manager) HoldersOf(item ids.Item) []ids.Txn {
+	s := m.items[item]
+	if s == nil {
+		return nil
+	}
+	out := make([]ids.Txn, 0, len(s.holders))
+	for t := range s.holders {
+		out = append(out, t)
+	}
+	return out
+}
+
+// HeldBy returns the items txn currently holds locks on, with modes.
+func (m *Manager) HeldBy(txn ids.Txn) map[ids.Item]Mode {
+	out := make(map[ids.Item]Mode, len(m.held[txn]))
+	for it, mode := range m.held[txn] {
+		out[it] = mode
+	}
+	return out
+}
+
+// Waiting returns the item txn is queued on, if any.
+func (m *Manager) Waiting(txn ids.Txn) (ids.Item, bool) {
+	it, ok := m.waiting[txn]
+	return it, ok
+}
+
+// WaitsFor returns the transactions that block txn's pending request: the
+// current holders whose locks conflict with it, plus conflicting requests
+// queued ahead of it. These are exactly the wait-for-graph edges the s-2PL
+// deadlock detector needs (paper §4).
+func (m *Manager) WaitsFor(txn ids.Txn) []ids.Txn {
+	item, ok := m.waiting[txn]
+	if !ok {
+		return nil
+	}
+	s := m.items[item]
+	var mode Mode
+	pos := -1
+	for i, r := range s.queue {
+		if r.txn == txn {
+			mode, pos = r.mode, i
+			break
+		}
+	}
+	if pos < 0 {
+		return nil
+	}
+	seen := make(map[ids.Txn]bool)
+	var out []ids.Txn
+	add := func(t ids.Txn) {
+		if t != txn && !seen[t] {
+			seen[t] = true
+			out = append(out, t)
+		}
+	}
+	for holder, hmode := range s.holders {
+		if holder == txn {
+			continue // upgrade case: own shared lock does not block itself
+		}
+		if !Compatible(hmode, mode) {
+			add(holder)
+		}
+	}
+	for _, r := range s.queue[:pos] {
+		if !Compatible(r.mode, mode) {
+			add(r.txn)
+		}
+	}
+	return out
+}
+
+// QueueLen returns the number of queued (ungranted) requests on item.
+func (m *Manager) QueueLen(item ids.Item) int {
+	s := m.items[item]
+	if s == nil {
+		return 0
+	}
+	return len(s.queue)
+}
+
+// Validate checks internal invariants: holder sets are mode-compatible,
+// held/waiting indexes agree with the per-item states. It returns an error
+// describing the first violation. Tests and the live system's debug mode
+// call this; engines do not, for speed.
+func (m *Manager) Validate() error {
+	for item, s := range m.items {
+		writers := 0
+		for t, mode := range s.holders {
+			if mode == Exclusive {
+				writers++
+			}
+			if m.held[t][item] != mode {
+				return fmt.Errorf("lock: held index disagrees for %v on %v", t, item)
+			}
+		}
+		if writers > 1 || (writers == 1 && len(s.holders) > 1) {
+			// One exception: a queued upgrade means a sole shared holder;
+			// writers>0 with other holders is always invalid.
+			return fmt.Errorf("lock: incompatible holders on %v", item)
+		}
+		for _, r := range s.queue {
+			if it, ok := m.waiting[r.txn]; !ok || it != item {
+				return fmt.Errorf("lock: waiting index disagrees for %v on %v", r.txn, item)
+			}
+		}
+	}
+	for t, items := range m.held {
+		for item, mode := range items {
+			s := m.items[item]
+			if s == nil || s.holders[t] != mode {
+				return fmt.Errorf("lock: stale held entry %v on %v", t, item)
+			}
+		}
+	}
+	return nil
+}

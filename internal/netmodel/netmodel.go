@@ -1,0 +1,89 @@
+// Package netmodel models the communication substrate of the paper's
+// system: a high-speed network in which transmission delay is negligible
+// and every message between any two sites (server-client or client-client)
+// costs one constant network latency — the sum of propagation and switching
+// delays (paper §2 and §4).
+//
+// The package also carries the paper's Table 2 of networking environments
+// and the per-protocol message/round accounting used to validate the
+// "3m rounds vs 2m+1 rounds" analysis of §3.2.
+package netmodel
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Network delivers messages with a uniform latency. It also counts traffic
+// so experiments can report messages and rounds alongside response time.
+type Network struct {
+	kernel  *sim.Kernel
+	latency sim.Time
+
+	// Counters. A "hop" is one message transfer; the round structure is
+	// protocol-level and tracked by the engines, but total hops are a
+	// network-level fact.
+	Messages int64 // total messages delivered
+	Bytes    int64 // total abstract payload units carried
+}
+
+// New returns a network over the given kernel with the given one-way
+// latency in ticks. Latency must be positive: the paper's model has no
+// zero-cost messages.
+func New(k *sim.Kernel, latency sim.Time) *Network {
+	if latency <= 0 {
+		panic(fmt.Sprintf("netmodel: latency must be positive, got %d", latency))
+	}
+	return &Network{kernel: k, latency: latency}
+}
+
+// Latency returns the one-way message latency.
+func (n *Network) Latency() sim.Time { return n.latency }
+
+// Send schedules deliver to run one latency from now and counts the
+// message. size is the abstract payload size (the paper argues size is
+// irrelevant at gigabit rates; we count it anyway so experiments can show
+// g-2PL's larger messages).
+func (n *Network) Send(size int, deliver func()) {
+	n.Messages++
+	n.Bytes += int64(size)
+	n.kernel.After(n.latency, deliver)
+}
+
+// Environment is a named row of the paper's Table 2.
+type Environment struct {
+	Name    string   // long name
+	Abbrev  string   // paper abbreviation
+	Latency sim.Time // network latency in simulation time units
+}
+
+// Environments reproduces Table 2 of the paper.
+var Environments = []Environment{
+	{"Single Segment Local Area Network", "ss-LAN", 1},
+	{"Multi-Segment Local Area Network", "ms-LAN", 50},
+	{"Campus Area Network", "CAN", 100},
+	{"Metropolitan Area Network", "MAN", 250},
+	{"Small Wide Area Network", "s-WAN", 500},
+	{"Large Wide Area Network", "l-WAN", 750},
+}
+
+// EnvironmentByAbbrev returns the Table 2 row with the given abbreviation.
+func EnvironmentByAbbrev(abbrev string) (Environment, bool) {
+	for _, e := range Environments {
+		if e.Abbrev == abbrev {
+			return e, true
+		}
+	}
+	return Environment{}, false
+}
+
+// Latencies returns the Table 2 latency values in ascending order, the
+// x axis of figures 2-4 and 8-9.
+func Latencies() []sim.Time {
+	out := make([]sim.Time, len(Environments))
+	for i, e := range Environments {
+		out[i] = e.Latency
+	}
+	return out
+}

@@ -1,0 +1,95 @@
+package netmodel
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestSendDelaysByLatency(t *testing.T) {
+	k := sim.New()
+	n := New(k, 250)
+	var deliveredAt sim.Time = -1
+	k.At(10, func() {
+		n.Send(1, func() { deliveredAt = k.Now() })
+	})
+	k.Run()
+	if deliveredAt != 260 {
+		t.Fatalf("delivered at %d, want 260", deliveredAt)
+	}
+}
+
+func TestCounters(t *testing.T) {
+	k := sim.New()
+	n := New(k, 1)
+	for i := 0; i < 5; i++ {
+		n.Send(10, func() {})
+	}
+	k.Run()
+	if n.Messages != 5 {
+		t.Fatalf("Messages = %d", n.Messages)
+	}
+	if n.Bytes != 50 {
+		t.Fatalf("Bytes = %d", n.Bytes)
+	}
+}
+
+func TestZeroLatencyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New with latency 0 did not panic")
+		}
+	}()
+	New(sim.New(), 0)
+}
+
+func TestTable2(t *testing.T) {
+	want := map[string]sim.Time{
+		"ss-LAN": 1, "ms-LAN": 50, "CAN": 100, "MAN": 250, "s-WAN": 500, "l-WAN": 750,
+	}
+	if len(Environments) != len(want) {
+		t.Fatalf("Environments has %d rows", len(Environments))
+	}
+	for abbrev, lat := range want {
+		e, ok := EnvironmentByAbbrev(abbrev)
+		if !ok {
+			t.Fatalf("missing environment %s", abbrev)
+		}
+		if e.Latency != lat {
+			t.Fatalf("%s latency = %d, want %d", abbrev, e.Latency, lat)
+		}
+	}
+	if _, ok := EnvironmentByAbbrev("nope"); ok {
+		t.Fatal("EnvironmentByAbbrev accepted unknown abbreviation")
+	}
+}
+
+func TestLatenciesAscending(t *testing.T) {
+	ls := Latencies()
+	if len(ls) != 6 {
+		t.Fatalf("len = %d", len(ls))
+	}
+	for i := 1; i < len(ls); i++ {
+		if ls[i] <= ls[i-1] {
+			t.Fatalf("latencies not ascending: %v", ls)
+		}
+	}
+}
+
+func TestSequentialSendsPreserveOrder(t *testing.T) {
+	k := sim.New()
+	n := New(k, 5)
+	var order []int
+	k.At(0, func() {
+		for i := 0; i < 3; i++ {
+			i := i
+			n.Send(1, func() { order = append(order, i) })
+		}
+	})
+	k.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-tick sends reordered: %v", order)
+		}
+	}
+}

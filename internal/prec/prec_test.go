@@ -1,0 +1,197 @@
+package prec
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ids"
+)
+
+func TestOrderRespectsRecordedPrecedence(t *testing.T) {
+	g := New()
+	g.Record([]ids.Txn{1, 2, 3})
+	// New window arrives in order 3, 1; established order says 1 before 3.
+	got := g.Order([]ids.Txn{3, 1})
+	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("Order = %v, want [1 3]", got)
+	}
+}
+
+func TestOrderFIFOWithoutConstraints(t *testing.T) {
+	g := New()
+	got := g.Order([]ids.Txn{7, 3, 9})
+	want := []ids.Txn{7, 3, 9}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Order = %v, want FIFO %v", got, want)
+		}
+	}
+}
+
+func TestOrderTransitiveConstraint(t *testing.T) {
+	g := New()
+	g.Record([]ids.Txn{1, 2})
+	g.Record([]ids.Txn{2, 3})
+	// 1 reaches 3 only transitively.
+	got := g.Order([]ids.Txn{3, 1})
+	if got[0] != 1 || got[1] != 3 {
+		t.Fatalf("Order = %v", got)
+	}
+	if !g.Reaches(1, 3) {
+		t.Fatal("Reaches(1,3) false")
+	}
+	if g.Reaches(3, 1) {
+		t.Fatal("Reaches(3,1) true")
+	}
+}
+
+func TestOrderStableAmongUnconstrained(t *testing.T) {
+	g := New()
+	g.Record([]ids.Txn{10, 20})
+	// 5 and 7 unconstrained: keep arrival positions around the constrained pair.
+	got := g.Order([]ids.Txn{20, 5, 10, 7})
+	// 10 must precede 20; 5 and 7 keep relative order.
+	pos := map[ids.Txn]int{}
+	for i, v := range got {
+		pos[v] = i
+	}
+	if pos[10] > pos[20] {
+		t.Fatalf("constraint violated: %v", got)
+	}
+	if pos[5] > pos[7] {
+		t.Fatalf("FIFO tie-break violated: %v", got)
+	}
+}
+
+func TestOrderDoesNotMutateInput(t *testing.T) {
+	g := New()
+	g.Record([]ids.Txn{2, 1})
+	in := []ids.Txn{1, 2}
+	_ = g.Order(in)
+	if in[0] != 1 || in[1] != 2 {
+		t.Fatalf("input mutated: %v", in)
+	}
+}
+
+func TestOrderEmptyAndSingle(t *testing.T) {
+	g := New()
+	if got := g.Order(nil); len(got) != 0 {
+		t.Fatalf("Order(nil) = %v", got)
+	}
+	if got := g.Order([]ids.Txn{42}); len(got) != 1 || got[0] != 42 {
+		t.Fatalf("Order single = %v", got)
+	}
+}
+
+func TestRemoveDropsConstraints(t *testing.T) {
+	g := New()
+	g.Record([]ids.Txn{1, 2, 3})
+	g.Remove(2)
+	// With 2 gone, 1 and 3 are no longer related (chain edges only).
+	if g.Reaches(1, 3) {
+		t.Fatal("Reaches survived middle removal")
+	}
+	got := g.Order([]ids.Txn{3, 1})
+	if got[0] != 3 {
+		t.Fatalf("Order after removal = %v, want FIFO", got)
+	}
+	if g.Size() != 0 {
+		t.Fatalf("Size = %d after removing the only hub", g.Size())
+	}
+}
+
+func TestRecordCyclePanics(t *testing.T) {
+	g := New()
+	g.Record([]ids.Txn{1, 2})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Record of a contradicting order did not panic")
+		}
+	}()
+	g.Record([]ids.Txn{2, 1})
+}
+
+func TestRecordDuplicateAdjacent(t *testing.T) {
+	g := New()
+	g.Record([]ids.Txn{1, 1, 2})
+	if g.HasCycle() {
+		t.Fatal("duplicate adjacent record made a cycle")
+	}
+	if !g.Reaches(1, 2) {
+		t.Fatal("edge missing")
+	}
+}
+
+// Property: ordering any pending set against a graph built from random
+// chains (1) keeps all established pairwise orders, (2) is a permutation
+// of the input, and (3) recording the result keeps the graph acyclic.
+func TestOrderProperty(t *testing.T) {
+	f := func(chainsRaw [][]uint8, pendingRaw []uint8) bool {
+		g := New()
+		for _, chain := range chainsRaw {
+			var c []ids.Txn
+			seen := map[ids.Txn]bool{}
+			for _, v := range chain {
+				txn := ids.Txn(v%16) + 1
+				if seen[txn] {
+					continue
+				}
+				// Only extend the chain if it will not contradict the graph.
+				if len(c) > 0 && g.Reaches(txn, c[len(c)-1]) {
+					continue
+				}
+				seen[txn] = true
+				c = append(c, txn)
+				g.Record(c[max(0, len(c)-2):]) // record the new pair incrementally
+			}
+		}
+		if g.HasCycle() {
+			return false
+		}
+		var pending []ids.Txn
+		seenP := map[ids.Txn]bool{}
+		for _, v := range pendingRaw {
+			txn := ids.Txn(v%16) + 1
+			if !seenP[txn] {
+				seenP[txn] = true
+				pending = append(pending, txn)
+			}
+		}
+		got := g.Order(pending)
+		if len(got) != len(pending) {
+			return false
+		}
+		gotSet := map[ids.Txn]bool{}
+		for _, v := range got {
+			gotSet[v] = true
+		}
+		for _, v := range pending {
+			if !gotSet[v] {
+				return false
+			}
+		}
+		pos := map[ids.Txn]int{}
+		for i, v := range got {
+			pos[v] = i
+		}
+		for i, a := range got {
+			for j, b := range got {
+				if i < j && g.Reaches(b, a) {
+					return false // output contradicts graph
+				}
+			}
+		}
+		g.Record(got)
+		return !g.HasCycle()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

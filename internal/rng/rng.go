@@ -1,0 +1,153 @@
+// Package rng provides small, fast, deterministic pseudo-random number
+// streams for the simulator.
+//
+// The generator is a 64-bit PCG-XSH-RR variant (O'Neill, 2014). Unlike
+// math/rand, a Stream is trivially splittable: Split derives an independent
+// child stream from a parent, which lets the simulator give every
+// (replication, client) pair its own stream so that the s-2PL and g-2PL
+// protocols face identical workloads within a replication (common random
+// numbers), independent of the order in which events consume randomness.
+//
+// The zero value of Stream is not useful; construct streams with New or
+// Split.
+package rng
+
+import "math/bits"
+
+// Stream is a deterministic pseudo-random number stream.
+type Stream struct {
+	state uint64
+	inc   uint64 // stream selector; always odd
+}
+
+// pcgMult is the multiplier of the underlying 64-bit LCG.
+const pcgMult = 6364136223846793005
+
+// New returns a stream seeded from seed and sequence selector seq.
+// Distinct (seed, seq) pairs give statistically independent streams.
+func New(seed, seq uint64) *Stream {
+	s := &Stream{inc: seq<<1 | 1}
+	s.state = 0
+	s.next()
+	s.state += seed
+	s.next()
+	return s
+}
+
+// Split derives an independent child stream. The child's identity depends
+// on the parent's current state and the supplied label, so splitting the
+// same parent with different labels yields unrelated streams, and the
+// parent remains usable afterwards.
+func (s *Stream) Split(label uint64) *Stream {
+	h := s.next()
+	return New(h^mix(label), mix(h)+label)
+}
+
+// mix is SplitMix64's finalizer, used to decorrelate split labels.
+func mix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// next advances the stream and returns 32 fresh random bits in the high
+// quality PCG output permutation.
+func (s *Stream) next() uint64 {
+	old := s.state
+	s.state = old*pcgMult + s.inc
+	xorshifted := uint32(((old >> 18) ^ old) >> 27)
+	rot := uint(old >> 59)
+	return uint64(bits.RotateLeft32(xorshifted, -int(rot)))
+}
+
+// Uint64 returns a uniformly distributed 64-bit value.
+func (s *Stream) Uint64() uint64 {
+	return s.next()<<32 | s.next()
+}
+
+// Uint32 returns a uniformly distributed 32-bit value.
+func (s *Stream) Uint32() uint32 {
+	return uint32(s.next())
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (s *Stream) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+// Uses Lemire's multiply-shift rejection method to avoid modulo bias.
+func (s *Stream) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn called with n <= 0")
+	}
+	un := uint64(n)
+	hi, lo := bits.Mul64(s.Uint64(), un)
+	if lo < un {
+		thresh := -un % un
+		for lo < thresh {
+			hi, lo = bits.Mul64(s.Uint64(), un)
+		}
+	}
+	return int(hi)
+}
+
+// IntRange returns a uniform value in the inclusive range [lo, hi].
+// It panics if hi < lo.
+func (s *Stream) IntRange(lo, hi int) int {
+	if hi < lo {
+		panic("rng: IntRange with hi < lo")
+	}
+	return lo + s.Intn(hi-lo+1)
+}
+
+// Bool returns true with probability p (clamped to [0, 1]).
+func (s *Stream) Bool(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return s.Float64() < p
+}
+
+// Perm returns a pseudo-random permutation of [0, n).
+func (s *Stream) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		j := s.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}
+
+// Sample returns k distinct values drawn uniformly from [0, n) in random
+// order. It panics if k > n or k < 0.
+func (s *Stream) Sample(n, k int) []int {
+	if k < 0 || k > n {
+		panic("rng: Sample with k out of range")
+	}
+	// Partial Fisher-Yates over a sparse map keeps this O(k) even for
+	// large n; for the simulator's small pools a dense array would do,
+	// but experiment sweeps also sample from large synthetic keyspaces.
+	swapped := make(map[int]int, k)
+	out := make([]int, k)
+	for i := 0; i < k; i++ {
+		j := i + s.Intn(n-i)
+		vj, ok := swapped[j]
+		if !ok {
+			vj = j
+		}
+		vi, ok := swapped[i]
+		if !ok {
+			vi = i
+		}
+		out[i] = vj
+		swapped[j] = vi
+		swapped[i] = vj
+	}
+	return out
+}

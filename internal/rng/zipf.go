@@ -1,0 +1,62 @@
+package rng
+
+import "math"
+
+// Zipf draws from a Zipf-like distribution over [0, n) with skew theta in
+// (0, 1): item ranks are weighted proportionally to 1/(rank+1)^theta.
+// theta -> 0 approaches uniform; larger theta concentrates mass on low
+// ranks. Used by the workload generator's skewed-access extension (the
+// paper itself uses uniform access over a small hot set).
+type Zipf struct {
+	n     int
+	theta float64
+	// Precomputed constants of the Gray et al. "quick zipf" method.
+	alpha, zetan, eta float64
+}
+
+// NewZipf returns a Zipf sampler over [0, n) with skew theta.
+// It panics if n <= 0 or theta is outside (0, 1).
+func NewZipf(n int, theta float64) *Zipf {
+	if n <= 0 {
+		panic("rng: NewZipf with n <= 0")
+	}
+	if theta <= 0 || theta >= 1 {
+		panic("rng: NewZipf theta must be in (0,1)")
+	}
+	z := &Zipf{n: n, theta: theta}
+	z.zetan = zeta(n, theta)
+	z.alpha = 1 / (1 - theta)
+	z.eta = (1 - math.Pow(2/float64(n), 1-theta)) / (1 - zeta(2, theta)/z.zetan)
+	return z
+}
+
+func zeta(n int, theta float64) float64 {
+	var sum float64
+	for i := 1; i <= n; i++ {
+		sum += 1 / math.Pow(float64(i), theta)
+	}
+	return sum
+}
+
+// N returns the size of the sampled range.
+func (z *Zipf) N() int { return z.n }
+
+// Next draws the next rank in [0, n) using stream s.
+func (z *Zipf) Next(s *Stream) int {
+	u := s.Float64()
+	uz := u * z.zetan
+	if uz < 1 {
+		return 0
+	}
+	if uz < 1+math.Pow(0.5, z.theta) {
+		return 1
+	}
+	v := int(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+	if v >= z.n {
+		v = z.n - 1
+	}
+	if v < 0 {
+		v = 0
+	}
+	return v
+}

@@ -1,0 +1,230 @@
+// Package serial checks conflict serializability of an execution recorded
+// in a history.Log.
+//
+// Given the per-item version install order, the checker builds the
+// multiversion serialization graph: for each item chain v1..vk, ww edges
+// v_i -> v_{i+1}; for each read of version v, a wr edge v -> reader and an
+// rw edge reader -> successor(v). The execution is (one-copy)
+// serializable iff this graph is acyclic; for the strict-2PL executions
+// the engines produce, acyclicity is exactly conflict serializability.
+package serial
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/history"
+	"repro/internal/ids"
+)
+
+// Violation describes a detected serializability failure.
+type Violation struct {
+	Cycle []ids.Txn // a cycle in the serialization graph
+}
+
+// Error implements error.
+func (v *Violation) Error() string {
+	return fmt.Sprintf("serial: serialization graph cycle %v", v.Cycle)
+}
+
+// Check audits the log. It returns nil when the execution is
+// serializable, a *Violation when the serialization graph has a cycle,
+// and another error for malformed input (e.g. a read of a version that
+// was never installed).
+func Check(log *history.Log) error {
+	if err := log.Validate(); err != nil {
+		return err
+	}
+	committed := log.Committed()
+	known := make(map[ids.Txn]bool, len(committed))
+	for _, c := range committed {
+		known[c.Txn] = true
+	}
+
+	// successor[item][v] = writer installed immediately after v.
+	succ := make(map[ids.Item]map[ids.Txn]ids.Txn)
+	adj := make(map[ids.Txn]map[ids.Txn]bool)
+	addEdge := func(a, b ids.Txn) {
+		if a == b {
+			return
+		}
+		s := adj[a]
+		if s == nil {
+			s = make(map[ids.Txn]bool)
+			adj[a] = s
+		}
+		s[b] = true
+	}
+
+	for _, item := range log.Items() {
+		chain := log.Chain(item)
+		m := make(map[ids.Txn]ids.Txn, len(chain))
+		prev := ids.None
+		for _, w := range chain {
+			m[prev] = w
+			if prev != ids.None {
+				addEdge(prev, w) // ww
+			}
+			prev = w
+		}
+		succ[item] = m
+	}
+
+	for _, c := range committed {
+		for _, r := range c.Reads {
+			if r.Version != ids.None {
+				if !known[r.Version] {
+					return fmt.Errorf("serial: %v read version %v of %v installed by unknown txn", c.Txn, r.Version, r.Item)
+				}
+				addEdge(r.Version, c.Txn) // wr
+			}
+			if next, ok := succ[r.Item][r.Version]; ok {
+				addEdge(c.Txn, next) // rw
+			}
+		}
+	}
+
+	if cycle := findCycle(adj); cycle != nil {
+		return &Violation{Cycle: cycle}
+	}
+	return nil
+}
+
+// findCycle returns some cycle in adj, or nil. Iteration order is made
+// deterministic by sorting node ids.
+func findCycle(adj map[ids.Txn]map[ids.Txn]bool) []ids.Txn {
+	nodes := make([]ids.Txn, 0, len(adj))
+	for n := range adj {
+		nodes = append(nodes, n)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make(map[ids.Txn]int)
+	parent := make(map[ids.Txn]ids.Txn)
+	var cycle []ids.Txn
+
+	var visit func(n ids.Txn) bool
+	visit = func(n ids.Txn) bool {
+		color[n] = gray
+		targets := make([]ids.Txn, 0, len(adj[n]))
+		for m := range adj[n] {
+			targets = append(targets, m)
+		}
+		sort.Slice(targets, func(i, j int) bool { return targets[i] < targets[j] })
+		for _, m := range targets {
+			switch color[m] {
+			case gray:
+				// Reconstruct the cycle m ... n -> m.
+				cycle = []ids.Txn{m}
+				for cur := n; cur != m; cur = parent[cur] {
+					cycle = append(cycle, cur)
+				}
+				// Reverse into forward order.
+				for i, j := 0, len(cycle)-1; i < j; i, j = i+1, j-1 {
+					cycle[i], cycle[j] = cycle[j], cycle[i]
+				}
+				return true
+			case white:
+				parent[m] = n
+				if visit(m) {
+					return true
+				}
+			}
+		}
+		color[n] = black
+		return false
+	}
+	for _, n := range nodes {
+		if color[n] == white && visit(n) {
+			return cycle
+		}
+	}
+	return nil
+}
+
+// Order returns a serialization order of the committed transactions (a
+// topological order of the serialization graph) when the log is
+// serializable. It is the witness that makes Check's verdict auditable.
+func Order(log *history.Log) ([]ids.Txn, error) {
+	if err := Check(log); err != nil {
+		return nil, err
+	}
+	// Rebuild edges (cheap; logs in tests are small) and Kahn-sort.
+	committed := log.Committed()
+	adj := make(map[ids.Txn]map[ids.Txn]bool)
+	indeg := make(map[ids.Txn]int)
+	for _, c := range committed {
+		indeg[c.Txn] = 0
+	}
+	addEdge := func(a, b ids.Txn) {
+		if a == b {
+			return
+		}
+		s := adj[a]
+		if s == nil {
+			s = make(map[ids.Txn]bool)
+			adj[a] = s
+		}
+		if !s[b] {
+			s[b] = true
+			indeg[b]++
+		}
+	}
+	succ := make(map[ids.Item]map[ids.Txn]ids.Txn)
+	for _, item := range log.Items() {
+		prev := ids.None
+		m := make(map[ids.Txn]ids.Txn)
+		for _, w := range log.Chain(item) {
+			m[prev] = w
+			if prev != ids.None {
+				addEdge(prev, w)
+			}
+			prev = w
+		}
+		succ[item] = m
+	}
+	for _, c := range committed {
+		for _, r := range c.Reads {
+			if r.Version != ids.None {
+				addEdge(r.Version, c.Txn)
+			}
+			if next, ok := succ[r.Item][r.Version]; ok {
+				addEdge(c.Txn, next)
+			}
+		}
+	}
+	var ready []ids.Txn
+	for n, d := range indeg {
+		if d == 0 {
+			ready = append(ready, n)
+		}
+	}
+	sort.Slice(ready, func(i, j int) bool { return ready[i] < ready[j] })
+	var out []ids.Txn
+	for len(ready) > 0 {
+		n := ready[0]
+		ready = ready[1:]
+		out = append(out, n)
+		targets := make([]ids.Txn, 0, len(adj[n]))
+		for m := range adj[n] {
+			targets = append(targets, m)
+		}
+		sort.Slice(targets, func(i, j int) bool { return targets[i] < targets[j] })
+		for _, m := range targets {
+			indeg[m]--
+			if indeg[m] == 0 {
+				ready = append(ready, m)
+			}
+		}
+		sort.Slice(ready, func(i, j int) bool { return ready[i] < ready[j] })
+	}
+	if len(out) != len(committed) {
+		return nil, fmt.Errorf("serial: topological sort incomplete (%d of %d)", len(out), len(committed))
+	}
+	return out, nil
+}

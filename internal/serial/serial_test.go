@@ -1,0 +1,151 @@
+package serial
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/history"
+	"repro/internal/ids"
+)
+
+func TestSerialExecutionPasses(t *testing.T) {
+	var l history.Log
+	// T1 writes x, T2 reads T1's x and writes y, T3 reads both.
+	l.Commit(history.Committed{Txn: 1, Writes: []ids.Item{1}})
+	l.Commit(history.Committed{Txn: 2, Reads: []history.Read{{Item: 1, Version: 1}}, Writes: []ids.Item{2}})
+	l.Commit(history.Committed{Txn: 3, Reads: []history.Read{{Item: 1, Version: 1}, {Item: 2, Version: 2}}})
+	if err := Check(&l); err != nil {
+		t.Fatal(err)
+	}
+	order, err := Order(&l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := map[ids.Txn]int{}
+	for i, txn := range order {
+		pos[txn] = i
+	}
+	if pos[1] > pos[2] || pos[2] > pos[3] {
+		t.Fatalf("serialization order %v inconsistent with dependencies", order)
+	}
+}
+
+func TestLostUpdateCycleDetected(t *testing.T) {
+	var l history.Log
+	// Classic lost update: both read initial version of x, both write x.
+	// rw edges T1 -> T2 (T1 read v0, next writer after v0 is T1 itself —
+	// skipped as self edge; next after reading is...) so construct the
+	// standard anomaly: T1 reads x0 and writes y; T2 reads y0 and writes x.
+	l.Commit(history.Committed{Txn: 1, Reads: []history.Read{{Item: 1, Version: ids.None}}, Writes: []ids.Item{2}})
+	l.Commit(history.Committed{Txn: 2, Reads: []history.Read{{Item: 2, Version: ids.None}}, Writes: []ids.Item{1}})
+	// T1 read x before T2's write (rw: T1->T2); T2 read y before T1's
+	// write (rw: T2->T1): write-skew cycle.
+	err := Check(&l)
+	var v *Violation
+	if !errors.As(err, &v) {
+		t.Fatalf("write skew not detected, err = %v", err)
+	}
+	if len(v.Cycle) < 2 {
+		t.Fatalf("cycle = %v", v.Cycle)
+	}
+	if _, err := Order(&l); err == nil {
+		t.Fatal("Order succeeded on non-serializable log")
+	}
+}
+
+func TestWWOrderViolation(t *testing.T) {
+	var l history.Log
+	// T2 installed before T3 on item 1, but T3 before T2 on item 2:
+	// ww edges T2->T3 and T3->T2.
+	l.Commit(history.Committed{Txn: 2, Writes: []ids.Item{1}})
+	l.Commit(history.Committed{Txn: 3, Writes: []ids.Item{2}})
+	l.Commit(history.Committed{Txn: 3, Writes: []ids.Item{1}})
+	l.Commit(history.Committed{Txn: 2, Writes: []ids.Item{2}})
+	// history.Validate rejects double commits first; this malformed input
+	// must produce an error either way.
+	if err := Check(&l); err == nil {
+		t.Fatal("inconsistent install orders accepted")
+	}
+}
+
+func TestReadOfUnknownVersion(t *testing.T) {
+	var l history.Log
+	l.Commit(history.Committed{Txn: 1, Reads: []history.Read{{Item: 1, Version: 42}}})
+	err := Check(&l)
+	if err == nil {
+		t.Fatal("read of never-installed version accepted")
+	}
+	var v *Violation
+	if errors.As(err, &v) {
+		t.Fatal("malformed input misreported as cycle")
+	}
+}
+
+func TestReadersOfSameVersionCommute(t *testing.T) {
+	var l history.Log
+	l.Commit(history.Committed{Txn: 1, Writes: []ids.Item{1}})
+	l.Commit(history.Committed{Txn: 2, Reads: []history.Read{{Item: 1, Version: 1}}})
+	l.Commit(history.Committed{Txn: 3, Reads: []history.Read{{Item: 1, Version: 1}}})
+	l.Commit(history.Committed{Txn: 4, Writes: []ids.Item{1}})
+	if err := Check(&l); err != nil {
+		t.Fatal(err)
+	}
+	order, err := Order(&l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := map[ids.Txn]int{}
+	for i, txn := range order {
+		pos[txn] = i
+	}
+	// Readers of version 1 must fall between writer 1 and writer 4.
+	for _, r := range []ids.Txn{2, 3} {
+		if pos[r] < pos[1] || pos[r] > pos[4] {
+			t.Fatalf("reader %v misplaced in %v", r, order)
+		}
+	}
+}
+
+func TestEmptyLog(t *testing.T) {
+	var l history.Log
+	if err := Check(&l); err != nil {
+		t.Fatal(err)
+	}
+	order, err := Order(&l)
+	if err != nil || len(order) != 0 {
+		t.Fatalf("Order on empty log: %v, %v", order, err)
+	}
+}
+
+func TestSelfReadIsNotCycle(t *testing.T) {
+	var l history.Log
+	// T1 reads initial x then writes x: the rw edge to the next writer is
+	// a self edge and must be ignored.
+	l.Commit(history.Committed{Txn: 1, Reads: []history.Read{{Item: 1, Version: ids.None}}, Writes: []ids.Item{1}})
+	if err := Check(&l); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLongChain(t *testing.T) {
+	var l history.Log
+	for i := ids.Txn(1); i <= 50; i++ {
+		var reads []history.Read
+		if i > 1 {
+			reads = []history.Read{{Item: 1, Version: i - 1}}
+		}
+		l.Commit(history.Committed{Txn: i, Reads: reads, Writes: []ids.Item{1}})
+	}
+	if err := Check(&l); err != nil {
+		t.Fatal(err)
+	}
+	order, err := Order(&l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range order {
+		if order[i] != ids.Txn(i+1) {
+			t.Fatalf("order = %v", order[:5])
+		}
+	}
+}

@@ -1,0 +1,267 @@
+package sim
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestRunsEventsInTimeOrder(t *testing.T) {
+	k := New()
+	var order []Time
+	for _, d := range []Time{5, 1, 3, 2, 4} {
+		d := d
+		k.At(d, func() { order = append(order, d) })
+	}
+	k.Run()
+	for i := 1; i < len(order); i++ {
+		if order[i] < order[i-1] {
+			t.Fatalf("events fired out of order: %v", order)
+		}
+	}
+	if len(order) != 5 {
+		t.Fatalf("fired %d events, want 5", len(order))
+	}
+	if k.Now() != 5 {
+		t.Fatalf("clock = %d, want 5", k.Now())
+	}
+}
+
+func TestSameTickFIFO(t *testing.T) {
+	k := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		k.At(7, func() { order = append(order, i) })
+	}
+	k.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-tick events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestAfterUsesCurrentTime(t *testing.T) {
+	k := New()
+	var at Time
+	k.At(10, func() {
+		k.After(5, func() { at = k.Now() })
+	})
+	k.Run()
+	if at != 15 {
+		t.Fatalf("After(5) at t=10 fired at %d, want 15", at)
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	k := New()
+	k.At(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		k.At(5, func() {})
+	})
+	k.Run()
+}
+
+func TestCancel(t *testing.T) {
+	k := New()
+	fired := false
+	e := k.At(5, func() { fired = true })
+	if !k.Cancel(e) {
+		t.Fatal("Cancel returned false for a pending event")
+	}
+	if k.Cancel(e) {
+		t.Fatal("Cancel returned true for an already-canceled event")
+	}
+	if k.Cancel(nil) {
+		t.Fatal("Cancel(nil) returned true")
+	}
+	k.Run()
+	if fired {
+		t.Fatal("canceled event fired")
+	}
+}
+
+func TestCancelFiredEventNoOp(t *testing.T) {
+	k := New()
+	e := k.At(1, func() {})
+	k.Run()
+	if k.Cancel(e) {
+		t.Fatal("Cancel returned true for a fired event")
+	}
+}
+
+func TestCancelMiddleOfHeap(t *testing.T) {
+	k := New()
+	var fired []Time
+	events := make([]*Event, 0, 20)
+	for i := Time(1); i <= 20; i++ {
+		i := i
+		events = append(events, k.At(i, func() { fired = append(fired, i) }))
+	}
+	// Cancel every third event and confirm exactly the others fire, in order.
+	want := []Time{}
+	for i, e := range events {
+		if i%3 == 0 {
+			k.Cancel(e)
+		} else {
+			want = append(want, Time(i+1))
+		}
+	}
+	k.Run()
+	if len(fired) != len(want) {
+		t.Fatalf("fired %d events, want %d", len(fired), len(want))
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("fired %v, want %v", fired, want)
+		}
+	}
+}
+
+func TestStop(t *testing.T) {
+	k := New()
+	count := 0
+	for i := Time(1); i <= 10; i++ {
+		k.At(i, func() {
+			count++
+			if count == 3 {
+				k.Stop()
+			}
+		})
+	}
+	k.Run()
+	if count != 3 {
+		t.Fatalf("ran %d events after Stop, want 3", count)
+	}
+	if k.Pending() != 7 {
+		t.Fatalf("pending = %d, want 7", k.Pending())
+	}
+	// Run resumes after Stop.
+	k.Run()
+	if count != 10 {
+		t.Fatalf("resume ran to %d, want 10", count)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	k := New()
+	var fired []Time
+	for _, d := range []Time{1, 5, 10, 15} {
+		d := d
+		k.At(d, func() { fired = append(fired, d) })
+	}
+	k.RunUntil(10)
+	if len(fired) != 3 {
+		t.Fatalf("RunUntil(10) fired %v", fired)
+	}
+	if k.Now() != 10 {
+		t.Fatalf("clock = %d, want 10", k.Now())
+	}
+	k.RunUntil(12)
+	if k.Now() != 12 {
+		t.Fatalf("clock after empty RunUntil = %d, want 12", k.Now())
+	}
+	k.Run()
+	if k.Now() != 15 || len(fired) != 4 {
+		t.Fatalf("final clock %d, fired %v", k.Now(), fired)
+	}
+}
+
+func TestStepOnEmpty(t *testing.T) {
+	k := New()
+	if k.Step() {
+		t.Fatal("Step on empty kernel returned true")
+	}
+}
+
+func TestFiredCounter(t *testing.T) {
+	k := New()
+	for i := Time(0); i < 5; i++ {
+		k.At(i, func() {})
+	}
+	k.Run()
+	if k.Fired() != 5 {
+		t.Fatalf("Fired() = %d, want 5", k.Fired())
+	}
+}
+
+func TestEventWhen(t *testing.T) {
+	k := New()
+	e := k.At(42, func() {})
+	if e.When() != 42 {
+		t.Fatalf("When() = %d", e.When())
+	}
+	k.Run()
+}
+
+// Property: for any set of scheduled delays, events fire in nondecreasing
+// time order and the final clock equals the max delay.
+func TestHeapOrderProperty(t *testing.T) {
+	f := func(delaysRaw []uint16) bool {
+		k := New()
+		var fired []Time
+		var max Time
+		for _, d := range delaysRaw {
+			d := Time(d)
+			if d > max {
+				max = d
+			}
+			k.At(d, func() { fired = append(fired, d) })
+		}
+		k.Run()
+		if len(fired) != len(delaysRaw) {
+			return false
+		}
+		if !sort.SliceIsSorted(fired, func(i, j int) bool { return fired[i] < fired[j] }) {
+			return false
+		}
+		return len(delaysRaw) == 0 || k.Now() == max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: interleaved schedule/cancel keeps heap indices consistent (no
+// panics, all surviving events fire exactly once, in order).
+func TestCancelProperty(t *testing.T) {
+	f := func(ops []uint16) bool {
+		k := New()
+		var live []*Event
+		firedCount := 0
+		expect := 0
+		for _, op := range ops {
+			if op%4 == 0 && len(live) > 0 {
+				idx := int(op/4) % len(live)
+				if k.Cancel(live[idx]) {
+					expect--
+				}
+				live = append(live[:idx], live[idx+1:]...)
+			} else {
+				e := k.At(Time(op), func() { firedCount++ })
+				live = append(live, e)
+				expect++
+			}
+		}
+		k.Run()
+		return firedCount == expect
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkScheduleAndRun(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		k := New()
+		for j := 0; j < 1000; j++ {
+			k.At(Time(j%97), func() {})
+		}
+		k.Run()
+	}
+}

@@ -1,0 +1,109 @@
+package stats
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Point is one x-coordinate of a figure with one estimate per curve.
+type Point struct {
+	X      float64
+	Values map[string]Estimate // curve name -> estimate
+}
+
+// Series is the data behind one paper figure: a family of curves sharing
+// an x axis.
+type Series struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Curves []string // rendering order
+	Points []Point
+}
+
+// NewSeries returns an empty series with the given labels and curve order.
+func NewSeries(title, xlabel, ylabel string, curves ...string) *Series {
+	return &Series{Title: title, XLabel: xlabel, YLabel: ylabel, Curves: curves}
+}
+
+// Add appends a point; estimates map curve name to value.
+func (s *Series) Add(x float64, values map[string]Estimate) {
+	s.Points = append(s.Points, Point{X: x, Values: values})
+}
+
+// Get returns the estimate for curve at the i-th point.
+func (s *Series) Get(i int, curve string) Estimate {
+	return s.Points[i].Values[curve]
+}
+
+// WriteTable renders the series as an aligned text table, one row per x
+// value, one "mean ± hw" column per curve. This is the textual equivalent
+// of the paper's figures.
+func (s *Series) WriteTable(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "%s\n", s.Title); err != nil {
+		return err
+	}
+	header := []string{s.XLabel}
+	header = append(header, s.Curves...)
+	rows := [][]string{header}
+	for _, p := range s.Points {
+		row := []string{trimFloat(p.X)}
+		for _, c := range s.Curves {
+			row = append(row, p.Values[c].String())
+		}
+		rows = append(rows, row)
+	}
+	widths := make([]int, len(header))
+	for _, row := range rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	for _, row := range rows {
+		var b strings.Builder
+		for i, cell := range row {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		if _, err := fmt.Fprintf(w, "%s\n", strings.TrimRight(b.String(), " ")); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// WriteCSV renders the series as CSV with half-width columns, suitable for
+// external plotting.
+func (s *Series) WriteCSV(w io.Writer) error {
+	cols := []string{s.XLabel}
+	for _, c := range s.Curves {
+		cols = append(cols, c, c+"_hw")
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(cols, ",")); err != nil {
+		return err
+	}
+	for _, p := range s.Points {
+		row := []string{trimFloat(p.X)}
+		for _, c := range s.Curves {
+			e := p.Values[c]
+			row = append(row, fmt.Sprintf("%g", e.Mean), fmt.Sprintf("%g", e.HalfWidth))
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func trimFloat(x float64) string {
+	if x == float64(int64(x)) {
+		return fmt.Sprintf("%d", int64(x))
+	}
+	return fmt.Sprintf("%g", x)
+}

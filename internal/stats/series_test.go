@@ -1,0 +1,70 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func sampleSeries() *Series {
+	s := NewSeries("Fig X: demo", "latency", "rt", "g-2PL", "s-2PL")
+	s.Add(1, map[string]Estimate{
+		"g-2PL": {Mean: 10, HalfWidth: 0.5, N: 5},
+		"s-2PL": {Mean: 12, HalfWidth: 0.6, N: 5},
+	})
+	s.Add(50, map[string]Estimate{
+		"g-2PL": {Mean: 100.25, HalfWidth: 1, N: 5},
+		"s-2PL": {Mean: 130, HalfWidth: 2, N: 5},
+	})
+	return s
+}
+
+func TestWriteTable(t *testing.T) {
+	var b strings.Builder
+	if err := sampleSeries().WriteTable(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"Fig X: demo", "latency", "g-2PL", "s-2PL", "10 ± 0.5", "130 ± 2"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Title + header + 2 data rows + trailing blank collapses to 4 lines.
+	if len(lines) != 4 {
+		t.Fatalf("unexpected line count %d:\n%s", len(lines), out)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var b strings.Builder
+	if err := sampleSeries().WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("csv lines = %d", len(lines))
+	}
+	if lines[0] != "latency,g-2PL,g-2PL_hw,s-2PL,s-2PL_hw" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if lines[2] != "50,100.25,1,130,2" {
+		t.Fatalf("row = %q", lines[2])
+	}
+}
+
+func TestSeriesGet(t *testing.T) {
+	s := sampleSeries()
+	if got := s.Get(1, "s-2PL").Mean; got != 130 {
+		t.Fatalf("Get = %v", got)
+	}
+}
+
+func TestTrimFloat(t *testing.T) {
+	if trimFloat(5) != "5" {
+		t.Fatalf("trimFloat(5) = %q", trimFloat(5))
+	}
+	if trimFloat(0.25) != "0.25" {
+		t.Fatalf("trimFloat(0.25) = %q", trimFloat(0.25))
+	}
+}

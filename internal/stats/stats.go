@@ -1,0 +1,224 @@
+// Package stats implements the output analysis the paper's measurement
+// protocol requires: running mean/variance accumulators, 95% confidence
+// intervals over independent replications via the Student-t distribution,
+// transient-phase elimination, and simple labeled series for rendering the
+// paper's tables and figures.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Accumulator keeps a numerically stable running mean and variance
+// (Welford's algorithm). The zero value is an empty accumulator.
+type Accumulator struct {
+	n    int64
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add folds one observation into the accumulator.
+func (a *Accumulator) Add(x float64) {
+	a.n++
+	if a.n == 1 {
+		a.min, a.max = x, x
+	} else {
+		if x < a.min {
+			a.min = x
+		}
+		if x > a.max {
+			a.max = x
+		}
+	}
+	d := x - a.mean
+	a.mean += d / float64(a.n)
+	a.m2 += d * (x - a.mean)
+}
+
+// N returns the number of observations.
+func (a *Accumulator) N() int64 { return a.n }
+
+// Mean returns the sample mean, or 0 with no observations.
+func (a *Accumulator) Mean() float64 { return a.mean }
+
+// Min returns the smallest observation, or 0 with no observations.
+func (a *Accumulator) Min() float64 { return a.min }
+
+// Max returns the largest observation, or 0 with no observations.
+func (a *Accumulator) Max() float64 { return a.max }
+
+// Variance returns the unbiased sample variance (n-1 denominator), or 0
+// with fewer than two observations.
+func (a *Accumulator) Variance() float64 {
+	if a.n < 2 {
+		return 0
+	}
+	return a.m2 / float64(a.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (a *Accumulator) StdDev() float64 { return math.Sqrt(a.Variance()) }
+
+// StdErr returns the standard error of the mean.
+func (a *Accumulator) StdErr() float64 {
+	if a.n < 1 {
+		return 0
+	}
+	return a.StdDev() / math.Sqrt(float64(a.n))
+}
+
+// Merge folds another accumulator's observations into a (Chan et al.
+// parallel combination). Min/max merge too.
+func (a *Accumulator) Merge(b *Accumulator) {
+	if b.n == 0 {
+		return
+	}
+	if a.n == 0 {
+		*a = *b
+		return
+	}
+	n := a.n + b.n
+	d := b.mean - a.mean
+	a.m2 += b.m2 + d*d*float64(a.n)*float64(b.n)/float64(n)
+	a.mean += d * float64(b.n) / float64(n)
+	a.n = n
+	if b.min < a.min {
+		a.min = b.min
+	}
+	if b.max > a.max {
+		a.max = b.max
+	}
+}
+
+// tTable95 holds two-sided 95% Student-t quantiles t_{df, 0.975} for small
+// degrees of freedom; beyond the table the normal quantile is a fine
+// approximation. The paper runs 5 replications, i.e. df = 4, t = 2.776.
+var tTable95 = []float64{
+	0,                                 // df=0 (unused)
+	12.706,                            // 1
+	4.303,                             // 2
+	3.182,                             // 3
+	2.776,                             // 4
+	2.571,                             // 5
+	2.447,                             // 6
+	2.365,                             // 7
+	2.306,                             // 8
+	2.262,                             // 9
+	2.228,                             // 10
+	2.201, 2.179, 2.160, 2.145, 2.131, // 11-15
+	2.120, 2.110, 2.101, 2.093, 2.086, // 16-20
+	2.080, 2.074, 2.069, 2.064, 2.060, // 21-25
+	2.056, 2.052, 2.048, 2.045, 2.042, // 26-30
+}
+
+// TQuantile95 returns the two-sided 95% Student-t critical value for the
+// given degrees of freedom (>= 1). For df > 30 it returns 1.960.
+func TQuantile95(df int) float64 {
+	if df < 1 {
+		panic("stats: TQuantile95 with df < 1")
+	}
+	if df < len(tTable95) {
+		return tTable95[df]
+	}
+	return 1.960
+}
+
+// Estimate is a point estimate with a symmetric 95% confidence half-width.
+type Estimate struct {
+	Mean      float64
+	HalfWidth float64
+	N         int // number of replications behind the estimate
+}
+
+// Lo returns the lower bound of the confidence interval.
+func (e Estimate) Lo() float64 { return e.Mean - e.HalfWidth }
+
+// Hi returns the upper bound of the confidence interval.
+func (e Estimate) Hi() float64 { return e.Mean + e.HalfWidth }
+
+// RelativePrecision returns HalfWidth/|Mean|, the paper's "relative
+// precision" (it reports <= 2% everywhere). Returns +Inf for a zero mean
+// with nonzero half-width, 0 for 0/0.
+func (e Estimate) RelativePrecision() float64 {
+	if e.Mean == 0 {
+		if e.HalfWidth == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return e.HalfWidth / math.Abs(e.Mean)
+}
+
+// String renders "mean ± half-width".
+func (e Estimate) String() string {
+	return fmt.Sprintf("%.4g ± %.2g", e.Mean, e.HalfWidth)
+}
+
+// FromReplications builds a 95% confidence estimate from per-replication
+// means, per the paper's protocol (5 independent runs). With a single
+// replication the half-width is zero.
+func FromReplications(values []float64) Estimate {
+	var a Accumulator
+	for _, v := range values {
+		a.Add(v)
+	}
+	e := Estimate{Mean: a.Mean(), N: int(a.N())}
+	if a.N() >= 2 {
+		e.HalfWidth = TQuantile95(int(a.N())-1) * a.StdErr()
+	}
+	return e
+}
+
+// TransientCut returns xs with the leading fraction frac (clamped to
+// [0, 0.9]) removed, the paper's "transient phase was eliminated" step for
+// per-transaction observations ordered by commit time.
+func TransientCut(xs []float64, frac float64) []float64 {
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 0.9 {
+		frac = 0.9
+	}
+	cut := int(float64(len(xs)) * frac)
+	return xs[cut:]
+}
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Percentile returns the p-quantile (0 <= p <= 1) of xs by linear
+// interpolation on a sorted copy. Empty input yields 0.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 1 {
+		return s[len(s)-1]
+	}
+	pos := p * float64(len(s)-1)
+	i := int(pos)
+	frac := pos - float64(i)
+	if i+1 >= len(s) {
+		return s[i]
+	}
+	return s[i]*(1-frac) + s[i+1]*frac
+}

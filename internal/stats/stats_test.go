@@ -1,0 +1,214 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestAccumulatorBasics(t *testing.T) {
+	var a Accumulator
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		a.Add(x)
+	}
+	if a.N() != 8 {
+		t.Fatalf("N = %d", a.N())
+	}
+	if !almostEqual(a.Mean(), 5, 1e-12) {
+		t.Fatalf("Mean = %v", a.Mean())
+	}
+	// Population variance of this classic set is 4; sample variance 32/7.
+	if !almostEqual(a.Variance(), 32.0/7.0, 1e-12) {
+		t.Fatalf("Variance = %v", a.Variance())
+	}
+	if a.Min() != 2 || a.Max() != 9 {
+		t.Fatalf("Min/Max = %v/%v", a.Min(), a.Max())
+	}
+}
+
+func TestAccumulatorEmpty(t *testing.T) {
+	var a Accumulator
+	if a.Mean() != 0 || a.Variance() != 0 || a.StdErr() != 0 {
+		t.Fatal("empty accumulator not zero-valued")
+	}
+}
+
+func TestAccumulatorSingle(t *testing.T) {
+	var a Accumulator
+	a.Add(3.5)
+	if a.Variance() != 0 {
+		t.Fatalf("variance of one sample = %v", a.Variance())
+	}
+	if a.Mean() != 3.5 || a.Min() != 3.5 || a.Max() != 3.5 {
+		t.Fatal("single-sample stats wrong")
+	}
+}
+
+func TestMergeMatchesSequential(t *testing.T) {
+	f := func(xsRaw, ysRaw []float64) bool {
+		clean := func(in []float64) []float64 {
+			out := make([]float64, 0, len(in))
+			for _, v := range in {
+				if !math.IsNaN(v) && !math.IsInf(v, 0) && math.Abs(v) < 1e6 {
+					out = append(out, v)
+				}
+			}
+			return out
+		}
+		xs, ys := clean(xsRaw), clean(ysRaw)
+		var a, b, all Accumulator
+		for _, x := range xs {
+			a.Add(x)
+			all.Add(x)
+		}
+		for _, y := range ys {
+			b.Add(y)
+			all.Add(y)
+		}
+		a.Merge(&b)
+		tol := 1e-6 * (1 + math.Abs(all.Mean()))
+		return a.N() == all.N() &&
+			almostEqual(a.Mean(), all.Mean(), tol) &&
+			almostEqual(a.Variance(), all.Variance(), 1e-5*(1+all.Variance())) &&
+			a.Min() == all.Min() && a.Max() == all.Max()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergeEmptySides(t *testing.T) {
+	var a, b Accumulator
+	a.Add(1)
+	a.Add(2)
+	before := a
+	a.Merge(&b) // empty b: no-op
+	if a != before {
+		t.Fatal("merging empty changed accumulator")
+	}
+	b.Merge(&a) // empty receiver: copies
+	if b.N() != 2 || b.Mean() != 1.5 {
+		t.Fatal("merge into empty wrong")
+	}
+}
+
+func TestTQuantile95(t *testing.T) {
+	if got := TQuantile95(4); got != 2.776 {
+		t.Fatalf("t(4) = %v, want 2.776 (paper's 5 replications)", got)
+	}
+	if got := TQuantile95(100); got != 1.960 {
+		t.Fatalf("t(100) = %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("TQuantile95(0) did not panic")
+		}
+	}()
+	TQuantile95(0)
+}
+
+func TestFromReplications(t *testing.T) {
+	e := FromReplications([]float64{10, 12, 11, 9, 13})
+	if !almostEqual(e.Mean, 11, 1e-12) {
+		t.Fatalf("mean = %v", e.Mean)
+	}
+	// stddev of {9..13} sample = sqrt(2.5), stderr = sqrt(0.5), hw = 2.776*stderr.
+	want := 2.776 * math.Sqrt(0.5)
+	if !almostEqual(e.HalfWidth, want, 1e-9) {
+		t.Fatalf("half-width = %v, want %v", e.HalfWidth, want)
+	}
+	if e.N != 5 {
+		t.Fatalf("N = %d", e.N)
+	}
+	if e.Lo() >= e.Mean || e.Hi() <= e.Mean {
+		t.Fatal("interval bounds wrong")
+	}
+}
+
+func TestFromReplicationsSingle(t *testing.T) {
+	e := FromReplications([]float64{7})
+	if e.Mean != 7 || e.HalfWidth != 0 {
+		t.Fatalf("single replication: %+v", e)
+	}
+}
+
+func TestRelativePrecision(t *testing.T) {
+	if rp := (Estimate{Mean: 100, HalfWidth: 2}).RelativePrecision(); !almostEqual(rp, 0.02, 1e-12) {
+		t.Fatalf("rp = %v", rp)
+	}
+	if rp := (Estimate{}).RelativePrecision(); rp != 0 {
+		t.Fatalf("0/0 rp = %v", rp)
+	}
+	if rp := (Estimate{HalfWidth: 1}).RelativePrecision(); !math.IsInf(rp, 1) {
+		t.Fatalf("x/0 rp = %v", rp)
+	}
+}
+
+func TestTransientCut(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	got := TransientCut(xs, 0.1)
+	if len(got) != 9 || got[0] != 2 {
+		t.Fatalf("cut 10%%: %v", got)
+	}
+	if got := TransientCut(xs, -1); len(got) != 10 {
+		t.Fatalf("negative frac: %v", got)
+	}
+	if got := TransientCut(xs, 5); len(got) != 1 {
+		t.Fatalf("clamped frac should keep 10%%: %v", got)
+	}
+	if got := TransientCut(nil, 0.5); len(got) != 0 {
+		t.Fatalf("nil input: %v", got)
+	}
+}
+
+func TestMeanAndPercentile(t *testing.T) {
+	xs := []float64{4, 1, 3, 2, 5}
+	if Mean(xs) != 3 {
+		t.Fatalf("Mean = %v", Mean(xs))
+	}
+	if Mean(nil) != 0 {
+		t.Fatal("Mean(nil) != 0")
+	}
+	if p := Percentile(xs, 0.5); p != 3 {
+		t.Fatalf("median = %v", p)
+	}
+	if p := Percentile(xs, 0); p != 1 {
+		t.Fatalf("p0 = %v", p)
+	}
+	if p := Percentile(xs, 1); p != 5 {
+		t.Fatalf("p100 = %v", p)
+	}
+	if p := Percentile(xs, 0.25); p != 2 {
+		t.Fatalf("p25 = %v", p)
+	}
+	if p := Percentile(nil, 0.5); p != 0 {
+		t.Fatalf("empty percentile = %v", p)
+	}
+	// Percentile must not mutate its input.
+	if xs[0] != 4 {
+		t.Fatal("Percentile mutated input")
+	}
+}
+
+// Property: confidence interval always contains the sample mean and
+// half-width is nonnegative.
+func TestEstimateProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		vals := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) && math.Abs(v) < 1e9 {
+				vals = append(vals, v)
+			}
+		}
+		if len(vals) == 0 {
+			return true
+		}
+		e := FromReplications(vals)
+		return e.HalfWidth >= 0 && e.Lo() <= e.Mean && e.Mean <= e.Hi()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,209 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func gen(cfg Config, seed uint64) *Generator {
+	return NewGenerator(cfg, rng.New(seed, 1))
+}
+
+func TestDefaultIsTable1(t *testing.T) {
+	c := Default()
+	if c.Items != 25 || c.MinTxnItems != 1 || c.MaxTxnItems != 5 {
+		t.Fatalf("default pool/profile wrong: %+v", c)
+	}
+	if c.ThinkMin != 1 || c.ThinkMax != 3 || c.IdleMin != 2 || c.IdleMax != 10 {
+		t.Fatalf("default timings wrong: %+v", c)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	base := Default()
+	cases := []func(*Config){
+		func(c *Config) { c.Items = 0 },
+		func(c *Config) { c.MinTxnItems = 0 },
+		func(c *Config) { c.MaxTxnItems = 0 },
+		func(c *Config) { c.MaxTxnItems = c.Items + 1 },
+		func(c *Config) { c.ReadProb = -0.1 },
+		func(c *Config) { c.ReadProb = 1.1 },
+		func(c *Config) { c.ThinkMax = c.ThinkMin - 1 },
+		func(c *Config) { c.IdleMin = -1 },
+		func(c *Config) { c.Access = Zipf; c.ZipfTheta = 0 },
+	}
+	for i, mutate := range cases {
+		c := base
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: invalid config accepted: %+v", i, c)
+		}
+	}
+}
+
+func TestProfileShape(t *testing.T) {
+	g := gen(Default(), 1)
+	for i := 0; i < 2000; i++ {
+		p := g.Next()
+		if len(p.Ops) < 1 || len(p.Ops) > 5 {
+			t.Fatalf("txn size %d out of [1,5]", len(p.Ops))
+		}
+		seen := map[int32]bool{}
+		for _, op := range p.Ops {
+			if op.Item < 0 || int(op.Item) >= 25 {
+				t.Fatalf("item %v out of pool", op.Item)
+			}
+			if seen[int32(op.Item)] {
+				t.Fatalf("duplicate item in transaction: %v", p.Ops)
+			}
+			seen[int32(op.Item)] = true
+		}
+	}
+}
+
+func TestReadProbExtremes(t *testing.T) {
+	cfg := Default()
+	cfg.ReadProb = 1
+	g := gen(cfg, 2)
+	for i := 0; i < 500; i++ {
+		if !g.Next().ReadOnly() {
+			t.Fatal("p_r = 1 produced a write")
+		}
+	}
+	cfg.ReadProb = 0
+	g = gen(cfg, 3)
+	for i := 0; i < 500; i++ {
+		for _, op := range g.Next().Ops {
+			if !op.Write {
+				t.Fatal("p_r = 0 produced a read")
+			}
+		}
+	}
+}
+
+func TestReadProbFraction(t *testing.T) {
+	cfg := Default()
+	cfg.ReadProb = 0.6
+	g := gen(cfg, 4)
+	reads, total := 0, 0
+	for i := 0; i < 5000; i++ {
+		for _, op := range g.Next().Ops {
+			total++
+			if !op.Write {
+				reads++
+			}
+		}
+	}
+	frac := float64(reads) / float64(total)
+	if math.Abs(frac-0.6) > 0.02 {
+		t.Fatalf("read fraction %v, want about 0.6", frac)
+	}
+}
+
+func TestTimingRanges(t *testing.T) {
+	g := gen(Default(), 5)
+	seenThink := map[int64]bool{}
+	seenIdle := map[int64]bool{}
+	for i := 0; i < 2000; i++ {
+		th := int64(g.Think())
+		if th < 1 || th > 3 {
+			t.Fatalf("think %d out of [1,3]", th)
+		}
+		seenThink[th] = true
+		id := int64(g.Idle())
+		if id < 2 || id > 10 {
+			t.Fatalf("idle %d out of [2,10]", id)
+		}
+		seenIdle[id] = true
+	}
+	if len(seenThink) != 3 {
+		t.Fatalf("think values seen: %v", seenThink)
+	}
+	if len(seenIdle) != 9 {
+		t.Fatalf("idle values seen: %v", seenIdle)
+	}
+}
+
+func TestDeterministicAcrossGenerators(t *testing.T) {
+	a := gen(Default(), 42)
+	b := gen(Default(), 42)
+	for i := 0; i < 200; i++ {
+		pa, pb := a.Next(), b.Next()
+		if len(pa.Ops) != len(pb.Ops) {
+			t.Fatal("generators diverged in size")
+		}
+		for j := range pa.Ops {
+			if pa.Ops[j] != pb.Ops[j] {
+				t.Fatal("generators diverged in ops")
+			}
+		}
+		if a.Think() != b.Think() || a.Idle() != b.Idle() {
+			t.Fatal("generators diverged in timing")
+		}
+	}
+}
+
+func TestUniformCoverage(t *testing.T) {
+	g := gen(Default(), 6)
+	counts := make([]int, 25)
+	total := 0
+	for i := 0; i < 20000; i++ {
+		for _, op := range g.Next().Ops {
+			counts[op.Item]++
+			total++
+		}
+	}
+	want := float64(total) / 25
+	for it, c := range counts {
+		if math.Abs(float64(c)-want) > 0.1*want {
+			t.Fatalf("item %d accessed %d times, want about %v", it, c, want)
+		}
+	}
+}
+
+func TestZipfSkewsAccess(t *testing.T) {
+	cfg := Default()
+	cfg.Access = Zipf
+	cfg.ZipfTheta = 0.8
+	g := gen(cfg, 7)
+	counts := make([]int, 25)
+	for i := 0; i < 5000; i++ {
+		p := g.Next()
+		seen := map[int32]bool{}
+		for _, op := range p.Ops {
+			if seen[int32(op.Item)] {
+				t.Fatal("zipf produced duplicate items in one txn")
+			}
+			seen[int32(op.Item)] = true
+			counts[op.Item]++
+		}
+	}
+	if counts[0] <= counts[20] {
+		t.Fatalf("zipf not skewed: item0=%d item20=%d", counts[0], counts[20])
+	}
+}
+
+func TestReadOnlyHelper(t *testing.T) {
+	p := Profile{Ops: []Op{{Item: 1}, {Item: 2}}}
+	if !p.ReadOnly() {
+		t.Fatal("all-read profile not read-only")
+	}
+	p.Ops[1].Write = true
+	if p.ReadOnly() {
+		t.Fatal("profile with write reported read-only")
+	}
+}
+
+func TestNewGeneratorPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid config did not panic")
+		}
+	}()
+	NewGenerator(Config{}, rng.New(1, 1))
+}
