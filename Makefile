@@ -1,0 +1,36 @@
+# Developer entry points. `make check` is the full local gate and exactly
+# what CI runs: formatting, go vet, the repo's own static-analysis pass
+# (cmd/repolint), the build, and the tests. `make race` adds the race
+# detector on the packages that run real goroutines.
+
+GO ?= go
+
+.PHONY: check fmt vet lint build test race all
+
+all: check
+
+check: fmt vet lint build test
+
+# gofmt -l lists unformatted files; fail loudly if there are any.
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+# repolint: determinism, concurrency-hygiene, 2PL-discipline and API
+# checks (see internal/analysis). Non-zero exit on any finding.
+lint:
+	$(GO) run ./cmd/repolint ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The live cluster and the history audit are the only packages exercising
+# real concurrency; everything else is single-threaded simulation.
+race:
+	$(GO) test -race -count=1 ./internal/live/ ./internal/history/

@@ -1,0 +1,157 @@
+// Command repolint runs the repository's static-analysis checks: the
+// determinism, concurrency-hygiene, 2PL-discipline and API-hygiene passes
+// implemented in internal/analysis. It loads every package of the module
+// with only the standard library (no golang.org/x/tools), prints
+// file:line:col diagnostics and exits non-zero when it finds anything.
+//
+// Usage:
+//
+//	repolint [-checks a,b] [-skip c,d] [-list] [-v] [packages]
+//
+// The package argument is accepted for `go run ./cmd/repolint ./...`
+// symmetry but the tool always analyzes the whole module containing the
+// working directory: every check is repo-scoped by design.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("repolint", flag.ExitOnError)
+	var (
+		checks  = fs.String("checks", "", "comma-separated checks to run (default: all)")
+		skip    = fs.String("skip", "", "comma-separated checks to skip")
+		list    = fs.Bool("list", false, "print the check catalog and exit")
+		verbose = fs.Bool("v", false, "print analyzed packages")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, c := range analysis.Checks() {
+			fmt.Printf("%-12s %s\n", c.Name, c.Doc)
+		}
+		return 0
+	}
+
+	root, err := findModuleRoot()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "repolint:", err)
+		return 2
+	}
+	cfg := analysis.DefaultConfig()
+	if err := applyCheckFlags(cfg, *checks, *skip); err != nil {
+		fmt.Fprintln(os.Stderr, "repolint:", err)
+		return 2
+	}
+
+	loader, err := analysis.NewLoader(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "repolint:", err)
+		return 2
+	}
+	pkgs, err := loader.LoadModule()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "repolint:", err)
+		return 2
+	}
+	if *verbose {
+		for _, p := range pkgs {
+			fmt.Fprintln(os.Stderr, "repolint: analyzing", p.Path)
+		}
+	}
+	diags := analysis.Run(cfg, pkgs)
+	for _, d := range diags {
+		pos := d.Pos
+		if rel, err := filepath.Rel(root, pos.Filename); err == nil {
+			pos.Filename = rel
+		}
+		fmt.Printf("%s: %s [%s]\n", pos, d.Message, d.Check)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "repolint: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}
+
+// applyCheckFlags narrows cfg.Enabled from the -checks and -skip flags.
+func applyCheckFlags(cfg *analysis.Config, checks, skip string) error {
+	known := map[string]bool{}
+	for _, c := range analysis.Checks() {
+		known[c.Name] = true
+	}
+	validate := func(names []string) error {
+		for _, n := range names {
+			if !known[n] {
+				return fmt.Errorf("unknown check %q (see -list)", n)
+			}
+		}
+		return nil
+	}
+	if checks != "" {
+		names := splitNames(checks)
+		if err := validate(names); err != nil {
+			return err
+		}
+		cfg.Enabled = map[string]bool{}
+		for _, n := range names {
+			cfg.Enabled[n] = true
+		}
+	}
+	if skip != "" {
+		names := splitNames(skip)
+		if err := validate(names); err != nil {
+			return err
+		}
+		if cfg.Enabled == nil {
+			cfg.Enabled = map[string]bool{}
+			for n := range known {
+				cfg.Enabled[n] = true
+			}
+		}
+		for _, n := range names {
+			delete(cfg.Enabled, n)
+		}
+	}
+	return nil
+}
+
+func splitNames(s string) []string {
+	var out []string
+	for _, n := range strings.Split(s, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// findModuleRoot walks up from the working directory to the nearest go.mod.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,288 @@
+// Package analysis implements repolint, a repo-specific static-analysis
+// pass built only on the standard library (go/parser, go/ast, go/types).
+//
+// The repo's value rests on two fragile properties: the discrete-event
+// engines must be bit-for-bit deterministic so the paper's g-2PL vs s-2PL
+// curves reproduce exactly, and the live cluster must stay data-race-free
+// and deadlock-safe under real goroutine concurrency. Nothing in the
+// compiler enforces either, so this package does, mechanically:
+//
+//   - determinism checks (walltime, globalrand, maprange) forbid wall-clock
+//     reads, global math/rand state and order-leaking map iteration inside
+//     the deterministic package set;
+//   - concurrency-hygiene checks (mutexcopy, lockbalance, gosend) catch
+//     mutexes copied by value, Lock calls with no same-function Unlock and
+//     select-less blocking channel sends inside goroutines of the live
+//     cluster;
+//   - the protocol-discipline check (twophase) is a syntactic 2PL tripwire:
+//     calls to the engines' lock/data grant functions are only sanctioned
+//     from an explicit per-package call-site allowlist, so a change that
+//     grants after release must consciously extend the list;
+//   - API-hygiene checks (exporteddoc, errdiscard) require doc comments on
+//     exported identifiers and flag error values discarded with `_`.
+//
+// Individual findings can be waived in source with a justified suppression
+// comment on the flagged line or the line above:
+//
+//	//repolint:allow maprange -- counts are order-independent
+//
+// The reason after "--" is mandatory; an allow comment without one is
+// itself reported. The cmd/repolint command wires the checks into `make
+// check` and CI.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding: a check name, a position and a message.
+type Diagnostic struct {
+	Check   string
+	Pos     token.Position
+	Message string
+}
+
+// String formats the diagnostic in the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s [%s]", d.Pos, d.Message, d.Check)
+}
+
+// Check is a named, individually-toggleable analysis pass that runs over
+// one type-checked package at a time.
+type Check struct {
+	// Name identifies the check in diagnostics, -checks flags and
+	// suppression comments.
+	Name string
+	// Doc is a one-line description printed by `repolint -list`.
+	Doc string
+	// Run reports the check's findings on ctx.Pkg via ctx.Reportf.
+	Run func(ctx *Context)
+}
+
+// Checks returns the full check catalog in a stable order.
+func Checks() []Check {
+	return []Check{
+		{Name: "walltime", Doc: "forbid time.Now/Since/Sleep and friends in deterministic packages", Run: checkWalltime},
+		{Name: "globalrand", Doc: "forbid global math/rand state in deterministic packages", Run: checkGlobalRand},
+		{Name: "maprange", Doc: "forbid unordered map iteration in deterministic packages", Run: checkMapRange},
+		{Name: "mutexcopy", Doc: "flag sync.Mutex (and friends) passed, returned or assigned by value", Run: checkMutexCopy},
+		{Name: "lockbalance", Doc: "flag Lock() with no same-function Unlock() or defer Unlock()", Run: checkLockBalance},
+		{Name: "gosend", Doc: "flag select-less blocking channel sends inside live-cluster goroutines", Run: checkGoSend},
+		{Name: "twophase", Doc: "2PL tripwire: grant-function calls only from sanctioned call sites", Run: checkTwoPhase},
+		{Name: "exporteddoc", Doc: "require doc comments on exported identifiers", Run: checkExportedDoc},
+		{Name: "errdiscard", Doc: "flag error return values discarded with _", Run: checkErrDiscard},
+	}
+}
+
+// Config scopes the checks to the repository's package roles. The zero
+// value disables every package-scoped check; use DefaultConfig for the
+// repo's policy.
+type Config struct {
+	// DeterministicPkgs are import paths whose code must be bit-for-bit
+	// reproducible: the determinism checks apply only to them. Packages
+	// that are wall-clock by design (internal/live, cmd/experiments) are
+	// simply not listed.
+	DeterministicPkgs map[string]bool
+
+	// ConcurrentPkgs are import paths running real goroutines; the gosend
+	// check applies only to them.
+	ConcurrentPkgs map[string]bool
+
+	// GrantSites is the 2PL tripwire allowlist: for each package path, a
+	// map from grant-function name to the named functions sanctioned to
+	// call it. Any other call site is a potential two-phase (grant after
+	// release) violation and is reported until the list is consciously
+	// extended.
+	GrantSites map[string]map[string][]string
+
+	// Enabled restricts which checks run; nil enables all of them.
+	Enabled map[string]bool
+}
+
+// DefaultConfig returns the repository policy described in DESIGN.md.
+func DefaultConfig() *Config {
+	return &Config{
+		DeterministicPkgs: map[string]bool{
+			"repro/internal/engine":   true,
+			"repro/internal/sim":      true,
+			"repro/internal/fwdlist":  true,
+			"repro/internal/prec":     true,
+			"repro/internal/wfg":      true,
+			"repro/internal/exp":      true,
+			"repro/internal/serial":   true,
+			"repro/internal/rng":      true,
+			"repro/internal/workload": true,
+			// lock and history are driven by both the engines and the live
+			// cluster; their results must not depend on map order either.
+			"repro/internal/lock":     true,
+			"repro/internal/history":  true,
+			"repro/internal/ids":      true,
+			"repro/internal/stats":    true,
+			"repro/internal/core":     true,
+			"repro/internal/netmodel": true,
+		},
+		ConcurrentPkgs: map[string]bool{
+			"repro/internal/live": true,
+		},
+		GrantSites: map[string]map[string][]string{
+			"repro/internal/engine": {
+				// s-2PL: data grants leave the server in sendGrant; the only
+				// grants after a release are queue promotions, which must
+				// route through deliverGrants.
+				"sendGrant":     {"serverRequest", "deliverGrants"},
+				"deliverGrants": {"serverAbort", "serverRelease", "serverAbortRelease"},
+				// g-2PL: data reaches a client only via deliverSegment (new
+				// segments) or the sanctioned re-delivery paths.
+				"deliverSegment": {"dispatchWindow", "advanceWriter"},
+				"clientData":     {"deliverSegment", "tryExpand", "writerRelease"},
+				// c-2PL: grants leave the server in grant, either for a
+				// fresh compatible request or a queue promotion.
+				"grant": {"serverRequest", "promote"},
+			},
+			"repro/internal/live": {
+				"s2plGrant":     {"s2plRequest", "deliverGrants"},
+				"deliverGrants": {"s2plAbort", "s2plRelease"},
+				"sendData":      {"dispatch"},
+			},
+		},
+	}
+}
+
+// enabled reports whether a check participates in this run.
+func (c *Config) enabled(name string) bool {
+	return c.Enabled == nil || c.Enabled[name]
+}
+
+// Context carries one package through one check.
+type Context struct {
+	Cfg   *Config
+	Pkg   *Package
+	check string
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (ctx *Context) Reportf(pos token.Pos, format string, args ...any) {
+	*ctx.diags = append(*ctx.diags, Diagnostic{
+		Check:   ctx.check,
+		Pos:     ctx.Pkg.Fset.Position(pos),
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// Run applies every enabled check to every package and returns the
+// surviving findings sorted by position. Suppressed findings are dropped;
+// malformed suppression comments are themselves findings.
+func Run(cfg *Config, pkgs []*Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, ch := range Checks() {
+			if !cfg.enabled(ch.Name) {
+				continue
+			}
+			ch.Run(&Context{Cfg: cfg, Pkg: pkg, check: ch.Name, diags: &diags})
+		}
+	}
+	var out []Diagnostic
+	supByFile := map[string]map[int]map[string]bool{}
+	for _, pkg := range pkgs {
+		sup, bad := suppressions(pkg)
+		diags = append(diags, bad...)
+		for file, lines := range sup {
+			supByFile[file] = lines
+		}
+	}
+	for _, d := range diags {
+		if lines := supByFile[d.Pos.Filename]; lines != nil {
+			if lines[d.Pos.Line][d.Check] || lines[d.Pos.Line-1][d.Check] {
+				continue
+			}
+		}
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Pos, out[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return out[i].Check < out[j].Check
+	})
+	return out
+}
+
+const allowPrefix = "//repolint:allow"
+
+// suppressions scans a package's comments for //repolint:allow markers and
+// returns, per file, the set of check names allowed at each line. An allow
+// comment missing its mandatory "-- reason" is returned as a diagnostic.
+func suppressions(pkg *Package) (map[string]map[int]map[string]bool, []Diagnostic) {
+	out := map[string]map[int]map[string]bool{}
+	var bad []Diagnostic
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, allowPrefix) {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				rest := strings.TrimPrefix(c.Text, allowPrefix)
+				names, _, justified := strings.Cut(rest, "--")
+				if !justified || strings.TrimSpace(names) == "" {
+					bad = append(bad, Diagnostic{
+						Check:   "suppression",
+						Pos:     pos,
+						Message: "repolint:allow needs checks and a reason: //repolint:allow <checks> -- <why>",
+					})
+					continue
+				}
+				lines := out[pos.Filename]
+				if lines == nil {
+					lines = map[int]map[string]bool{}
+					out[pos.Filename] = lines
+				}
+				set := lines[pos.Line]
+				if set == nil {
+					set = map[string]bool{}
+					lines[pos.Line] = set
+				}
+				for _, n := range strings.Split(names, ",") {
+					set[strings.TrimSpace(n)] = true
+				}
+			}
+		}
+	}
+	return out, bad
+}
+
+// enclosingFunc returns the name of the innermost FuncDecl containing pos
+// in any of the package's files, or "" when pos sits outside function
+// bodies. Function literals report their enclosing named function, which
+// is what the call-site checks want: closures scheduled by a function act
+// on its behalf.
+func enclosingFunc(pkg *Package, pos token.Pos) string {
+	for _, f := range pkg.Files {
+		if pos < f.Pos() || pos > f.End() {
+			continue
+		}
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if pos >= fd.Pos() && pos <= fd.End() {
+				return fd.Name.Name
+			}
+		}
+	}
+	return ""
+}

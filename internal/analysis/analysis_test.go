@@ -1,0 +1,209 @@
+package analysis
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// Fixture packages under testdata/src annotate every expected diagnostic
+// with a trailing marker on the flagged line:
+//
+//	expr // want check1 check2
+//
+// The directive form "//want:check" is used where a normal trailing
+// comment would itself count as documentation (const/var/type specs).
+var wantRe = regexp.MustCompile(`//\s*want[: ]\s*([a-z][a-z, ]*[a-z])\s*$`)
+
+// wantDiags reads the fixture sources in dir and returns the expected
+// diagnostics as a map from "file.go:line" to the sorted multiset of check
+// names wanted on that line.
+func wantDiags(t *testing.T, dir string) map[string][]string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string][]string{}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			m := wantRe.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			key := fmt.Sprintf("%s:%d", e.Name(), i+1)
+			names := strings.FieldsFunc(m[1], func(r rune) bool { return r == ' ' || r == ',' })
+			want[key] = append(want[key], names...)
+			sort.Strings(want[key])
+		}
+	}
+	if len(want) == 0 {
+		t.Fatalf("fixture %s declares no // want markers", dir)
+	}
+	return want
+}
+
+// gotDiags groups Run's findings by "file.go:line" with sorted check
+// multisets, mirroring wantDiags.
+func gotDiags(diags []Diagnostic) map[string][]string {
+	got := map[string][]string{}
+	for _, d := range diags {
+		key := fmt.Sprintf("%s:%d", filepath.Base(d.Pos.Filename), d.Pos.Line)
+		got[key] = append(got[key], d.Check)
+		sort.Strings(got[key])
+	}
+	return got
+}
+
+func enableOnly(names ...string) map[string]bool {
+	m := map[string]bool{}
+	for _, n := range names {
+		m[n] = true
+	}
+	// Suppression hygiene is part of every run: Run reports malformed
+	// //repolint:allow comments regardless of Enabled.
+	m["suppression"] = true
+	return m
+}
+
+// TestFixtures runs each check family over a fixture package with known
+// violations and asserts the exact file:line of every diagnostic, in both
+// directions: every marker must be hit and every diagnostic must be
+// wanted.
+func TestFixtures(t *testing.T) {
+	loader, err := NewLoader(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name    string
+		enabled []string
+		cfg     func(c *Config, path string)
+	}{
+		{
+			name:    "det",
+			enabled: []string{"walltime", "globalrand", "maprange"},
+			cfg:     func(c *Config, p string) { c.DeterministicPkgs = map[string]bool{p: true} },
+		},
+		{
+			name:    "conc",
+			enabled: []string{"mutexcopy", "lockbalance", "gosend"},
+			cfg:     func(c *Config, p string) { c.ConcurrentPkgs = map[string]bool{p: true} },
+		},
+		{
+			name:    "grant",
+			enabled: []string{"twophase"},
+			cfg: func(c *Config, p string) {
+				c.GrantSites = map[string]map[string][]string{p: {
+					"sendGrant":  {"request"},
+					"ghostGrant": {"ghostCaller"}, // stale entry: must be reported
+				}}
+			},
+		},
+		{
+			name:    "hygiene",
+			enabled: []string{"exporteddoc", "errdiscard"},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := filepath.Join("testdata", "src", tc.name)
+			path := "fixture/" + tc.name
+			pkg, err := loader.LoadFixture(dir, path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := &Config{Enabled: enableOnly(tc.enabled...)}
+			if tc.cfg != nil {
+				tc.cfg(cfg, path)
+			}
+			diags := Run(cfg, []*Package{pkg})
+			if len(diags) == 0 {
+				t.Fatalf("fixture %s produced no diagnostics; repolint would exit 0", tc.name)
+			}
+			want := wantDiags(t, dir)
+			got := gotDiags(diags)
+			keys := map[string]bool{}
+			for k := range want {
+				keys[k] = true
+			}
+			for k := range got {
+				keys[k] = true
+			}
+			var sorted []string
+			for k := range keys {
+				sorted = append(sorted, k)
+			}
+			sort.Strings(sorted)
+			for _, k := range sorted {
+				if !reflect.DeepEqual(want[k], got[k]) {
+					t.Errorf("%s: want %v, got %v", k, want[k], got[k])
+				}
+			}
+		})
+	}
+}
+
+// TestCheckToggle verifies Enabled actually gates checks: with only
+// walltime enabled, the det fixture's globalrand and maprange violations
+// must not be reported, while both walltime hits still are.
+func TestCheckToggle(t *testing.T) {
+	loader, err := NewLoader(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := "fixture/det"
+	pkg, err := loader.LoadFixture(filepath.Join("testdata", "src", "det"), path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := &Config{
+		DeterministicPkgs: map[string]bool{path: true},
+		Enabled:           map[string]bool{"walltime": true},
+	}
+	walltime := 0
+	for _, d := range Run(cfg, []*Package{pkg}) {
+		switch d.Check {
+		case "walltime":
+			walltime++
+		case "suppression":
+			// malformed allow comments are reported in every run
+		default:
+			t.Errorf("check %s ran while disabled: %s", d.Check, d)
+		}
+	}
+	if walltime != 2 {
+		t.Errorf("want 2 walltime findings with only walltime enabled, got %d", walltime)
+	}
+}
+
+// TestDefaultConfigCleanHead is the gate the Makefile relies on: the
+// shipped policy must report nothing on the repository itself.
+func TestDefaultConfigCleanHead(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short mode")
+	}
+	loader, err := NewLoader(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.LoadModule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range Run(DefaultConfig(), pkgs) {
+		t.Errorf("repository is not lint-clean: %s", d)
+	}
+}

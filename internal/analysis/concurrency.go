@@ -1,0 +1,271 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// syncByValueTypes are the sync package types that must never be copied
+// after first use.
+var syncByValueTypes = map[string]bool{
+	"Mutex":     true,
+	"RWMutex":   true,
+	"WaitGroup": true,
+	"Once":      true,
+	"Cond":      true,
+	"Map":       true,
+	"Pool":      true,
+}
+
+// containsLock reports whether a value of type t embeds one of the sync
+// types by value (directly, through struct fields or through arrays).
+func containsLock(t types.Type) bool {
+	return containsLockSeen(t, map[types.Type]bool{})
+}
+
+func containsLockSeen(t types.Type, seen map[types.Type]bool) bool {
+	if t == nil || seen[t] {
+		return false
+	}
+	seen[t] = true
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "sync" && syncByValueTypes[obj.Name()] {
+			return true
+		}
+		return containsLockSeen(named.Underlying(), seen)
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if containsLockSeen(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return containsLockSeen(u.Elem(), seen)
+	}
+	return false
+}
+
+// checkMutexCopy flags values containing a sync.Mutex (or WaitGroup, Once,
+// Cond, Map, Pool) moved by value: receivers, parameters, results, and
+// assignments copying an existing variable. go vet's copylocks overlaps
+// here; this check keeps the invariant enforced even where vet is not run
+// and extends it to results.
+func checkMutexCopy(ctx *Context) {
+	pkg := ctx.Pkg
+	checkFieldList := func(fl *ast.FieldList, what string) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			t := pkg.Info.TypeOf(field.Type)
+			if t == nil {
+				continue
+			}
+			if _, isPtr := t.Underlying().(*types.Pointer); isPtr {
+				continue
+			}
+			if containsLock(t) {
+				ctx.Reportf(field.Pos(), "%s passes %s by value, copying its lock", what, types.TypeString(t, types.RelativeTo(pkg.Types)))
+			}
+		}
+	}
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				checkFieldList(n.Recv, "receiver")
+				checkFieldList(n.Type.Params, "parameter")
+				checkFieldList(n.Type.Results, "result")
+			case *ast.FuncLit:
+				checkFieldList(n.Type.Params, "parameter")
+				checkFieldList(n.Type.Results, "result")
+			case *ast.AssignStmt:
+				if len(n.Lhs) != len(n.Rhs) {
+					return true
+				}
+				for i, rhs := range n.Rhs {
+					if !copiesValue(rhs) {
+						continue
+					}
+					t := pkg.Info.TypeOf(rhs)
+					if t != nil && containsLock(t) {
+						ctx.Reportf(n.Lhs[i].Pos(), "assignment copies %s by value, copying its lock", types.TypeString(t, types.RelativeTo(pkg.Types)))
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// copiesValue reports whether evaluating e yields a copy of an existing
+// variable (as opposed to a fresh value from a literal or call).
+func copiesValue(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr:
+		return true
+	case *ast.StarExpr:
+		return true
+	case *ast.ParenExpr:
+		return copiesValue(e.X)
+	}
+	return false
+}
+
+// syncLockMethod classifies a called method as one of sync.Mutex /
+// sync.RWMutex's lock-state methods, returning its name or "".
+func syncLockMethod(pkg *Package, call *ast.CallExpr) (method string, recv ast.Expr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", nil
+	}
+	fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return "", nil
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return "", nil
+	}
+	rt := sig.Recv().Type()
+	if p, ok := rt.(*types.Pointer); ok {
+		rt = p.Elem()
+	}
+	named, ok := rt.(*types.Named)
+	if !ok {
+		return "", nil
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return "", nil
+	}
+	if obj.Name() != "Mutex" && obj.Name() != "RWMutex" {
+		return "", nil
+	}
+	switch sel.Sel.Name {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+		return sel.Sel.Name, sel.X
+	}
+	return "", nil
+}
+
+// checkLockBalance requires every mutex Lock() (and RLock()) to have a
+// matching Unlock() or defer Unlock() on the same receiver expression in
+// the same function. Lock hand-offs across functions are legal Go but a
+// deadlock trap in this codebase; a justified suppression marks the
+// intentional ones.
+func checkLockBalance(ctx *Context) {
+	pkg := ctx.Pkg
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			type lockSite struct {
+				pos    ast.Node
+				method string
+			}
+			locks := map[string][]lockSite{} // recv expr -> Lock/RLock sites
+			unlocks := map[string]map[string]bool{}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				method, recv := syncLockMethod(pkg, call)
+				if method == "" {
+					return true
+				}
+				key := types.ExprString(recv)
+				switch method {
+				case "Lock", "RLock":
+					locks[key] = append(locks[key], lockSite{call, method})
+				case "Unlock", "RUnlock":
+					if unlocks[key] == nil {
+						unlocks[key] = map[string]bool{}
+					}
+					unlocks[key][method] = true
+				}
+				return true
+			})
+			for key, sites := range locks {
+				for _, s := range sites {
+					want := "Unlock"
+					if s.method == "RLock" {
+						want = "RUnlock"
+					}
+					if !unlocks[key][want] {
+						ctx.Reportf(s.pos.Pos(), "%s.%s with no %s.%s in %s (hand-off? justify with a suppression)",
+							key, s.method, key, want, fd.Name.Name)
+					}
+				}
+			}
+		}
+	}
+}
+
+// checkGoSend flags blocking channel sends outside select statements
+// inside goroutines (and timer callbacks) of the concurrent packages. A
+// bare send in a goroutine with no stop case is how shutdowns leak
+// goroutines; sends that are provably drained carry a justified
+// suppression.
+func checkGoSend(ctx *Context) {
+	if !ctx.Cfg.ConcurrentPkgs[ctx.Pkg.Path] {
+		return
+	}
+	pkg := ctx.Pkg
+	seen := map[*ast.FuncLit]bool{}
+	inspectBody := func(lit *ast.FuncLit) {
+		if lit == nil || seen[lit] {
+			return
+		}
+		seen[lit] = true
+		allowed := map[*ast.SendStmt]bool{}
+		ast.Inspect(lit, func(n ast.Node) bool {
+			if sel, ok := n.(*ast.SelectStmt); ok {
+				for _, clause := range sel.Body.List {
+					if cc, ok := clause.(*ast.CommClause); ok {
+						if send, ok := cc.Comm.(*ast.SendStmt); ok {
+							allowed[send] = true
+						}
+					}
+				}
+			}
+			return true
+		})
+		ast.Inspect(lit, func(n ast.Node) bool {
+			send, ok := n.(*ast.SendStmt)
+			if !ok || allowed[send] {
+				return true
+			}
+			ctx.Reportf(send.Pos(), "blocking channel send in a goroutine without a select (shutdown can leak this goroutine)")
+			return true
+		})
+	}
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+					inspectBody(lit)
+				}
+			case *ast.CallExpr:
+				// time.AfterFunc callbacks run on their own goroutine too.
+				if sel, ok := n.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "AfterFunc" {
+					if id, ok := sel.X.(*ast.Ident); ok {
+						if pn, ok := pkg.Info.Uses[id].(*types.PkgName); ok && pn.Imported().Path() == "time" && len(n.Args) == 2 {
+							if lit, ok := n.Args[1].(*ast.FuncLit); ok {
+								inspectBody(lit)
+							}
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+}

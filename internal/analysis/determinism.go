@@ -1,0 +1,116 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// wallClockFuncs are the package-level time functions that read or depend
+// on the wall clock. Pure constructors and arithmetic (time.Duration,
+// time.Unix, Time methods) stay legal: they do not observe the host.
+var wallClockFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+	"AfterFunc": true,
+}
+
+// checkWalltime forbids wall-clock reads inside the deterministic package
+// set: simulated time comes from the sim kernel, never from the host.
+func checkWalltime(ctx *Context) {
+	if !ctx.Cfg.DeterministicPkgs[ctx.Pkg.Path] {
+		return
+	}
+	forEachPkgSelector(ctx.Pkg, "time", func(sel *ast.SelectorExpr) {
+		if wallClockFuncs[sel.Sel.Name] {
+			ctx.Reportf(sel.Pos(), "wall-clock call time.%s in deterministic package %s (use the sim kernel's clock)",
+				sel.Sel.Name, ctx.Pkg.Types.Name())
+		}
+	})
+}
+
+// seededRandConstructors are the math/rand identifiers that build an
+// explicitly-seeded generator and therefore stay deterministic.
+var seededRandConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true, // math/rand/v2
+}
+
+// checkGlobalRand forbids the implicitly-seeded global math/rand state in
+// deterministic packages: randomness must flow from internal/rng streams
+// derived from the run's seed.
+func checkGlobalRand(ctx *Context) {
+	if !ctx.Cfg.DeterministicPkgs[ctx.Pkg.Path] {
+		return
+	}
+	report := func(sel *ast.SelectorExpr, path string) {
+		obj := ctx.Pkg.Info.Uses[sel.Sel]
+		if _, isFunc := obj.(*types.Func); !isFunc || seededRandConstructors[sel.Sel.Name] {
+			return
+		}
+		ctx.Reportf(sel.Pos(), "global %s.%s in deterministic package %s (use internal/rng streams)",
+			path, sel.Sel.Name, ctx.Pkg.Types.Name())
+	}
+	forEachPkgSelector(ctx.Pkg, "math/rand", func(sel *ast.SelectorExpr) { report(sel, "math/rand") })
+	forEachPkgSelector(ctx.Pkg, "math/rand/v2", func(sel *ast.SelectorExpr) { report(sel, "math/rand/v2") })
+}
+
+// checkMapRange flags range statements over map-typed values in
+// deterministic packages. Go randomizes map iteration order on purpose, so
+// any such loop is one append away from leaking host entropy into results;
+// loops that are genuinely order-independent carry a justified
+// //repolint:allow maprange suppression, which doubles as documentation.
+func checkMapRange(ctx *Context) {
+	if !ctx.Cfg.DeterministicPkgs[ctx.Pkg.Path] {
+		return
+	}
+	for _, f := range ctx.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := ctx.Pkg.Info.TypeOf(rng.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); isMap {
+				ctx.Reportf(rng.Pos(), "map iteration order can leak into results in deterministic package %s (sort keys first)",
+					ctx.Pkg.Types.Name())
+			}
+			return true
+		})
+	}
+}
+
+// forEachPkgSelector calls fn for every selector expression whose receiver
+// is the named import (handling aliases via the type-checker, not import
+// spelling).
+func forEachPkgSelector(pkg *Package, importPath string, fn func(*ast.SelectorExpr)) {
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn, ok := pkg.Info.Uses[id].(*types.PkgName)
+			if !ok || pn.Imported().Path() != importPath {
+				return true
+			}
+			fn(sel)
+			return true
+		})
+	}
+}

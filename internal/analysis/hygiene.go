@@ -1,0 +1,149 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// hasDoc reports whether any of the comment groups carries actual prose.
+// Directive comments (//go:generate, //repolint:allow) have empty Text()
+// and do not count as documentation.
+func hasDoc(groups ...*ast.CommentGroup) bool {
+	for _, g := range groups {
+		if g != nil && strings.TrimSpace(g.Text()) != "" {
+			return true
+		}
+	}
+	return false
+}
+
+// checkExportedDoc requires a doc comment on every exported package-level
+// identifier: functions, methods on exported types, types, and each
+// exported const/var spec (a comment on the enclosing decl group or a
+// trailing line comment covers its specs). Packages other than main also
+// need a package comment.
+func checkExportedDoc(ctx *Context) {
+	pkg := ctx.Pkg
+	if pkg.Types.Name() != "main" {
+		documented := false
+		for _, f := range pkg.Files {
+			if hasDoc(f.Doc) {
+				documented = true
+				break
+			}
+		}
+		if !documented {
+			ctx.Reportf(pkg.Files[0].Name.Pos(), "package %s has no package comment", pkg.Types.Name())
+		}
+	}
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			switch d := d.(type) {
+			case *ast.FuncDecl:
+				if !d.Name.IsExported() || hasDoc(d.Doc) {
+					continue
+				}
+				if d.Recv != nil && !receiverExported(d.Recv) {
+					continue // method on an unexported type: not API surface
+				}
+				ctx.Reportf(d.Name.Pos(), "exported %s %s has no doc comment", funcKind(d), d.Name.Name)
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					switch spec := spec.(type) {
+					case *ast.TypeSpec:
+						if spec.Name.IsExported() && !hasDoc(d.Doc, spec.Doc, spec.Comment) {
+							ctx.Reportf(spec.Name.Pos(), "exported type %s has no doc comment", spec.Name.Name)
+						}
+					case *ast.ValueSpec:
+						if hasDoc(d.Doc, spec.Doc, spec.Comment) {
+							continue
+						}
+						for _, name := range spec.Names {
+							if name.IsExported() {
+								ctx.Reportf(name.Pos(), "exported %s %s has no doc comment", declKind(d), name.Name)
+								break
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func funcKind(d *ast.FuncDecl) string {
+	if d.Recv != nil {
+		return "method"
+	}
+	return "function"
+}
+
+func declKind(d *ast.GenDecl) string {
+	return d.Tok.String() // "const" or "var"
+}
+
+// receiverExported reports whether a method's receiver names an exported
+// type.
+func receiverExported(recv *ast.FieldList) bool {
+	if len(recv.List) == 0 {
+		return false
+	}
+	t := recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if idx, ok := t.(*ast.IndexExpr); ok { // generic receiver
+		t = idx.X
+	}
+	id, ok := t.(*ast.Ident)
+	return ok && id.IsExported()
+}
+
+// checkErrDiscard flags assignments that throw an error value away with
+// the blank identifier: `v, _ := f()` and `_ = err`. Discarding an error
+// is occasionally right, and then it deserves a justified suppression.
+func checkErrDiscard(ctx *Context) {
+	pkg := ctx.Pkg
+	errType := types.Universe.Lookup("error").Type()
+	isError := func(t types.Type) bool { return t != nil && types.Identical(t, errType) }
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			assign, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			if len(assign.Rhs) == 1 && len(assign.Lhs) > 1 {
+				// Multi-value call: check each tuple component.
+				tv, ok := pkg.Info.Types[assign.Rhs[0]]
+				if !ok {
+					return true
+				}
+				tuple, ok := tv.Type.(*types.Tuple)
+				if !ok || tuple.Len() != len(assign.Lhs) {
+					return true
+				}
+				for i, lhs := range assign.Lhs {
+					if isBlank(lhs) && isError(tuple.At(i).Type()) {
+						ctx.Reportf(lhs.Pos(), "error result discarded with _ (handle it or justify with a suppression)")
+					}
+				}
+				return true
+			}
+			if len(assign.Lhs) != len(assign.Rhs) {
+				return true
+			}
+			for i, lhs := range assign.Lhs {
+				if isBlank(lhs) && isError(pkg.Info.TypeOf(assign.Rhs[i])) {
+					ctx.Reportf(lhs.Pos(), "error value discarded with _ (handle it or justify with a suppression)")
+				}
+			}
+			return true
+		})
+	}
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}

@@ -1,0 +1,70 @@
+// Package conc is a repolint fixture exercising the concurrency-hygiene
+// checks: mutexcopy, lockbalance and gosend.
+package conc
+
+import (
+	"sync"
+	"time"
+)
+
+// Counter owns a mutex, so values of it must not be copied.
+type Counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Snapshot copies its receiver's lock.
+func (c Counter) Snapshot() int { // want mutexcopy
+	return c.n
+}
+
+// Bump is legal: pointer receiver.
+func (c *Counter) Bump() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+// Merge takes and returns lock-bearing values.
+func Merge(a Counter, b *Counter) Counter { // want mutexcopy mutexcopy
+	return a
+}
+
+// Clone copies a counter out of a pointer.
+func Clone(src *Counter) {
+	c := *src // want mutexcopy
+	_ = c.n
+}
+
+// Hold locks with no unlock anywhere in the function.
+func Hold(mu *sync.Mutex) {
+	mu.Lock() // want lockbalance
+}
+
+// Balanced is legal: deferred unlock on the same receiver.
+func Balanced(mu *sync.Mutex) {
+	mu.Lock()
+	defer mu.Unlock()
+}
+
+// ReadHold pairs RLock with the wrong unlock flavor.
+func ReadHold(mu *sync.RWMutex) {
+	mu.RLock() // want lockbalance
+	mu.Unlock()
+}
+
+// Pump sends on channels from goroutines and timer callbacks.
+func Pump(ch chan int, stop chan struct{}) {
+	go func() {
+		ch <- 1 // want gosend
+	}()
+	go func() {
+		select {
+		case ch <- 2: // select case: legal
+		case <-stop:
+		}
+	}()
+	time.AfterFunc(time.Millisecond, func() {
+		ch <- 3 // want gosend
+	})
+}

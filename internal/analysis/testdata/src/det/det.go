@@ -1,0 +1,43 @@
+// Package det is a repolint fixture exercising the determinism checks:
+// walltime, globalrand and maprange, plus the suppression machinery.
+package det
+
+import (
+	"math/rand"
+	mrv2 "math/rand/v2"
+	"time"
+)
+
+// Tick reads the wall clock twice.
+func Tick() time.Time {
+	time.Sleep(time.Millisecond) // want walltime
+	return time.Now()            // want walltime
+}
+
+// Elapsed is legal: pure time arithmetic, no clock read.
+func Elapsed(d time.Duration) time.Duration { return 2 * d }
+
+// Roll mixes global and explicitly-seeded rand state.
+func Roll() int {
+	v := rand.Intn(6)                // want globalrand
+	v += mrv2.IntN(6)                // want globalrand
+	r := rand.New(rand.NewSource(1)) // seeded constructor: legal
+	return v + r.Intn(6)
+}
+
+// Sum iterates maps in several flavors.
+func Sum(m map[string]int) int {
+	total := 0
+	for _, v := range m { // want maprange
+		total += v
+	}
+	//repolint:allow maprange -- fixture: loop is order-independent
+	for range m {
+		total++
+	}
+	//repolint:allow maprange // want suppression
+	for range m { // want maprange
+		total++
+	}
+	return total
+}

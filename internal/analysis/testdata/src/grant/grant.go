@@ -1,0 +1,13 @@
+// Package grant is a repolint fixture exercising the twophase tripwire:
+// sendGrant may only be called from request, and the allowlist also names
+// a function that no longer exists so stale entries fail loudly.
+package grant // want twophase twophase
+
+// sendGrant ships a lock grant to a client.
+func sendGrant() {}
+
+// request is the sanctioned granting path.
+func request() { sendGrant() }
+
+// release sneaks a grant onto a release path.
+func release() { sendGrant() } // want twophase

@@ -1,0 +1,34 @@
+package hygiene // want exporteddoc
+
+import (
+	"errors"
+	"strconv"
+)
+
+// ErrGone is documented.
+var ErrGone = errors.New("gone")
+
+var ErrMissing = errors.New("missing") //want:exporteddoc
+
+// Documented has a doc comment.
+func Documented() {}
+
+func Exposed() {} // want exporteddoc
+
+type Widget struct{} //want:exporteddoc
+
+// Render is documented.
+func (w Widget) Render() {}
+
+func (w Widget) Resize() {} // want exporteddoc
+
+func (w Widget) hidden() {}
+
+func helper() error { return nil }
+
+// Use discards errors two ways.
+func Use() int {
+	_ = helper()              // want errdiscard
+	v, _ := strconv.Atoi("7") // want errdiscard
+	return v
+}

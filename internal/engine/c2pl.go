@@ -193,7 +193,10 @@ func (r *c2plRun) serverRequest(t *c2plTxn, op workload.Op) {
 	}
 	s.queue = append(s.queue, t)
 	s.modes[t.id] = mode
-	for holder := range s.holders {
+	// Recalls go out in ascending client order: each Send draws a kernel
+	// sequence number, so iterating the holder map directly would leak map
+	// order into the event schedule and break run-to-run determinism.
+	for _, holder := range sortedHolders(s.holders) {
 		if holder == t.client.id {
 			continue
 		}
@@ -209,6 +212,7 @@ func (r *c2plRun) serverRequest(t *c2plTxn, op workload.Op) {
 	// without the latter, an upgrade deadlock (two cached readers both
 	// requesting exclusive) is invisible and the system stalls.
 	var edges []ids.Txn
+	//repolint:allow maprange -- keys are sorted immediately below
 	for txn := range s.deferred {
 		edges = append(edges, txn)
 	}
@@ -475,7 +479,8 @@ func (r *c2plRun) promote(s *c2plOwnerState, item ids.Item) {
 		if !r.grantableHead(s, t.client.id, mode) {
 			// Holders admitted by earlier promotions may not have been
 			// recalled yet; the blocked head needs them called back.
-			for holder := range s.holders {
+			// Sorted for the same determinism reason as in serverRequest.
+			for _, holder := range sortedHolders(s.holders) {
 				if holder == t.client.id || s.recalled[holder] {
 					continue
 				}
@@ -490,6 +495,18 @@ func (r *c2plRun) promote(s *c2plOwnerState, item ids.Item) {
 		r.clearBlocked(t.id)
 		r.grant(s, t, item, mode)
 	}
+}
+
+// sortedHolders returns the members of a holder set in ascending client
+// order, giving per-holder message emission a deterministic sequence.
+func sortedHolders(set map[ids.Client]bool) []ids.Client {
+	out := make([]ids.Client, 0, len(set))
+	//repolint:allow maprange -- keys are sorted before use
+	for c := range set {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
 }
 
 // grantableHead is grantable for the queue head (the queue-empty rule

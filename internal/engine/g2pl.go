@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/fwdlist"
 	"repro/internal/history"
@@ -72,7 +73,9 @@ type flight struct {
 
 // unfinished returns the ids of members (including extras) that have not
 // yet released or forwarded the item — the transactions a new pending
-// request must wait for.
+// request must wait for. Extras are visited in ascending id order so the
+// result (which feeds wait-for edges and precedence constraints) never
+// depends on map iteration order.
 func (f *flight) unfinished() []ids.Txn {
 	var out []ids.Txn
 	for _, t := range f.list.Txns() {
@@ -80,7 +83,13 @@ func (f *flight) unfinished() []ids.Txn {
 			out = append(out, t)
 		}
 	}
+	extras := make([]ids.Txn, 0, len(f.extras))
+	//repolint:allow maprange -- keys are sorted before use
 	for t := range f.extras {
+		extras = append(extras, t)
+	}
+	sort.Slice(extras, func(i, j int) bool { return extras[i] < extras[j] })
+	for _, t := range extras {
 		if !f.done[t] {
 			out = append(out, t)
 		}

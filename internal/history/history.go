@@ -66,6 +66,7 @@ func (l *Log) Chain(item ids.Item) []ids.Txn { return l.chains[item] }
 // Items returns the items with at least one installed write, sorted.
 func (l *Log) Items() []ids.Item {
 	out := make([]ids.Item, 0, len(l.chains))
+	//repolint:allow maprange -- keys are sorted before use
 	for it := range l.chains {
 		out = append(out, it)
 	}
@@ -90,6 +91,7 @@ func (l *Log) Validate() error {
 			m[c.Txn] = true
 		}
 	}
+	//repolint:allow maprange -- invariant scan; any violation is an error
 	for item, chain := range l.chains {
 		if len(chain) != len(wrote[item]) {
 			return fmt.Errorf("history: chain of %v has %d entries, %d writers committed", item, len(chain), len(wrote[item]))

@@ -1,6 +1,7 @@
 package live
 
 import (
+	"runtime"
 	"testing"
 	"time"
 
@@ -184,5 +185,30 @@ func TestLiveValuesMatchVersions(t *testing.T) {
 	// history is consistent and non-trivial.
 	if len(res.History.Committed()) == 0 {
 		t.Fatal("no committed transactions recorded")
+	}
+}
+
+// TestShutdownLeaksNoGoroutines runs a full cluster under both protocols
+// and asserts that every goroutine the cluster started — server loop,
+// client loops, delivery timers, shutdown drain helpers — has exited once
+// Run returns. The retry loop tolerates the runtime's lag in reaping
+// finished goroutines. CI runs this under -race, so it doubles as the
+// quiesce/shutdown data-race probe.
+func TestShutdownLeaksNoGoroutines(t *testing.T) {
+	for _, p := range []Protocol{S2PL, G2PL} {
+		before := runtime.NumGoroutine()
+		mustRun(t, testConfig(p))
+		after := runtime.NumGoroutine()
+		deadline := time.Now().Add(5 * time.Second)
+		for after > before && time.Now().Before(deadline) {
+			time.Sleep(10 * time.Millisecond)
+			after = runtime.NumGoroutine()
+		}
+		if after > before {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("%v: cluster leaked goroutines: %d before, %d after\n%s",
+				p, before, after, buf[:n])
+		}
 	}
 }

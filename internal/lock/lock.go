@@ -123,6 +123,7 @@ func (m *Manager) compatibleWithHolders(s *itemState, mode Mode) bool {
 	if mode == Exclusive {
 		return len(s.holders) == 0
 	}
+	//repolint:allow maprange -- order-free any-conflict scan
 	for _, h := range s.holders {
 		if h == Exclusive {
 			return false
@@ -197,6 +198,7 @@ func (m *Manager) Release(txn ids.Txn) []Grant {
 // iteration.
 func (m *Manager) itemsHeldSorted(txn ids.Txn) []ids.Item {
 	out := make([]ids.Item, 0, len(m.held[txn]))
+	//repolint:allow maprange -- keys are sorted before use
 	for item := range m.held[txn] {
 		out = append(out, item)
 	}
@@ -257,22 +259,26 @@ func (m *Manager) Drop(txn ids.Txn) []Grant {
 	return grants
 }
 
-// HoldersOf returns the transactions currently holding a lock on item.
+// HoldersOf returns the transactions currently holding a lock on item, in
+// ascending id order so callers observe a deterministic view.
 func (m *Manager) HoldersOf(item ids.Item) []ids.Txn {
 	s := m.items[item]
 	if s == nil {
 		return nil
 	}
 	out := make([]ids.Txn, 0, len(s.holders))
+	//repolint:allow maprange -- keys are sorted before use
 	for t := range s.holders {
 		out = append(out, t)
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
 // HeldBy returns the items txn currently holds locks on, with modes.
 func (m *Manager) HeldBy(txn ids.Txn) map[ids.Item]Mode {
 	out := make(map[ids.Item]Mode, len(m.held[txn]))
+	//repolint:allow maprange -- copying map to map, order-free
 	for it, mode := range m.held[txn] {
 		out[it] = mode
 	}
@@ -314,13 +320,22 @@ func (m *Manager) WaitsFor(txn ids.Txn) []ids.Txn {
 			out = append(out, t)
 		}
 	}
+	// Conflicting holders first, in ascending id order (the engines store
+	// the returned edge list, so its order must not depend on map
+	// iteration), then conflicting requests queued ahead in FIFO order.
+	blockers := make([]ids.Txn, 0, len(s.holders))
+	//repolint:allow maprange -- keys are sorted before use
 	for holder, hmode := range s.holders {
 		if holder == txn {
 			continue // upgrade case: own shared lock does not block itself
 		}
 		if !Compatible(hmode, mode) {
-			add(holder)
+			blockers = append(blockers, holder)
 		}
+	}
+	sort.Slice(blockers, func(i, j int) bool { return blockers[i] < blockers[j] })
+	for _, holder := range blockers {
+		add(holder)
 	}
 	for _, r := range s.queue[:pos] {
 		if !Compatible(r.mode, mode) {
@@ -344,8 +359,10 @@ func (m *Manager) QueueLen(item ids.Item) int {
 // describing the first violation. Tests and the live system's debug mode
 // call this; engines do not, for speed.
 func (m *Manager) Validate() error {
+	//repolint:allow maprange -- invariant scan; any violation is an error
 	for item, s := range m.items {
 		writers := 0
+		//repolint:allow maprange -- invariant scan; any violation is an error
 		for t, mode := range s.holders {
 			if mode == Exclusive {
 				writers++
@@ -365,7 +382,9 @@ func (m *Manager) Validate() error {
 			}
 		}
 	}
+	//repolint:allow maprange -- invariant scan; any violation is an error
 	for t, items := range m.held {
+		//repolint:allow maprange -- invariant scan; any violation is an error
 		for item, mode := range items {
 			s := m.items[item]
 			if s == nil || s.holders[t] != mode {

@@ -83,6 +83,7 @@ func (g *Graph) Constrain(a, b ids.Txn) bool {
 // constraints. Constraints through a finished transaction no longer bind:
 // its data hand-offs have already happened.
 func (g *Graph) Remove(t ids.Txn) {
+	//repolint:allow maprange -- commutative deletes, order-free
 	for b := range g.out[t] {
 		delete(g.in[b], t)
 		if len(g.in[b]) == 0 {
@@ -90,6 +91,7 @@ func (g *Graph) Remove(t ids.Txn) {
 		}
 	}
 	delete(g.out, t)
+	//repolint:allow maprange -- commutative deletes, order-free
 	for a := range g.in[t] {
 		delete(g.out[a], t)
 		if len(g.out[a]) == 0 {
@@ -110,6 +112,7 @@ func (g *Graph) Reaches(a, b ids.Txn) bool {
 	for len(stack) > 0 {
 		n := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
+		//repolint:allow maprange -- boolean reachability, order-free
 		for m := range g.out[n] {
 			if m == b {
 				return true
@@ -202,9 +205,11 @@ func (g *Graph) order(pending []ids.Txn, write []bool) []ids.Txn {
 // Size returns the number of transactions with at least one constraint.
 func (g *Graph) Size() int {
 	seen := map[ids.Txn]bool{}
+	//repolint:allow maprange -- counting distinct keys, order-free
 	for a := range g.out {
 		seen[a] = true
 	}
+	//repolint:allow maprange -- counting distinct keys, order-free
 	for b := range g.in {
 		seen[b] = true
 	}
@@ -218,6 +223,7 @@ func (g *Graph) HasCycle() bool {
 	var visit func(n ids.Txn) bool
 	visit = func(n ids.Txn) bool {
 		color[n] = 1
+		//repolint:allow maprange -- boolean cycle test, order-free
 		for m := range g.out[n] {
 			switch color[m] {
 			case 1:
@@ -231,6 +237,7 @@ func (g *Graph) HasCycle() bool {
 		color[n] = 2
 		return false
 	}
+	//repolint:allow maprange -- boolean cycle test, order-free
 	for n := range g.out {
 		if color[n] == 0 && visit(n) {
 			return true

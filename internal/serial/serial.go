@@ -94,6 +94,7 @@ func Check(log *history.Log) error {
 // deterministic by sorting node ids.
 func findCycle(adj map[ids.Txn]map[ids.Txn]bool) []ids.Txn {
 	nodes := make([]ids.Txn, 0, len(adj))
+	//repolint:allow maprange -- keys are sorted before use
 	for n := range adj {
 		nodes = append(nodes, n)
 	}
@@ -112,6 +113,7 @@ func findCycle(adj map[ids.Txn]map[ids.Txn]bool) []ids.Txn {
 	visit = func(n ids.Txn) bool {
 		color[n] = gray
 		targets := make([]ids.Txn, 0, len(adj[n]))
+		//repolint:allow maprange -- keys are sorted before use
 		for m := range adj[n] {
 			targets = append(targets, m)
 		}
@@ -199,6 +201,7 @@ func Order(log *history.Log) ([]ids.Txn, error) {
 		}
 	}
 	var ready []ids.Txn
+	//repolint:allow maprange -- keys are sorted before use
 	for n, d := range indeg {
 		if d == 0 {
 			ready = append(ready, n)
@@ -211,6 +214,7 @@ func Order(log *history.Log) ([]ids.Txn, error) {
 		ready = ready[1:]
 		out = append(out, n)
 		targets := make([]ids.Txn, 0, len(adj[n]))
+		//repolint:allow maprange -- keys are sorted before use
 		for m := range adj[n] {
 			targets = append(targets, m)
 		}

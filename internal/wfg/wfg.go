@@ -75,10 +75,12 @@ func (g *Graph) count(a, b ids.Txn) int { return g.out[a][b] }
 // RemoveTxn deletes every edge incident to t, regardless of count (the
 // transaction committed or aborted).
 func (g *Graph) RemoveTxn(t ids.Txn) {
+	//repolint:allow maprange -- commutative deletes, order-free
 	for b := range g.out[t] {
 		bump(g.in, b, t, -g.in[b][t])
 	}
 	delete(g.out, t)
+	//repolint:allow maprange -- commutative deletes, order-free
 	for a := range g.in[t] {
 		bump(g.out, a, t, -g.out[a][t])
 	}
@@ -88,6 +90,7 @@ func (g *Graph) RemoveTxn(t ids.Txn) {
 // Edges returns the number of distinct waiting pairs.
 func (g *Graph) Edges() int {
 	n := 0
+	//repolint:allow maprange -- summing counts, order-free
 	for _, s := range g.out {
 		n += len(s)
 	}
@@ -98,6 +101,7 @@ func (g *Graph) Edges() int {
 func (g *Graph) WaitsOf(a ids.Txn) []ids.Txn {
 	s := g.out[a]
 	out := make([]ids.Txn, 0, len(s))
+	//repolint:allow maprange -- keys are sorted before use
 	for b := range s {
 		out = append(out, b)
 	}
@@ -152,6 +156,7 @@ func (g *Graph) HasCycle() bool {
 	var visit func(n ids.Txn) bool
 	visit = func(n ids.Txn) bool {
 		color[n] = 1
+		//repolint:allow maprange -- boolean cycle test, order-free
 		for m := range g.out[n] {
 			switch color[m] {
 			case 1:
@@ -165,6 +170,7 @@ func (g *Graph) HasCycle() bool {
 		color[n] = 2
 		return false
 	}
+	//repolint:allow maprange -- boolean cycle test, order-free
 	for n := range g.out {
 		if color[n] == 0 && visit(n) {
 			return true

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# CI entry point: the same gate a developer runs locally with `make check`,
+# plus the race-enabled pass over the concurrent packages. Kept as a script
+# so the GitHub workflow, local hooks and any other automation stay in
+# lockstep.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "== make check (gofmt, go vet, repolint, build, tests) =="
+make check
+
+echo "== race detector: live cluster + history audit =="
+make race
+
+echo "CI gate passed."
