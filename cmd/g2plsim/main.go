@@ -34,6 +34,7 @@ func main() {
 	flCap := flag.Int("flcap", 0, "cap forward-list length per window (0 = unlimited)")
 	readExpand := flag.Bool("readexpand", false, "enable the read-expansion extension")
 	windowDelay := flag.Int64("windowdelay", 0, "collection-window delay in time units")
+	trace := flag.Bool("trace", false, "hash each replication's kernel event trajectory and print the digests")
 	flag.Parse()
 
 	p.Clients = *clients
@@ -59,6 +60,7 @@ func main() {
 	p.MaxForwardList = *flCap
 	p.ReadExpand = *readExpand
 	p.WindowDelay = sim.Time(*windowDelay)
+	p.TraceHash = *trace
 
 	if err := p.Validate(); err != nil {
 		fmt.Fprintf(os.Stderr, "g2plsim: %v\n", err)
@@ -81,4 +83,12 @@ func main() {
 			r.name, r.res.Response, r.res.AbortPct, r.res.Throughput, r.res.Messages, r.res.WindowLen)
 	}
 	fmt.Printf("\ng-2PL response-time improvement over s-2PL: %.1f%%\n", c.Improvement())
+	if *trace {
+		fmt.Println("\ntrajectory hashes (replication: s-2PL g-2PL):")
+		for i := range c.S2PL.Runs {
+			fmt.Printf("  %d: %s %s\n", i,
+				sim.FormatHash(c.S2PL.Runs[i].TrajectoryHash),
+				sim.FormatHash(c.G2PL.Runs[i].TrajectoryHash))
+		}
+	}
 }

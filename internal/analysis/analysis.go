@@ -132,9 +132,10 @@ func DefaultConfig() *Config {
 			"repro/internal/engine": {
 				// s-2PL: data grants leave the server in sendGrant; the only
 				// grants after a release are queue promotions, which must
-				// route through deliverGrants.
+				// route through deliverGrants, itself reachable only from the
+				// single release pipeline.
 				"sendGrant":     {"serverRequest", "deliverGrants"},
-				"deliverGrants": {"serverAbort", "serverRelease", "serverAbortRelease"},
+				"deliverGrants": {"releaseLocks"},
 				// g-2PL: data reaches a client only via deliverSegment (new
 				// segments) or the sanctioned re-delivery paths.
 				"deliverSegment": {"dispatchWindow", "advanceWriter"},

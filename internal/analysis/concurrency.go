@@ -212,20 +212,35 @@ func checkLockBalance(ctx *Context) {
 // inside goroutines (and timer callbacks) of the concurrent packages. A
 // bare send in a goroutine with no stop case is how shutdowns leak
 // goroutines; sends that are provably drained carry a justified
-// suppression.
+// suppression. The check follows function literals, named functions
+// launched with `go f()` and method values handed to go statements or
+// time.AfterFunc; a function launched from several sites is inspected
+// once.
 func checkGoSend(ctx *Context) {
 	if !ctx.Cfg.ConcurrentPkgs[ctx.Pkg.Path] {
 		return
 	}
 	pkg := ctx.Pkg
-	seen := map[*ast.FuncLit]bool{}
-	inspectBody := func(lit *ast.FuncLit) {
-		if lit == nil || seen[lit] {
+	// Index this package's declared functions and methods by their type
+	// object so launch sites naming them resolve to an inspectable body.
+	decls := map[*types.Func]*ast.FuncDecl{}
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				if obj, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+					decls[obj] = fd
+				}
+			}
+		}
+	}
+	seen := map[ast.Node]bool{}
+	inspectBody := func(body ast.Node) {
+		if body == nil || seen[body] {
 			return
 		}
-		seen[lit] = true
+		seen[body] = true
 		allowed := map[*ast.SendStmt]bool{}
-		ast.Inspect(lit, func(n ast.Node) bool {
+		ast.Inspect(body, func(n ast.Node) bool {
 			if sel, ok := n.(*ast.SelectStmt); ok {
 				for _, clause := range sel.Body.List {
 					if cc, ok := clause.(*ast.CommClause); ok {
@@ -237,7 +252,7 @@ func checkGoSend(ctx *Context) {
 			}
 			return true
 		})
-		ast.Inspect(lit, func(n ast.Node) bool {
+		ast.Inspect(body, func(n ast.Node) bool {
 			send, ok := n.(*ast.SendStmt)
 			if !ok || allowed[send] {
 				return true
@@ -246,12 +261,39 @@ func checkGoSend(ctx *Context) {
 			return true
 		})
 	}
+	// resolveBody maps an expression naming a function — a plain ident
+	// (`go pump(ch)`) or a method value (`go w.loop()`) — to the declared
+	// body it will run, when the declaration lives in this package.
+	resolveBody := func(e ast.Expr) ast.Node {
+		for {
+			p, ok := e.(*ast.ParenExpr)
+			if !ok {
+				break
+			}
+			e = p.X
+		}
+		var obj types.Object
+		switch e := e.(type) {
+		case *ast.Ident:
+			obj = pkg.Info.Uses[e]
+		case *ast.SelectorExpr:
+			obj = pkg.Info.Uses[e.Sel]
+		}
+		if fn, ok := obj.(*types.Func); ok {
+			if fd := decls[fn]; fd != nil {
+				return fd.Body
+			}
+		}
+		return nil
+	}
 	for _, f := range pkg.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
 			switch n := n.(type) {
 			case *ast.GoStmt:
 				if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
 					inspectBody(lit)
+				} else if body := resolveBody(n.Call.Fun); body != nil {
+					inspectBody(body)
 				}
 			case *ast.CallExpr:
 				// time.AfterFunc callbacks run on their own goroutine too.
@@ -260,6 +302,8 @@ func checkGoSend(ctx *Context) {
 						if pn, ok := pkg.Info.Uses[id].(*types.PkgName); ok && pn.Imported().Path() == "time" && len(n.Args) == 2 {
 							if lit, ok := n.Args[1].(*ast.FuncLit); ok {
 								inspectBody(lit)
+							} else if body := resolveBody(n.Args[1]); body != nil {
+								inspectBody(body)
 							}
 						}
 					}

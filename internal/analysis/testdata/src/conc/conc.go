@@ -68,3 +68,43 @@ func Pump(ch chan int, stop chan struct{}) {
 		ch <- 3 // want gosend
 	})
 }
+
+// pumpNamed is only ever launched as a goroutine; its bare send is as
+// leaky as a literal's.
+func pumpNamed(ch chan int) {
+	ch <- 4 // want gosend
+}
+
+// Worker exercises method values as goroutine and timer entry points.
+type Worker struct {
+	ch   chan int
+	stop chan struct{}
+}
+
+// loop is launched twice below (go statement and AfterFunc); the check
+// must report its send exactly once.
+func (w *Worker) loop() {
+	w.ch <- 5 // want gosend
+}
+
+// drain selects on a stop case, so launching it is legal.
+func (w *Worker) drain() {
+	select {
+	case w.ch <- 6:
+	case <-w.stop:
+	}
+}
+
+// neverLaunched sends bare but only runs synchronously: not reported.
+func neverLaunched(ch chan int) {
+	ch <- 7
+}
+
+// Launch covers the named-function and method-value launch sites.
+func Launch(w *Worker, ch chan int) {
+	go pumpNamed(ch)
+	go w.loop()
+	time.AfterFunc(time.Millisecond, w.loop)
+	go w.drain()
+	neverLaunched(ch)
+}

@@ -41,6 +41,10 @@ type Params struct {
 	BaseSeed      uint64
 	MaxTime       sim.Time // per-run livelock guard; 0 = none
 	RecordHistory bool
+
+	// TraceHash makes every replication carry a kernel trajectory digest
+	// in its engine.Result (see engine.Config.TraceHash).
+	TraceHash bool
 }
 
 // DefaultParams returns the paper's Table 1 configuration at a laptop
@@ -113,6 +117,7 @@ func (p Params) engineConfig(proto engine.Protocol, replication int) engine.Conf
 		Victim:         p.Victim,
 		RecordHistory:  p.RecordHistory,
 		MaxTime:        p.MaxTime,
+		TraceHash:      p.TraceHash,
 	}
 }
 

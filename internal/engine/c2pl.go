@@ -81,6 +81,7 @@ type c2plRun struct {
 
 func runC2PL(cfg Config) (Result, error) {
 	k := sim.New()
+	hasher := installTracer(k, cfg)
 	r := &c2plRun{
 		cfg:     cfg,
 		kernel:  k,
@@ -104,16 +105,20 @@ func runC2PL(cfg Config) (Result, error) {
 			cache: make(map[ids.Item]*c2plCacheEntry),
 		}
 		r.clients = append(r.clients, c)
-		k.At(c.gen.Idle(), func() { r.begin(c) })
+		k.AtLabeled(c.gen.Idle(), "c2pl.begin", func() { r.begin(c) })
 	}
 	if cfg.MaxTime > 0 {
-		k.At(cfg.MaxTime, k.Stop)
+		k.AtLabeled(cfg.MaxTime, "maxtime", k.Stop)
 	}
 	k.Run()
 	if !r.col.done {
 		return Result{}, fmt.Errorf("engine: c-2PL run hit MaxTime %d with %d/%d commits", cfg.MaxTime, r.col.commits, cfg.TargetCommits)
 	}
-	return r.col.result(C2PL, r.net.Messages, r.net.Bytes, k.Now()), nil
+	res := r.col.result(C2PL, r.net.Messages, r.net.Bytes, k.Now())
+	if hasher != nil {
+		res.TrajectoryHash = hasher.Sum64()
+	}
+	return res, nil
 }
 
 func (r *c2plRun) state(item ids.Item) *c2plOwnerState {
@@ -158,7 +163,7 @@ func (r *c2plRun) step(t *c2plTxn) {
 		return
 	}
 	t.reqSent = r.kernel.Now()
-	r.net.Send(sizeRequest, func() { r.serverRequest(t, op) })
+	r.net.Send(sizeRequest, "c2pl.req", func() { r.serverRequest(t, op) })
 }
 
 // granted finishes one operation (cache hit or server grant): record the
@@ -169,13 +174,13 @@ func (r *c2plRun) granted(t *c2plTxn, op workload.Op, ver ids.Txn) {
 	}
 	think := t.client.gen.Think()
 	if t.opIdx+1 < len(t.profile.Ops) {
-		r.kernel.After(think, func() {
+		r.kernel.AfterLabeled(think, "c2pl.think", func() {
 			t.opIdx++
 			r.step(t)
 		})
 		return
 	}
-	r.kernel.After(think, func() { r.commit(t) })
+	r.kernel.AfterLabeled(think, "c2pl.commit", func() { r.commit(t) })
 }
 
 // serverRequest handles a cache miss at the server: grant when
@@ -203,7 +208,7 @@ func (r *c2plRun) serverRequest(t *c2plTxn, op workload.Op) {
 		if !s.recalled[holder] {
 			s.recalled[holder] = true
 			h := holder
-			r.net.Send(sizeControl, func() { r.clientRecall(r.clients[h], op.Item) })
+			r.net.Send(sizeControl, "c2pl.recall", func() { r.clientRecall(r.clients[h], op.Item) })
 		}
 	}
 	// Wait-for edges: holder transactions that already deferred their
@@ -258,7 +263,7 @@ func (r *c2plRun) grant(s *c2plOwnerState, t *c2plTxn, item ids.Item, mode lock.
 	if already {
 		size = sizeControl
 	}
-	r.net.Send(size, func() { r.clientGrant(t, item, mode, ver) })
+	r.net.Send(size, "c2pl.grant", func() { r.clientGrant(t, item, mode, ver) })
 }
 
 // clientGrant installs the granted lock and data in the cache and
@@ -300,17 +305,17 @@ func (r *c2plRun) clientRecall(c *c2plClient, item ids.Item) {
 	if ce == nil {
 		// Already released (racing recalls); tell the server anyway so
 		// its recall bookkeeping resolves.
-		r.net.Send(sizeControl, func() { r.serverRelease(c.id, item, ids.None) })
+		r.net.Send(sizeControl, "c2pl.release", func() { r.serverRelease(c.id, item, ids.None) })
 		return
 	}
 	if ce.inUse && c.cur != nil {
 		t := c.cur
 		t.defers = append(t.defers, item)
-		r.net.Send(sizeControl, func() { r.serverDefer(t, item) })
+		r.net.Send(sizeControl, "c2pl.defer", func() { r.serverDefer(t, item) })
 		return
 	}
 	delete(c.cache, item)
-	r.net.Send(sizeControl, func() { r.serverRelease(c.id, item, ids.None) })
+	r.net.Send(sizeControl, "c2pl.release", func() { r.serverRelease(c.id, item, ids.None) })
 }
 
 // serverDefer records that a holder's running transaction keeps the item
@@ -375,7 +380,7 @@ func (r *c2plRun) serverAbort(s *c2plOwnerState, t *c2plTxn, item ids.Item) {
 	r.waits.RemoveTxn(t.id)
 	delete(r.active, t.id)
 	r.col.abortEnq++
-	r.net.Send(sizeControl, func() { r.clientAbort(t) })
+	r.net.Send(sizeControl, "c2pl.abort", func() { r.clientAbort(t) })
 }
 
 // clientAbort replaces the aborted transaction; its deferred recalls now
@@ -388,7 +393,7 @@ func (r *c2plRun) clientAbort(t *c2plTxn) {
 	}
 	r.col.abort()
 	r.finishClient(t, nil)
-	r.kernel.After(c.gen.Idle(), func() { r.begin(c) })
+	r.kernel.AfterLabeled(c.gen.Idle(), "c2pl.begin", func() { r.begin(c) })
 }
 
 // commit finishes the transaction: response time stops, updates and
@@ -406,7 +411,7 @@ func (r *c2plRun) commit(t *c2plTxn) {
 	rec.Writes = writes
 	r.col.commit(rt, rec)
 	r.finishClient(t, writes)
-	r.kernel.After(t.client.gen.Idle(), func() { r.begin(t.client) })
+	r.kernel.AfterLabeled(t.client.gen.Idle(), "c2pl.begin", func() { r.begin(t.client) })
 }
 
 // finishClient performs the client-side end of transaction (commit or
@@ -430,7 +435,7 @@ func (r *c2plRun) finishClient(t *c2plTxn, writes []ids.Item) {
 	}
 	c.cur = nil
 	size := sizeControl + sizeData*len(writes)
-	r.net.Send(size, func() { r.serverFinish(t, writes, released) })
+	r.net.Send(size, "c2pl.finish", func() { r.serverFinish(t, writes, released) })
 }
 
 // serverFinish installs the committed versions, executes the deferred
@@ -486,7 +491,7 @@ func (r *c2plRun) promote(s *c2plOwnerState, item ids.Item) {
 				}
 				s.recalled[holder] = true
 				h, it := holder, item
-				r.net.Send(sizeControl, func() { r.clientRecall(r.clients[h], it) })
+				r.net.Send(sizeControl, "c2pl.recall", func() { r.clientRecall(r.clients[h], it) })
 			}
 			break
 		}

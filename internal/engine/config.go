@@ -98,6 +98,17 @@ type Config struct {
 	// MaxTime aborts the run if the clock passes this value with the
 	// commit target unmet (a livelock guard for tests). 0 = no limit.
 	MaxTime sim.Time
+
+	// TraceHash enables the kernel trajectory hasher: the run's Result
+	// carries an FNV-1a digest of every scheduled/fired/cancelled event.
+	// Two runs with equal configs must produce equal hashes; a refactor
+	// that changes the hash changed the message schedule.
+	TraceHash bool
+
+	// Tracer, when non-nil, additionally observes the kernel's event
+	// stream (e.g. a sim.RingTrace for dump-on-failure diagnostics). It
+	// composes with TraceHash.
+	Tracer sim.Tracer
 }
 
 // Validate reports the first configuration error.
@@ -150,6 +161,10 @@ type Result struct {
 	// History is non-nil when Config.RecordHistory was set; it includes
 	// warmup commits so version chains are complete.
 	History *history.Log
+
+	// TrajectoryHash is the kernel event-stream digest when
+	// Config.TraceHash was set, zero otherwise.
+	TrajectoryHash uint64
 }
 
 // AbortPct returns the paper's "percentage of transactions aborted":
@@ -188,6 +203,26 @@ func Run(cfg Config) (Result, error) {
 	default:
 		return runG2PL(cfg)
 	}
+}
+
+// installTracer wires the configured tracing into the kernel and returns
+// the hasher whose digest becomes Result.TrajectoryHash (nil when hashing
+// is off). Only live tracers are composed: a nil Config.Tracer never
+// reaches the kernel.
+func installTracer(k *sim.Kernel, cfg Config) *sim.TrajectoryHasher {
+	var hasher *sim.TrajectoryHasher
+	var tracers []sim.Tracer
+	if cfg.TraceHash {
+		hasher = sim.NewTrajectoryHasher()
+		tracers = append(tracers, hasher)
+	}
+	if cfg.Tracer != nil {
+		tracers = append(tracers, cfg.Tracer)
+	}
+	if tr := sim.MultiTracer(tracers...); tr != nil {
+		k.SetTracer(tr)
+	}
+	return hasher
 }
 
 // collector implements the shared measurement protocol.

@@ -134,6 +134,7 @@ func (r *g2plRun) tracef(format string, args ...any) {
 
 func runG2PL(cfg Config) (Result, error) {
 	k := sim.New()
+	hasher := installTracer(k, cfg)
 	r := &g2plRun{
 		cfg:     cfg,
 		kernel:  k,
@@ -156,16 +157,20 @@ func runG2PL(cfg Config) (Result, error) {
 			gen: workload.NewGenerator(wl, root.Split(uint64(i))),
 		}
 		r.clients = append(r.clients, c)
-		k.At(c.gen.Idle(), func() { r.begin(c) })
+		k.AtLabeled(c.gen.Idle(), "g2pl.begin", func() { r.begin(c) })
 	}
 	if cfg.MaxTime > 0 {
-		k.At(cfg.MaxTime, k.Stop)
+		k.AtLabeled(cfg.MaxTime, "maxtime", k.Stop)
 	}
 	k.Run()
 	if !r.col.done {
 		return Result{}, fmt.Errorf("engine: g-2PL run hit MaxTime %d with %d/%d commits", cfg.MaxTime, r.col.commits, cfg.TargetCommits)
 	}
-	return r.col.result(G2PL, r.net.Messages, r.net.Bytes, k.Now()), nil
+	res := r.col.result(G2PL, r.net.Messages, r.net.Bytes, k.Now())
+	if hasher != nil {
+		res.TrajectoryHash = hasher.Sum64()
+	}
+	return res, nil
 }
 
 func (r *g2plRun) item(id ids.Item) *g2plItem {
@@ -194,7 +199,7 @@ func (r *g2plRun) begin(c *g2plClient) {
 func (r *g2plRun) sendRequest(t *g2plTxn) {
 	op := t.op()
 	t.reqSent = r.kernel.Now()
-	r.net.Send(sizeRequest, func() { r.serverRequest(t, op) })
+	r.net.Send(sizeRequest, "g2pl.req", func() { r.serverRequest(t, op) })
 }
 
 // serverRequest handles an arriving lock request: dispatch immediately if
@@ -242,7 +247,7 @@ func (r *g2plRun) scheduleDispatch(it *g2plItem) {
 		return
 	}
 	it.scheduled = true
-	r.kernel.After(r.cfg.WindowDelay, func() {
+	r.kernel.AfterLabeled(r.cfg.WindowDelay, "g2pl.window", func() {
 		it.scheduled = false
 		r.dispatchWindow(it)
 	})
@@ -292,7 +297,7 @@ func (r *g2plRun) abortTxn(v *g2plTxn) {
 	}
 	r.order.Remove(v.id)
 	r.col.abortEnq++
-	r.net.Send(sizeControl, func() { r.clientAbort(v) })
+	r.net.Send(sizeControl, "g2pl.abort", func() { r.clientAbort(v) })
 }
 
 // tryExpand implements the read-only optimization sketched in paper §3.3:
@@ -326,7 +331,7 @@ func (r *g2plRun) tryExpand(it *g2plItem, t *g2plTxn) bool {
 		}
 	}
 	ver := fl.version
-	r.net.Send(sizeData+fl.list.Len(), func() { r.clientData(t, it.id, ver) })
+	r.net.Send(sizeData+fl.list.Len(), "g2pl.data", func() { r.clientData(t, it.id, ver) })
 	return true
 }
 
@@ -443,7 +448,7 @@ func (r *g2plRun) dispatchWindow(it *g2plItem) {
 		delete(r.active, v.txn.id)
 		r.order.Remove(v.txn.id)
 		r.col.abortDisp++
-		r.net.Send(sizeControl, func() { r.clientAbort(v.txn) })
+		r.net.Send(sizeControl, "g2pl.abort", func() { r.clientAbort(v.txn) })
 		list = fwdlist.Build(buildEntries(reqs))
 		r.addChainEdges(list)
 	}
@@ -546,7 +551,7 @@ func (r *g2plRun) deliverSegment(it *g2plItem, j int) {
 
 	if seg.Write {
 		w := fl.member[seg.Entries[0].Txn]
-		r.net.Send(sizeData+flSize, func() { r.clientData(w, it.id, ver) })
+		r.net.Send(sizeData+flSize, "g2pl.data", func() { r.clientData(w, it.id, ver) })
 		if last {
 			fl.returns = 1
 		}
@@ -555,14 +560,14 @@ func (r *g2plRun) deliverSegment(it *g2plItem, j int) {
 
 	for _, e := range seg.Entries {
 		t := fl.member[e.Txn]
-		r.net.Send(sizeData+flSize, func() { r.clientData(t, it.id, ver) })
+		r.net.Send(sizeData+flSize, "g2pl.data", func() { r.clientData(t, it.id, ver) })
 	}
 	if !last {
 		wEntry := list.Segment(j + 1).Entries[0]
 		fl.relWait[wEntry.Txn] = len(seg.Entries)
 		if !r.cfg.NoMR1W {
 			w := fl.member[wEntry.Txn]
-			r.net.Send(sizeData+flSize, func() { r.clientData(w, it.id, ver) })
+			r.net.Send(sizeData+flSize, "g2pl.data", func() { r.clientData(w, it.id, ver) })
 		}
 		return
 	}
@@ -571,7 +576,7 @@ func (r *g2plRun) deliverSegment(it *g2plItem, j int) {
 	fl.returns = len(seg.Entries)
 	if j > 0 {
 		fl.returns++
-		r.net.Send(sizeData, func() { r.serverReturn(it, ver) })
+		r.net.Send(sizeData, "g2pl.return", func() { r.serverReturn(it, ver) })
 	}
 }
 
@@ -596,13 +601,13 @@ func (r *g2plRun) clientData(t *g2plTxn, item ids.Item, ver ids.Txn) {
 	}
 	think := t.client.gen.Think()
 	if t.opIdx+1 < len(t.profile.Ops) {
-		r.kernel.After(think, func() {
+		r.kernel.AfterLabeled(think, "g2pl.think", func() {
 			t.opIdx++
 			r.sendRequest(t)
 		})
 		return
 	}
-	r.kernel.After(think, func() { r.commit(t) })
+	r.kernel.AfterLabeled(think, "g2pl.commit", func() { r.commit(t) })
 }
 
 // commit ends the transaction at its client: response time stops here.
@@ -633,7 +638,7 @@ func (r *g2plRun) commit(t *g2plTxn) {
 	if t.gates == 0 {
 		r.forwardAll(t)
 	}
-	r.kernel.After(t.client.gen.Idle(), func() { r.begin(t.client) })
+	r.kernel.AfterLabeled(t.client.gen.Idle(), "g2pl.begin", func() { r.begin(t.client) })
 }
 
 // forwardAll releases or forwards every held item of a finished
@@ -655,7 +660,7 @@ func (r *g2plRun) finishItem(t *g2plTxn, item ids.Item) {
 	}
 	if _, isExtra := fl.extras[t.id]; isExtra {
 		fl.done[t.id] = true
-		r.net.Send(sizeControl, func() { r.serverRelease(it) })
+		r.net.Send(sizeControl, "g2pl.release", func() { r.serverRelease(it) })
 		return
 	}
 	e, ok := fl.list.EntryOf(t.id)
@@ -685,10 +690,10 @@ func (r *g2plRun) finishReader(it *g2plItem, t *g2plTxn) {
 		if r.cfg.NoMR1W {
 			size = sizeData // the release carries the data to the writer
 		}
-		r.net.Send(size, func() { r.writerRelease(it, w) })
+		r.net.Send(size, "g2pl.relwriter", func() { r.writerRelease(it, w) })
 		return
 	}
-	r.net.Send(sizeControl, func() { r.serverRelease(it) })
+	r.net.Send(sizeControl, "g2pl.release", func() { r.serverRelease(it) })
 }
 
 // writerRelease handles a reader's release arriving at the next writer's
@@ -734,7 +739,7 @@ func (r *g2plRun) advanceWriter(it *g2plItem, w *g2plTxn) {
 		return
 	}
 	ver := fl.version
-	r.net.Send(sizeData, func() { r.serverReturn(it, ver) })
+	r.net.Send(sizeData, "g2pl.return", func() { r.serverReturn(it, ver) })
 }
 
 // dropSuccessorEdges removes the wait-for edges from segment j+1 members
@@ -789,5 +794,5 @@ func (r *g2plRun) clientAbort(t *g2plTxn) {
 	for _, item := range t.held {
 		r.finishItem(t, item)
 	}
-	r.kernel.After(t.client.gen.Idle(), func() { r.begin(t.client) })
+	r.kernel.AfterLabeled(t.client.gen.Idle(), "g2pl.begin", func() { r.begin(t.client) })
 }

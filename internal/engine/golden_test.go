@@ -1,0 +1,228 @@
+package engine
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// The golden-trajectory suite pins the exact kernel event schedule of a
+// seed×protocol×params matrix. A refactor that preserves behaviour leaves
+// every hash untouched; one that changes the message schedule — even by
+// reordering two same-tick sends — fails here before any statistic moves.
+//
+// Regenerate after an intentional protocol change with:
+//
+//	go test ./internal/engine -run TestGoldenTrajectories -update
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden trajectory hashes")
+
+const goldenPath = "testdata/golden_trajectories.txt"
+
+// goldenCase is one matrix point: small enough that the whole matrix runs
+// in a few seconds, contended enough that grants, recalls, deadlocks and
+// aborts all appear in the trajectory.
+type goldenCase struct {
+	name string
+	cfg  Config
+}
+
+func goldenConfig(p Protocol, seed uint64) Config {
+	wl := workload.Default()
+	return Config{
+		Protocol:      p,
+		Clients:       8,
+		Workload:      wl,
+		Latency:       50,
+		Seed:          seed,
+		TargetCommits: 120,
+		WarmupCommits: 20,
+		MaxTime:       50_000_000,
+	}
+}
+
+func goldenCases() []goldenCase {
+	var cases []goldenCase
+	for _, p := range []Protocol{S2PL, G2PL, C2PL} {
+		for _, seed := range []uint64{1, 7} {
+			cfg := goldenConfig(p, seed)
+			cases = append(cases, goldenCase{
+				name: fmt.Sprintf("%s/seed%d", p, seed),
+				cfg:  cfg,
+			})
+			// A second parameter point per protocol: higher contention and,
+			// for g-2PL, the ablation-relevant toggles exercised.
+			hot := cfg
+			hot.Workload.Items = 10
+			hot.Workload.ReadProb = 0.25
+			if p == G2PL {
+				hot.WindowDelay = 20
+				hot.MaxForwardList = 3
+			}
+			cases = append(cases, goldenCase{
+				name: fmt.Sprintf("%s/seed%d/hot", p, seed),
+				cfg:  hot,
+			})
+		}
+	}
+	return cases
+}
+
+// hashOf runs the case on a fresh kernel and returns its trajectory hash.
+func hashOf(t *testing.T, cfg Config) uint64 {
+	t.Helper()
+	cfg.TraceHash = true
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("Run(%v): %v", cfg.Protocol, err)
+	}
+	if res.TrajectoryHash == 0 {
+		t.Fatalf("Run(%v): TraceHash set but TrajectoryHash is zero", cfg.Protocol)
+	}
+	return res.TrajectoryHash
+}
+
+func readGolden(t *testing.T) map[string]uint64 {
+	t.Helper()
+	f, err := os.Open(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	defer f.Close()
+	out := make(map[string]uint64)
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			t.Fatalf("malformed golden line %q", line)
+		}
+		h, err := strconv.ParseUint(fields[1], 16, 64)
+		if err != nil {
+			t.Fatalf("malformed golden hash in %q: %v", line, err)
+		}
+		out[fields[0]] = h
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("reading golden file: %v", err)
+	}
+	return out
+}
+
+func writeGolden(t *testing.T, hashes map[string]uint64) {
+	t.Helper()
+	if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	sb.WriteString("# Golden kernel trajectory hashes (FNV-1a 64 over the event stream).\n")
+	sb.WriteString("# Regenerate: go test ./internal/engine -run TestGoldenTrajectories -update\n")
+	names := make([]string, 0, len(hashes))
+	for name := range hashes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(&sb, "%s %s\n", name, sim.FormatHash(hashes[name]))
+	}
+	if err := os.WriteFile(goldenPath, []byte(sb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGoldenTrajectories compares every matrix point against the
+// committed hash, failing on any drift. With -update it rewrites the file
+// instead.
+func TestGoldenTrajectories(t *testing.T) {
+	cases := goldenCases()
+	if *updateGolden {
+		hashes := make(map[string]uint64, len(cases))
+		for _, c := range cases {
+			hashes[c.name] = hashOf(t, c.cfg)
+		}
+		writeGolden(t, hashes)
+		t.Logf("wrote %d golden hashes to %s", len(hashes), goldenPath)
+		return
+	}
+	want := readGolden(t)
+	if len(want) != len(cases) {
+		t.Errorf("golden file has %d entries, matrix has %d (run -update?)", len(want), len(cases))
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			w, ok := want[c.name]
+			if !ok {
+				t.Fatalf("no golden hash for %s (run -update?)", c.name)
+			}
+			got := hashOf(t, c.cfg)
+			if got != w {
+				t.Errorf("trajectory drift: got %s, golden %s\n"+
+					"The kernel event schedule changed. If intentional, regenerate with\n"+
+					"  go test ./internal/engine -run TestGoldenTrajectories -update\n"+
+					"and explain the behaviour change in the commit message.",
+					sim.FormatHash(got), sim.FormatHash(w))
+			}
+		})
+	}
+}
+
+// TestTrajectoryEquality proves run-to-run determinism at the trajectory
+// level for all three protocols: two independent runs on fresh kernels
+// must produce bit-identical event streams. On mismatch the tails of both
+// traces are dumped to locate the divergence.
+func TestTrajectoryEquality(t *testing.T) {
+	for _, p := range []Protocol{S2PL, G2PL, C2PL} {
+		p := p
+		for _, seed := range []uint64{1, 7} {
+			seed := seed
+			t.Run(fmt.Sprintf("%s/seed%d", p, seed), func(t *testing.T) {
+				cfg := goldenConfig(p, seed)
+				cfg.TraceHash = true
+
+				run := func() (uint64, *sim.RingTrace) {
+					ring := sim.NewRingTrace(64)
+					c := cfg
+					c.Tracer = ring
+					res, err := Run(c)
+					if err != nil {
+						t.Fatalf("Run: %v", err)
+					}
+					return res.TrajectoryHash, ring
+				}
+				h1, ring1 := run()
+				h2, ring2 := run()
+				if h1 != h2 {
+					var sb strings.Builder
+					sb.WriteString("run 1 ")
+					ring1.Dump(&sb)
+					sb.WriteString("run 2 ")
+					ring2.Dump(&sb)
+					t.Fatalf("trajectory hashes differ across identical runs: %s vs %s\n%s",
+						sim.FormatHash(h1), sim.FormatHash(h2), sb.String())
+				}
+			})
+		}
+	}
+}
+
+// TestTrajectoryHashOffByDefault confirms an untraced run reports a zero
+// hash and installs no tracer overhead.
+func TestTrajectoryHashOffByDefault(t *testing.T) {
+	res := mustRun(t, goldenConfig(S2PL, 1))
+	if res.TrajectoryHash != 0 {
+		t.Fatalf("TrajectoryHash = %x without TraceHash", res.TrajectoryHash)
+	}
+}

@@ -74,6 +74,7 @@ func (r *s2plRun) tracef(format string, args ...any) {
 
 func runS2PL(cfg Config) (Result, error) {
 	k := sim.New()
+	hasher := installTracer(k, cfg)
 	r := &s2plRun{
 		cfg:     cfg,
 		kernel:  k,
@@ -96,16 +97,20 @@ func runS2PL(cfg Config) (Result, error) {
 			gen: workload.NewGenerator(wl, root.Split(uint64(i))),
 		}
 		r.clients = append(r.clients, c)
-		k.At(c.gen.Idle(), func() { r.begin(c) })
+		k.AtLabeled(c.gen.Idle(), "s2pl.begin", func() { r.begin(c) })
 	}
 	if cfg.MaxTime > 0 {
-		k.At(cfg.MaxTime, k.Stop)
+		k.AtLabeled(cfg.MaxTime, "maxtime", k.Stop)
 	}
 	k.Run()
 	if !r.col.done {
 		return Result{}, fmt.Errorf("engine: s-2PL run hit MaxTime %d with %d/%d commits", cfg.MaxTime, r.col.commits, cfg.TargetCommits)
 	}
-	return r.col.result(S2PL, r.net.Messages, r.net.Bytes, k.Now()), nil
+	res := r.col.result(S2PL, r.net.Messages, r.net.Bytes, k.Now())
+	if hasher != nil {
+		res.TrajectoryHash = hasher.Sum64()
+	}
+	return res, nil
 }
 
 // begin starts a fresh transaction at client c and sends its first
@@ -127,7 +132,7 @@ func (r *s2plRun) begin(c *s2plClient) {
 func (r *s2plRun) sendRequest(t *s2plTxn) {
 	op := t.op()
 	t.reqSent = r.kernel.Now()
-	r.net.Send(sizeRequest, func() { r.serverRequest(t, op) })
+	r.net.Send(sizeRequest, "s2pl.req", func() { r.serverRequest(t, op) })
 }
 
 // serverRequest is the server's request handler: acquire or block, with
@@ -168,13 +173,13 @@ func (r *s2plRun) chooseVictim(cycle []ids.Txn, fallback *s2plTxn) *s2plTxn {
 		return fallback
 	}
 	best := fallback
-	bestHeld := len(r.locks.HeldBy(fallback.id))
+	bestHeld := r.locks.HeldCount(fallback.id)
 	for _, id := range cycle {
 		t := r.active[id]
 		if t == nil {
 			continue
 		}
-		held := len(r.locks.HeldBy(id))
+		held := r.locks.HeldCount(id)
 		if held < bestHeld || (held == bestHeld && t.id > best.id) {
 			best, bestHeld = t, held
 		}
@@ -186,7 +191,43 @@ func (r *s2plRun) chooseVictim(cycle []ids.Txn, fallback *s2plTxn) *s2plTxn {
 // to the requesting client.
 func (r *s2plRun) sendGrant(t *s2plTxn, op workload.Op) {
 	ver := r.version[op.Item]
-	r.net.Send(sizeData, func() { r.clientGrant(t, op, ver) })
+	r.net.Send(sizeData, "s2pl.grant", func() { r.clientGrant(t, op, ver) })
+}
+
+// releaseKind names the server-side paths that free lock-table state.
+type releaseKind int
+
+const (
+	// relCommit is the commit release: all locks go, the txn retires.
+	relCommit releaseKind = iota
+	// relAbortCancel is the first half of an abort: the victim's queued
+	// request disappears, but held locks stay until the round trip ends.
+	relAbortCancel
+	// relAbortRelease is the second half: the victim's release arrives
+	// and its held locks go. The txn already left the active set.
+	relAbortRelease
+)
+
+// releaseLocks is the single release pipeline: every server path that
+// frees lock-table state funnels through here, so promoted grants have
+// exactly one delivery site (repolint's twophase check pins deliverGrants
+// to this caller).
+func (r *s2plRun) releaseLocks(t *s2plTxn, kind releaseKind) {
+	var grants []lock.Grant
+	switch kind {
+	case relAbortCancel:
+		r.clearBlocked(t.id)
+		grants = r.locks.CancelWait(t.id)
+		delete(r.active, t.id)
+	case relCommit:
+		grants = r.locks.Release(t.id)
+		r.waits.RemoveTxn(t.id)
+		delete(r.active, t.id)
+	case relAbortRelease:
+		grants = r.locks.Release(t.id)
+		r.waits.RemoveTxn(t.id)
+	}
+	r.deliverGrants(grants)
 }
 
 // serverAbort resolves a deadlock by aborting the chosen victim. Its
@@ -196,12 +237,9 @@ func (r *s2plRun) sendGrant(t *s2plTxn, op workload.Op) {
 // notified and responds with the release — symmetric with g-2PL's
 // notice-then-forward unwind.
 func (r *s2plRun) serverAbort(t *s2plTxn) {
-	r.clearBlocked(t.id)
-	grants := r.locks.CancelWait(t.id)
-	delete(r.active, t.id)
-	r.deliverGrants(grants)
+	r.releaseLocks(t, relAbortCancel)
 	r.col.abortEnq++
-	r.net.Send(sizeControl, func() { r.clientAbort(t) })
+	r.net.Send(sizeControl, "s2pl.abort", func() { r.clientAbort(t) })
 }
 
 // deliverGrants ships promoted lock grants to their waiting clients.
@@ -234,13 +272,13 @@ func (r *s2plRun) clientGrant(t *s2plTxn, op workload.Op, ver ids.Txn) {
 	}
 	think := t.client.gen.Think()
 	if t.opIdx+1 < len(t.profile.Ops) {
-		r.kernel.After(think, func() {
+		r.kernel.AfterLabeled(think, "s2pl.think", func() {
 			t.opIdx++
 			r.sendRequest(t)
 		})
 		return
 	}
-	r.kernel.After(think, func() { r.commit(t) })
+	r.kernel.AfterLabeled(think, "s2pl.commit", func() { r.commit(t) })
 }
 
 // commit ends the transaction at the client: response time stops here and
@@ -255,7 +293,7 @@ func (r *s2plRun) commit(t *s2plTxn) {
 	}
 	r.tracef("commit %v rt=%d", t.id, rt)
 	r.col.commit(rt, rec)
-	r.net.Send(sizeControl+sizeData*len(rec.Writes), func() { r.serverRelease(t, rec.Writes) })
+	r.net.Send(sizeControl+sizeData*len(rec.Writes), "s2pl.release", func() { r.serverRelease(t, rec.Writes) })
 	r.scheduleNext(t.client)
 }
 
@@ -265,10 +303,7 @@ func (r *s2plRun) serverRelease(t *s2plTxn, writes []ids.Item) {
 	for _, item := range writes {
 		r.version[item] = t.id
 	}
-	grants := r.locks.Release(t.id)
-	r.waits.RemoveTxn(t.id)
-	delete(r.active, t.id)
-	r.deliverGrants(grants)
+	r.releaseLocks(t, relCommit)
 }
 
 // clientAbort handles the server's abort notice: the instance is counted,
@@ -276,20 +311,18 @@ func (r *s2plRun) serverRelease(t *s2plTxn, writes []ids.Item) {
 // the transaction after an idle period (paper §4).
 func (r *s2plRun) clientAbort(t *s2plTxn) {
 	r.col.abort()
-	r.net.Send(sizeControl, func() { r.serverAbortRelease(t) })
+	r.net.Send(sizeControl, "s2pl.abortrel", func() { r.serverAbortRelease(t) })
 	r.scheduleNext(t.client)
 }
 
 // serverAbortRelease frees the aborted victim's locks once its release
 // arrives, promoting waiting requests.
 func (r *s2plRun) serverAbortRelease(t *s2plTxn) {
-	grants := r.locks.Release(t.id)
-	r.waits.RemoveTxn(t.id)
-	r.deliverGrants(grants)
+	r.releaseLocks(t, relAbortRelease)
 }
 
 // scheduleNext replaces the finished transaction after an idle period.
 func (r *s2plRun) scheduleNext(c *s2plClient) {
 	c.cur = nil
-	r.kernel.After(c.gen.Idle(), func() { r.begin(c) })
+	r.kernel.AfterLabeled(c.gen.Idle(), "s2pl.begin", func() { r.begin(c) })
 }

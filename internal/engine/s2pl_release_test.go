@@ -1,0 +1,188 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/ids"
+	"repro/internal/lock"
+	"repro/internal/netmodel"
+	"repro/internal/sim"
+	"repro/internal/wfg"
+	"repro/internal/workload"
+)
+
+// newReleaseRun builds a minimal s2plRun for driving releaseLocks
+// directly: a fresh kernel, a live network (grant delivery schedules real
+// messages) and no clients — transactions are installed by hand.
+func newReleaseRun() *s2plRun {
+	k := sim.New()
+	cfg := testConfig(S2PL)
+	return &s2plRun{
+		cfg:     cfg,
+		kernel:  k,
+		net:     netmodel.New(k, cfg.Latency),
+		col:     newCollector(k, cfg),
+		locks:   lock.NewManager(),
+		waits:   wfg.New(),
+		blocked: make(map[ids.Txn][]ids.Txn),
+		version: make(map[ids.Item]ids.Txn),
+		active:  make(map[ids.Txn]*s2plTxn),
+	}
+}
+
+// addTxn installs a hand-built active transaction whose current op is a
+// write on item.
+func (r *s2plRun) addTxn(id ids.Txn, item ids.Item) *s2plTxn {
+	t := &s2plTxn{
+		id:      id,
+		profile: workload.Profile{Ops: []workload.Op{{Item: item, Write: true}}},
+	}
+	r.active[id] = t
+	return t
+}
+
+// block records id's pending request edges the way serverRequest does.
+func (r *s2plRun) block(id ids.Txn) {
+	blockers := r.locks.WaitsFor(id)
+	r.blocked[id] = blockers
+	for _, b := range blockers {
+		r.waits.AddEdge(id, b)
+	}
+}
+
+// TestReleasePipelinePaths drives every releaseKind through the single
+// release pipeline and checks the lock table, wait-for graph, active set
+// and grant traffic after each.
+func TestReleasePipelinePaths(t *testing.T) {
+	const item = ids.Item(1)
+	cases := []struct {
+		name string
+		kind releaseKind
+		// setup returns the transaction to release.
+		setup func(r *s2plRun) *s2plTxn
+		// after asserts the post-release state.
+		after func(t *testing.T, r *s2plRun, released *s2plTxn)
+	}{
+		{
+			name: "commit release promotes the queue",
+			kind: relCommit,
+			setup: func(r *s2plRun) *s2plTxn {
+				a := r.addTxn(1, item)
+				b := r.addTxn(2, item)
+				r.locks.Acquire(a.id, item, lock.Exclusive)
+				r.locks.Acquire(b.id, item, lock.Exclusive) // queues
+				r.block(b.id)
+				return a
+			},
+			after: func(t *testing.T, r *s2plRun, released *s2plTxn) {
+				if _, live := r.active[released.id]; live {
+					t.Error("committed txn still active")
+				}
+				if got := r.locks.HoldersOf(item); len(got) != 1 || got[0] != 2 {
+					t.Errorf("holders after commit = %v, want [2]", got)
+				}
+				if r.net.Messages != 1 {
+					t.Errorf("messages = %d, want 1 grant", r.net.Messages)
+				}
+				if len(r.blocked[2]) != 0 {
+					t.Error("granted waiter still has stored wait edges")
+				}
+				if r.waits.Edges() != 0 {
+					t.Errorf("wait-for edges = %d, want 0", r.waits.Edges())
+				}
+			},
+		},
+		{
+			name: "abort cancel drops the queued request, keeps held locks",
+			kind: relAbortCancel,
+			setup: func(r *s2plRun) *s2plTxn {
+				a := r.addTxn(1, item)
+				b := r.addTxn(2, item)
+				r.locks.Acquire(a.id, item, lock.Exclusive)
+				r.locks.Acquire(b.id, item, lock.Exclusive) // queues; b is the victim
+				r.block(b.id)
+				return b
+			},
+			after: func(t *testing.T, r *s2plRun, released *s2plTxn) {
+				if _, live := r.active[released.id]; live {
+					t.Error("victim still active")
+				}
+				if got := r.locks.HoldersOf(item); len(got) != 1 || got[0] != 1 {
+					t.Errorf("holders after cancel = %v, want [1] untouched", got)
+				}
+				if r.locks.QueueLen(item) != 0 {
+					t.Error("victim's request still queued")
+				}
+				if r.net.Messages != 0 {
+					t.Errorf("messages = %d, want 0 (no grant from a cancel alone)", r.net.Messages)
+				}
+				if r.waits.Edges() != 0 {
+					t.Errorf("wait-for edges = %d, want 0", r.waits.Edges())
+				}
+			},
+		},
+		{
+			name: "abort cancel unblocks a waiter queued behind the victim",
+			kind: relAbortCancel,
+			setup: func(r *s2plRun) *s2plTxn {
+				a := r.addTxn(1, item)
+				b := r.addTxn(2, item)
+				c := r.addTxn(3, item)
+				r.locks.Acquire(a.id, item, lock.Shared)
+				r.locks.Acquire(b.id, item, lock.Exclusive) // queues behind the reader
+				r.block(b.id)
+				// c's shared request queues behind b (no queue jumping).
+				c.profile.Ops[0].Write = false
+				r.locks.Acquire(c.id, item, lock.Shared)
+				r.block(c.id)
+				return b
+			},
+			after: func(t *testing.T, r *s2plRun, released *s2plTxn) {
+				// Cancelling the writer promotes the reader to join holder 1.
+				if got := r.locks.HoldersOf(item); len(got) != 2 || got[0] != 1 || got[1] != 3 {
+					t.Errorf("holders = %v, want [1 3]", got)
+				}
+				if r.net.Messages != 1 {
+					t.Errorf("messages = %d, want 1 grant to the reader", r.net.Messages)
+				}
+			},
+		},
+		{
+			name: "abort release frees the victim's held locks",
+			kind: relAbortRelease,
+			setup: func(r *s2plRun) *s2plTxn {
+				a := r.addTxn(1, item)
+				b := r.addTxn(2, item)
+				r.locks.Acquire(a.id, item, lock.Exclusive)
+				r.locks.Acquire(b.id, item, lock.Exclusive)
+				r.block(b.id)
+				// The victim already left the active set at abort time.
+				delete(r.active, a.id)
+				return a
+			},
+			after: func(t *testing.T, r *s2plRun, released *s2plTxn) {
+				if got := r.locks.HoldersOf(item); len(got) != 1 || got[0] != 2 {
+					t.Errorf("holders after abort release = %v, want [2]", got)
+				}
+				if r.net.Messages != 1 {
+					t.Errorf("messages = %d, want 1 grant", r.net.Messages)
+				}
+				if r.waits.Edges() != 0 {
+					t.Errorf("wait-for edges = %d, want 0", r.waits.Edges())
+				}
+			},
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			r := newReleaseRun()
+			victim := tc.setup(r)
+			r.releaseLocks(victim, tc.kind)
+			if err := r.locks.Validate(); err != nil {
+				t.Fatalf("lock table invalid after release: %v", err)
+			}
+			tc.after(t, r, victim)
+		})
+	}
+}

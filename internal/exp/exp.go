@@ -22,6 +22,11 @@ type Scale struct {
 	WarmupCommits int
 	Replications  int
 	MaxTime       sim.Time
+
+	// TraceHash threads the kernel trajectory digest through every run
+	// the experiment performs (engine.Result.TrajectoryHash), making a
+	// whole sweep auditable for reproducibility.
+	TraceHash bool
 }
 
 // Quick is the default scale for tests, benches and interactive runs.
@@ -40,6 +45,7 @@ func (s Scale) apply(p core.Params) core.Params {
 	p.WarmupCommits = s.WarmupCommits
 	p.Replications = s.Replications
 	p.MaxTime = s.MaxTime
+	p.TraceHash = s.TraceHash
 	return p
 }
 

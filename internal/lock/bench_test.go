@@ -1,0 +1,63 @@
+package lock
+
+import (
+	"testing"
+
+	"repro/internal/ids"
+)
+
+// The benchmarks model the engine hot paths: HoldersOf and WaitsFor are
+// called on every deadlock-detection pass, and Release/promote on every
+// commit. Holder-set sizes mirror real contention (a handful of readers on
+// a hot item), so the sort-on-read vs ordered-insert trade-off measured
+// here is the one the engines pay.
+
+var (
+	benchTxns  []ids.Txn
+	benchBool  bool
+	benchGrant []Grant
+)
+
+// sharedHolders returns a manager with n readers holding item 1 and one
+// queued writer (txn 100) behind them.
+func sharedHolders(n int) *Manager {
+	m := NewManager()
+	for t := 1; t <= n; t++ {
+		m.Acquire(ids.Txn(t), 1, Shared)
+	}
+	m.Acquire(100, 1, Exclusive)
+	return m
+}
+
+func BenchmarkHoldersOf(b *testing.B) {
+	m := sharedHolders(8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchTxns = m.HoldersOf(1)
+	}
+}
+
+func BenchmarkWaitsFor(b *testing.B) {
+	m := sharedHolders(8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchTxns = m.WaitsFor(100)
+	}
+}
+
+func BenchmarkAcquireReleaseChurn(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m := NewManager()
+		for t := 1; t <= 8; t++ {
+			benchBool = m.Acquire(ids.Txn(t), 1, Shared)
+		}
+		m.Acquire(9, 1, Exclusive)
+		for t := 1; t <= 8; t++ {
+			benchGrant = m.Release(ids.Txn(t))
+		}
+		benchGrant = m.Release(9)
+	}
+}

@@ -47,9 +47,55 @@ type request struct {
 	mode Mode
 }
 
+// holderEntry is one lock holder of an item.
+type holderEntry struct {
+	txn  ids.Txn
+	mode Mode
+}
+
+// itemState keeps an item's holders as a slice sorted ascending by txn
+// id. The hot read paths (HoldersOf, WaitsFor) once sorted a map's keys
+// on every call; keeping the invariant at insertion makes reads plain
+// scans while preserving the exact observable order, so the engines'
+// trajectories are unchanged (guarded by the golden-trajectory suite).
 type itemState struct {
-	holders map[ids.Txn]Mode
+	holders []holderEntry
 	queue   []request
+}
+
+// findHolder returns txn's index in the sorted holder slice, or the
+// insertion point and false.
+func (s *itemState) findHolder(txn ids.Txn) (int, bool) {
+	i := sort.Search(len(s.holders), func(i int) bool { return s.holders[i].txn >= txn })
+	return i, i < len(s.holders) && s.holders[i].txn == txn
+}
+
+// holderMode returns txn's held mode on the item, if any.
+func (s *itemState) holderMode(txn ids.Txn) (Mode, bool) {
+	if i, ok := s.findHolder(txn); ok {
+		return s.holders[i].mode, true
+	}
+	return Shared, false
+}
+
+// setHolder inserts or updates txn's holder entry, keeping the slice
+// sorted.
+func (s *itemState) setHolder(txn ids.Txn, mode Mode) {
+	i, ok := s.findHolder(txn)
+	if ok {
+		s.holders[i].mode = mode
+		return
+	}
+	s.holders = append(s.holders, holderEntry{})
+	copy(s.holders[i+1:], s.holders[i:])
+	s.holders[i] = holderEntry{txn: txn, mode: mode}
+}
+
+// removeHolder deletes txn's holder entry, if present.
+func (s *itemState) removeHolder(txn ids.Txn) {
+	if i, ok := s.findHolder(txn); ok {
+		s.holders = append(s.holders[:i], s.holders[i+1:]...)
+	}
 }
 
 // Manager is a lock table over data items. The zero value is not usable;
@@ -76,7 +122,7 @@ func NewManager() *Manager {
 func (m *Manager) state(item ids.Item) *itemState {
 	s := m.items[item]
 	if s == nil {
-		s = &itemState{holders: make(map[ids.Txn]Mode)}
+		s = &itemState{}
 		m.items[item] = s
 	}
 	return s
@@ -96,13 +142,13 @@ func (m *Manager) Acquire(txn ids.Txn, item ids.Item, mode Mode) bool {
 		panic(fmt.Sprintf("lock: %v requested %v while already waiting on %v", txn, item, it))
 	}
 	s := m.state(item)
-	if cur, holds := s.holders[txn]; holds {
+	if cur, holds := s.holderMode(txn); holds {
 		if cur == Exclusive || mode == Shared {
 			return true // already sufficient
 		}
 		// Upgrade S -> X.
 		if len(s.holders) == 1 {
-			s.holders[txn] = Exclusive
+			s.setHolder(txn, Exclusive)
 			m.held[txn][item] = Exclusive
 			return true
 		}
@@ -123,9 +169,8 @@ func (m *Manager) compatibleWithHolders(s *itemState, mode Mode) bool {
 	if mode == Exclusive {
 		return len(s.holders) == 0
 	}
-	//repolint:allow maprange -- order-free any-conflict scan
 	for _, h := range s.holders {
-		if h == Exclusive {
+		if h.mode == Exclusive {
 			return false
 		}
 	}
@@ -133,7 +178,7 @@ func (m *Manager) compatibleWithHolders(s *itemState, mode Mode) bool {
 }
 
 func (m *Manager) grant(s *itemState, txn ids.Txn, item ids.Item, mode Mode) {
-	s.holders[txn] = mode
+	s.setHolder(txn, mode)
 	h := m.held[txn]
 	if h == nil {
 		h = make(map[ids.Item]Mode)
@@ -149,10 +194,10 @@ func (m *Manager) promote(item ids.Item, s *itemState) []Grant {
 	var grants []Grant
 	for len(s.queue) > 0 {
 		r := s.queue[0]
-		if cur, holds := s.holders[r.txn]; holds {
+		if cur, holds := s.holderMode(r.txn); holds {
 			// Queued upgrade: grantable only as sole holder.
 			if cur == Shared && r.mode == Exclusive && len(s.holders) == 1 {
-				s.holders[r.txn] = Exclusive
+				s.setHolder(r.txn, Exclusive)
 				m.held[r.txn][item] = Exclusive
 				delete(m.waiting, r.txn)
 				grants = append(grants, Grant{r.txn, item, Exclusive})
@@ -186,7 +231,7 @@ func (m *Manager) Release(txn ids.Txn) []Grant {
 	}
 	for _, item := range m.itemsHeldSorted(txn) {
 		s := m.items[item]
-		delete(s.holders, txn)
+		s.removeHolder(txn)
 		grants = append(grants, m.promote(item, s)...)
 	}
 	delete(m.held, txn)
@@ -252,7 +297,7 @@ func (m *Manager) Drop(txn ids.Txn) []Grant {
 	}
 	for _, item := range m.itemsHeldSorted(txn) {
 		s := m.items[item]
-		delete(s.holders, txn)
+		s.removeHolder(txn)
 		grants = append(grants, m.promote(item, s)...)
 	}
 	delete(m.held, txn)
@@ -260,20 +305,24 @@ func (m *Manager) Drop(txn ids.Txn) []Grant {
 }
 
 // HoldersOf returns the transactions currently holding a lock on item, in
-// ascending id order so callers observe a deterministic view.
+// ascending id order so callers observe a deterministic view. The holder
+// slice maintains that order, so this is a single copy with no sorting.
 func (m *Manager) HoldersOf(item ids.Item) []ids.Txn {
 	s := m.items[item]
 	if s == nil {
 		return nil
 	}
-	out := make([]ids.Txn, 0, len(s.holders))
-	//repolint:allow maprange -- keys are sorted before use
-	for t := range s.holders {
-		out = append(out, t)
+	out := make([]ids.Txn, len(s.holders))
+	for i, h := range s.holders {
+		out[i] = h.txn
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
+
+// HeldCount returns how many items txn currently holds locks on, without
+// copying the held set (deadlock victim selection calls this per cycle
+// member).
+func (m *Manager) HeldCount(txn ids.Txn) int { return len(m.held[txn]) }
 
 // HeldBy returns the items txn currently holds locks on, with modes.
 func (m *Manager) HeldBy(txn ids.Txn) map[ids.Item]Mode {
@@ -312,30 +361,25 @@ func (m *Manager) WaitsFor(txn ids.Txn) []ids.Txn {
 	if pos < 0 {
 		return nil
 	}
-	seen := make(map[ids.Txn]bool)
 	var out []ids.Txn
 	add := func(t ids.Txn) {
-		if t != txn && !seen[t] {
-			seen[t] = true
-			out = append(out, t)
+		if t == txn {
+			return // upgrade case: own shared lock does not block itself
 		}
+		for _, have := range out {
+			if have == t {
+				return
+			}
+		}
+		out = append(out, t)
 	}
-	// Conflicting holders first, in ascending id order (the engines store
-	// the returned edge list, so its order must not depend on map
-	// iteration), then conflicting requests queued ahead in FIFO order.
-	blockers := make([]ids.Txn, 0, len(s.holders))
-	//repolint:allow maprange -- keys are sorted before use
-	for holder, hmode := range s.holders {
-		if holder == txn {
-			continue // upgrade case: own shared lock does not block itself
+	// Conflicting holders first — the holder slice is kept in ascending id
+	// order, so the stored edge list is deterministic without sorting —
+	// then conflicting requests queued ahead, in FIFO order.
+	for _, h := range s.holders {
+		if !Compatible(h.mode, mode) {
+			add(h.txn)
 		}
-		if !Compatible(hmode, mode) {
-			blockers = append(blockers, holder)
-		}
-	}
-	sort.Slice(blockers, func(i, j int) bool { return blockers[i] < blockers[j] })
-	for _, holder := range blockers {
-		add(holder)
 	}
 	for _, r := range s.queue[:pos] {
 		if !Compatible(r.mode, mode) {
@@ -362,13 +406,15 @@ func (m *Manager) Validate() error {
 	//repolint:allow maprange -- invariant scan; any violation is an error
 	for item, s := range m.items {
 		writers := 0
-		//repolint:allow maprange -- invariant scan; any violation is an error
-		for t, mode := range s.holders {
-			if mode == Exclusive {
+		for i, h := range s.holders {
+			if i > 0 && s.holders[i-1].txn >= h.txn {
+				return fmt.Errorf("lock: holder slice of %v not sorted", item)
+			}
+			if h.mode == Exclusive {
 				writers++
 			}
-			if m.held[t][item] != mode {
-				return fmt.Errorf("lock: held index disagrees for %v on %v", t, item)
+			if m.held[h.txn][item] != h.mode {
+				return fmt.Errorf("lock: held index disagrees for %v on %v", h.txn, item)
 			}
 		}
 		if writers > 1 || (writers == 1 && len(s.holders) > 1) {
@@ -387,7 +433,10 @@ func (m *Manager) Validate() error {
 		//repolint:allow maprange -- invariant scan; any violation is an error
 		for item, mode := range items {
 			s := m.items[item]
-			if s == nil || s.holders[t] != mode {
+			if s == nil {
+				return fmt.Errorf("lock: stale held entry %v on %v", t, item)
+			}
+			if got, ok := s.holderMode(t); !ok || got != mode {
 				return fmt.Errorf("lock: stale held entry %v on %v", t, item)
 			}
 		}

@@ -44,11 +44,13 @@ func (n *Network) Latency() sim.Time { return n.latency }
 // Send schedules deliver to run one latency from now and counts the
 // message. size is the abstract payload size (the paper argues size is
 // irrelevant at gigabit rates; we count it anyway so experiments can show
-// g-2PL's larger messages).
-func (n *Network) Send(size int, deliver func()) {
+// g-2PL's larger messages). label names the message kind in the kernel's
+// trajectory trace; pass a constant string (it is hashed, so renaming a
+// message changes the trajectory digest by design).
+func (n *Network) Send(size int, label string, deliver func()) {
 	n.Messages++
 	n.Bytes += int64(size)
-	n.kernel.After(n.latency, deliver)
+	n.kernel.AfterLabeled(n.latency, label, deliver)
 }
 
 // Environment is a named row of the paper's Table 2.

@@ -11,7 +11,7 @@ func TestSendDelaysByLatency(t *testing.T) {
 	n := New(k, 250)
 	var deliveredAt sim.Time = -1
 	k.At(10, func() {
-		n.Send(1, func() { deliveredAt = k.Now() })
+		n.Send(1, "probe", func() { deliveredAt = k.Now() })
 	})
 	k.Run()
 	if deliveredAt != 260 {
@@ -23,7 +23,7 @@ func TestCounters(t *testing.T) {
 	k := sim.New()
 	n := New(k, 1)
 	for i := 0; i < 5; i++ {
-		n.Send(10, func() {})
+		n.Send(10, "count", func() {})
 	}
 	k.Run()
 	if n.Messages != 5 {
@@ -83,7 +83,7 @@ func TestSequentialSendsPreserveOrder(t *testing.T) {
 	k.At(0, func() {
 		for i := 0; i < 3; i++ {
 			i := i
-			n.Send(1, func() { order = append(order, i) })
+			n.Send(1, "ordered", func() { order = append(order, i) })
 		}
 	})
 	k.Run()

@@ -1,0 +1,66 @@
+package prec
+
+import (
+	"testing"
+
+	"repro/internal/ids"
+)
+
+// FuzzPrecAcyclic drives the graph with an arbitrary operation sequence —
+// Constrain, Record-of-an-Order, Remove — and checks the structural
+// invariant the deadlock-avoidance argument rests on: the precedence
+// graph never acquires a cycle, and Order always emits a topological
+// permutation of its input.
+func FuzzPrecAcyclic(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 1, 2, 3, 2, 3, 1})
+	f.Add([]byte{10, 200, 3, 3, 3})
+	f.Add([]byte{0, 1, 2, 6, 1, 0, 2, 1, 3, 4})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g := New()
+		const txns = 8
+		for i := 0; i+2 < len(data); i += 3 {
+			op := data[i] % 3
+			a := ids.Txn(data[i+1]%txns + 1)
+			b := ids.Txn(data[i+2]%txns + 1)
+			switch op {
+			case 0:
+				g.Constrain(a, b)
+			case 1:
+				// Record a dispatched window: the order of [a, b] as the
+				// graph itself chooses it, like dispatchWindow does.
+				if a != b {
+					g.Record(g.Order([]ids.Txn{a, b}))
+				}
+			case 2:
+				g.Remove(a)
+			}
+			if g.HasCycle() {
+				t.Fatalf("graph acquired a cycle after op %d (%d %v %v)", i/3, op, a, b)
+			}
+		}
+
+		// Order over the full id space: topological permutation.
+		pending := make([]ids.Txn, txns)
+		for i := range pending {
+			pending[i] = ids.Txn(i + 1)
+		}
+		ordered := g.Order(pending)
+		if len(ordered) != len(pending) {
+			t.Fatalf("Order changed length: %d -> %d", len(pending), len(ordered))
+		}
+		seen := make(map[ids.Txn]bool, len(ordered))
+		for _, id := range ordered {
+			if id < 1 || id > txns || seen[id] {
+				t.Fatalf("Order output %v is not a permutation of 1..%d", ordered, txns)
+			}
+			seen[id] = true
+		}
+		for i := 0; i < len(ordered); i++ {
+			for j := i + 1; j < len(ordered); j++ {
+				if g.Reaches(ordered[j], ordered[i]) {
+					t.Fatalf("Order %v violates precedence %v -> %v", ordered, ordered[j], ordered[i])
+				}
+			}
+		}
+	})
+}

@@ -23,15 +23,19 @@ type Time int64
 
 // Event is a unit of scheduled work.
 type Event struct {
-	when Time
-	seq  uint64
-	fn   func()
+	when  Time
+	seq   uint64
+	fn    func()
+	label string
 	// index within the heap, or -1 once fired or canceled.
 	index int
 }
 
 // When returns the time the event is (or was) scheduled to fire.
 func (e *Event) When() Time { return e.when }
+
+// Label returns the event's trace label ("" when unlabeled).
+func (e *Event) Label() string { return e.label }
 
 // eventQueue is a binary min-heap ordered by (when, seq).
 type eventQueue []*Event
@@ -75,6 +79,7 @@ type Kernel struct {
 	nextSeq uint64
 	fired   uint64
 	stopped bool
+	tracer  Tracer
 }
 
 // New returns a kernel at time zero.
@@ -89,21 +94,41 @@ func (k *Kernel) Fired() uint64 { return k.fired }
 // Pending reports how many events are scheduled and not yet fired.
 func (k *Kernel) Pending() int { return len(k.queue) }
 
+// SetTracer installs tr as the kernel's trajectory observer: it receives
+// every schedule, fire and cancel from now on. A nil tr disables tracing.
+// The tracer must not schedule or cancel events itself.
+func (k *Kernel) SetTracer(tr Tracer) { k.tracer = tr }
+
 // At schedules fn to run at absolute time t. It panics if t is in the
 // past: the kernel never travels backwards.
 func (k *Kernel) At(t Time, fn func()) *Event {
+	return k.AtLabeled(t, "", fn)
+}
+
+// AtLabeled is At with a trace label attached to the event. Labels are
+// free when no tracer is installed and should be constant strings: the
+// trajectory hash covers them, so a label change is a trajectory change.
+func (k *Kernel) AtLabeled(t Time, label string, fn func()) *Event {
 	if t < k.now {
 		panic(fmt.Sprintf("sim: schedule at %d before now %d", t, k.now))
 	}
-	e := &Event{when: t, seq: k.nextSeq, fn: fn}
+	e := &Event{when: t, seq: k.nextSeq, fn: fn, label: label}
 	k.nextSeq++
 	heap.Push(&k.queue, e)
+	if k.tracer != nil {
+		k.tracer.Trace(TraceSchedule, e.seq, k.now, e.when, label)
+	}
 	return e
 }
 
 // After schedules fn to run d ticks from now. Negative d panics.
 func (k *Kernel) After(d Time, fn func()) *Event {
-	return k.At(k.now+d, fn)
+	return k.AtLabeled(k.now+d, "", fn)
+}
+
+// AfterLabeled is After with a trace label attached to the event.
+func (k *Kernel) AfterLabeled(d Time, label string, fn func()) *Event {
+	return k.AtLabeled(k.now+d, label, fn)
 }
 
 // Cancel removes a pending event. Canceling an already-fired or
@@ -116,6 +141,9 @@ func (k *Kernel) Cancel(e *Event) bool {
 	heap.Remove(&k.queue, e.index)
 	e.index = -1
 	e.fn = nil
+	if k.tracer != nil {
+		k.tracer.Trace(TraceCancel, e.seq, k.now, e.when, e.label)
+	}
 	return true
 }
 
@@ -134,6 +162,9 @@ func (k *Kernel) Step() bool {
 	fn := e.fn
 	e.fn = nil
 	k.fired++
+	if k.tracer != nil {
+		k.tracer.Trace(TraceFire, e.seq, k.now, e.when, e.label)
+	}
 	fn()
 	return true
 }

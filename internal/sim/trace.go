@@ -1,0 +1,203 @@
+// Trajectory observability for the kernel: a Tracer hook receives every
+// scheduled, fired and cancelled event, and two stock tracers consume the
+// stream — a streaming FNV-1a trajectory hasher (cheap equality assertions
+// across runs and refactors) and a ring-buffered structured trace (the
+// last N events, dumpable when a conformance test fails).
+//
+// The trajectory is the kernel-level ground truth of a simulation: the
+// exact sequence of (action, seq, time, label) tuples. Two runs with equal
+// trajectory hashes performed the same message schedule, so any refactor
+// that preserves the hash is behaviour-preserving for the paper's
+// round-counting argument — not merely equal in summary statistics.
+package sim
+
+import (
+	"fmt"
+	"io"
+)
+
+// TraceAction classifies what happened to an event.
+type TraceAction uint8
+
+const (
+	// TraceSchedule records an event entering the pending set.
+	TraceSchedule TraceAction = iota
+	// TraceFire records an event executing (clock advanced to its time).
+	TraceFire
+	// TraceCancel records a pending event being removed unfired.
+	TraceCancel
+)
+
+// String returns "sched", "fire" or "cancel".
+func (a TraceAction) String() string {
+	switch a {
+	case TraceSchedule:
+		return "sched"
+	case TraceFire:
+		return "fire"
+	case TraceCancel:
+		return "cancel"
+	}
+	return fmt.Sprintf("TraceAction(%d)", uint8(a))
+}
+
+// Tracer observes the kernel's event stream. Trace is called for every
+// action with the event's sequence number, the kernel clock at the moment
+// of the action (at), the event's scheduled time (when; equal to at for
+// fires) and the event's label. Implementations must be pure observers.
+type Tracer interface {
+	Trace(action TraceAction, seq uint64, at, when Time, label string)
+}
+
+// MultiTracer fans the event stream out to several tracers in order. Nil
+// entries are skipped; with zero or one live tracer the fan-out collapses
+// to nil or the tracer itself.
+func MultiTracer(tracers ...Tracer) Tracer {
+	var live []Tracer
+	for _, t := range tracers {
+		if t != nil {
+			live = append(live, t)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	return multiTracer(live)
+}
+
+type multiTracer []Tracer
+
+// Trace forwards the action to every fanned-out tracer.
+func (m multiTracer) Trace(action TraceAction, seq uint64, at, when Time, label string) {
+	for _, t := range m {
+		t.Trace(action, seq, at, when, label)
+	}
+}
+
+// FNV-1a 64-bit parameters (FNV is stable, dependency-free and streams one
+// byte at a time, which is all the trajectory digest needs).
+const (
+	fnvOffset64 uint64 = 14695981039346656037
+	fnvPrime64  uint64 = 1099511628211
+)
+
+// TrajectoryHasher folds the event stream into an FNV-1a 64-bit digest.
+// The digest covers, for every action: the action kind, the event sequence
+// number, the clock at the action, the event's scheduled time and the
+// label bytes — each field length-delimited by construction (fixed-width
+// integers, label last and terminated by the next record's action byte
+// being domain-separated with a record marker).
+//
+// Stability guarantee: the digest is a pure function of the trace stream,
+// independent of host, architecture and Go version. It changes whenever
+// the event schedule changes — ordering, timing, labeling or cancellation
+// of any event — and only then.
+type TrajectoryHasher struct {
+	h uint64
+	n uint64 // actions consumed
+}
+
+// NewTrajectoryHasher returns a hasher with an empty-stream digest.
+func NewTrajectoryHasher() *TrajectoryHasher {
+	return &TrajectoryHasher{h: fnvOffset64}
+}
+
+func (t *TrajectoryHasher) byte(b byte) {
+	t.h = (t.h ^ uint64(b)) * fnvPrime64
+}
+
+func (t *TrajectoryHasher) u64(v uint64) {
+	for i := 0; i < 8; i++ {
+		t.byte(byte(v >> (8 * i)))
+	}
+}
+
+// Trace folds one action into the digest.
+func (t *TrajectoryHasher) Trace(action TraceAction, seq uint64, at, when Time, label string) {
+	t.byte(0xfe) // record marker: domain-separates label bytes from fields
+	t.byte(byte(action))
+	t.u64(seq)
+	t.u64(uint64(at))
+	t.u64(uint64(when))
+	for i := 0; i < len(label); i++ {
+		t.byte(label[i])
+	}
+	t.n++
+}
+
+// Sum64 returns the current digest.
+func (t *TrajectoryHasher) Sum64() uint64 { return t.h }
+
+// Events returns how many actions the digest covers.
+func (t *TrajectoryHasher) Events() uint64 { return t.n }
+
+// String renders the digest as 16 hex digits, the form golden files store.
+func (t *TrajectoryHasher) String() string { return FormatHash(t.h) }
+
+// FormatHash renders a trajectory digest as 16 lower-case hex digits.
+func FormatHash(h uint64) string { return fmt.Sprintf("%016x", h) }
+
+// TraceRecord is one buffered event action.
+type TraceRecord struct {
+	Action TraceAction
+	Seq    uint64
+	At     Time
+	When   Time
+	Label  string
+}
+
+// String renders the record as e.g. "fire  seq=12 at=300 when=300 grant".
+func (r TraceRecord) String() string {
+	return fmt.Sprintf("%-6s seq=%d at=%d when=%d %s", r.Action, r.Seq, r.At, r.When, r.Label)
+}
+
+// RingTrace keeps the last N event actions, so a failing conformance test
+// can show where two trajectories diverged without storing whole runs.
+type RingTrace struct {
+	buf   []TraceRecord
+	next  int
+	total uint64
+}
+
+// NewRingTrace returns a ring holding the most recent n actions (n >= 1).
+func NewRingTrace(n int) *RingTrace {
+	if n < 1 {
+		panic(fmt.Sprintf("sim: ring trace capacity must be >= 1, got %d", n))
+	}
+	return &RingTrace{buf: make([]TraceRecord, 0, n)}
+}
+
+// Trace buffers one action, evicting the oldest when full.
+func (r *RingTrace) Trace(action TraceAction, seq uint64, at, when Time, label string) {
+	rec := TraceRecord{Action: action, Seq: seq, At: at, When: when, Label: label}
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, rec)
+	} else {
+		r.buf[r.next] = rec
+		r.next = (r.next + 1) % cap(r.buf)
+	}
+	r.total++
+}
+
+// Total returns how many actions have been observed (buffered or evicted).
+func (r *RingTrace) Total() uint64 { return r.total }
+
+// Records returns the buffered actions oldest-first.
+func (r *RingTrace) Records() []TraceRecord {
+	out := make([]TraceRecord, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// Dump writes the buffered actions to w, oldest-first, one per line —
+// the payload a failing trajectory test prints.
+func (r *RingTrace) Dump(w io.Writer) {
+	fmt.Fprintf(w, "last %d of %d kernel events:\n", len(r.buf), r.total)
+	for _, rec := range r.Records() {
+		fmt.Fprintf(w, "  %s\n", rec)
+	}
+}

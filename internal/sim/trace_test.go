@@ -1,0 +1,198 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+// runTraced schedules a small labeled scenario (nested scheduling plus a
+// cancellation) on a fresh kernel and returns the hasher afterwards.
+func runTraced(extraLabel string) *TrajectoryHasher {
+	k := New()
+	h := NewTrajectoryHasher()
+	k.SetTracer(h)
+	k.AtLabeled(5, "first", func() {
+		k.AfterLabeled(3, extraLabel, func() {})
+	})
+	doomed := k.AtLabeled(10, "doomed", func() {})
+	k.AtLabeled(7, "reaper", func() { k.Cancel(doomed) })
+	k.Run()
+	return h
+}
+
+func TestTrajectoryHashDeterministic(t *testing.T) {
+	a := runTraced("nested")
+	b := runTraced("nested")
+	if a.Sum64() != b.Sum64() {
+		t.Fatalf("identical runs hashed differently: %s vs %s", a, b)
+	}
+	if a.Events() != b.Events() {
+		t.Fatalf("event counts differ: %d vs %d", a.Events(), b.Events())
+	}
+	if a.Events() == 0 {
+		t.Fatal("hasher saw no events")
+	}
+}
+
+func TestTrajectoryHashLabelSensitive(t *testing.T) {
+	a := runTraced("nested")
+	b := runTraced("nested-changed")
+	if a.Sum64() == b.Sum64() {
+		t.Fatal("label change did not change the trajectory hash")
+	}
+}
+
+func TestTrajectoryHashScheduleOrderSensitive(t *testing.T) {
+	run := func(swapped bool) uint64 {
+		k := New()
+		h := NewTrajectoryHasher()
+		k.SetTracer(h)
+		// Two events at the same tick: scheduling order decides seq order,
+		// which the hash must observe even though labels and times match.
+		if swapped {
+			k.AtLabeled(4, "b", func() {})
+			k.AtLabeled(4, "a", func() {})
+		} else {
+			k.AtLabeled(4, "a", func() {})
+			k.AtLabeled(4, "b", func() {})
+		}
+		k.Run()
+		return h.Sum64()
+	}
+	if run(false) == run(true) {
+		t.Fatal("same-tick scheduling order did not change the trajectory hash")
+	}
+}
+
+func TestTrajectoryHashEmptyAndFormat(t *testing.T) {
+	h := NewTrajectoryHasher()
+	if h.Sum64() != fnvOffset64 {
+		t.Fatalf("empty-stream digest = %x, want FNV offset", h.Sum64())
+	}
+	if got := FormatHash(0xabc); got != "0000000000000abc" {
+		t.Fatalf("FormatHash = %q", got)
+	}
+	if h.String() != FormatHash(h.Sum64()) {
+		t.Fatalf("String %q != FormatHash %q", h.String(), FormatHash(h.Sum64()))
+	}
+}
+
+func TestTracerSeesCancelAndFire(t *testing.T) {
+	k := New()
+	ring := NewRingTrace(16)
+	k.SetTracer(ring)
+	doomed := k.AtLabeled(9, "victim", func() {})
+	k.AtLabeled(3, "live", func() {})
+	k.Cancel(doomed)
+	k.Run()
+	recs := ring.Records()
+	// schedule victim, schedule live, cancel victim, fire live.
+	want := []struct {
+		action TraceAction
+		label  string
+	}{
+		{TraceSchedule, "victim"},
+		{TraceSchedule, "live"},
+		{TraceCancel, "victim"},
+		{TraceFire, "live"},
+	}
+	if len(recs) != len(want) {
+		t.Fatalf("got %d records, want %d: %v", len(recs), len(want), recs)
+	}
+	for i, w := range want {
+		if recs[i].Action != w.action || recs[i].Label != w.label {
+			t.Fatalf("record %d = %v, want %s %s", i, recs[i], w.action, w.label)
+		}
+	}
+	if recs[3].At != 3 || recs[3].When != 3 {
+		t.Fatalf("fire record times = at=%d when=%d, want 3/3", recs[3].At, recs[3].When)
+	}
+}
+
+func TestRingTraceWraps(t *testing.T) {
+	ring := NewRingTrace(3)
+	for i := 0; i < 7; i++ {
+		ring.Trace(TraceSchedule, uint64(i), Time(i), Time(i), "e")
+	}
+	if ring.Total() != 7 {
+		t.Fatalf("Total = %d, want 7", ring.Total())
+	}
+	recs := ring.Records()
+	if len(recs) != 3 {
+		t.Fatalf("kept %d records, want 3", len(recs))
+	}
+	for i, want := range []uint64{4, 5, 6} {
+		if recs[i].Seq != want {
+			t.Fatalf("records = %v, want seqs 4,5,6", recs)
+		}
+	}
+	var sb strings.Builder
+	ring.Dump(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "last 3 of 7") || !strings.Contains(out, "seq=6") {
+		t.Fatalf("Dump output unexpected:\n%s", out)
+	}
+}
+
+func TestRingTraceCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewRingTrace(0) did not panic")
+		}
+	}()
+	NewRingTrace(0)
+}
+
+func TestMultiTracer(t *testing.T) {
+	h := NewTrajectoryHasher()
+	ring := NewRingTrace(4)
+
+	if got := MultiTracer(); got != nil {
+		t.Fatalf("MultiTracer() = %v, want nil", got)
+	}
+	if got := MultiTracer(nil, nil); got != nil {
+		t.Fatalf("MultiTracer(nil, nil) = %v, want nil", got)
+	}
+	if got := MultiTracer(nil, h); got != Tracer(h) {
+		t.Fatalf("single live tracer not returned directly: %v", got)
+	}
+
+	mt := MultiTracer(h, nil, ring)
+	mt.Trace(TraceFire, 1, 2, 2, "x")
+	if h.Events() != 1 {
+		t.Fatalf("hasher events = %d, want 1", h.Events())
+	}
+	if ring.Total() != 1 {
+		t.Fatalf("ring total = %d, want 1", ring.Total())
+	}
+}
+
+func TestTraceActionString(t *testing.T) {
+	cases := map[TraceAction]string{
+		TraceSchedule:  "sched",
+		TraceFire:      "fire",
+		TraceCancel:    "cancel",
+		TraceAction(9): "TraceAction(9)",
+	}
+	for a, want := range cases {
+		if a.String() != want {
+			t.Fatalf("%d.String() = %q, want %q", a, a.String(), want)
+		}
+	}
+}
+
+func TestUntracedKernelUnaffected(t *testing.T) {
+	// A kernel without a tracer must behave identically; labels are inert.
+	k := New()
+	var order []string
+	k.AtLabeled(1, "a", func() { order = append(order, "a") })
+	e := k.AtLabeled(2, "b", func() { order = append(order, "b") })
+	if e.Label() != "b" {
+		t.Fatalf("Label() = %q", e.Label())
+	}
+	k.Cancel(e)
+	k.Run()
+	if len(order) != 1 || order[0] != "a" {
+		t.Fatalf("order = %v", order)
+	}
+}

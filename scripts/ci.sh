@@ -13,4 +13,11 @@ make check
 echo "== race detector: live cluster + history audit =="
 make race
 
+echo "== golden trajectories: conformance against committed hashes =="
+go test ./internal/engine -run Golden
+
+echo "== fuzz: forward-list reorder + precedence-graph invariants (10s each) =="
+go test ./internal/fwdlist -run '^$' -fuzz FuzzForwardListReorder -fuzztime 10s
+go test ./internal/prec -run '^$' -fuzz FuzzPrecAcyclic -fuzztime 10s
+
 echo "CI gate passed."
