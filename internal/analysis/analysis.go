@@ -108,6 +108,7 @@ func DefaultConfig() *Config {
 	return &Config{
 		DeterministicPkgs: map[string]bool{
 			"repro/internal/engine":   true,
+			"repro/internal/protocol": true,
 			"repro/internal/sim":      true,
 			"repro/internal/fwdlist":  true,
 			"repro/internal/prec":     true,
@@ -129,25 +130,46 @@ func DefaultConfig() *Config {
 			"repro/internal/live": true,
 		},
 		GrantSites: map[string]map[string][]string{
+			// The protocol cores are where grant decisions are made; the
+			// engine and live adapters below are where they turn into
+			// messages. Both layers are pinned.
+			"repro/internal/protocol": {
+				// s-2PL: every lock grant emission funnels through
+				// grantActions — queue promotions from the two release paths
+				// and from a deadlock victim's cancelled request. (Request's
+				// immediate-acquire grant is built inline and is the
+				// growing-phase case the two-phase rule permits by
+				// definition.)
+				"grantActions": {"abortVictim", "CommitRelease", "AbortRelease"},
+				// c-2PL: cache-lock grants leave the core in grant, for a
+				// fresh compatible request or a queue promotion; promotions
+				// happen only when a holder leaves via removeHolder, itself
+				// reachable only from the two release entry points.
+				"grant":        {"Request", "promote"},
+				"promote":      {"removeHolder"},
+				"removeHolder": {"Release", "Finish"},
+			},
 			"repro/internal/engine": {
-				// s-2PL: data grants leave the server in sendGrant; the only
-				// grants after a release are queue promotions, which must
-				// route through deliverGrants, itself reachable only from the
-				// single release pipeline.
-				"sendGrant":     {"serverRequest", "deliverGrants"},
-				"deliverGrants": {"releaseLocks"},
+				// s-2PL: the core's ordered grant/abort decisions become
+				// sends only in applyLockActions, called from the three
+				// server entry points.
+				"sendGrant":        {"applyLockActions"},
+				"applyLockActions": {"serverRequest", "serverRelease", "serverAbortRelease"},
 				// g-2PL: data reaches a client only via deliverSegment (new
 				// segments) or the sanctioned re-delivery paths.
 				"deliverSegment": {"dispatchWindow", "advanceWriter"},
 				"clientData":     {"deliverSegment", "tryExpand", "writerRelease"},
-				// c-2PL: grants leave the server in grant, either for a
-				// fresh compatible request or a queue promotion.
-				"grant": {"serverRequest", "promote"},
+				// c-2PL: the cache core's decisions become sends only in
+				// applyCacheActions, called from the four server entry
+				// points; clientGrant is the delivery handler on the other
+				// end of the two grant emitters.
+				"applyCacheActions": {"serverRequest", "serverDefer", "serverRelease", "serverFinish"},
+				"clientGrant":       {"sendGrant", "applyCacheActions"},
 			},
 			"repro/internal/live": {
-				"s2plGrant":     {"s2plRequest", "deliverGrants"},
-				"deliverGrants": {"s2plAbort", "s2plRelease"},
-				"sendData":      {"dispatch"},
+				"applyLock":  {"s2plRequest", "s2plRelease"},
+				"sendData":   {"dispatch"},
+				"applyCache": {"c2plRequest", "c2plDefer", "c2plRelease", "c2plFinish"},
 			},
 		},
 	}

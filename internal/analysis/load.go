@@ -7,7 +7,9 @@ import (
 	"go/parser"
 	"go/token"
 	"go/types"
+	"io"
 	"os"
+	"os/exec"
 	"path/filepath"
 	"sort"
 	"strings"
@@ -31,8 +33,11 @@ type Package struct {
 
 // Loader parses and type-checks the module's packages using only the
 // standard library: module-internal imports resolve from the source tree
-// and everything else falls back to the compile-from-source importer, so
-// the tool works offline with no golang.org/x/tools dependency.
+// and everything else resolves from compiled export data (one `go list
+// -export` walk of the module's dependency graph), falling back to the
+// compile-from-source importer for anything the walk missed. Only the
+// module's own sources are ever type-checked from source, so the tool
+// stays fast, works offline and needs no golang.org/x/tools dependency.
 type Loader struct {
 	fset       *token.FileSet
 	root       string // module root directory
@@ -40,6 +45,14 @@ type Loader struct {
 	pkgs       map[string]*Package
 	loading    map[string]bool
 	std        types.ImporterFrom
+
+	// export maps non-module import paths to compiled export-data files,
+	// filled lazily by ensureExport on the first non-module import; gc is
+	// the importer reading them. A nil map means not yet attempted; an
+	// empty map means the toolchain walk failed and every import falls
+	// back to the source importer.
+	export map[string]string
+	gc     types.Importer
 }
 
 // NewLoader returns a loader for the module rooted at dir (the directory
@@ -206,9 +219,45 @@ func (l *Loader) LoadFixture(dir, path string) (*Package, error) {
 	return l.loadDir(dir, path)
 }
 
+// ensureExport fills the export-data map on first use: one `go list
+// -export -deps` walk over the module's packages emits, for every
+// dependency the toolchain has export data for, its import path and the
+// compiled file holding its API. The walk compiles nothing from source
+// here — stdlib export data ships with (or is cached by) the toolchain —
+// which is what makes module loads fast. Any failure (no go binary,
+// broken cache) leaves the map empty and imports fall back to the source
+// importer, preserving the loader's offline guarantee.
+func (l *Loader) ensureExport() {
+	if l.export != nil {
+		return
+	}
+	l.export = map[string]string{}
+	cmd := exec.Command("go", "list", "-export", "-deps",
+		"-f", "{{if .Export}}{{.ImportPath}}\t{{.Export}}{{end}}", "./...")
+	cmd.Dir = l.root
+	out, err := cmd.Output()
+	if err != nil {
+		return
+	}
+	for _, line := range strings.Split(string(out), "\n") {
+		path, file, ok := strings.Cut(line, "\t")
+		if !ok || strings.HasPrefix(path, l.modulePath) {
+			continue
+		}
+		l.export[path] = file
+	}
+	l.gc = importer.ForCompiler(l.fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := l.export[path]
+		if !ok {
+			return nil, fmt.Errorf("analysis: no export data for %s", path)
+		}
+		return os.Open(file)
+	})
+}
+
 // loaderImporter adapts Loader to types.ImporterFrom: module-internal
-// paths load from the source tree, everything else from the standard
-// library source importer.
+// paths load from the source tree, everything else from export data with
+// a compile-from-source fallback.
 type loaderImporter Loader
 
 func (li *loaderImporter) Import(path string) (*types.Package, error) {
@@ -223,6 +272,12 @@ func (li *loaderImporter) ImportFrom(path, dir string, mode types.ImportMode) (*
 			return nil, err
 		}
 		return pkg.Types, nil
+	}
+	l.ensureExport()
+	if _, ok := l.export[path]; ok {
+		if pkg, err := l.gc.Import(path); err == nil {
+			return pkg, nil
+		}
 	}
 	return l.std.ImportFrom(path, dir, mode)
 }

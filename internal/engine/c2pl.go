@@ -2,15 +2,14 @@ package engine
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/history"
 	"repro/internal/ids"
 	"repro/internal/lock"
 	"repro/internal/netmodel"
+	"repro/internal/protocol"
 	"repro/internal/rng"
 	"repro/internal/sim"
-	"repro/internal/wfg"
 	"repro/internal/workload"
 )
 
@@ -23,13 +22,6 @@ import (
 // if their running transaction used it (callback semantics).
 const C2PL Protocol = 2
 
-// c2plCacheEntry is a cached lock + data copy at a client.
-type c2plCacheEntry struct {
-	mode    lock.Mode
-	version ids.Txn
-	inUse   bool // the client's current transaction accessed it
-}
-
 // c2plTxn is one transaction instance under c-2PL.
 type c2plTxn struct {
 	id      ids.Txn
@@ -39,40 +31,31 @@ type c2plTxn struct {
 	start   sim.Time
 	reqSent sim.Time
 	reads   []history.Read
-	used    []ids.Item // items whose cache entries this txn marked inUse
-	defers  []ids.Item // recalled items held back until this txn ends
 }
 
 func (t *c2plTxn) op() workload.Op { return t.profile.Ops[t.opIdx] }
+
+func (t *c2plTxn) done() bool { return t.client.cur != t }
 
 // c2plClient is one client site with its lock/data cache.
 type c2plClient struct {
 	id    ids.Client
 	gen   *workload.Generator
-	cache map[ids.Item]*c2plCacheEntry
+	cache *protocol.CacheClient
 	cur   *c2plTxn
 }
 
-// c2plOwnerState is the server's per-item view: which clients hold the
-// lock, who is queued, which recalls are outstanding and which running
-// transactions have deferred their release.
-type c2plOwnerState struct {
-	mode     lock.Mode
-	holders  map[ids.Client]bool
-	queue    []*c2plTxn
-	modes    map[ids.Txn]lock.Mode // queued request modes
-	recalled map[ids.Client]bool
-	deferred map[ids.Txn]bool // holder transactions that deferred release
-}
-
+// c2plRun adapts the protocol c-2PL cores to the discrete-event kernel:
+// ownership, recalls, deferral bookkeeping and deadlock resolution live
+// in protocol.CacheServer, the per-site cache in protocol.CacheClient;
+// this driver owns the version store, transaction lifecycle and message
+// delivery.
 type c2plRun struct {
 	cfg     Config
 	kernel  *sim.Kernel
 	net     *netmodel.Network
 	col     *collector
-	waits   *wfg.Graph
-	blocked map[ids.Txn][]ids.Txn
-	items   map[ids.Item]*c2plOwnerState
+	core    *protocol.CacheServer
 	version map[ids.Item]ids.Txn
 	active  map[ids.Txn]*c2plTxn
 	clients []*c2plClient
@@ -87,9 +70,7 @@ func runC2PL(cfg Config) (Result, error) {
 		kernel:  k,
 		net:     netmodel.New(k, cfg.Latency),
 		col:     newCollector(k, cfg),
-		waits:   wfg.New(),
-		blocked: make(map[ids.Txn][]ids.Txn),
-		items:   make(map[ids.Item]*c2plOwnerState),
+		core:    protocol.NewCacheServer(),
 		version: make(map[ids.Item]ids.Txn),
 		active:  make(map[ids.Txn]*c2plTxn),
 		nextTxn: 1,
@@ -102,7 +83,7 @@ func runC2PL(cfg Config) (Result, error) {
 		c := &c2plClient{
 			id:    ids.Client(i),
 			gen:   workload.NewGenerator(wl, root.Split(uint64(i))),
-			cache: make(map[ids.Item]*c2plCacheEntry),
+			cache: protocol.NewCacheClient(cfg.NoCache),
 		}
 		r.clients = append(r.clients, c)
 		k.AtLabeled(c.gen.Idle(), "c2pl.begin", func() { r.begin(c) })
@@ -121,20 +102,6 @@ func runC2PL(cfg Config) (Result, error) {
 	return res, nil
 }
 
-func (r *c2plRun) state(item ids.Item) *c2plOwnerState {
-	s := r.items[item]
-	if s == nil {
-		s = &c2plOwnerState{
-			holders:  make(map[ids.Client]bool),
-			modes:    make(map[ids.Txn]lock.Mode),
-			recalled: make(map[ids.Client]bool),
-			deferred: make(map[ids.Txn]bool),
-		}
-		r.items[item] = s
-	}
-	return s
-}
-
 func (r *c2plRun) begin(c *c2plClient) {
 	t := &c2plTxn{
 		id:      r.nextTxn,
@@ -145,6 +112,7 @@ func (r *c2plRun) begin(c *c2plClient) {
 	r.nextTxn++
 	c.cur = t
 	r.active[t.id] = t
+	c.cache.Begin()
 	r.step(t)
 }
 
@@ -153,13 +121,8 @@ func (r *c2plRun) begin(c *c2plClient) {
 // the request travels to the server.
 func (r *c2plRun) step(t *c2plTxn) {
 	op := t.op()
-	ce := t.client.cache[op.Item]
-	if ce != nil && (ce.mode == lock.Exclusive || !op.Write) {
-		if !ce.inUse {
-			ce.inUse = true
-			t.used = append(t.used, op.Item)
-		}
-		r.granted(t, op, ce.version)
+	if ver, _, ok := t.client.cache.Hit(op.Item, op.Write); ok {
+		r.granted(t, op, ver)
 		return
 	}
 	t.reqSent = r.kernel.Now()
@@ -183,204 +146,76 @@ func (r *c2plRun) granted(t *c2plTxn, op workload.Op, ver ids.Txn) {
 	r.kernel.AfterLabeled(think, "c2pl.commit", func() { r.commit(t) })
 }
 
-// serverRequest handles a cache miss at the server: grant when
-// compatible with the owning clients, otherwise recall the lock from the
-// conflicting holders and queue.
+// serverRequest hands a cache miss to the server core and emits its
+// decisions.
 func (r *c2plRun) serverRequest(t *c2plTxn, op workload.Op) {
-	s := r.state(op.Item)
-	mode := lock.Shared
-	if op.Write {
-		mode = lock.Exclusive
-	}
-	if r.grantable(s, t.client.id, mode) {
-		r.grant(s, t, op.Item, mode)
-		return
-	}
-	s.queue = append(s.queue, t)
-	s.modes[t.id] = mode
-	// Recalls go out in ascending client order: each Send draws a kernel
-	// sequence number, so iterating the holder map directly would leak map
-	// order into the event schedule and break run-to-run determinism.
-	for _, holder := range sortedHolders(s.holders) {
-		if holder == t.client.id {
-			continue
-		}
-		if !s.recalled[holder] {
-			s.recalled[holder] = true
-			h := holder
-			r.net.Send(sizeControl, "c2pl.recall", func() { r.clientRecall(r.clients[h], op.Item) })
-		}
-	}
-	// Wait-for edges: holder transactions that already deferred their
-	// release (holders that have not responded yet add edges when the
-	// deferral notice arrives), plus conflicting requests queued ahead —
-	// without the latter, an upgrade deadlock (two cached readers both
-	// requesting exclusive) is invisible and the system stalls.
-	var edges []ids.Txn
-	//repolint:allow maprange -- keys are sorted immediately below
-	for txn := range s.deferred {
-		edges = append(edges, txn)
-	}
-	sort.Slice(edges, func(i, j int) bool { return edges[i] < edges[j] })
-	for _, q := range s.queue[:len(s.queue)-1] {
-		if !lock.Compatible(s.modes[q.id], mode) {
-			edges = append(edges, q.id)
-		}
-	}
-	r.addBlocked(t, edges)
-	if r.waits.CycleThrough(t.id) != nil {
-		r.serverAbort(s, t, op.Item)
-	}
+	r.applyCacheActions(r.core.Request(t.id, t.client.id, op.Item, op.Write))
 }
 
-// grantable reports whether client c may take the lock in the given mode
-// right now (no queue jumping: the queue must be empty, and a client that
-// still owes a recalled release must wait for it to land — otherwise the
-// in-flight release would silently cancel the fresh grant and leave the
-// client reading a stale copy).
-func (r *c2plRun) grantable(s *c2plOwnerState, c ids.Client, mode lock.Mode) bool {
-	if len(s.queue) > 0 || s.recalled[c] {
-		return false
+// applyCacheActions emits the core's ordered decisions onto the simulated
+// network — the single delivery site for c-2PL grants, recalls and abort
+// notices (repolint's twophase check pins the core's grant funnel; this
+// is its engine-side counterpart). The core only emits grants and aborts
+// for transactions it has seen a live request from, so the active lookup
+// cannot miss.
+func (r *c2plRun) applyCacheActions(acts []protocol.CacheAction) {
+	for _, a := range acts {
+		switch a.Kind {
+		case protocol.CacheGrant:
+			t := r.active[a.Txn]
+			item, mode := a.Item, a.Mode
+			ver := r.version[item]
+			size := sizeData
+			if a.Already {
+				size = sizeControl
+			}
+			r.net.Send(size, "c2pl.grant", func() { r.clientGrant(t, item, mode, ver) })
+		case protocol.CacheRecall:
+			c, item := r.clients[a.Client], a.Item
+			r.net.Send(sizeControl, "c2pl.recall", func() { r.clientRecall(c, item) })
+		case protocol.CacheAbort:
+			t := r.active[a.Txn]
+			delete(r.active, a.Txn)
+			r.col.abortEnq++
+			r.net.Send(sizeControl, "c2pl.abort", func() { r.clientAbort(t) })
+		}
 	}
-	if len(s.holders) == 0 {
-		return true
-	}
-	if mode == lock.Shared {
-		return s.mode == lock.Shared
-	}
-	// Exclusive: only as sole holder (upgrade).
-	return len(s.holders) == 1 && s.holders[c]
-}
-
-// grant installs client ownership and ships the data (or the upgrade
-// acknowledgment — the data is already cached).
-func (r *c2plRun) grant(s *c2plOwnerState, t *c2plTxn, item ids.Item, mode lock.Mode) {
-	already := s.holders[t.client.id]
-	s.holders[t.client.id] = true
-	s.mode = mode
-	ver := r.version[item]
-	size := sizeData
-	if already {
-		size = sizeControl
-	}
-	r.net.Send(size, "c2pl.grant", func() { r.clientGrant(t, item, mode, ver) })
 }
 
 // clientGrant installs the granted lock and data in the cache and
-// resumes the transaction.
+// resumes the transaction (unless it aborted while the grant was in
+// flight — the client keeps the cached lock, locks belong to sites).
 func (r *c2plRun) clientGrant(t *c2plTxn, item ids.Item, mode lock.Mode, ver ids.Txn) {
-	c := t.client
-	ce := c.cache[item]
-	if ce == nil {
-		ce = &c2plCacheEntry{}
-		c.cache[item] = ce
-	} else if ce.mode == lock.Exclusive && mode == lock.Shared {
-		mode = lock.Exclusive // never downgrade silently
-	}
-	ce.mode = mode
-	if ce.mode == lock.Shared || ce.version == ids.None {
-		ce.version = ver
-	}
-	if t.done() {
-		// The transaction was aborted while the grant was in flight: the
-		// client keeps the cached lock (locks belong to sites), but no
-		// operation resumes.
-		ce.inUse = false
+	live := !t.done()
+	ver, _ = t.client.cache.Install(item, mode, ver, 0, live)
+	if !live {
 		return
 	}
-	if !ce.inUse {
-		ce.inUse = true
-		t.used = append(t.used, item)
-	}
 	r.col.opWait.Add(float64(r.kernel.Now() - t.reqSent))
-	r.granted(t, t.op(), ce.version)
+	r.granted(t, t.op(), ver)
 }
-
-func (t *c2plTxn) done() bool { return t.client.cur != t }
 
 // clientRecall handles a server callback: release immediately when the
 // running transaction has not used the item, defer to commit otherwise.
 func (r *c2plRun) clientRecall(c *c2plClient, item ids.Item) {
-	ce := c.cache[item]
-	if ce == nil {
-		// Already released (racing recalls); tell the server anyway so
-		// its recall bookkeeping resolves.
-		r.net.Send(sizeControl, "c2pl.release", func() { r.serverRelease(c.id, item, ids.None) })
-		return
-	}
-	if ce.inUse && c.cur != nil {
+	if c.cache.Recall(item) == protocol.RecallDefer {
 		t := c.cur
-		t.defers = append(t.defers, item)
 		r.net.Send(sizeControl, "c2pl.defer", func() { r.serverDefer(t, item) })
 		return
 	}
-	delete(c.cache, item)
-	r.net.Send(sizeControl, "c2pl.release", func() { r.serverRelease(c.id, item, ids.None) })
+	r.net.Send(sizeControl, "c2pl.release", func() { r.serverRelease(c.id, item) })
 }
 
-// serverDefer records that a holder's running transaction keeps the item
-// until it finishes, adding the corresponding wait-for edges for every
-// queued requester (deadlock detection happens here, the first moment
-// the server learns the wait is real).
+// serverDefer records the holder's deferral at the core; deadlock
+// detection happens here, the first moment the server learns the wait is
+// real.
 func (r *c2plRun) serverDefer(t *c2plTxn, item ids.Item) {
-	s := r.state(item)
-	if !s.holders[t.client.id] {
-		return // released in the meantime
-	}
-	s.deferred[t.id] = true
-	for _, waiter := range s.queue {
-		r.addBlocked(waiter, []ids.Txn{t.id})
-	}
-	for _, waiter := range append([]*c2plTxn(nil), s.queue...) {
-		if r.active[waiter.id] == nil {
-			continue
-		}
-		if r.waits.CycleThrough(waiter.id) != nil {
-			r.serverAbort(s, waiter, item)
-		}
-	}
+	r.applyCacheActions(r.core.Defer(t.id, t.client.id, item))
 }
 
-// addBlocked appends wait-for edges for t, deduplicating against the
-// stored set.
-func (r *c2plRun) addBlocked(t *c2plTxn, targets []ids.Txn) {
-	have := make(map[ids.Txn]bool, len(r.blocked[t.id]))
-	for _, b := range r.blocked[t.id] {
-		have[b] = true
-	}
-	for _, b := range targets {
-		if b == t.id || have[b] {
-			continue
-		}
-		have[b] = true
-		r.blocked[t.id] = append(r.blocked[t.id], b)
-		r.waits.AddEdge(t.id, b)
-	}
-}
-
-func (r *c2plRun) clearBlocked(txn ids.Txn) {
-	for _, b := range r.blocked[txn] {
-		r.waits.RemoveEdge(txn, b)
-	}
-	delete(r.blocked, txn)
-}
-
-// serverAbort kills a queued requester to break a deadlock; as in the
-// other engines the abort notice travels to the client, but there is no
-// lock state to unwind — c-2PL locks belong to the site and survive.
-func (r *c2plRun) serverAbort(s *c2plOwnerState, t *c2plTxn, item ids.Item) {
-	for i, q := range s.queue {
-		if q == t {
-			s.queue = append(s.queue[:i], s.queue[i+1:]...)
-			break
-		}
-	}
-	delete(s.modes, t.id)
-	r.clearBlocked(t.id)
-	r.waits.RemoveTxn(t.id)
-	delete(r.active, t.id)
-	r.col.abortEnq++
-	r.net.Send(sizeControl, "c2pl.abort", func() { r.clientAbort(t) })
+// serverRelease handles a standalone (idle-cache) release.
+func (r *c2plRun) serverRelease(c ids.Client, item ids.Item) {
+	r.applyCacheActions(r.core.Release(c, item))
 }
 
 // clientAbort replaces the aborted transaction; its deferred recalls now
@@ -415,116 +250,22 @@ func (r *c2plRun) commit(t *c2plTxn) {
 }
 
 // finishClient performs the client-side end of transaction (commit or
-// abort): clear in-use marks, update the cache for committed writes,
-// evict deferred items and send the combined commit/release message.
+// abort) via the cache core and sends the combined commit/release
+// message.
 func (r *c2plRun) finishClient(t *c2plTxn, writes []ids.Item) {
 	c := t.client
-	for _, item := range t.used {
-		if ce := c.cache[item]; ce != nil {
-			ce.inUse = false
-		}
-	}
-	for _, item := range writes {
-		if ce := c.cache[item]; ce != nil {
-			ce.version = t.id
-		}
-	}
-	released := t.defers
-	for _, item := range released {
-		delete(c.cache, item)
-	}
+	released := c.cache.Finish(t.id, writes)
 	c.cur = nil
 	size := sizeControl + sizeData*len(writes)
 	r.net.Send(size, "c2pl.finish", func() { r.serverFinish(t, writes, released) })
 }
 
-// serverFinish installs the committed versions, executes the deferred
-// releases and promotes waiting requests.
+// serverFinish installs the committed versions and hands the deferred
+// releases to the core, promoting waiting requests.
 func (r *c2plRun) serverFinish(t *c2plTxn, writes []ids.Item, released []ids.Item) {
 	for _, item := range writes {
 		r.version[item] = t.id
 	}
-	for _, item := range released {
-		s := r.state(item)
-		delete(s.deferred, t.id)
-		r.removeHolder(s, t.client.id, item)
-	}
-	r.waits.RemoveTxn(t.id)
 	delete(r.active, t.id)
-}
-
-// serverRelease handles a standalone (idle-cache) release.
-func (r *c2plRun) serverRelease(c ids.Client, item ids.Item, _ ids.Txn) {
-	s := r.state(item)
-	r.removeHolder(s, c, item)
-}
-
-// removeHolder drops a client from the owner set and promotes the queue.
-func (r *c2plRun) removeHolder(s *c2plOwnerState, c ids.Client, item ids.Item) {
-	if !s.holders[c] {
-		return
-	}
-	delete(s.holders, c)
-	delete(s.recalled, c)
-	r.promote(s, item)
-}
-
-// promote grants queued requests FIFO while they are compatible with the
-// remaining holders; when the head still conflicts, recalls are
-// (re)issued to the remaining holders.
-func (r *c2plRun) promote(s *c2plOwnerState, item ids.Item) {
-	for len(s.queue) > 0 {
-		t := s.queue[0]
-		if r.active[t.id] == nil {
-			s.queue = s.queue[1:]
-			delete(s.modes, t.id)
-			continue
-		}
-		mode := s.modes[t.id]
-		if !r.grantableHead(s, t.client.id, mode) {
-			// Holders admitted by earlier promotions may not have been
-			// recalled yet; the blocked head needs them called back.
-			// Sorted for the same determinism reason as in serverRequest.
-			for _, holder := range sortedHolders(s.holders) {
-				if holder == t.client.id || s.recalled[holder] {
-					continue
-				}
-				s.recalled[holder] = true
-				h, it := holder, item
-				r.net.Send(sizeControl, "c2pl.recall", func() { r.clientRecall(r.clients[h], it) })
-			}
-			break
-		}
-		s.queue = s.queue[1:]
-		delete(s.modes, t.id)
-		r.clearBlocked(t.id)
-		r.grant(s, t, item, mode)
-	}
-}
-
-// sortedHolders returns the members of a holder set in ascending client
-// order, giving per-holder message emission a deterministic sequence.
-func sortedHolders(set map[ids.Client]bool) []ids.Client {
-	out := make([]ids.Client, 0, len(set))
-	//repolint:allow maprange -- keys are sorted before use
-	for c := range set {
-		out = append(out, c)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
-}
-
-// grantableHead is grantable for the queue head (the queue-empty rule
-// does not apply to itself; the owed-release rule does).
-func (r *c2plRun) grantableHead(s *c2plOwnerState, c ids.Client, mode lock.Mode) bool {
-	if s.recalled[c] {
-		return false
-	}
-	if len(s.holders) == 0 {
-		return true
-	}
-	if mode == lock.Shared {
-		return s.mode == lock.Shared
-	}
-	return len(s.holders) == 1 && s.holders[c]
+	r.applyCacheActions(r.core.Finish(t.id, t.client.id, released))
 }

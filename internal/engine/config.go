@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"repro/internal/history"
+	"repro/internal/protocol"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/workload"
@@ -42,16 +43,18 @@ func (p Protocol) String() string {
 }
 
 // VictimPolicy selects which transaction dies to break a deadlock cycle.
-type VictimPolicy int
+// It aliases the protocol core's type so engine configs and the shared
+// state machines speak the same vocabulary.
+type VictimPolicy = protocol.VictimPolicy
 
 const (
 	// VictimRequester aborts the transaction whose blocked request closed
 	// the cycle (the paper's "detection initiated when a lock cannot be
 	// granted" resolution).
-	VictimRequester VictimPolicy = iota
+	VictimRequester = protocol.VictimRequester
 	// VictimLeastHeld aborts the cycle member holding the fewest items,
 	// discarding the least work (an ablation).
-	VictimLeastHeld
+	VictimLeastHeld = protocol.VictimLeastHeld
 )
 
 // Config describes one simulation run.
@@ -74,6 +77,12 @@ type Config struct {
 	NoMR1W         bool // disable multiple-readers/single-writer overlap
 	MaxForwardList int  // cap entries dispatched per window; 0 = unlimited
 	ReadExpand     bool // extension: late readers join a dispatched read group
+
+	// NoCache is the c-2PL cache ablation: the client evicts its entire
+	// lock/data cache when a transaction ends instead of retaining entries
+	// across transaction boundaries, degenerating c-2PL toward s-2PL with
+	// data shipping. Ignored by the other protocols.
+	NoCache bool
 
 	// FIFOWindows disables the reader-grouping ordering rule: forward
 	// lists keep pure arrival order (an ablation; the reproduction

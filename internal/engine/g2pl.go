@@ -2,16 +2,13 @@ package engine
 
 import (
 	"fmt"
-	"sort"
 
-	"repro/internal/fwdlist"
 	"repro/internal/history"
 	"repro/internal/ids"
 	"repro/internal/netmodel"
-	"repro/internal/prec"
+	"repro/internal/protocol"
 	"repro/internal/rng"
 	"repro/internal/sim"
-	"repro/internal/wfg"
 	"repro/internal/workload"
 )
 
@@ -49,19 +46,17 @@ type g2plReq struct {
 	edges []ids.Txn // wait-for edges added on behalf of this request
 }
 
-// flight is the state of one dispatched forward list: the period during
-// which the server does not possess the item (the collection window for
-// the next batch, paper §3.2).
+// flight is the engine's view of one dispatched forward list: the period
+// during which the server does not possess the item (the collection
+// window for the next batch, paper §3.2). Membership, routing and
+// completion tracking live in the protocol core; the engine keeps the
+// transaction pointers, the MR1W release counters and the migrating
+// version.
 type flight struct {
-	list    *fwdlist.List
+	core    *protocol.Flight
 	member  map[ids.Txn]*g2plTxn
-	segOf   map[ids.Txn]int
-	done    map[ids.Txn]bool // member has forwarded/released the item
 	relWait map[ids.Txn]int  // writer -> reader releases still outstanding
 	gated   map[ids.Txn]bool // writer finished while releases outstanding
-
-	// extras are late readers admitted by the ReadExpand extension.
-	extras map[ids.Txn]*g2plTxn
 
 	// returns is the number of messages the server still awaits before
 	// the window closes; -1 until the final segment is dispatched.
@@ -69,32 +64,6 @@ type flight struct {
 
 	// version carried by the migrating data, updated as writers commit.
 	version ids.Txn
-}
-
-// unfinished returns the ids of members (including extras) that have not
-// yet released or forwarded the item — the transactions a new pending
-// request must wait for. Extras are visited in ascending id order so the
-// result (which feeds wait-for edges and precedence constraints) never
-// depends on map iteration order.
-func (f *flight) unfinished() []ids.Txn {
-	var out []ids.Txn
-	for _, t := range f.list.Txns() {
-		if !f.done[t] {
-			out = append(out, t)
-		}
-	}
-	extras := make([]ids.Txn, 0, len(f.extras))
-	//repolint:allow maprange -- keys are sorted before use
-	for t := range f.extras {
-		extras = append(extras, t)
-	}
-	sort.Slice(extras, func(i, j int) bool { return extras[i] < extras[j] })
-	for _, t := range extras {
-		if !f.done[t] {
-			out = append(out, t)
-		}
-	}
-	return out
 }
 
 // g2plItem is the server-side state of one data item.
@@ -107,14 +76,16 @@ type g2plItem struct {
 	scheduled bool // a delayed dispatch is pending (WindowDelay > 0)
 }
 
-// g2plRun wires the g-2PL simulation together.
+// g2plRun adapts the protocol.Dispatcher core to the discrete-event
+// kernel: window ordering, chain edges, precedence recording and
+// dispatch-time victim selection live in the core; this driver owns
+// collection-window timing, transaction lifecycle and data movement.
 type g2plRun struct {
 	cfg     Config
 	kernel  *sim.Kernel
 	net     *netmodel.Network
 	col     *collector
-	waits   *wfg.Graph
-	order   *prec.Graph
+	disp    *protocol.Dispatcher
 	items   map[ids.Item]*g2plItem
 	active  map[ids.Txn]*g2plTxn  // live transactions, for victim selection
 	pending map[ids.Txn]*g2plItem // item a transaction's request waits on
@@ -136,12 +107,16 @@ func runG2PL(cfg Config) (Result, error) {
 	k := sim.New()
 	hasher := installTracer(k, cfg)
 	r := &g2plRun{
-		cfg:     cfg,
-		kernel:  k,
-		net:     netmodel.New(k, cfg.Latency),
-		col:     newCollector(k, cfg),
-		waits:   wfg.New(),
-		order:   prec.New(),
+		cfg:    cfg,
+		kernel: k,
+		net:    netmodel.New(k, cfg.Latency),
+		col:    newCollector(k, cfg),
+		disp: protocol.NewDispatcher(protocol.WindowOptions{
+			NoAvoidance:    cfg.NoAvoidance,
+			FIFOWindows:    cfg.FIFOWindows,
+			MaxForwardList: cfg.MaxForwardList,
+			MR1W:           !cfg.NoMR1W,
+		}),
 		items:   make(map[ids.Item]*g2plItem),
 		active:  make(map[ids.Txn]*g2plTxn),
 		pending: make(map[ids.Txn]*g2plItem),
@@ -227,7 +202,7 @@ func (r *g2plRun) serverRequest(t *g2plTxn, op workload.Op) {
 // resolveDeadlocks aborts victims until no wait-for cycle runs through t.
 func (r *g2plRun) resolveDeadlocks(t *g2plTxn) {
 	for !t.aborted {
-		cycle := r.waits.CycleThrough(t.id)
+		cycle := r.disp.Waits.CycleThrough(t.id)
 		if cycle == nil {
 			return
 		}
@@ -253,29 +228,26 @@ func (r *g2plRun) scheduleDispatch(it *g2plItem) {
 	})
 }
 
-// chooseVictim picks the deadlock victim from a cycle: among live
-// transactions that are pending or hold data, the one holding the fewest
-// items (least work discarded), ties toward the youngest. The s-2PL
-// engine applies the same rule, keeping the comparison fair.
+// chooseVictim picks the deadlock victim from a cycle via the shared
+// policy rule. The engine supplies the g-2PL liveness view: a member must
+// be live and either pending or holding data — aborting anything else
+// would not unblock any data flow. The s-2PL engine applies the same
+// rule, keeping the comparison fair.
 func (r *g2plRun) chooseVictim(cycle []ids.Txn, fallback *g2plTxn) *g2plTxn {
-	if r.cfg.Victim == VictimRequester {
-		return fallback
-	}
-	best := fallback
-	bestHeld := len(fallback.held)
-	for _, id := range cycle {
+	id := protocol.ChooseVictim(r.cfg.Victim, cycle, fallback.id, len(fallback.held), func(id ids.Txn) (alive bool, held int) {
 		t := r.active[id]
 		if t == nil || t.done || t.aborted {
-			continue
+			return false, 0
 		}
 		if r.pending[t.id] == nil && len(t.held) == 0 {
-			continue // aborting it would not unblock any data flow
+			return false, 0
 		}
-		if len(t.held) < bestHeld || (len(t.held) == bestHeld && t.id > best.id) {
-			best, bestHeld = t, len(t.held)
-		}
+		return true, len(t.held)
+	})
+	if id == fallback.id {
+		return fallback
 	}
-	return best
+	return r.active[id]
 }
 
 // abortTxn aborts a live transaction chosen as a deadlock victim: its
@@ -295,7 +267,7 @@ func (r *g2plRun) abortTxn(v *g2plTxn) {
 			}
 		}
 	}
-	r.order.Remove(v.id)
+	r.disp.Order.Remove(v.id)
 	r.col.abortEnq++
 	r.net.Send(sizeControl, "g2pl.abort", func() { r.clientAbort(v) })
 }
@@ -311,19 +283,19 @@ func (r *g2plRun) tryExpand(it *g2plItem, t *g2plTxn) bool {
 	}
 	// Only safe when the whole list is readers releasing to the server
 	// and the data never left the server (single read-group list).
-	if fl.list.NumSegments() != 1 || fl.list.Segment(0).Write {
+	plan := fl.core.Plan
+	if plan.List.NumSegments() != 1 || plan.List.Segment(0).Write {
 		return false
 	}
-	fl.extras[t.id] = t
+	fl.core.AddExtra(t.id)
 	fl.member[t.id] = t
-	fl.segOf[t.id] = 0
 	fl.returns++
 	// Requests already waiting on this window now also wait for the new
 	// member; missing these edges would let a deadlock through the extra
 	// reader go undetected.
 	for _, q := range it.pending {
 		q.edges = append(q.edges, t.id)
-		r.waits.AddEdge(q.txn.id, t.id)
+		r.disp.Waits.AddEdge(q.txn.id, t.id)
 	}
 	for _, q := range it.pending {
 		if !q.txn.aborted {
@@ -331,162 +303,90 @@ func (r *g2plRun) tryExpand(it *g2plItem, t *g2plTxn) bool {
 		}
 	}
 	ver := fl.version
-	r.net.Send(sizeData+fl.list.Len(), "g2pl.data", func() { r.clientData(t, it.id, ver) })
+	r.net.Send(sizeData+plan.Size(), "g2pl.data", func() { r.clientData(t, it.id, ver) })
 	return true
 }
 
 // addPendingEdges makes the pending request wait for every unfinished
-// member of the in-flight forward list; a cycle through these edges is
-// exactly the paper's cross-window (read-dependency) deadlock.
+// member of the in-flight forward list (the paper's cross-window
+// deadlock edges) and, unless avoidance is off, constrains the
+// precedence graph — the core owns both rules.
 func (r *g2plRun) addPendingEdges(it *g2plItem, req *g2plReq) {
 	if it.fl == nil {
 		return
 	}
-	req.edges = it.fl.unfinished()
-	for _, m := range req.edges {
-		r.waits.AddEdge(req.txn.id, m)
-	}
-	// Granting-order precedence: every in-flight member is granted this
-	// item before the pending request, so wherever both meet again the
-	// member must come first. This is the paper's deadlock-avoidance
-	// mechanism doing its real work: without these constraints a later
-	// window can invert an existing wait and manufacture a deadlock.
-	if !r.cfg.NoAvoidance {
-		for _, m := range req.edges {
-			r.order.Constrain(m, req.txn.id)
-		}
-	}
+	req.edges = r.disp.BlockOnFlight(it.fl.core, req.txn.id)
 }
 
 // clearPendingEdges removes the request's stored wait-for edges.
 func (r *g2plRun) clearPendingEdges(req *g2plReq) {
-	for _, m := range req.edges {
-		r.waits.RemoveEdge(req.txn.id, m)
-	}
+	r.disp.Unblock(req.txn.id, req.edges)
 	req.edges = nil
 }
 
 // dispatchWindow closes the collection window of an item resting at the
-// server: order the pending requests (consistently with the precedence
-// graph unless avoidance is disabled), build the forward list, and
-// dispatch its first segment.
+// server: the core orders the pending requests, applies the length cap,
+// resolves dispatch-time deadlocks and builds the flight plan; this
+// driver emits the victim notices, installs the flight and ships the
+// first segment.
 func (r *g2plRun) dispatchWindow(it *g2plItem) {
 	if len(it.pending) == 0 || !it.atServer {
 		return
 	}
-	reqs := it.pending
-	switch {
-	case !r.cfg.NoAvoidance:
-		txns := make([]ids.Txn, len(reqs))
-		writes := make([]bool, len(reqs))
-		byID := make(map[ids.Txn]*g2plReq, len(reqs))
-		for i, q := range reqs {
-			txns[i] = q.txn.id
-			writes[i] = q.write
-			byID[q.txn.id] = q
-		}
-		var ordered []ids.Txn
-		if r.cfg.FIFOWindows {
-			ordered = r.order.Order(txns)
-		} else {
-			ordered = r.order.OrderGrouped(txns, writes)
-		}
-		reqs = make([]*g2plReq, len(ordered))
-		for i, id := range ordered {
-			reqs[i] = byID[id]
-		}
-	case !r.cfg.FIFOWindows:
-		// No precedence constraints to respect: stable-partition the
-		// window's readers ahead of its writers.
-		grouped := make([]*g2plReq, 0, len(reqs))
-		for _, q := range reqs {
-			if !q.write {
-				grouped = append(grouped, q)
-			}
-		}
-		for _, q := range reqs {
-			if q.write {
-				grouped = append(grouped, q)
-			}
-		}
-		reqs = grouped
+	window := it.pending
+	byID := make(map[ids.Txn]*g2plReq, len(window))
+	wreqs := make([]protocol.WindowRequest, len(window))
+	for i, q := range window {
+		byID[q.txn.id] = q
+		wreqs[i] = protocol.WindowRequest{Txn: q.txn.id, Client: q.txn.client.id, Write: q.write}
 	}
-	var rest []*g2plReq
-	if limit := r.cfg.MaxForwardList; limit > 0 && len(reqs) > limit {
-		rest = reqs[limit:]
-		reqs = reqs[:limit]
+	// Window-time requests carry no wait edges (they were cleared when the
+	// previous flight closed); Unblock is a no-op safety net.
+	for _, q := range window {
+		r.clearPendingEdges(q)
+	}
+	plan, victims, restW := r.disp.PlanWindow(it.id, wreqs)
+
+	rest := make([]*g2plReq, len(restW))
+	restSet := make(map[ids.Txn]bool, len(restW))
+	for i, w := range restW {
+		rest[i] = byID[w.Txn]
+		restSet[w.Txn] = true
 	}
 	it.pending = rest
-	for _, q := range reqs {
-		r.clearPendingEdges(q)
-		delete(r.pending, q.txn.id)
+	for _, q := range window {
+		if !restSet[q.txn.id] {
+			delete(r.pending, q.txn.id)
+		}
 	}
-
-	// The forward-list precedence edges (each member waits for the
-	// preceding segment) can close a wait-for cycle through transactions
-	// blocked on other items. Detect before any data moves and abort the
-	// offending members, latest in the chosen order first — the paper's
-	// "in the case that such reordering of forward lists is not possible,
-	// some transactions may have to be aborted" (§3.3).
-	list := fwdlist.Build(buildEntries(reqs))
-	r.addChainEdges(list)
-	for {
-		victim := -1
-		for i := len(reqs) - 1; i >= 0; i-- {
-			if r.waits.CycleThrough(reqs[i].txn.id) != nil {
-				victim = i
-				break
-			}
-		}
-		if victim < 0 {
-			break
-		}
-		r.removeChainEdges(list)
-		v := reqs[victim]
-		reqs = append(reqs[:victim], reqs[victim+1:]...)
-		v.txn.aborted = true
-		delete(r.active, v.txn.id)
-		r.order.Remove(v.txn.id)
+	for _, v := range victims {
+		q := byID[v.Txn]
+		q.txn.aborted = true
+		delete(r.active, q.txn.id)
 		r.col.abortDisp++
-		r.net.Send(sizeControl, "g2pl.abort", func() { r.clientAbort(v.txn) })
-		list = fwdlist.Build(buildEntries(reqs))
-		r.addChainEdges(list)
+		vt := q.txn
+		r.net.Send(sizeControl, "g2pl.abort", func() { r.clientAbort(vt) })
 	}
-	if len(reqs) == 0 {
-		r.removeChainEdges(list)
+	if plan == nil {
 		r.dispatchWindow(it) // the cap remainder, if any, forms a new window
 		return
 	}
-	if !r.cfg.NoAvoidance {
-		dispatched := make([]ids.Txn, len(reqs))
-		for i, q := range reqs {
-			dispatched[i] = q.txn.id
-		}
-		r.order.Record(dispatched)
-	}
+
 	fl := &flight{
-		list:    list,
-		member:  make(map[ids.Txn]*g2plTxn, len(reqs)),
-		segOf:   make(map[ids.Txn]int, len(reqs)),
-		done:    make(map[ids.Txn]bool, len(reqs)),
+		core:    protocol.NewFlight(plan),
+		member:  make(map[ids.Txn]*g2plTxn, plan.List.Len()),
 		relWait: make(map[ids.Txn]int),
 		gated:   make(map[ids.Txn]bool),
-		extras:  make(map[ids.Txn]*g2plTxn),
 		returns: -1,
 		version: it.version,
 	}
-	for _, q := range reqs {
-		fl.member[q.txn.id] = q.txn
-	}
-	for j := 0; j < list.NumSegments(); j++ {
-		for _, e := range list.Segment(j).Entries {
-			fl.segOf[e.Txn] = j
-		}
+	for _, e := range plan.List.Entries() {
+		fl.member[e.Txn] = byID[e.Txn].txn
 	}
 	it.fl = fl
 	it.atServer = false
-	r.col.windowLen.Add(float64(list.Len()))
-	r.tracef("dispatch %v %v", it.id, list)
+	r.col.windowLen.Add(float64(plan.List.Len()))
+	r.tracef("dispatch %v %v", it.id, plan.List)
 
 	// Requests left in the window (length cap) now wait for the new
 	// in-flight members; this can itself close a deadlock cycle.
@@ -502,81 +402,29 @@ func (r *g2plRun) dispatchWindow(it *g2plItem) {
 	r.deliverSegment(it, 0)
 }
 
-// buildEntries converts ordered requests into forward-list entries.
-func buildEntries(reqs []*g2plReq) []fwdlist.Entry {
-	entries := make([]fwdlist.Entry, len(reqs))
-	for i, q := range reqs {
-		entries[i] = fwdlist.Entry{Txn: q.txn.id, Client: q.txn.client.id, Write: q.write}
-	}
-	return entries
-}
-
-// addChainEdges installs the forward-list precedence waits: each member
-// waits for every member of the preceding segment until that member
-// releases or forwards the item.
-func (r *g2plRun) addChainEdges(list *fwdlist.List) {
-	for j := 1; j < list.NumSegments(); j++ {
-		for _, e := range list.Segment(j).Entries {
-			for _, p := range list.Segment(j - 1).Entries {
-				r.waits.AddEdge(e.Txn, p.Txn)
-			}
-		}
-	}
-}
-
-// removeChainEdges undoes addChainEdges for a tentative list.
-func (r *g2plRun) removeChainEdges(list *fwdlist.List) {
-	for j := 1; j < list.NumSegments(); j++ {
-		for _, e := range list.Segment(j).Entries {
-			for _, p := range list.Segment(j - 1).Entries {
-				r.waits.RemoveEdge(e.Txn, p.Txn)
-			}
-		}
-	}
-}
-
-// deliverSegment ships data to segment j of the in-flight list. For a
-// read group, every reader receives a copy; with MR1W the following
-// writer receives the data at the same time (paper §3.4); without MR1W
-// the writer's data rides on the readers' release messages. A final read
-// group dispatched by a writer is accompanied by the data's return to the
-// server.
+// deliverSegment ships data to segment j of the in-flight list, following
+// the plan's routing rules: a read group's readers (plus, under MR1W, the
+// following writer, paper §3.4) or a write segment's writer; a final
+// segment arms the server's return accounting, and a final read group
+// dispatched by a writer is accompanied by the data's return home.
 func (r *g2plRun) deliverSegment(it *g2plItem, j int) {
 	fl := it.fl
-	list := fl.list
-	seg := list.Segment(j)
+	plan := fl.core.Plan
 	ver := fl.version
-	flSize := list.Len()
-	last := j == list.NumSegments()-1
+	flSize := plan.Size()
 
-	if seg.Write {
-		w := fl.member[seg.Entries[0].Txn]
-		r.net.Send(sizeData+flSize, "g2pl.data", func() { r.clientData(w, it.id, ver) })
-		if last {
-			fl.returns = 1
-		}
-		return
-	}
-
-	for _, e := range seg.Entries {
+	for _, e := range plan.Recipients(j) {
 		t := fl.member[e.Txn]
 		r.net.Send(sizeData+flSize, "g2pl.data", func() { r.clientData(t, it.id, ver) })
 	}
-	if !last {
-		wEntry := list.Segment(j + 1).Entries[0]
-		fl.relWait[wEntry.Txn] = len(seg.Entries)
-		if !r.cfg.NoMR1W {
-			w := fl.member[wEntry.Txn]
-			r.net.Send(sizeData+flSize, "g2pl.data", func() { r.clientData(w, it.id, ver) })
-		}
-		return
+	if w, need := plan.ArmRelWait(j); need > 0 {
+		fl.relWait[w] = need
 	}
-	// Final read group: releases return to the server. If a writer (not
-	// the server) dispatched it, the new version travels home alongside.
-	fl.returns = len(seg.Entries)
-	if j > 0 {
-		fl.returns++
-		r.net.Send(sizeData, "g2pl.return", func() { r.serverReturn(it, ver) })
+	if plan.IsFinal(j) {
+		fl.returns = plan.FinalReturns()
+		if plan.HomeReturnOnDispatch(j) {
+			r.net.Send(sizeData, "g2pl.return", func() { r.serverReturn(it, ver) })
+		}
 	}
 }
 
@@ -627,10 +475,10 @@ func (r *g2plRun) commit(t *g2plTxn) {
 	delete(r.active, t.id)
 	r.tracef("commit %v held=%v rt=%d", t.id, t.held, rt)
 	r.col.commit(rt, rec)
-	r.order.Remove(t.id)
+	r.disp.Order.Remove(t.id)
 	for _, item := range t.held {
 		fl := r.item(item).fl
-		if e, ok := fl.list.EntryOf(t.id); ok && e.Write && fl.relWait[t.id] > 0 {
+		if e, ok := fl.core.Plan.EntryOf(t.id); ok && e.Write && fl.relWait[t.id] > 0 {
 			fl.gated[t.id] = true
 			t.gates++
 		}
@@ -658,12 +506,12 @@ func (r *g2plRun) finishItem(t *g2plTxn, item ids.Item) {
 	if fl == nil {
 		panic(fmt.Sprintf("engine: finish of %v on %v with no flight", t.id, item))
 	}
-	if _, isExtra := fl.extras[t.id]; isExtra {
-		fl.done[t.id] = true
+	if fl.core.IsExtra(t.id) {
+		r.disp.MemberDone(fl.core, t.id)
 		r.net.Send(sizeControl, "g2pl.release", func() { r.serverRelease(it) })
 		return
 	}
-	e, ok := fl.list.EntryOf(t.id)
+	e, ok := fl.core.Plan.EntryOf(t.id)
 	if !ok {
 		panic(fmt.Sprintf("engine: %v not on forward list of %v", t.id, item))
 	}
@@ -678,14 +526,15 @@ func (r *g2plRun) finishItem(t *g2plTxn, item ids.Item) {
 	r.advanceWriter(it, t)
 }
 
-// finishReader marks a reader done and routes its release.
+// finishReader marks a reader done (dropping its successors' chain edges)
+// and routes its release per the plan.
 func (r *g2plRun) finishReader(it *g2plItem, t *g2plTxn) {
 	fl := it.fl
-	j := fl.segOf[t.id]
-	fl.done[t.id] = true
-	r.dropSuccessorEdges(fl, j, t.id)
-	if j+1 < fl.list.NumSegments() {
-		w := fl.member[fl.list.Segment(j + 1).Entries[0].Txn]
+	plan := fl.core.Plan
+	j := plan.SegOf(t.id)
+	r.disp.MemberDone(fl.core, t.id)
+	if _, wTxn := plan.ReleaseTarget(j); wTxn != ids.None {
+		w := fl.member[wTxn]
 		size := sizeControl
 		if r.cfg.NoMR1W {
 			size = sizeData // the release carries the data to the writer
@@ -723,34 +572,23 @@ func (r *g2plRun) writerRelease(it *g2plItem, w *g2plTxn) {
 	}
 }
 
-// advanceWriter marks a writer done, installs its version on the
-// migrating data (unless it aborted) and dispatches the next segment or
-// returns the data to the server.
+// advanceWriter marks a writer done (dropping its successors' chain
+// edges), installs its version on the migrating data (unless it aborted)
+// and dispatches the next segment or returns the data to the server.
 func (r *g2plRun) advanceWriter(it *g2plItem, w *g2plTxn) {
 	fl := it.fl
-	j := fl.segOf[w.id]
-	fl.done[w.id] = true
-	r.dropSuccessorEdges(fl, j, w.id)
+	plan := fl.core.Plan
+	j := plan.SegOf(w.id)
+	r.disp.MemberDone(fl.core, w.id)
 	if !w.aborted {
 		fl.version = w.id
 	}
-	if j+1 < fl.list.NumSegments() {
+	if !plan.IsFinal(j) {
 		r.deliverSegment(it, j+1)
 		return
 	}
 	ver := fl.version
 	r.net.Send(sizeData, "g2pl.return", func() { r.serverReturn(it, ver) })
-}
-
-// dropSuccessorEdges removes the wait-for edges from segment j+1 members
-// toward the just-finished member of segment j.
-func (r *g2plRun) dropSuccessorEdges(fl *flight, j int, finished ids.Txn) {
-	if j+1 >= fl.list.NumSegments() {
-		return
-	}
-	for _, e := range fl.list.Segment(j + 1).Entries {
-		r.waits.RemoveEdge(e.Txn, finished)
-	}
 }
 
 // serverReturn installs the returning data at the server.

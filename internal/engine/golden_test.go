@@ -72,6 +72,25 @@ func goldenCases() []goldenCase {
 				name: fmt.Sprintf("%s/seed%d/hot", p, seed),
 				cfg:  hot,
 			})
+			// Ablation points pinning the optimization-specific paths: the
+			// MR1W delivery/gating rules for g-2PL and the cache-retention
+			// (recall/release burst) rules for c-2PL.
+			switch p {
+			case G2PL:
+				abl := hot
+				abl.NoMR1W = true
+				cases = append(cases, goldenCase{
+					name: fmt.Sprintf("%s/seed%d/nomr1w", p, seed),
+					cfg:  abl,
+				})
+			case C2PL:
+				abl := hot
+				abl.NoCache = true
+				cases = append(cases, goldenCase{
+					name: fmt.Sprintf("%s/seed%d/nocache", p, seed),
+					cfg:  abl,
+				})
+			}
 		}
 	}
 	return cases

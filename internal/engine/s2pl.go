@@ -5,11 +5,10 @@ import (
 
 	"repro/internal/history"
 	"repro/internal/ids"
-	"repro/internal/lock"
 	"repro/internal/netmodel"
+	"repro/internal/protocol"
 	"repro/internal/rng"
 	"repro/internal/sim"
-	"repro/internal/wfg"
 	"repro/internal/workload"
 )
 
@@ -44,18 +43,18 @@ type s2plClient struct {
 	cur *s2plTxn
 }
 
-// s2plRun wires the server-side state together. The server is a single
-// site holding the lock table, the wait-for graph and the database
-// versions; its computation takes zero simulated time (paper §4 charges
-// the same cost to both protocols and argues it is off the critical path).
+// s2plRun adapts the protocol.LockServer core to the discrete-event
+// kernel. All locking decisions — grant, queue, deadlock detection and
+// victim selection — live in the core; this driver owns the version
+// store, the transaction lifecycle and message delivery. The server's
+// computation takes zero simulated time (paper §4 charges the same cost
+// to both protocols and argues it is off the critical path).
 type s2plRun struct {
 	cfg     Config
 	kernel  *sim.Kernel
 	net     *netmodel.Network
 	col     *collector
-	locks   *lock.Manager
-	waits   *wfg.Graph
-	blocked map[ids.Txn][]ids.Txn // stored wait edges per blocked txn
+	core    *protocol.LockServer
 	version map[ids.Item]ids.Txn
 	active  map[ids.Txn]*s2plTxn
 	clients []*s2plClient
@@ -80,9 +79,7 @@ func runS2PL(cfg Config) (Result, error) {
 		kernel:  k,
 		net:     netmodel.New(k, cfg.Latency),
 		col:     newCollector(k, cfg),
-		locks:   lock.NewManager(),
-		waits:   wfg.New(),
-		blocked: make(map[ids.Txn][]ids.Txn),
+		core:    protocol.NewLockServer(cfg.Victim),
 		version: make(map[ids.Item]ids.Txn),
 		active:  make(map[ids.Txn]*s2plTxn),
 		nextTxn: 1,
@@ -135,56 +132,39 @@ func (r *s2plRun) sendRequest(t *s2plTxn) {
 	r.net.Send(sizeRequest, "s2pl.req", func() { r.serverRequest(t, op) })
 }
 
-// serverRequest is the server's request handler: acquire or block, with
-// deadlock detection initiated on block (paper §4).
+// serverRequest is the server's request handler: the core acquires or
+// blocks (deadlock detection initiated on block, paper §4) and this
+// driver emits its decisions.
 func (r *s2plRun) serverRequest(t *s2plTxn, op workload.Op) {
-	mode := lock.Shared
-	if op.Write {
-		mode = lock.Exclusive
-	}
 	r.tracef("req %v %v w=%v", op.Item, t.id, op.Write)
-	if r.locks.Acquire(t.id, op.Item, mode) {
-		r.sendGrant(t, op)
-		return
-	}
-	blockers := r.locks.WaitsFor(t.id)
-	r.blocked[t.id] = blockers
-	for _, b := range blockers {
-		r.waits.AddEdge(t.id, b)
-	}
-	for {
-		cycle := r.waits.CycleThrough(t.id)
-		if cycle == nil {
-			return
-		}
-		// Several cycles can pass through the new request; abort victims
-		// until none remain.
-		r.serverAbort(r.chooseVictim(cycle, t))
-	}
+	r.applyLockActions(r.core.Request(protocol.LockRequest{
+		Txn: t.id, Client: t.client.id, Item: op.Item, Write: op.Write,
+	}))
 }
 
-// chooseVictim picks the deadlock victim from a cycle: the transaction
-// holding the fewest locks (least work discarded), breaking ties toward
-// the youngest. Commercial s-2PL implementations use equivalent
-// least-cost policies; the same rule is applied in the g-2PL engine so
-// the protocols are compared under identical victim selection.
-func (r *s2plRun) chooseVictim(cycle []ids.Txn, fallback *s2plTxn) *s2plTxn {
-	if r.cfg.Victim == VictimRequester {
-		return fallback
-	}
-	best := fallback
-	bestHeld := r.locks.HeldCount(fallback.id)
-	for _, id := range cycle {
-		t := r.active[id]
+// applyLockActions emits the core's ordered decisions onto the simulated
+// network — the single delivery site for s-2PL grants and abort notices
+// (repolint's twophase check pins sendGrant to this caller).
+func (r *s2plRun) applyLockActions(acts []protocol.LockAction) {
+	for _, a := range acts {
+		t := r.active[a.Req.Txn]
 		if t == nil {
-			continue
+			continue // finished while the action was pending; nothing to deliver
 		}
-		held := r.locks.HeldCount(id)
-		if held < bestHeld || (held == bestHeld && t.id > best.id) {
-			best, bestHeld = t, held
+		switch a.Kind {
+		case protocol.LockGrant:
+			r.sendGrant(t, workload.Op{Item: a.Req.Item, Write: a.Req.Write})
+		case protocol.LockAbort:
+			// The victim's queued request is gone server-side, but its held
+			// locks stay until the abort round trip ends with AbortRelease:
+			// the client owns the in-flight transaction state in a
+			// data-shipping system — symmetric with g-2PL's
+			// notice-then-forward unwind.
+			delete(r.active, t.id)
+			r.col.abortEnq++
+			r.net.Send(sizeControl, "s2pl.abort", func() { r.clientAbort(t) })
 		}
 	}
-	return best
 }
 
 // sendGrant ships the data item (with its committed version, for reads)
@@ -192,74 +172,6 @@ func (r *s2plRun) chooseVictim(cycle []ids.Txn, fallback *s2plTxn) *s2plTxn {
 func (r *s2plRun) sendGrant(t *s2plTxn, op workload.Op) {
 	ver := r.version[op.Item]
 	r.net.Send(sizeData, "s2pl.grant", func() { r.clientGrant(t, op, ver) })
-}
-
-// releaseKind names the server-side paths that free lock-table state.
-type releaseKind int
-
-const (
-	// relCommit is the commit release: all locks go, the txn retires.
-	relCommit releaseKind = iota
-	// relAbortCancel is the first half of an abort: the victim's queued
-	// request disappears, but held locks stay until the round trip ends.
-	relAbortCancel
-	// relAbortRelease is the second half: the victim's release arrives
-	// and its held locks go. The txn already left the active set.
-	relAbortRelease
-)
-
-// releaseLocks is the single release pipeline: every server path that
-// frees lock-table state funnels through here, so promoted grants have
-// exactly one delivery site (repolint's twophase check pins deliverGrants
-// to this caller).
-func (r *s2plRun) releaseLocks(t *s2plTxn, kind releaseKind) {
-	var grants []lock.Grant
-	switch kind {
-	case relAbortCancel:
-		r.clearBlocked(t.id)
-		grants = r.locks.CancelWait(t.id)
-		delete(r.active, t.id)
-	case relCommit:
-		grants = r.locks.Release(t.id)
-		r.waits.RemoveTxn(t.id)
-		delete(r.active, t.id)
-	case relAbortRelease:
-		grants = r.locks.Release(t.id)
-		r.waits.RemoveTxn(t.id)
-	}
-	r.deliverGrants(grants)
-}
-
-// serverAbort resolves a deadlock by aborting the chosen victim. Its
-// queued request disappears immediately (server-side state), but its held
-// locks release only after the abort round trip: the client owns the
-// in-flight transaction state in a data-shipping system, so the victim is
-// notified and responds with the release — symmetric with g-2PL's
-// notice-then-forward unwind.
-func (r *s2plRun) serverAbort(t *s2plTxn) {
-	r.releaseLocks(t, relAbortCancel)
-	r.col.abortEnq++
-	r.net.Send(sizeControl, "s2pl.abort", func() { r.clientAbort(t) })
-}
-
-// deliverGrants ships promoted lock grants to their waiting clients.
-func (r *s2plRun) deliverGrants(grants []lock.Grant) {
-	for _, g := range grants {
-		t := r.active[g.Txn]
-		if t == nil {
-			continue // aborted while queued; nothing to deliver
-		}
-		r.clearBlocked(t.id)
-		r.sendGrant(t, t.op())
-	}
-}
-
-// clearBlocked removes t's stored wait edges after a grant or abort.
-func (r *s2plRun) clearBlocked(txn ids.Txn) {
-	for _, b := range r.blocked[txn] {
-		r.waits.RemoveEdge(txn, b)
-	}
-	delete(r.blocked, txn)
 }
 
 // clientGrant is the client's grant handler: record the access, think,
@@ -303,7 +215,8 @@ func (r *s2plRun) serverRelease(t *s2plTxn, writes []ids.Item) {
 	for _, item := range writes {
 		r.version[item] = t.id
 	}
-	r.releaseLocks(t, relCommit)
+	delete(r.active, t.id)
+	r.applyLockActions(r.core.CommitRelease(t.id))
 }
 
 // clientAbort handles the server's abort notice: the instance is counted,
@@ -318,7 +231,7 @@ func (r *s2plRun) clientAbort(t *s2plTxn) {
 // serverAbortRelease frees the aborted victim's locks once its release
 // arrives, promoting waiting requests.
 func (r *s2plRun) serverAbortRelease(t *s2plTxn) {
-	r.releaseLocks(t, relAbortRelease)
+	r.applyLockActions(r.core.AbortRelease(t.id))
 }
 
 // scheduleNext replaces the finished transaction after an idle period.

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/history"
 	"repro/internal/ids"
+	"repro/internal/protocol"
 	"repro/internal/workload"
 )
 
@@ -32,7 +33,7 @@ type liveTxn struct {
 type heldItem struct {
 	item      ids.Item
 	write     bool
-	plan      *flightPlan
+	plan      *protocol.FlightPlan
 	version   ids.Txn
 	value     int64
 	forwarded bool
@@ -51,12 +52,16 @@ func (t *liveTxn) heldEntry(item ids.Item) *heldItem {
 
 // client is one client site: a goroutine running transactions and serving
 // protocol messages, including residual forwarding duties of finished
-// transactions.
+// transactions (g-2PL) and cache callbacks (c-2PL).
 type client struct {
 	cl   *cluster
 	id   ids.Client
 	gen  *workload.Generator
 	mbox *mailbox
+
+	// cache is the c-2PL client core: the lock/data cache surviving
+	// transaction boundaries. Unused by the other protocols.
+	cache *protocol.CacheClient
 
 	cur       *liveTxn
 	residual  map[ids.Txn]*liveTxn
@@ -70,6 +75,7 @@ func newClient(cl *cluster, id ids.Client, gen *workload.Generator) *client {
 		id:       id,
 		gen:      gen,
 		mbox:     newMailbox(4096),
+		cache:    protocol.NewCacheClient(false),
 		residual: make(map[ids.Txn]*liveTxn),
 	}
 }
@@ -120,6 +126,11 @@ func (c *client) beginNext(arm func(time.Duration, func())) {
 			relGot:  make(map[ids.Item]int),
 			relNeed: make(map[ids.Item]int),
 		}
+		if c.cl.cfg.Protocol == C2PL {
+			c.cache.Begin()
+			c.stepC2PL(arm)
+			return
+		}
 		c.sendRequest()
 	})
 }
@@ -142,6 +153,10 @@ func (c *client) handle(m message, arm func(time.Duration, func())) {
 		c.onRelease(msg, arm)
 	case abortMsg:
 		c.onAbort(msg.txn, arm)
+	case grantMsg:
+		c.onGrant(msg, arm)
+	case recallMsg:
+		c.onRecall(msg)
 	default:
 		panic(fmt.Sprintf("live: client %v received unexpected %T", c.id, m))
 	}
@@ -170,7 +185,7 @@ func (c *client) txnByID(id ids.Txn, create bool) *liveTxn {
 }
 
 // onData handles a data delivery (from the server or a forwarding client).
-func (c *client) onData(txn ids.Txn, item ids.Item, ver ids.Txn, val int64, plan *flightPlan, arm func(time.Duration, func())) {
+func (c *client) onData(txn ids.Txn, item ids.Item, ver ids.Txn, val int64, plan *protocol.FlightPlan, arm func(time.Duration, func())) {
 	t := c.txnByID(txn, plan != nil)
 	if t == nil {
 		return // s-2PL: no late deliveries exist
@@ -217,20 +232,20 @@ func (c *client) onData(txn ids.Txn, item ids.Item, ver ids.Txn, val int64, plan
 }
 
 // needFor returns the reader releases txn must gather on plan, or 0.
-func (c *client) needFor(plan *flightPlan, txn ids.Txn) int {
+func (c *client) needFor(plan *protocol.FlightPlan, txn ids.Txn) int {
 	if plan == nil {
 		return 0
 	}
-	j := plan.segOf(txn)
+	j := plan.SegOf(txn)
 	if j < 0 {
 		return 0
 	}
-	return plan.relWaitFor(j)
+	return plan.RelWaitFor(j)
 }
 
 // planWrites reports whether txn is a writer on the plan.
-func planWrites(plan *flightPlan, txn ids.Txn) bool {
-	e, ok := plan.list.EntryOf(txn)
+func planWrites(plan *protocol.FlightPlan, txn ids.Txn) bool {
+	e, ok := plan.EntryOf(txn)
 	return ok && e.Write
 }
 
@@ -270,7 +285,8 @@ func (c *client) onRelease(m fwdMsg, arm func(time.Duration, func())) {
 	// completed release count and does not gate on this item.
 }
 
-// commit finishes the current transaction.
+// commit finishes the current transaction (s-2PL and g-2PL; c-2PL commits
+// via commitC2PL).
 func (c *client) commit(t *liveTxn, arm func(time.Duration, func())) {
 	t.done = true
 	rec := history.Committed{Txn: t.id, Reads: t.reads}
@@ -316,11 +332,18 @@ func (c *client) onAbort(txn ids.Txn, arm func(time.Duration, func())) {
 	t.done = true
 	c.cl.audit.abort()
 	c.cl.aborts.Add(1)
-	if c.cl.cfg.Protocol == S2PL {
+	switch c.cl.cfg.Protocol {
+	case S2PL:
 		// The victim's release travels back before the server frees its
 		// locks (abort round trip).
-		c.cl.net.send(c.cl.server.mbox, releaseMsg{txn: t.id})
-	} else {
+		c.cl.net.send(c.cl.server.mbox, releaseMsg{txn: t.id, aborted: true})
+	case C2PL:
+		// The aborted work never used its recalled items durably: the
+		// deferred releases ride on the finish message, and the cached
+		// locks themselves stay — they belong to the site.
+		released := c.cache.Finish(t.id, nil)
+		c.cl.net.send(c.cl.server.mbox, finishMsg{txn: t.id, client: c.id, released: released})
+	default:
 		c.forwardAll(t)
 		c.residual[t.id] = t
 		c.gcResidual(t)
@@ -351,10 +374,10 @@ func (c *client) finishItem(t *liveTxn, h *heldItem) {
 	}
 	h.forwarded = true
 	plan := h.plan
-	j := plan.segOf(t.id)
+	j := plan.SegOf(t.id)
 	c.cl.net.send(c.cl.server.mbox, doneMsg{txn: t.id, item: h.item})
 	if !h.write {
-		cli, txn := plan.releaseTarget(j)
+		cli, txn := plan.ReleaseTarget(j)
 		c.cl.net.send(c.cl.mailboxOf(cli), fwdMsg{
 			item: h.item, from: t.id, to: txn,
 			version: h.version, value: h.value,
@@ -366,7 +389,7 @@ func (c *client) finishItem(t *liveTxn, h *heldItem) {
 	if !t.aborted {
 		ver, val = t.id, int64(t.id)
 	}
-	list := plan.list
+	list := plan.List
 	if j+1 >= list.NumSegments() {
 		c.cl.net.send(c.cl.server.mbox, fwdMsg{item: h.item, from: t.id, version: ver, value: val, plan: plan})
 		return
@@ -381,7 +404,7 @@ func (c *client) finishItem(t *liveTxn, h *heldItem) {
 		c.cl.net.send(c.cl.mailboxOf(e.Client), dataMsg{txn: e.Txn, item: h.item, version: ver, value: val, plan: plan})
 	}
 	if j+2 < list.NumSegments() {
-		if plan.mr1w {
+		if plan.MR1W {
 			e := list.Segment(j + 2).Entries[0]
 			c.cl.net.send(c.cl.mailboxOf(e.Client), dataMsg{txn: e.Txn, item: h.item, version: ver, value: val, plan: plan})
 		}
@@ -412,4 +435,87 @@ func (c *client) gcResidual(t *liveTxn) {
 		}
 	}
 	delete(c.residual, t.id)
+}
+
+// ---- c-2PL ----
+
+// stepC2PL performs the current operation: a sufficient cached lock is a
+// local hit (no network at all — the whole point of c-2PL); otherwise the
+// request travels to the server.
+func (c *client) stepC2PL(arm func(time.Duration, func())) {
+	t := c.cur
+	op := t.op()
+	if ver, _, ok := c.cache.Hit(op.Item, op.Write); ok {
+		c.c2plGranted(t, op, ver, arm)
+		return
+	}
+	c.sendRequest()
+}
+
+// c2plGranted finishes one operation (cache hit or server grant): record
+// the access, think, proceed.
+func (c *client) c2plGranted(t *liveTxn, op workload.Op, ver ids.Txn, arm func(time.Duration, func())) {
+	if !op.Write {
+		t.reads = append(t.reads, history.Read{Item: op.Item, Version: ver})
+	}
+	think := time.Duration(c.gen.Think()) * tick
+	if t.opIdx+1 < len(t.profile.Ops) {
+		arm(think, func() {
+			t.opIdx++
+			c.stepC2PL(arm)
+		})
+		return
+	}
+	arm(think, func() { c.commitC2PL(t, arm) })
+}
+
+// onGrant installs a c-2PL server grant in the cache and resumes the
+// transaction (unless it aborted while the grant was in flight — the
+// client keeps the cached lock, locks belong to sites).
+func (c *client) onGrant(m grantMsg, arm func(time.Duration, func())) {
+	live := c.cur != nil && c.cur.id == m.txn
+	ver, _ := c.cache.Install(m.item, m.mode, m.version, m.value, live)
+	if !live {
+		return
+	}
+	t := c.cur
+	c.c2plGranted(t, t.op(), ver, arm)
+}
+
+// onRecall answers a server callback: defer when the running transaction
+// used the item, release immediately otherwise.
+func (c *client) onRecall(m recallMsg) {
+	if c.cache.Recall(m.item) == protocol.RecallDefer {
+		c.cl.net.send(c.cl.server.mbox, deferMsg{txn: c.cur.id, client: c.id, item: m.item})
+		return
+	}
+	c.cl.net.send(c.cl.server.mbox, crelMsg{client: c.id, item: m.item})
+}
+
+// commitC2PL finishes the current c-2PL transaction: updates and deferred
+// releases travel to the server in one message; write locks and new
+// versions stay cached.
+func (c *client) commitC2PL(t *liveTxn, arm func(time.Duration, func())) {
+	if t.done || t.aborted {
+		return
+	}
+	t.done = true
+	rec := history.Committed{Txn: t.id, Reads: t.reads}
+	var writeItems []ids.Item
+	var writes []writeUpdate
+	for _, op := range t.profile.Ops {
+		if op.Write {
+			rec.Writes = append(rec.Writes, op.Item)
+			writeItems = append(writeItems, op.Item)
+			writes = append(writes, writeUpdate{item: op.Item, value: int64(t.id)})
+		}
+	}
+	c.cl.audit.commit(rec)
+	c.cl.commits.Add(1)
+	c.cl.resp.Add(int64(time.Since(t.start)))
+	c.committed++
+	c.cur = nil
+	released := c.cache.Finish(t.id, writeItems)
+	c.cl.net.send(c.cl.server.mbox, finishMsg{txn: t.id, client: c.id, writes: writes, released: released})
+	c.beginNext(arm)
 }

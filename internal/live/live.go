@@ -1,15 +1,18 @@
 // Package live is a real concurrent implementation of the paper's
 // data-shipping client-server system: one server goroutine and one
 // goroutine per client site, exchanging messages over latency-injecting
-// in-process links. It implements both protocols — server-based strict
-// 2PL and group 2PL with lock grouping, reader batching and MR1W — over
-// an in-memory versioned store, and records a history for the
-// serializability oracle.
+// in-process links. It implements all three protocols — server-based
+// strict 2PL, group 2PL with lock grouping, reader batching and MR1W,
+// and caching 2PL with lock retention and callbacks — over an in-memory
+// versioned store, and records a history for the serializability oracle.
 //
 // Where the discrete-event engines (package engine) measure the paper's
 // curves deterministically, this package demonstrates the protocols under
 // genuine concurrency and gives downstream users an adoptable library
 // shape: Run drives a workload; Cluster/Client expose the moving parts.
+// The protocol decision logic itself lives in package protocol — the
+// same state machines the engines execute — so this package only adapts
+// events to messages, goroutines and wall-clock timers.
 //
 // One deliberate protocol addition: in g-2PL the data items migrate
 // client-to-client, so the server cannot see releases that travel between
@@ -26,6 +29,8 @@ import (
 
 	"repro/internal/history"
 	"repro/internal/ids"
+	"repro/internal/lock"
+	"repro/internal/protocol"
 	"repro/internal/workload"
 )
 
@@ -37,14 +42,23 @@ const (
 	S2PL Protocol = iota
 	// G2PL runs group two-phase locking with forward lists and MR1W.
 	G2PL
+	// C2PL runs caching two-phase locking: locks and data copies belong
+	// to client sites and survive transaction boundaries; conflicting
+	// requests trigger server callbacks (recalls).
+	C2PL
 )
 
 // String returns the paper's protocol name.
 func (p Protocol) String() string {
-	if p == S2PL {
+	switch p {
+	case S2PL:
 		return "s-2PL"
+	case G2PL:
+		return "g-2PL"
+	case C2PL:
+		return "c-2PL"
 	}
-	return "g-2PL"
+	return fmt.Sprintf("Protocol(%d)", int(p))
 }
 
 // Config describes a live cluster run.
@@ -67,7 +81,7 @@ func (c Config) Validate() error {
 		return fmt.Errorf("live: Latency must be >= 0, got %v", c.Latency)
 	case c.TxnsPerClient <= 0:
 		return fmt.Errorf("live: TxnsPerClient must be positive, got %d", c.TxnsPerClient)
-	case c.Protocol != S2PL && c.Protocol != G2PL:
+	case c.Protocol != S2PL && c.Protocol != G2PL && c.Protocol != C2PL:
 		return fmt.Errorf("live: unknown protocol %d", int(c.Protocol))
 	}
 	return c.Workload.Validate()
@@ -103,16 +117,18 @@ type (
 		item    ids.Item
 		version ids.Txn
 		value   int64
-		plan    *flightPlan
+		plan    *protocol.FlightPlan
 	}
 	// abortMsg tells a client its transaction lost a deadlock.
 	abortMsg struct {
 		txn ids.Txn
 	}
-	// releaseMsg is s-2PL's combined commit/release, carrying updates.
+	// releaseMsg is s-2PL's combined commit/release, carrying updates; an
+	// aborted victim sends it empty with aborted set.
 	releaseMsg struct {
-		txn    ids.Txn
-		writes []writeUpdate
+		txn     ids.Txn
+		writes  []writeUpdate
+		aborted bool
 	}
 	// fwdMsg is g-2PL's client-to-client (or client-to-server) hand-off
 	// of an item, or a reader's release to the next writer. Releases to a
@@ -124,31 +140,113 @@ type (
 		version ids.Txn
 		value   int64
 		release bool // reader release (no data ownership transfer)
-		plan    *flightPlan
+		plan    *protocol.FlightPlan
 	}
 	// doneMsg cc's the server when a transaction finishes an item.
 	doneMsg struct {
 		txn  ids.Txn
 		item ids.Item
 	}
+	// grantMsg is c-2PL's lock grant to a client cache; the data rides
+	// along (redundantly, when the client already holds a copy).
+	grantMsg struct {
+		txn     ids.Txn
+		item    ids.Item
+		mode    lock.Mode
+		version ids.Txn
+		value   int64
+	}
+	// recallMsg is c-2PL's server callback asking a client to give a
+	// cached item back.
+	recallMsg struct {
+		item ids.Item
+	}
+	// deferMsg is a client's answer to a recall: its running transaction
+	// used the item, so the release waits for that transaction's end.
+	deferMsg struct {
+		txn    ids.Txn
+		client ids.Client
+		item   ids.Item
+	}
+	// crelMsg is a client's immediate cache release of a recalled item.
+	crelMsg struct {
+		client ids.Client
+		item   ids.Item
+	}
+	// finishMsg is c-2PL's combined end-of-transaction message: committed
+	// updates plus the cache releases that ride on it (deferred recalls).
+	finishMsg struct {
+		txn      ids.Txn
+		client   ids.Client
+		writes   []writeUpdate
+		released []ids.Item
+	}
 )
 
-// writeUpdate carries one installed value in an s-2PL release.
+// writeUpdate carries one installed value in a commit release.
 type writeUpdate struct {
 	item  ids.Item
 	value int64
 }
 
-// mailbox is an endpoint of the latency-injecting network.
+// delivery is one in-flight message on a link.
+type delivery struct {
+	at  time.Time
+	msg message
+}
+
+// mailbox is an endpoint of the latency-injecting network. Deliveries are
+// FIFO per destination: the protocols assume order-preserving links (in
+// c-2PL especially, a commit's finish message must not be overtaken by a
+// later cache release, or a promoted waiter would read a stale version).
 type mailbox struct {
 	ch chan message
+
+	mu      sync.Mutex
+	queue   []delivery
+	pumping bool
 }
 
 func newMailbox(buf int) *mailbox { return &mailbox{ch: make(chan message, buf)} }
 
-// network delivers messages after a fixed latency. Each Send spawns a
-// timer; ordering between same-instant messages is not guaranteed, as on
-// a real network.
+// enqueue schedules a delivery and ensures a pump goroutine is draining
+// the queue in order.
+func (b *mailbox) enqueue(d delivery, wg *sync.WaitGroup) {
+	b.mu.Lock()
+	b.queue = append(b.queue, d)
+	if b.pumping {
+		b.mu.Unlock()
+		return
+	}
+	b.pumping = true
+	b.mu.Unlock()
+	go b.pump(wg)
+}
+
+// pump delivers queued messages in enqueue order, sleeping out each
+// message's remaining latency; it exits when the queue drains.
+func (b *mailbox) pump(wg *sync.WaitGroup) {
+	for {
+		b.mu.Lock()
+		if len(b.queue) == 0 {
+			b.pumping = false
+			b.mu.Unlock()
+			return
+		}
+		d := b.queue[0]
+		b.queue = b.queue[1:]
+		b.mu.Unlock()
+		if wait := time.Until(d.at); wait > 0 {
+			time.Sleep(wait)
+		}
+		//repolint:allow gosend -- mailboxes are buffered and the cluster drains stragglers at shutdown (see cluster.run)
+		b.ch <- d.msg
+		wg.Done()
+	}
+}
+
+// network delivers messages after a fixed latency, preserving send order
+// per destination (an order-preserving link, as TCP would provide).
 type network struct {
 	latency time.Duration
 	msgs    int64
@@ -165,11 +263,7 @@ func (n *network) send(dst *mailbox, m message) {
 		return
 	}
 	n.wg.Add(1)
-	time.AfterFunc(n.latency, func() {
-		defer n.wg.Done()
-		//repolint:allow gosend -- mailboxes are buffered and the cluster drains stragglers at shutdown (see cluster.run)
-		dst.ch <- m
-	})
+	dst.enqueue(delivery{at: time.Now().Add(n.latency), msg: m}, &n.wg)
 }
 
 func (n *network) messages() int64 {

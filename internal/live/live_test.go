@@ -49,7 +49,7 @@ func TestValidate(t *testing.T) {
 }
 
 func TestProtocolString(t *testing.T) {
-	if S2PL.String() != "s-2PL" || G2PL.String() != "g-2PL" {
+	if S2PL.String() != "s-2PL" || G2PL.String() != "g-2PL" || C2PL.String() != "c-2PL" {
 		t.Fatal("protocol names wrong")
 	}
 }
@@ -76,6 +76,17 @@ func TestG2PLLiveCompletes(t *testing.T) {
 	}
 }
 
+func TestC2PLLiveCompletes(t *testing.T) {
+	res := mustRun(t, testConfig(C2PL))
+	want := int64(8 * 12)
+	if res.Stats.Commits != want {
+		t.Fatalf("commits = %d, want %d", res.Stats.Commits, want)
+	}
+	if res.Stats.Messages == 0 {
+		t.Fatal("no messages counted")
+	}
+}
+
 func TestS2PLLiveSerializable(t *testing.T) {
 	for seed := uint64(1); seed <= 5; seed++ {
 		cfg := testConfig(S2PL)
@@ -98,6 +109,17 @@ func TestG2PLLiveSerializable(t *testing.T) {
 	}
 }
 
+func TestC2PLLiveSerializable(t *testing.T) {
+	for seed := uint64(1); seed <= 5; seed++ {
+		cfg := testConfig(C2PL)
+		cfg.Seed = seed
+		res := mustRun(t, cfg)
+		if err := serial.Check(res.History); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
 func TestG2PLLiveBasicModeSerializable(t *testing.T) {
 	cfg := testConfig(G2PL)
 	cfg.NoMR1W = true
@@ -108,7 +130,7 @@ func TestG2PLLiveBasicModeSerializable(t *testing.T) {
 }
 
 func TestLiveContended(t *testing.T) {
-	for _, p := range []Protocol{S2PL, G2PL} {
+	for _, p := range []Protocol{S2PL, G2PL, C2PL} {
 		cfg := testConfig(p)
 		cfg.Workload.Items = 4
 		cfg.Workload.MaxTxnItems = 3
@@ -126,21 +148,21 @@ func TestLiveContended(t *testing.T) {
 }
 
 func TestLiveReadOnly(t *testing.T) {
-	for _, p := range []Protocol{S2PL, G2PL} {
+	for _, p := range []Protocol{S2PL, G2PL, C2PL} {
 		cfg := testConfig(p)
 		cfg.Workload.ReadProb = 1.0
 		res := mustRun(t, cfg)
 		if err := serial.Check(res.History); err != nil {
 			t.Fatalf("%v: %v", p, err)
 		}
-		if p == S2PL && res.Stats.Aborts != 0 {
-			t.Fatalf("read-only s-2PL aborted %d", res.Stats.Aborts)
+		if p != G2PL && res.Stats.Aborts != 0 {
+			t.Fatalf("read-only %v aborted %d", p, res.Stats.Aborts)
 		}
 	}
 }
 
 func TestLiveWriteOnly(t *testing.T) {
-	for _, p := range []Protocol{S2PL, G2PL} {
+	for _, p := range []Protocol{S2PL, G2PL, C2PL} {
 		cfg := testConfig(p)
 		cfg.Workload.ReadProb = 0
 		res := mustRun(t, cfg)
@@ -160,7 +182,7 @@ func TestLiveZeroLatency(t *testing.T) {
 }
 
 func TestLiveSingleClientNoAborts(t *testing.T) {
-	for _, p := range []Protocol{S2PL, G2PL} {
+	for _, p := range []Protocol{S2PL, G2PL, C2PL} {
 		cfg := testConfig(p)
 		cfg.Clients = 1
 		cfg.TxnsPerClient = 20
@@ -195,7 +217,7 @@ func TestLiveValuesMatchVersions(t *testing.T) {
 // finished goroutines. CI runs this under -race, so it doubles as the
 // quiesce/shutdown data-race probe.
 func TestShutdownLeaksNoGoroutines(t *testing.T) {
-	for _, p := range []Protocol{S2PL, G2PL} {
+	for _, p := range []Protocol{S2PL, G2PL, C2PL} {
 		before := runtime.NumGoroutine()
 		mustRun(t, testConfig(p))
 		after := runtime.NumGoroutine()

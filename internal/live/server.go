@@ -1,30 +1,31 @@
 package live
 
 import (
-	"repro/internal/fwdlist"
 	"repro/internal/ids"
-	"repro/internal/lock"
-	"repro/internal/prec"
-	"repro/internal/wfg"
+	"repro/internal/protocol"
 )
 
 // server is the single data-server site. All state below is owned by the
-// server goroutine (loop); no locks are needed.
+// server goroutine (loop); no locks are needed. The protocol decisions —
+// lock table, wait-for and precedence graphs, window ordering, recall
+// bookkeeping — live in the protocol cores; the server adapts their
+// actions to messages.
 type server struct {
 	cl   *cluster
 	mbox *mailbox
 
-	// s-2PL state.
-	locks   *lock.Manager
-	blocked map[ids.Txn][]ids.Txn
-	reqOf   map[ids.Txn]reqMsg // blocked request per transaction
+	// lockCore is the s-2PL state machine.
+	lockCore *protocol.LockServer
 
-	// g-2PL state.
+	// disp and items are the g-2PL state: the dispatch core plus the
+	// per-item window/flight bookkeeping.
+	disp  *protocol.Dispatcher
 	items map[ids.Item]*liveItem
-	order *prec.Graph
 
-	// Shared.
-	waits    *wfg.Graph
+	// cacheCore is the c-2PL state machine.
+	cacheCore *protocol.CacheServer
+
+	// Shared versioned store.
 	versions map[ids.Item]ids.Txn
 	values   map[ids.Item]int64
 }
@@ -40,34 +41,23 @@ type liveItem struct {
 
 // liveFlight tracks one dispatched forward list at the server.
 type liveFlight struct {
-	plan     *flightPlan
-	done     map[ids.Txn]bool
+	fl       *protocol.Flight
 	expected int // returns that close the window, fixed at dispatch
 	received int
-}
-
-func (f *liveFlight) unfinished() []ids.Txn {
-	var out []ids.Txn
-	for _, t := range f.plan.list.Txns() {
-		if !f.done[t] {
-			out = append(out, t)
-		}
-	}
-	return out
 }
 
 func newServer(cl *cluster) *server {
 	return &server{
 		cl:       cl,
 		mbox:     newMailbox(16 * cl.cfg.Clients),
-		locks:    lock.NewManager(),
-		blocked:  make(map[ids.Txn][]ids.Txn),
-		reqOf:    make(map[ids.Txn]reqMsg),
-		items:    make(map[ids.Item]*liveItem),
-		order:    prec.New(),
-		waits:    wfg.New(),
-		versions: make(map[ids.Item]ids.Txn),
-		values:   make(map[ids.Item]int64),
+		lockCore: protocol.NewLockServer(protocol.VictimRequester),
+		disp: protocol.NewDispatcher(protocol.WindowOptions{
+			MR1W: !cl.cfg.NoMR1W,
+		}),
+		items:     make(map[ids.Item]*liveItem),
+		cacheCore: protocol.NewCacheServer(),
+		versions:  make(map[ids.Item]ids.Txn),
+		values:    make(map[ids.Item]int64),
 	}
 }
 
@@ -79,10 +69,13 @@ func (s *server) loop() {
 		case quiesceMsg:
 			msg.reply <- s.quiet()
 		default:
-			if s.cl.cfg.Protocol == S2PL {
+			switch s.cl.cfg.Protocol {
+			case S2PL:
 				s.handleS2PL(m)
-			} else {
+			case G2PL:
 				s.handleG2PL(m)
+			default:
+				s.handleC2PL(m)
 			}
 		}
 	}
@@ -90,8 +83,11 @@ func (s *server) loop() {
 
 // quiet reports whether no protocol state is in flight.
 func (s *server) quiet() bool {
-	if s.cl.cfg.Protocol == S2PL {
-		return len(s.blocked) == 0 && s.locksIdle()
+	switch s.cl.cfg.Protocol {
+	case S2PL:
+		return s.lockCore.Quiet()
+	case C2PL:
+		return s.cacheCore.Quiet()
 	}
 	for _, it := range s.items {
 		if !it.atServer || len(it.pending) > 0 {
@@ -99,13 +95,6 @@ func (s *server) quiet() bool {
 		}
 	}
 	return true
-}
-
-func (s *server) locksIdle() bool {
-	// The lock manager has no direct emptiness query; absence of blocked
-	// transactions plus an empty wait graph approximates quiescence, and
-	// the cluster additionally waits for all clients to finish.
-	return s.waits.Edges() == 0
 }
 
 // ---- s-2PL ----
@@ -120,59 +109,9 @@ func (s *server) handleS2PL(m message) {
 }
 
 func (s *server) s2plRequest(m reqMsg) {
-	mode := lock.Shared
-	if m.write {
-		mode = lock.Exclusive
-	}
-	if s.locks.Acquire(m.txn, m.item, mode) {
-		s.s2plGrant(m)
-		return
-	}
-	s.reqOf[m.txn] = m
-	blockers := s.locks.WaitsFor(m.txn)
-	s.blocked[m.txn] = blockers
-	for _, b := range blockers {
-		s.waits.AddEdge(m.txn, b)
-	}
-	if s.waits.CycleThrough(m.txn) != nil {
-		s.s2plAbort(m.txn)
-	}
-}
-
-func (s *server) s2plGrant(m reqMsg) {
-	s.cl.net.send(s.cl.mailboxOf(m.client), dataMsg{
-		txn:     m.txn,
-		item:    m.item,
-		version: s.versions[m.item],
-		value:   s.values[m.item],
-	})
-}
-
-func (s *server) s2plAbort(txn ids.Txn) {
-	m := s.reqOf[txn]
-	s.clearBlocked(txn)
-	grants := s.locks.CancelWait(txn)
-	s.deliverGrants(grants)
-	s.cl.net.send(s.cl.mailboxOf(m.client), abortMsg{txn: txn})
-}
-
-func (s *server) clearBlocked(txn ids.Txn) {
-	for _, b := range s.blocked[txn] {
-		s.waits.RemoveEdge(txn, b)
-	}
-	delete(s.blocked, txn)
-	delete(s.reqOf, txn)
-}
-
-func (s *server) deliverGrants(grants []lock.Grant) {
-	for _, g := range grants {
-		m, ok := s.reqOf[g.Txn]
-		if !ok {
-			continue
-		}
-		s.clearBlocked(g.Txn)
-		s.s2plGrant(m)
-	}
+	s.applyLock(s.lockCore.Request(protocol.LockRequest{
+		Txn: m.txn, Client: m.client, Item: m.item, Write: m.write,
+	}))
 }
 
 func (s *server) s2plRelease(m releaseMsg) {
@@ -180,9 +119,29 @@ func (s *server) s2plRelease(m releaseMsg) {
 		s.versions[w.item] = m.txn
 		s.values[w.item] = w.value
 	}
-	grants := s.locks.Release(m.txn)
-	s.waits.RemoveTxn(m.txn)
-	s.deliverGrants(grants)
+	if m.aborted {
+		s.applyLock(s.lockCore.AbortRelease(m.txn))
+		return
+	}
+	s.applyLock(s.lockCore.CommitRelease(m.txn))
+}
+
+// applyLock emits the lock core's ordered decisions as messages — the
+// single delivery site for s-2PL grants and abort notices.
+func (s *server) applyLock(acts []protocol.LockAction) {
+	for _, a := range acts {
+		switch a.Kind {
+		case protocol.LockGrant:
+			s.cl.net.send(s.cl.mailboxOf(a.Req.Client), dataMsg{
+				txn:     a.Req.Txn,
+				item:    a.Req.Item,
+				version: s.versions[a.Req.Item],
+				value:   s.values[a.Req.Item],
+			})
+		case protocol.LockAbort:
+			s.cl.net.send(s.cl.mailboxOf(a.Req.Client), abortMsg{txn: a.Req.Txn})
+		}
+	}
 }
 
 // ---- g-2PL ----
@@ -215,13 +174,8 @@ func (s *server) g2plRequest(m reqMsg) {
 		return
 	}
 	if it.flight != nil {
-		edges := it.flight.unfinished()
-		it.edges[m.txn] = edges
-		for _, b := range edges {
-			s.waits.AddEdge(m.txn, b)
-			s.order.Constrain(b, m.txn)
-		}
-		if s.waits.CycleThrough(m.txn) != nil {
+		it.edges[m.txn] = s.disp.BlockOnFlight(it.flight.fl, m.txn)
+		if s.disp.Waits.CycleThrough(m.txn) != nil {
 			s.g2plAbort(it, m)
 		}
 	}
@@ -234,124 +188,54 @@ func (s *server) g2plAbort(it *liveItem, m reqMsg) {
 			break
 		}
 	}
-	for _, b := range it.edges[m.txn] {
-		s.waits.RemoveEdge(m.txn, b)
-	}
+	s.disp.Unblock(m.txn, it.edges[m.txn])
 	delete(it.edges, m.txn)
-	s.order.Remove(m.txn)
+	s.disp.Order.Remove(m.txn)
 	s.cl.net.send(s.cl.mailboxOf(m.client), abortMsg{txn: m.txn})
 }
 
-// dispatch closes the item's collection window: order the pending
-// requests (reader grouping, precedence-consistent), detect dispatch-time
-// deadlocks, ship the first segment and record the flight.
+// dispatch closes the item's collection window: the core orders the
+// pending requests (reader grouping, precedence-consistent), detects
+// dispatch-time deadlocks and builds the plan; the server notifies the
+// victims, records the flight and ships the first segment.
 func (s *server) dispatch(it *liveItem) {
 	if len(it.pending) == 0 || !it.atServer {
 		return
 	}
 	reqs := it.pending
 	it.pending = nil
-	txns := make([]ids.Txn, len(reqs))
-	writes := make([]bool, len(reqs))
-	byID := make(map[ids.Txn]reqMsg, len(reqs))
+	wreqs := make([]protocol.WindowRequest, len(reqs))
 	for i, q := range reqs {
-		txns[i] = q.txn
-		writes[i] = q.write
-		byID[q.txn] = q
-		for _, b := range it.edges[q.txn] {
-			s.waits.RemoveEdge(q.txn, b)
-		}
+		wreqs[i] = protocol.WindowRequest{Txn: q.txn, Client: q.client, Write: q.write}
+		s.disp.Unblock(q.txn, it.edges[q.txn])
 		delete(it.edges, q.txn)
 	}
-	ordered := s.order.OrderGrouped(txns, writes)
-	entries := make([]fwdlist.Entry, len(ordered))
-	for i, id := range ordered {
-		q := byID[id]
-		entries[i] = fwdlist.Entry{Txn: q.txn, Client: q.client, Write: q.write}
-	}
-	list := fwdlist.Build(entries)
-	s.addChainEdges(list)
-	// Dispatch-time deadlock check, mirroring the engine: abort members
-	// whose chain position closes a cycle.
-	for {
-		victim := -1
-		for i := len(entries) - 1; i >= 0; i-- {
-			if s.waits.CycleThrough(entries[i].Txn) != nil {
-				victim = i
-				break
-			}
-		}
-		if victim < 0 {
-			break
-		}
-		s.removeChainEdges(list)
-		v := entries[victim]
-		entries = append(entries[:victim], entries[victim+1:]...)
-		s.order.Remove(v.Txn)
+	plan, victims, rest := s.disp.PlanWindow(it.id, wreqs)
+	for _, v := range victims {
 		s.cl.net.send(s.cl.mailboxOf(v.Client), abortMsg{txn: v.Txn})
-		list = fwdlist.Build(entries)
-		s.addChainEdges(list)
 	}
-	if len(entries) == 0 {
+	if len(rest) != 0 {
+		// The live dispatcher runs without a window cap.
+		panic("live: unexpected forward-list cap remainder")
+	}
+	if plan == nil {
 		return
 	}
-	s.order.Record(list.Txns())
 
-	plan := &flightPlan{item: it.id, list: list, mr1w: !s.cl.cfg.NoMR1W}
-	fl := &liveFlight{plan: plan, done: make(map[ids.Txn]bool)}
-	// The window closes when the final segment's traffic is home; the
-	// count is a static property of the plan: a final writer returns the
-	// data (1 message); a final read group sends one release per reader
-	// plus, when a writer dispatched it, the data return.
-	last := list.Segment(list.NumSegments() - 1)
-	if last.Write {
-		fl.expected = 1
-	} else {
-		fl.expected = len(last.Entries)
-		if list.NumSegments() > 1 {
-			fl.expected++
-		}
-	}
-	it.flight = fl
+	it.flight = &liveFlight{fl: protocol.NewFlight(plan), expected: plan.FinalReturns()}
 	it.atServer = false
 
 	// Ship segment 0 (and, under MR1W, its companion writer).
-	seg := list.Segment(0)
 	ver, val := s.versions[it.id], s.values[it.id]
-	if seg.Write {
-		s.sendData(seg.Entries[0], it.id, ver, val, plan)
-		return
-	}
-	for _, e := range seg.Entries {
-		s.sendData(e, it.id, ver, val, plan)
-	}
-	if list.NumSegments() > 1 && plan.mr1w {
-		s.sendData(list.Segment(1).Entries[0], it.id, ver, val, plan)
+	for _, e := range plan.Recipients(0) {
+		s.sendData(e.Client, e.Txn, it.id, ver, val, plan)
 	}
 }
 
-func (s *server) sendData(e fwdlist.Entry, item ids.Item, ver ids.Txn, val int64, plan *flightPlan) {
-	s.cl.net.send(s.cl.mailboxOf(e.Client), dataMsg{txn: e.Txn, item: item, version: ver, value: val, plan: plan})
-}
-
-func (s *server) addChainEdges(list *fwdlist.List) {
-	for j := 1; j < list.NumSegments(); j++ {
-		for _, e := range list.Segment(j).Entries {
-			for _, p := range list.Segment(j - 1).Entries {
-				s.waits.AddEdge(e.Txn, p.Txn)
-			}
-		}
-	}
-}
-
-func (s *server) removeChainEdges(list *fwdlist.List) {
-	for j := 1; j < list.NumSegments(); j++ {
-		for _, e := range list.Segment(j).Entries {
-			for _, p := range list.Segment(j - 1).Entries {
-				s.waits.RemoveEdge(e.Txn, p.Txn)
-			}
-		}
-	}
+// sendData delivers one data copy of a dispatching segment — the single
+// emission site for server-side g-2PL data messages.
+func (s *server) sendData(cli ids.Client, txn ids.Txn, item ids.Item, ver ids.Txn, val int64, plan *protocol.FlightPlan) {
+	s.cl.net.send(s.cl.mailboxOf(cli), dataMsg{txn: txn, item: item, version: ver, value: val, plan: plan})
 }
 
 // g2plHome handles data or final-segment releases arriving back at the
@@ -374,13 +258,10 @@ func (s *server) g2plHome(m fwdMsg) {
 	it.flight = nil
 	it.atServer = true
 	for txn, edges := range it.edges {
-		for _, b := range edges {
-			s.waits.RemoveEdge(txn, b)
-		}
+		s.disp.Unblock(txn, edges)
 		delete(it.edges, txn)
 	}
-	// Re-add edges for any still-pending requests against... none: a new
-	// flight recomputes them at dispatch.
+	// Pending requests recompute their edges at the next dispatch.
 	s.dispatch(it)
 }
 
@@ -389,23 +270,67 @@ func (s *server) g2plHome(m fwdMsg) {
 // server's view of the flight advances. When the finishing member is a
 // writer that dispatches a final read group or returns data, the client's
 // fwdMsg (g2plHome) carries the authoritative state; done only maintains
-// detection metadata and the expected-returns accounting for flights whose
-// final segment is now known to be in flight.
+// detection metadata.
 func (s *server) g2plDone(m doneMsg) {
 	it := s.item(m.item)
-	fl := it.flight
-	if fl == nil {
+	if it.flight == nil {
 		return
 	}
-	fl.done[m.txn] = true
-	j := fl.plan.segOf(m.txn)
-	if j < 0 {
-		return
+	s.disp.MemberDone(it.flight.fl, m.txn)
+}
+
+// ---- c-2PL ----
+
+func (s *server) handleC2PL(m message) {
+	switch msg := m.(type) {
+	case reqMsg:
+		s.c2plRequest(msg)
+	case deferMsg:
+		s.c2plDefer(msg)
+	case crelMsg:
+		s.c2plRelease(msg)
+	case finishMsg:
+		s.c2plFinish(msg)
 	}
-	list := fl.plan.list
-	if j+1 < list.NumSegments() {
-		for _, e := range list.Segment(j + 1).Entries {
-			s.waits.RemoveEdge(e.Txn, m.txn)
+}
+
+func (s *server) c2plRequest(m reqMsg) {
+	s.applyCache(s.cacheCore.Request(m.txn, m.client, m.item, m.write))
+}
+
+func (s *server) c2plDefer(m deferMsg) {
+	s.applyCache(s.cacheCore.Defer(m.txn, m.client, m.item))
+}
+
+func (s *server) c2plRelease(m crelMsg) {
+	s.applyCache(s.cacheCore.Release(m.client, m.item))
+}
+
+func (s *server) c2plFinish(m finishMsg) {
+	for _, w := range m.writes {
+		s.versions[w.item] = m.txn
+		s.values[w.item] = w.value
+	}
+	s.applyCache(s.cacheCore.Finish(m.txn, m.client, m.released))
+}
+
+// applyCache emits the cache core's ordered decisions as messages — the
+// single delivery site for c-2PL grants, recalls and abort notices.
+func (s *server) applyCache(acts []protocol.CacheAction) {
+	for _, a := range acts {
+		switch a.Kind {
+		case protocol.CacheGrant:
+			s.cl.net.send(s.cl.mailboxOf(a.Client), grantMsg{
+				txn:     a.Txn,
+				item:    a.Item,
+				mode:    a.Mode,
+				version: s.versions[a.Item],
+				value:   s.values[a.Item],
+			})
+		case protocol.CacheRecall:
+			s.cl.net.send(s.cl.mailboxOf(a.Client), recallMsg{item: a.Item})
+		case protocol.CacheAbort:
+			s.cl.net.send(s.cl.mailboxOf(a.Client), abortMsg{txn: a.Txn})
 		}
 	}
 }

@@ -1,0 +1,89 @@
+package protocol
+
+import (
+	"testing"
+
+	"repro/internal/ids"
+)
+
+// BenchmarkGrantPath measures the uncontended s-2PL hot path: request,
+// immediate grant, commit release — the per-operation cost every
+// simulated or live lock request pays.
+func BenchmarkGrantPath(b *testing.B) {
+	s := NewLockServer(VictimRequester)
+	for i := 0; i < b.N; i++ {
+		txn := ids.Txn(i + 1)
+		item := ids.Item(i % 64)
+		acts := s.Request(LockRequest{Txn: txn, Client: 0, Item: item, Write: true})
+		if len(acts) != 1 || acts[0].Kind != LockGrant {
+			b.Fatalf("acts = %+v", acts)
+		}
+		if acts := s.CommitRelease(txn); len(acts) != 0 {
+			b.Fatalf("release acts = %+v", acts)
+		}
+	}
+}
+
+// BenchmarkForwardListDispatch measures closing a g-2PL collection
+// window: ordering an 8-request window against the precedence graph,
+// building the forward list, installing chain edges and walking the
+// flight to completion.
+func BenchmarkForwardListDispatch(b *testing.B) {
+	d := NewDispatcher(WindowOptions{MR1W: true})
+	reqs := make([]WindowRequest, 8)
+	for i := 0; i < b.N; i++ {
+		base := ids.Txn(i*8 + 1)
+		for j := range reqs {
+			reqs[j] = WindowRequest{Txn: base + ids.Txn(j), Client: ids.Client(j), Write: j%3 == 0}
+		}
+		plan, victims, rest := d.PlanWindow(1, reqs)
+		if plan == nil || len(victims) != 0 || len(rest) != 0 {
+			b.Fatalf("plan = %v, victims = %v, rest = %v", plan, victims, rest)
+		}
+		f := NewFlight(plan)
+		for _, txn := range plan.List.Txns() {
+			d.MemberDone(f, txn)
+			d.Order.Remove(txn)
+		}
+	}
+}
+
+// BenchmarkRecallRoundTrip measures the c-2PL callback cycle between two
+// clients: a conflicting request recalls the cached item, the holder
+// defers to commit, and the finish releases and promotes the waiter.
+func BenchmarkRecallRoundTrip(b *testing.B) {
+	s := NewCacheServer()
+	holder := NewCacheClient(false)
+	other := NewCacheClient(false)
+
+	holder.Begin()
+	acts := s.Request(1, 0, 1, true)
+	holder.Install(1, acts[0].Mode, ids.None, 0, true)
+	hTxn, hClient, wClient := ids.Txn(1), ids.Client(0), ids.Client(1)
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		wTxn := ids.Txn(2*i + 2)
+		acts := s.Request(wTxn, wClient, 1, true)
+		if len(acts) != 1 || acts[0].Kind != CacheRecall {
+			b.Fatalf("request acts = %+v", acts)
+		}
+		if dec := holder.Recall(1); dec != RecallDefer {
+			b.Fatalf("decision = %v", dec)
+		}
+		if acts := s.Defer(hTxn, hClient, 1); len(acts) != 0 {
+			b.Fatalf("defer acts = %+v", acts)
+		}
+		released := holder.Finish(hTxn, []ids.Item{1})
+		acts = s.Finish(hTxn, hClient, released)
+		if len(acts) != 1 || acts[0].Kind != CacheGrant {
+			b.Fatalf("finish acts = %+v", acts)
+		}
+		other.Begin()
+		other.Install(1, acts[0].Mode, hTxn, int64(hTxn), true)
+
+		// Swap roles so the next iteration recalls from the new holder.
+		holder, other = other, holder
+		hTxn, hClient, wClient = wTxn, wClient, hClient
+	}
+}

@@ -1,0 +1,321 @@
+package protocol
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/ids"
+	"repro/internal/lock"
+)
+
+// kindsOf projects an action slice onto its kinds for compact asserts.
+func kindsOf(acts []CacheAction) []CacheActionKind {
+	out := make([]CacheActionKind, len(acts))
+	for i, a := range acts {
+		out[i] = a.Kind
+	}
+	return out
+}
+
+// TestCacheGrantSurvivesCommit drives the c-2PL happy path: a miss is
+// granted, the cache entry survives the commit, and the next transaction
+// at the same client hits locally with no server involvement.
+func TestCacheGrantSurvivesCommit(t *testing.T) {
+	s := NewCacheServer()
+	c := NewCacheClient(false)
+
+	c.Begin()
+	if _, _, ok := c.Hit(1, true); ok {
+		t.Fatal("cold cache should miss")
+	}
+	acts := s.Request(10, 0, 1, true)
+	if len(acts) != 1 || acts[0].Kind != CacheGrant || acts[0].Already {
+		t.Fatalf("acts = %+v, want one fresh grant", acts)
+	}
+	ver, _ := c.Install(1, acts[0].Mode, ids.None, 0, true)
+	if ver != ids.None {
+		t.Errorf("installed version = %v, want initial", ver)
+	}
+	released := c.Finish(10, []ids.Item{1})
+	if len(released) != 0 {
+		t.Fatalf("released = %v, want none (entry survives commit)", released)
+	}
+	if acts := s.Finish(10, 0, released); len(acts) != 0 {
+		t.Fatalf("server finish acts = %+v, want none", acts)
+	}
+
+	// Next transaction: pure cache hit carrying the committed version.
+	c.Begin()
+	ver, val, ok := c.Hit(1, true)
+	if !ok || ver != 10 || val != 10 {
+		t.Errorf("hit = (%v, %d, %v), want committed version 10", ver, val, ok)
+	}
+	if got := s.HoldersOf(1); len(got) != 1 || got[0] != 0 {
+		t.Errorf("server holders = %v, want [C0]", got)
+	}
+}
+
+// TestCacheRecallDeferAndPromote runs the full recall round trip: a
+// conflicting request recalls the item, the holder's running transaction
+// defers, and the deferred release at finish promotes the waiter.
+func TestCacheRecallDeferAndPromote(t *testing.T) {
+	s := NewCacheServer()
+	c0 := NewCacheClient(false)
+
+	c0.Begin()
+	acts := s.Request(10, 0, 1, true)
+	c0.Install(1, acts[0].Mode, ids.None, 0, true)
+
+	// C1 wants the same item exclusively: one recall to C0, no grant.
+	acts = s.Request(11, 1, 1, true)
+	if len(acts) != 1 || acts[0].Kind != CacheRecall || acts[0].Client != 0 || acts[0].Item != 1 {
+		t.Fatalf("acts = %+v, want one recall to C0", acts)
+	}
+	if !s.Recalled(1, 0) {
+		t.Error("recall to C0 should be outstanding")
+	}
+
+	// C0's transaction used the item: it defers.
+	if dec := c0.Recall(1); dec != RecallDefer {
+		t.Fatalf("recall decision = %v, want defer", dec)
+	}
+	if acts := s.Defer(10, 0, 1); len(acts) != 0 {
+		t.Fatalf("defer acts = %+v, want none (no cycle)", acts)
+	}
+
+	// Finish T10: the deferred item releases and T11 gets the grant.
+	released := c0.Finish(10, []ids.Item{1})
+	if !reflect.DeepEqual(released, []ids.Item{1}) {
+		t.Fatalf("released = %v, want [x1]", released)
+	}
+	if c0.Entry(1) != nil {
+		t.Error("deferred entry should be evicted at finish")
+	}
+	acts = s.Finish(10, 0, released)
+	if len(acts) != 1 || acts[0].Kind != CacheGrant || acts[0].Txn != 11 || acts[0].Already {
+		t.Fatalf("finish acts = %+v, want fresh grant to T11", acts)
+	}
+	if !s.Quiet() {
+		t.Error("server should be quiet after the round trip")
+	}
+}
+
+// TestCacheIdleRecallReleasesImmediately checks the callback fast path: a
+// holder whose running transaction never touched the item gives it up at
+// once, and an absent entry still answers with a release.
+func TestCacheIdleRecallReleasesImmediately(t *testing.T) {
+	s := NewCacheServer()
+	c0 := NewCacheClient(false)
+
+	c0.Begin()
+	acts := s.Request(10, 0, 1, false)
+	c0.Install(1, acts[0].Mode, ids.None, 0, true)
+	c0.Finish(10, nil)
+	s.Finish(10, 0, nil)
+
+	// C1 writes: recall goes out; C0 is idle on the item -> release.
+	acts = s.Request(11, 1, 1, true)
+	if len(acts) != 1 || acts[0].Kind != CacheRecall {
+		t.Fatalf("acts = %+v, want recall", acts)
+	}
+	if dec := c0.Recall(1); dec != RecallRelease {
+		t.Fatalf("idle recall decision = %v, want release", dec)
+	}
+	if c0.Entry(1) != nil {
+		t.Error("released entry should be evicted")
+	}
+	acts = s.Release(0, 1)
+	if len(acts) != 1 || acts[0].Kind != CacheGrant || acts[0].Txn != 11 {
+		t.Fatalf("release acts = %+v, want grant to T11", acts)
+	}
+	// A recall racing a release answers release for the absent entry.
+	if dec := c0.Recall(1); dec != RecallRelease {
+		t.Errorf("absent-entry recall = %v, want release", dec)
+	}
+}
+
+// TestCacheUpgradeDeadlock builds the upgrade deadlock the queued-ahead
+// edges exist for: two cached readers both request exclusive, each
+// deferring the other's recall — the second requester dies.
+func TestCacheUpgradeDeadlock(t *testing.T) {
+	s := NewCacheServer()
+	c0, c1 := NewCacheClient(false), NewCacheClient(false)
+
+	// Both clients cache x1 shared via committed transactions.
+	c0.Begin()
+	a := s.Request(10, 0, 1, false)
+	c0.Install(1, a[0].Mode, ids.None, 0, true)
+	c0.Finish(10, nil)
+	s.Finish(10, 0, nil)
+	c1.Begin()
+	a = s.Request(11, 1, 1, false)
+	c1.Install(1, a[0].Mode, ids.None, 0, true)
+	c1.Finish(11, nil)
+	s.Finish(11, 1, nil)
+
+	// Both start transactions that read the cached copy, then upgrade.
+	c0.Begin()
+	c0.Hit(1, false)
+	c1.Begin()
+	c1.Hit(1, false)
+
+	acts := s.Request(20, 0, 1, true) // C0 upgrade: recall to C1
+	if !reflect.DeepEqual(kindsOf(acts), []CacheActionKind{CacheRecall}) || acts[0].Client != 1 {
+		t.Fatalf("first upgrade acts = %+v, want recall to C1", acts)
+	}
+	acts = s.Request(21, 1, 1, true) // C1 upgrade: recall to C0, T21 waits T20
+	if !reflect.DeepEqual(kindsOf(acts), []CacheActionKind{CacheRecall}) || acts[0].Client != 0 {
+		t.Fatalf("second upgrade acts = %+v, want recall to C0", acts)
+	}
+
+	// Both recalls arrive at clients whose transactions use the item.
+	if dec := c0.Recall(1); dec != RecallDefer {
+		t.Fatal("C0 should defer")
+	}
+	if dec := c1.Recall(1); dec != RecallDefer {
+		t.Fatal("C1 should defer")
+	}
+	if acts := s.Defer(20, 0, 1); len(acts) != 0 {
+		t.Fatalf("first defer acts = %+v, want none yet", acts)
+	}
+	// C1's deferral closes the cycle T20 <-> T21; the queued waiter whose
+	// wait became real dies.
+	acts = s.Defer(21, 1, 1)
+	if len(acts) != 1 || acts[0].Kind != CacheAbort {
+		t.Fatalf("second defer acts = %+v, want one abort", acts)
+	}
+	victim := acts[0].Txn
+	if victim != 20 && victim != 21 {
+		t.Fatalf("victim = %v, want one of the upgraders", victim)
+	}
+
+	// The victim's client finishes (abort): deferred items release, the
+	// survivor's upgrade promotes once both releases land.
+	vc, sc := c0, c1
+	vcID, scID := ids.Client(0), ids.Client(1)
+	survivor := ids.Txn(21)
+	if victim == 21 {
+		vc, sc = c1, c0
+		vcID, scID = 1, 0
+		survivor = 20
+	}
+	released := vc.Finish(victim, nil)
+	if !reflect.DeepEqual(released, []ids.Item{1}) {
+		t.Fatalf("victim released = %v, want [x1]", released)
+	}
+	acts = s.Finish(victim, vcID, released)
+	// The survivor already holds x1 shared and is the sole holder now: its
+	// exclusive upgrade is grantable (control-only, Already set).
+	if len(acts) != 1 || acts[0].Kind != CacheGrant || acts[0].Txn != survivor || !acts[0].Already {
+		t.Fatalf("victim finish acts = %+v, want upgrade grant to T%d", acts, survivor)
+	}
+	ver, _ := sc.Install(1, acts[0].Mode, ids.None, 0, true)
+	_ = ver
+	if e := sc.Entry(1); e == nil || e.Mode != lock.Exclusive {
+		t.Error("survivor should hold an exclusive cached entry")
+	}
+	_ = scID
+}
+
+// TestCacheOwedReleaseBlocksGrant pins the no-stale-read guard: a client
+// that owes a recalled release cannot be granted again until the release
+// lands, even when the queue has drained.
+func TestCacheOwedReleaseBlocksGrant(t *testing.T) {
+	s := NewCacheServer()
+	c0 := NewCacheClient(false)
+
+	c0.Begin()
+	a := s.Request(10, 0, 1, false)
+	c0.Install(1, a[0].Mode, ids.None, 0, true)
+	c0.Finish(10, nil)
+	s.Finish(10, 0, nil)
+
+	// C1 requests exclusive: recall to C0 goes out.
+	s.Request(11, 1, 1, true)
+	// C0 idle-releases; the grant to T11 fires.
+	c0.Recall(1)
+	acts := s.Release(0, 1)
+	if len(acts) != 1 || acts[0].Txn != 11 {
+		t.Fatalf("release acts = %+v, want grant to T11", acts)
+	}
+
+	// Rebuild the owed state: C0 holds again, a recall is outstanding, and
+	// this time C0 itself re-requests before its release lands.
+	s.Finish(11, 1, []ids.Item{1}) // C1 releases its exclusive at commit
+	a = s.Request(12, 0, 1, false)
+	if len(a) != 1 || a[0].Kind != CacheGrant {
+		t.Fatalf("re-request acts = %+v, want grant", a)
+	}
+	s.Request(13, 1, 1, true) // recall to C0 outstanding again
+	if !s.Recalled(1, 0) {
+		t.Fatal("recall should be outstanding")
+	}
+	// C0's release is in flight; meanwhile T13 aborts out of the queue via
+	// an upgrade elsewhere — simulate the queue draining by the release
+	// arriving, promoting T13, which commits and releases. Then C0
+	// re-requests while still marked recalled.
+	acts = s.Release(0, 1)
+	if len(acts) != 1 || acts[0].Txn != 13 {
+		t.Fatalf("acts = %+v, want grant to T13", acts)
+	}
+	s.Finish(13, 1, []ids.Item{1})
+
+	// C0 requests fresh: nothing is queued and no holders remain, so the
+	// owed-release guard is the only thing that could block. C0's release
+	// already landed (clearing recalled), so this must grant.
+	acts = s.Request(14, 0, 1, false)
+	if len(acts) != 1 || acts[0].Kind != CacheGrant {
+		t.Fatalf("acts = %+v, want grant (release landed, guard clear)", acts)
+	}
+}
+
+// TestCacheNoRetainAblation checks the cache-ablation client: every
+// cached entry releases at transaction end in ascending item order.
+func TestCacheNoRetainAblation(t *testing.T) {
+	s := NewCacheServer()
+	c := NewCacheClient(true)
+
+	c.Begin()
+	for _, item := range []ids.Item{3, 1, 2} {
+		acts := s.Request(10, 0, item, true)
+		if len(acts) != 1 || acts[0].Kind != CacheGrant {
+			t.Fatalf("acts = %+v, want grant", acts)
+		}
+		c.Install(item, acts[0].Mode, ids.None, 0, true)
+	}
+	released := c.Finish(10, []ids.Item{3, 1, 2})
+	if !reflect.DeepEqual(released, []ids.Item{1, 2, 3}) {
+		t.Fatalf("released = %v, want ascending [1 2 3]", released)
+	}
+	for _, item := range released {
+		if c.Entry(item) != nil {
+			t.Errorf("entry %v survived noRetain finish", item)
+		}
+	}
+	if acts := s.Finish(10, 0, released); len(acts) != 0 {
+		t.Fatalf("finish acts = %+v, want none", acts)
+	}
+	if !s.Quiet() {
+		t.Error("server should be quiet")
+	}
+}
+
+// TestCacheAbortedGrantInFlight covers Install with live=false: the
+// client keeps the cached lock (locks belong to sites) but clears the
+// in-use mark so the dead transaction's finish does not touch it.
+func TestCacheAbortedGrantInFlight(t *testing.T) {
+	c := NewCacheClient(false)
+	c.Begin()
+	c.Install(1, lock.Exclusive, 5, 5, false)
+	e := c.Entry(1)
+	if e == nil || e.InUse {
+		t.Fatalf("entry = %+v, want cached but not in use", e)
+	}
+	released := c.Finish(9, nil)
+	if len(released) != 0 {
+		t.Errorf("released = %v, want none", released)
+	}
+	if c.Entry(1) == nil {
+		t.Error("cached lock should survive the aborted transaction")
+	}
+}

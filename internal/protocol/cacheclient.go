@@ -1,0 +1,153 @@
+package protocol
+
+import (
+	"sort"
+
+	"repro/internal/ids"
+	"repro/internal/lock"
+)
+
+// CacheEntry is one cached lock + data copy at a client site.
+type CacheEntry struct {
+	Mode    lock.Mode
+	Version ids.Txn
+	Value   int64
+	InUse   bool // the client's current transaction accessed it
+}
+
+// RecallDecision is the client's response to a server recall.
+type RecallDecision int
+
+const (
+	// RecallRelease gives the item back immediately: the entry (if any)
+	// left the cache and the driver sends the release.
+	RecallRelease RecallDecision = iota
+	// RecallDefer keeps the item until the running transaction ends; the
+	// driver notifies the server of the deferral.
+	RecallDefer
+)
+
+// CacheClient is the c-2PL client-side state machine: the lock/data cache
+// that survives transaction boundaries, the in-use marks of the running
+// transaction and its deferred recalls. Exactly one transaction runs at a
+// time (Begin .. Finish); drivers own the messages to and from the
+// server.
+type CacheClient struct {
+	entries  map[ids.Item]*CacheEntry
+	running  bool
+	used     []ids.Item // entries the running transaction marked in use
+	defers   []ids.Item // recalled items held back until the txn ends
+	noRetain bool
+}
+
+// NewCacheClient returns an empty client cache. noRetain is the cache
+// ablation: every cached lock releases at transaction end instead of
+// surviving, degenerating c-2PL toward s-2PL with data shipping.
+func NewCacheClient(noRetain bool) *CacheClient {
+	return &CacheClient{entries: make(map[ids.Item]*CacheEntry), noRetain: noRetain}
+}
+
+// Begin starts a transaction at this client.
+func (c *CacheClient) Begin() { c.running = true }
+
+// Hit attempts a local cache access: a sufficient cached lock serves the
+// operation with no network at all — the whole point of c-2PL. On a hit
+// the entry is marked in use and its cached version and value return.
+func (c *CacheClient) Hit(item ids.Item, write bool) (ids.Txn, int64, bool) {
+	ce := c.entries[item]
+	if ce == nil || (write && ce.Mode != lock.Exclusive) {
+		return ids.None, 0, false
+	}
+	c.markUsed(ce, item)
+	return ce.Version, ce.Value, true
+}
+
+// Install records a server grant in the cache. live reports whether the
+// granted transaction is still the one running (false when it aborted
+// while the grant was in flight: the client keeps the cached lock — locks
+// belong to sites — but no operation resumes and the in-use mark clears).
+// It returns the version and value the operation observes, which may be
+// the cached copy when the grant was a control-only upgrade.
+func (c *CacheClient) Install(item ids.Item, mode lock.Mode, ver ids.Txn, val int64, live bool) (ids.Txn, int64) {
+	ce := c.entries[item]
+	if ce == nil {
+		ce = &CacheEntry{}
+		c.entries[item] = ce
+	} else if ce.Mode == lock.Exclusive && mode == lock.Shared {
+		mode = lock.Exclusive // never downgrade silently
+	}
+	ce.Mode = mode
+	if ce.Mode == lock.Shared || ce.Version == ids.None {
+		ce.Version = ver
+		ce.Value = val
+	}
+	if !live {
+		ce.InUse = false
+		return ce.Version, ce.Value
+	}
+	c.markUsed(ce, item)
+	return ce.Version, ce.Value
+}
+
+func (c *CacheClient) markUsed(ce *CacheEntry, item ids.Item) {
+	if !ce.InUse {
+		ce.InUse = true
+		c.used = append(c.used, item)
+	}
+}
+
+// Recall decides the response to a server callback: release immediately
+// when the running transaction has not used the item (evicting the
+// entry), defer to transaction end otherwise. A recall for an absent
+// entry still answers RecallRelease so the server's bookkeeping resolves.
+func (c *CacheClient) Recall(item ids.Item) RecallDecision {
+	ce := c.entries[item]
+	if ce == nil {
+		return RecallRelease
+	}
+	if ce.InUse && c.running {
+		c.defers = append(c.defers, item)
+		return RecallDefer
+	}
+	delete(c.entries, item)
+	return RecallRelease
+}
+
+// Finish ends the running transaction (commit or abort): in-use marks
+// clear, committed writes update the cached versions and values, and the
+// deferred items evict. It returns the items whose releases ride on the
+// finish message, in deterministic order.
+func (c *CacheClient) Finish(txn ids.Txn, writes []ids.Item) []ids.Item {
+	for _, item := range c.used {
+		if ce := c.entries[item]; ce != nil {
+			ce.InUse = false
+		}
+	}
+	for _, item := range writes {
+		if ce := c.entries[item]; ce != nil {
+			ce.Version = txn
+			ce.Value = int64(txn)
+		}
+	}
+	released := c.defers
+	if c.noRetain {
+		// Cache ablation: nothing survives the transaction. Every cached
+		// lock releases now, in ascending item order so the release burst
+		// reaches the server in a deterministic sequence.
+		released = released[:0]
+		//repolint:allow maprange -- keys are sorted immediately below
+		for item := range c.entries {
+			released = append(released, item)
+		}
+		sort.Slice(released, func(i, j int) bool { return released[i] < released[j] })
+	}
+	for _, item := range released {
+		delete(c.entries, item)
+	}
+	c.used, c.defers = nil, nil
+	c.running = false
+	return released
+}
+
+// Entry returns the cached entry for item, or nil (test hook).
+func (c *CacheClient) Entry(item ids.Item) *CacheEntry { return c.entries[item] }

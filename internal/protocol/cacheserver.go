@@ -1,0 +1,366 @@
+package protocol
+
+import (
+	"sort"
+
+	"repro/internal/ids"
+	"repro/internal/lock"
+	"repro/internal/wfg"
+)
+
+// CacheReq is one queued c-2PL request at the server.
+type CacheReq struct {
+	Txn    ids.Txn
+	Client ids.Client
+	Mode   lock.Mode
+}
+
+// CacheActionKind discriminates CacheServer outputs.
+type CacheActionKind int
+
+const (
+	// CacheGrant installs client ownership; the driver ships the data (or
+	// just the acknowledgment when Already is set — the client holds a
+	// cached copy).
+	CacheGrant CacheActionKind = iota
+	// CacheRecall calls the item back from a holding client.
+	CacheRecall
+	// CacheAbort notifies a queued requester it died to break a deadlock.
+	CacheAbort
+)
+
+// CacheAction is one ordered output of the c-2PL server core. Txn and
+// Mode are meaningful for grants and aborts; recalls address a (client,
+// item) pair.
+type CacheAction struct {
+	Kind    CacheActionKind
+	Txn     ids.Txn
+	Client  ids.Client
+	Item    ids.Item
+	Mode    lock.Mode
+	Already bool // grant to a client that already holds the item (upgrade)
+}
+
+// cacheOwner is the server's per-item view: which clients hold the lock,
+// who is queued, which recalls are outstanding and which running
+// transactions have deferred their release.
+type cacheOwner struct {
+	mode     lock.Mode
+	holders  map[ids.Client]bool
+	queue    []CacheReq
+	recalled map[ids.Client]bool
+	deferred map[ids.Txn]bool
+}
+
+// CacheServer is the c-2PL server-side state machine: the ownership
+// table, request queues, recall/deferral bookkeeping and deadlock
+// resolution. Locks belong to client sites and survive transaction
+// boundaries; a conflicting request triggers recalls, and a holder whose
+// running transaction used the item defers its release to commit
+// (callback semantics). Returned actions must be emitted in order.
+type CacheServer struct {
+	waits   *wfg.Graph
+	blocked map[ids.Txn][]ids.Txn
+	items   map[ids.Item]*cacheOwner
+	live    map[ids.Txn]bool
+}
+
+// NewCacheServer returns an empty c-2PL server core.
+func NewCacheServer() *CacheServer {
+	return &CacheServer{
+		waits:   wfg.New(),
+		blocked: make(map[ids.Txn][]ids.Txn),
+		items:   make(map[ids.Item]*cacheOwner),
+		live:    make(map[ids.Txn]bool),
+	}
+}
+
+func (s *CacheServer) state(item ids.Item) *cacheOwner {
+	o := s.items[item]
+	if o == nil {
+		o = &cacheOwner{
+			holders:  make(map[ids.Client]bool),
+			recalled: make(map[ids.Client]bool),
+			deferred: make(map[ids.Txn]bool),
+		}
+		s.items[item] = o
+	}
+	return o
+}
+
+// Request handles a cache miss arriving at the server: grant when
+// compatible with the owning clients, otherwise queue, recall the lock
+// from the conflicting holders and run deadlock detection — the requester
+// itself is the victim when its wait closes a cycle.
+func (s *CacheServer) Request(txn ids.Txn, client ids.Client, item ids.Item, write bool) []CacheAction {
+	s.live[txn] = true
+	o := s.state(item)
+	mode := lock.Shared
+	if write {
+		mode = lock.Exclusive
+	}
+	if s.grantable(o, CacheReq{Txn: txn, Client: client, Mode: mode}) {
+		return s.grant(nil, o, txn, client, item, mode)
+	}
+	o.queue = append(o.queue, CacheReq{Txn: txn, Client: client, Mode: mode})
+	var acts []CacheAction
+	// Recalls go out in ascending client order so per-holder emission has
+	// a deterministic sequence regardless of map iteration order.
+	for _, holder := range sortedClients(o.holders) {
+		if holder == client {
+			continue
+		}
+		if !o.recalled[holder] {
+			o.recalled[holder] = true
+			acts = append(acts, CacheAction{Kind: CacheRecall, Client: holder, Item: item})
+		}
+	}
+	// Wait-for edges: holder transactions that already deferred their
+	// release (holders that have not responded yet add edges when the
+	// deferral notice arrives), plus conflicting requests queued ahead —
+	// without the latter, an upgrade deadlock (two cached readers both
+	// requesting exclusive) is invisible and the system stalls.
+	var edges []ids.Txn
+	//repolint:allow maprange -- keys are sorted immediately below
+	for t := range o.deferred {
+		edges = append(edges, t)
+	}
+	sort.Slice(edges, func(i, j int) bool { return edges[i] < edges[j] })
+	for _, q := range o.queue[:len(o.queue)-1] {
+		if !lock.Compatible(q.Mode, mode) {
+			edges = append(edges, q.Txn)
+		}
+	}
+	s.addBlocked(txn, edges)
+	if s.waits.CycleThrough(txn) != nil {
+		acts = s.abortWaiter(acts, o, txn, item)
+	}
+	return acts
+}
+
+// Defer records that a holder's running transaction keeps the item until
+// it finishes, adding the corresponding wait-for edges for every queued
+// requester — deadlock detection happens here, the first moment the
+// server learns the wait is real.
+func (s *CacheServer) Defer(txn ids.Txn, client ids.Client, item ids.Item) []CacheAction {
+	o := s.state(item)
+	if !o.holders[client] {
+		return nil // released in the meantime
+	}
+	o.deferred[txn] = true
+	for _, w := range o.queue {
+		s.addBlocked(w.Txn, []ids.Txn{txn})
+	}
+	var acts []CacheAction
+	for _, w := range append([]CacheReq(nil), o.queue...) {
+		if !s.live[w.Txn] {
+			continue
+		}
+		if s.waits.CycleThrough(w.Txn) != nil {
+			acts = s.abortWaiter(acts, o, w.Txn, item)
+		}
+	}
+	return acts
+}
+
+// Release handles a standalone (idle-cache) release from a client.
+func (s *CacheServer) Release(client ids.Client, item ids.Item) []CacheAction {
+	return s.removeHolder(nil, s.state(item), client, item)
+}
+
+// Finish ends a transaction (commit or abort): deferred releases execute
+// in the order the client listed them, promoting waiting requests, and
+// the transaction leaves the wait-for graph.
+func (s *CacheServer) Finish(txn ids.Txn, client ids.Client, released []ids.Item) []CacheAction {
+	var acts []CacheAction
+	for _, item := range released {
+		o := s.state(item)
+		delete(o.deferred, txn)
+		acts = s.removeHolder(acts, o, client, item)
+	}
+	s.waits.RemoveTxn(txn)
+	delete(s.live, txn)
+	return acts
+}
+
+// grantable reports whether a request may take the lock right now (no
+// queue jumping: the queue must be empty, and a client that still owes a
+// recalled release must wait for it to land — otherwise the in-flight
+// release would silently cancel the fresh grant and leave the client
+// reading a stale copy).
+func (s *CacheServer) grantable(o *cacheOwner, q CacheReq) bool {
+	if len(o.queue) > 0 || s.owesRelease(o, q) {
+		return false
+	}
+	if len(o.holders) == 0 {
+		return true
+	}
+	if q.Mode == lock.Shared {
+		return o.mode == lock.Shared
+	}
+	// Exclusive: only as sole holder (upgrade).
+	return len(o.holders) == 1 && o.holders[q.Client]
+}
+
+// grantableHead is grantable for the queue head (the queue-empty rule
+// does not apply to itself; the owed-release rule does).
+func (s *CacheServer) grantableHead(o *cacheOwner, q CacheReq) bool {
+	if s.owesRelease(o, q) {
+		return false
+	}
+	if len(o.holders) == 0 {
+		return true
+	}
+	if q.Mode == lock.Shared {
+		return o.mode == lock.Shared
+	}
+	return len(o.holders) == 1 && o.holders[q.Client]
+}
+
+// owesRelease reports whether granting q must wait for an outstanding
+// recall to this client to resolve. One exception keeps the protocol
+// live: when the item was deferred by q's own transaction, the owed
+// release is pinned behind that transaction's finish — nothing is in
+// flight that could cancel the grant, and refusing would deadlock a
+// surviving upgrader against its own deferral (the recalling request may
+// have since aborted).
+func (s *CacheServer) owesRelease(o *cacheOwner, q CacheReq) bool {
+	return o.recalled[q.Client] && !o.deferred[q.Txn]
+}
+
+// grant installs client ownership and emits the grant action — the single
+// funnel every c-2PL grant emission routes through (repolint's twophase
+// check pins its callers).
+func (s *CacheServer) grant(acts []CacheAction, o *cacheOwner, txn ids.Txn, client ids.Client, item ids.Item, mode lock.Mode) []CacheAction {
+	already := o.holders[client]
+	o.holders[client] = true
+	o.mode = mode
+	return append(acts, CacheAction{
+		Kind: CacheGrant, Txn: txn, Client: client, Item: item, Mode: mode, Already: already,
+	})
+}
+
+// removeHolder drops a client from the owner set and promotes the queue.
+func (s *CacheServer) removeHolder(acts []CacheAction, o *cacheOwner, c ids.Client, item ids.Item) []CacheAction {
+	if !o.holders[c] {
+		return acts
+	}
+	delete(o.holders, c)
+	delete(o.recalled, c)
+	return s.promote(acts, o, item)
+}
+
+// promote grants queued requests FIFO while they are compatible with the
+// remaining holders; when the head still conflicts, recalls are
+// (re)issued to the remaining holders.
+func (s *CacheServer) promote(acts []CacheAction, o *cacheOwner, item ids.Item) []CacheAction {
+	for len(o.queue) > 0 {
+		q := o.queue[0]
+		if !s.live[q.Txn] {
+			o.queue = o.queue[1:]
+			continue
+		}
+		if !s.grantableHead(o, q) {
+			// Holders admitted by earlier promotions may not have been
+			// recalled yet; the blocked head needs them called back.
+			for _, holder := range sortedClients(o.holders) {
+				if holder == q.Client || o.recalled[holder] {
+					continue
+				}
+				o.recalled[holder] = true
+				acts = append(acts, CacheAction{Kind: CacheRecall, Client: holder, Item: item})
+			}
+			return acts
+		}
+		o.queue = o.queue[1:]
+		s.clearBlocked(q.Txn)
+		acts = s.grant(acts, o, q.Txn, q.Client, item, q.Mode)
+	}
+	return acts
+}
+
+// abortWaiter kills a queued requester to break a deadlock; there is no
+// lock state to unwind — c-2PL locks belong to the site and survive.
+func (s *CacheServer) abortWaiter(acts []CacheAction, o *cacheOwner, txn ids.Txn, item ids.Item) []CacheAction {
+	var victim CacheReq
+	for i, q := range o.queue {
+		if q.Txn == txn {
+			victim = q
+			o.queue = append(o.queue[:i], o.queue[i+1:]...)
+			break
+		}
+	}
+	s.clearBlocked(txn)
+	s.waits.RemoveTxn(txn)
+	delete(s.live, txn)
+	return append(acts, CacheAction{
+		Kind: CacheAbort, Txn: txn, Client: victim.Client, Item: item, Mode: victim.Mode,
+	})
+}
+
+// addBlocked appends wait-for edges for txn, deduplicating against the
+// stored set.
+func (s *CacheServer) addBlocked(txn ids.Txn, targets []ids.Txn) {
+	have := make(map[ids.Txn]bool, len(s.blocked[txn]))
+	for _, b := range s.blocked[txn] {
+		have[b] = true
+	}
+	for _, b := range targets {
+		if b == txn || have[b] {
+			continue
+		}
+		have[b] = true
+		s.blocked[txn] = append(s.blocked[txn], b)
+		s.waits.AddEdge(txn, b)
+	}
+}
+
+func (s *CacheServer) clearBlocked(txn ids.Txn) {
+	for _, b := range s.blocked[txn] {
+		s.waits.RemoveEdge(txn, b)
+	}
+	delete(s.blocked, txn)
+}
+
+// sortedClients returns the members of a client set in ascending order,
+// giving per-holder action emission a deterministic sequence.
+func sortedClients(set map[ids.Client]bool) []ids.Client {
+	out := make([]ids.Client, 0, len(set))
+	//repolint:allow maprange -- keys are sorted before use
+	for c := range set {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Quiet reports whether no request is queued or blocked, no recall or
+// deferral is outstanding and the wait-for graph is empty — the live
+// cluster's quiescence condition.
+func (s *CacheServer) Quiet() bool {
+	if len(s.blocked) != 0 || s.waits.Edges() != 0 {
+		return false
+	}
+	//repolint:allow maprange -- pure boolean scan, order-independent
+	for _, o := range s.items {
+		if len(o.queue) != 0 || len(o.recalled) != 0 || len(o.deferred) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// HoldersOf returns the holding clients of item in ascending order (test
+// hook).
+func (s *CacheServer) HoldersOf(item ids.Item) []ids.Client {
+	return sortedClients(s.state(item).holders)
+}
+
+// QueueLen returns the number of queued requests on item (test hook).
+func (s *CacheServer) QueueLen(item ids.Item) int { return len(s.state(item).queue) }
+
+// Recalled reports whether a recall to client for item is outstanding
+// (test hook).
+func (s *CacheServer) Recalled(item ids.Item, client ids.Client) bool {
+	return s.state(item).recalled[client]
+}

@@ -1,0 +1,35 @@
+// Package protocol holds the transport-agnostic cores of the paper's
+// three concurrency-control protocols: server-based strict two-phase
+// locking (s-2PL), group two-phase locking with forward lists and MR1W
+// (g-2PL), and caching two-phase locking with lock recalls (c-2PL).
+//
+// Each core is a pure, deterministic state machine: typed input events go
+// in (a lock request, a release, a done notification, a recall response,
+// a transaction finish) and typed output actions come out (grant this
+// request, recall that item, abort this transaction), in the exact order
+// the driver must emit them. The cores know nothing about sim.Kernel,
+// goroutines, channels or wall time — the discrete-event engines
+// (internal/engine) and the live goroutine cluster (internal/live) are
+// thin adapters that translate their transports onto the same decision
+// logic, so a protocol rule exists in exactly one place.
+//
+// Ownership split (DESIGN.md §9):
+//
+//   - LockServer owns the s-2PL lock table, wait-for graph and blocked
+//     set; drivers own the version store and message delivery.
+//   - Dispatcher owns the g-2PL wait-for and precedence graphs and the
+//     window ordering/victim rules; FlightPlan owns the per-flight
+//     routing rules (segment fan-out, MR1W companions, release targets,
+//     return accounting); Flight owns member-completion tracking.
+//     Drivers own collection-window timing, per-member transaction state
+//     and data movement.
+//   - CacheServer owns the c-2PL ownership table, queues, recall and
+//     deferral bookkeeping plus its wait-for graph; CacheClient owns the
+//     client lock/data cache, in-use marks and deferred recalls. Drivers
+//     own the version store and the messages between them.
+//
+// Determinism contract: every action slice is ordered, and any internal
+// iteration that feeds action emission runs over sorted keys — two
+// identical event sequences produce identical action sequences. The
+// golden-trajectory suite in internal/engine pins this bit-for-bit.
+package protocol

@@ -1,0 +1,183 @@
+package protocol
+
+import (
+	"repro/internal/ids"
+	"repro/internal/lock"
+	"repro/internal/wfg"
+)
+
+// LockRequest is one s-2PL lock request as the server sees it.
+type LockRequest struct {
+	Txn    ids.Txn
+	Client ids.Client
+	Item   ids.Item
+	Write  bool
+}
+
+// Mode returns the lock mode the request asks for.
+func (q LockRequest) Mode() lock.Mode {
+	if q.Write {
+		return lock.Exclusive
+	}
+	return lock.Shared
+}
+
+// LockActionKind discriminates LockServer outputs.
+type LockActionKind int
+
+const (
+	// LockGrant delivers the requested item to the requesting client.
+	LockGrant LockActionKind = iota
+	// LockAbort notifies a deadlock victim; its held locks stay until the
+	// victim's release round trip ends with AbortRelease.
+	LockAbort
+)
+
+// LockAction is one ordered output of the s-2PL server core. Req is the
+// request being granted, or the victim's blocked request for an abort, so
+// the driver has the destination client and item without keeping its own
+// request table.
+type LockAction struct {
+	Kind LockActionKind
+	Req  LockRequest
+}
+
+// LockServer is the s-2PL server-side state machine: the lock table, the
+// wait-for graph, the blocked set and deadlock resolution. Events come in
+// through Request, CommitRelease and AbortRelease; the returned actions
+// must be emitted in order.
+type LockServer struct {
+	policy  VictimPolicy
+	locks   *lock.Manager
+	waits   *wfg.Graph
+	blocked map[ids.Txn][]ids.Txn // stored wait edges per blocked txn
+	req     map[ids.Txn]LockRequest
+	live    map[ids.Txn]bool
+}
+
+// NewLockServer returns an empty s-2PL core using the given deadlock
+// victim policy.
+func NewLockServer(policy VictimPolicy) *LockServer {
+	return &LockServer{
+		policy:  policy,
+		locks:   lock.NewManager(),
+		waits:   wfg.New(),
+		blocked: make(map[ids.Txn][]ids.Txn),
+		req:     make(map[ids.Txn]LockRequest),
+		live:    make(map[ids.Txn]bool),
+	}
+}
+
+// Request handles an arriving lock request: acquire or block, with
+// deadlock detection initiated on block (paper §4). Several cycles can
+// pass through the new request; victims are aborted until none remain,
+// each abort first granting whatever the victim's cancelled request
+// unblocked, then emitting the abort notice.
+func (s *LockServer) Request(q LockRequest) []LockAction {
+	s.live[q.Txn] = true
+	if s.locks.Acquire(q.Txn, q.Item, q.Mode()) {
+		return []LockAction{{Kind: LockGrant, Req: q}}
+	}
+	s.req[q.Txn] = q
+	blockers := s.locks.WaitsFor(q.Txn)
+	s.blocked[q.Txn] = blockers
+	for _, b := range blockers {
+		s.waits.AddEdge(q.Txn, b)
+	}
+	var acts []LockAction
+	for {
+		cycle := s.waits.CycleThrough(q.Txn)
+		if cycle == nil {
+			return acts
+		}
+		victim := ChooseVictim(s.policy, cycle, q.Txn, s.locks.HeldCount(q.Txn), s.victimInfo)
+		acts = s.abortVictim(victim, acts)
+	}
+}
+
+// victimInfo is the s-2PL liveness rule for victim selection: any
+// transaction that has not yet committed or been aborted is a candidate.
+func (s *LockServer) victimInfo(id ids.Txn) (alive bool, held int) {
+	return s.live[id], s.locks.HeldCount(id)
+}
+
+// abortVictim performs the server-side half of a deadlock abort: the
+// victim's queued request disappears immediately (promoting any waiters
+// that unblocks), but its held locks stay until AbortRelease — the client
+// owns the in-flight transaction state in a data-shipping system, so the
+// victim is notified and responds with the release.
+func (s *LockServer) abortVictim(v ids.Txn, acts []LockAction) []LockAction {
+	s.clearBlocked(v)
+	grants := s.locks.CancelWait(v)
+	delete(s.live, v)
+	vq := s.req[v]
+	delete(s.req, v)
+	acts = s.grantActions(acts, grants)
+	return append(acts, LockAction{Kind: LockAbort, Req: vq})
+}
+
+// CommitRelease ends a committed transaction: all held locks release in
+// one step (the shrinking phase of strict 2PL) and promoted waiters are
+// granted.
+func (s *LockServer) CommitRelease(txn ids.Txn) []LockAction {
+	grants := s.locks.Release(txn)
+	s.waits.RemoveTxn(txn)
+	delete(s.live, txn)
+	return s.grantActions(nil, grants)
+}
+
+// AbortRelease frees an aborted victim's held locks once its release
+// round trip completes, promoting waiting requests. The victim left the
+// live set at abort time.
+func (s *LockServer) AbortRelease(txn ids.Txn) []LockAction {
+	grants := s.locks.Release(txn)
+	s.waits.RemoveTxn(txn)
+	return s.grantActions(nil, grants)
+}
+
+// grantActions converts promoted lock-table grants into ordered grant
+// actions — the single funnel every s-2PL grant emission routes through
+// (repolint's twophase check pins its callers).
+func (s *LockServer) grantActions(acts []LockAction, grants []lock.Grant) []LockAction {
+	for _, g := range grants {
+		if !s.live[g.Txn] {
+			continue // aborted while queued; nothing to deliver
+		}
+		s.clearBlocked(g.Txn)
+		q := s.req[g.Txn]
+		delete(s.req, g.Txn)
+		acts = append(acts, LockAction{Kind: LockGrant, Req: q})
+	}
+	return acts
+}
+
+// clearBlocked removes a transaction's stored wait edges after a grant or
+// abort.
+func (s *LockServer) clearBlocked(txn ids.Txn) {
+	for _, b := range s.blocked[txn] {
+		s.waits.RemoveEdge(txn, b)
+	}
+	delete(s.blocked, txn)
+}
+
+// Quiet reports whether no request is blocked and the wait-for graph is
+// empty — the live cluster's quiescence condition.
+func (s *LockServer) Quiet() bool {
+	return len(s.blocked) == 0 && s.waits.Edges() == 0
+}
+
+// HoldersOf returns the lock holders of item in ascending transaction
+// order (test hook).
+func (s *LockServer) HoldersOf(item ids.Item) []ids.Txn { return s.locks.HoldersOf(item) }
+
+// QueueLen returns the number of queued requests on item (test hook).
+func (s *LockServer) QueueLen(item ids.Item) int { return s.locks.QueueLen(item) }
+
+// Edges returns the wait-for edge count (test hook).
+func (s *LockServer) Edges() int { return s.waits.Edges() }
+
+// Blocked reports whether txn currently has stored wait edges (test hook).
+func (s *LockServer) Blocked(txn ids.Txn) bool { return len(s.blocked[txn]) > 0 }
+
+// Validate checks the lock-table invariants (test hook).
+func (s *LockServer) Validate() error { return s.locks.Validate() }

@@ -1,0 +1,46 @@
+package protocol
+
+import "repro/internal/ids"
+
+// VictimPolicy selects which transaction dies to break a deadlock cycle.
+type VictimPolicy int
+
+const (
+	// VictimRequester aborts the transaction whose blocked request closed
+	// the cycle (the paper's "detection initiated when a lock cannot be
+	// granted" resolution).
+	VictimRequester VictimPolicy = iota
+	// VictimLeastHeld aborts the cycle member holding the fewest items,
+	// discarding the least work (an ablation), breaking ties toward the
+	// youngest member.
+	VictimLeastHeld
+)
+
+// VictimInfo reports whether a cycle member is a live abort candidate and
+// how many items it currently holds. Drivers supply the liveness rule
+// (their notion of "still running and worth aborting"); the selection
+// rule lives here.
+type VictimInfo func(txn ids.Txn) (alive bool, held int)
+
+// ChooseVictim applies the policy to a wait-for cycle. fallback is the
+// requester whose blocked request closed the cycle, holding fallbackHeld
+// items; it is always a valid victim. Under VictimLeastHeld the live
+// cycle member holding the fewest items wins, ties toward the youngest
+// (transaction ids are assigned monotonically, so a higher id is
+// younger).
+func ChooseVictim(policy VictimPolicy, cycle []ids.Txn, fallback ids.Txn, fallbackHeld int, info VictimInfo) ids.Txn {
+	if policy == VictimRequester {
+		return fallback
+	}
+	best, bestHeld := fallback, fallbackHeld
+	for _, id := range cycle {
+		alive, held := info(id)
+		if !alive {
+			continue
+		}
+		if held < bestHeld || (held == bestHeld && id > best) {
+			best, bestHeld = id, held
+		}
+	}
+	return best
+}

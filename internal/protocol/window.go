@@ -1,0 +1,280 @@
+package protocol
+
+import (
+	"sort"
+
+	"repro/internal/fwdlist"
+	"repro/internal/ids"
+	"repro/internal/prec"
+	"repro/internal/wfg"
+)
+
+// WindowOptions configures the g-2PL dispatch rules.
+type WindowOptions struct {
+	// NoAvoidance disables consistent forward-list ordering (the paper's
+	// deadlock-avoidance mechanism); windows fall back to reader grouping
+	// or pure FIFO.
+	NoAvoidance bool
+	// FIFOWindows disables the reader-grouping ordering rule: forward
+	// lists keep pure arrival order.
+	FIFOWindows bool
+	// MaxForwardList caps entries dispatched per window; 0 = unlimited.
+	// The remainder forms the next collection window.
+	MaxForwardList int
+	// MR1W is stamped onto every FlightPlan the dispatcher builds.
+	MR1W bool
+}
+
+// WindowRequest is one pending request in an item's collection window.
+type WindowRequest struct {
+	Txn    ids.Txn
+	Client ids.Client
+	Write  bool
+}
+
+// Dispatcher owns the g-2PL server-side ordering state — the wait-for
+// graph used for deadlock detection and the precedence graph enforcing
+// consistent forward-list order across items — plus the window dispatch
+// rules. Drivers own collection-window timing and data movement.
+//
+// Waits and Order are exported so drivers can run their own cycle checks
+// (deadlock resolution interleaves with driver-side aborts) and install
+// protocol-extension edges (read expansion); all window-time mutation
+// routes through the methods below.
+type Dispatcher struct {
+	// Waits is the wait-for graph; a cycle through a blocked request is a
+	// deadlock.
+	Waits *wfg.Graph
+	// Order is the precedence graph recording forward-list grant order.
+	Order *prec.Graph
+	// Opts are the dispatch rules in force.
+	Opts WindowOptions
+}
+
+// NewDispatcher returns an empty g-2PL dispatch core.
+func NewDispatcher(opts WindowOptions) *Dispatcher {
+	return &Dispatcher{Waits: wfg.New(), Order: prec.New(), Opts: opts}
+}
+
+// PlanWindow closes an item's collection window: order the pending
+// requests (consistently with the precedence graph unless avoidance is
+// off, grouping readers unless FIFOWindows), apply the length cap, then
+// resolve dispatch-time deadlocks — the forward-list chain edges can
+// close a wait-for cycle through transactions blocked on other items, and
+// the offending members are removed latest-in-order first (the paper's
+// "in the case that such reordering of forward lists is not possible,
+// some transactions may have to be aborted", §3.3).
+//
+// It returns the flight plan (nil when every capped request fell to a
+// cycle), the dispatch-time victims in the order the driver must abort
+// them, and the cap remainder that forms the next window. On return the
+// surviving list's chain edges are installed in Waits and its order is
+// recorded in Order; the caller must not have request-level wait edges
+// installed for reqs.
+func (d *Dispatcher) PlanWindow(item ids.Item, reqs []WindowRequest) (plan *FlightPlan, victims, rest []WindowRequest) {
+	ordered := reqs
+	switch {
+	case !d.Opts.NoAvoidance:
+		txns := make([]ids.Txn, len(reqs))
+		writes := make([]bool, len(reqs))
+		byID := make(map[ids.Txn]WindowRequest, len(reqs))
+		for i, q := range reqs {
+			txns[i] = q.Txn
+			writes[i] = q.Write
+			byID[q.Txn] = q
+		}
+		var ids []ids.Txn
+		if d.Opts.FIFOWindows {
+			ids = d.Order.Order(txns)
+		} else {
+			ids = d.Order.OrderGrouped(txns, writes)
+		}
+		ordered = make([]WindowRequest, len(ids))
+		for i, id := range ids {
+			ordered[i] = byID[id]
+		}
+	case !d.Opts.FIFOWindows:
+		// No precedence constraints to respect: stable-partition the
+		// window's readers ahead of its writers.
+		grouped := make([]WindowRequest, 0, len(reqs))
+		for _, q := range reqs {
+			if !q.Write {
+				grouped = append(grouped, q)
+			}
+		}
+		for _, q := range reqs {
+			if q.Write {
+				grouped = append(grouped, q)
+			}
+		}
+		ordered = grouped
+	}
+	if limit := d.Opts.MaxForwardList; limit > 0 && len(ordered) > limit {
+		rest = ordered[limit:]
+		ordered = ordered[:limit]
+	}
+
+	list := fwdlist.Build(entriesOf(ordered))
+	d.addChainEdges(list)
+	for {
+		victim := -1
+		for i := len(ordered) - 1; i >= 0; i-- {
+			if d.Waits.CycleThrough(ordered[i].Txn) != nil {
+				victim = i
+				break
+			}
+		}
+		if victim < 0 {
+			break
+		}
+		d.removeChainEdges(list)
+		v := ordered[victim]
+		ordered = append(ordered[:victim], ordered[victim+1:]...)
+		d.Order.Remove(v.Txn)
+		victims = append(victims, v)
+		list = fwdlist.Build(entriesOf(ordered))
+		d.addChainEdges(list)
+	}
+	if len(ordered) == 0 {
+		d.removeChainEdges(list)
+		return nil, victims, rest
+	}
+	if !d.Opts.NoAvoidance {
+		dispatched := make([]ids.Txn, len(ordered))
+		for i, q := range ordered {
+			dispatched[i] = q.Txn
+		}
+		d.Order.Record(dispatched)
+	}
+	return &FlightPlan{Item: item, List: list, MR1W: d.Opts.MR1W}, victims, rest
+}
+
+// entriesOf converts ordered window requests into forward-list entries.
+func entriesOf(reqs []WindowRequest) []fwdlist.Entry {
+	entries := make([]fwdlist.Entry, len(reqs))
+	for i, q := range reqs {
+		entries[i] = fwdlist.Entry{Txn: q.Txn, Client: q.Client, Write: q.Write}
+	}
+	return entries
+}
+
+// addChainEdges installs the forward-list precedence waits: each member
+// waits for every member of the preceding segment until that member
+// releases or forwards the item.
+func (d *Dispatcher) addChainEdges(list *fwdlist.List) {
+	for j := 1; j < list.NumSegments(); j++ {
+		for _, e := range list.Segment(j).Entries {
+			for _, p := range list.Segment(j - 1).Entries {
+				d.Waits.AddEdge(e.Txn, p.Txn)
+			}
+		}
+	}
+}
+
+// removeChainEdges undoes addChainEdges for a tentative list.
+func (d *Dispatcher) removeChainEdges(list *fwdlist.List) {
+	for j := 1; j < list.NumSegments(); j++ {
+		for _, e := range list.Segment(j).Entries {
+			for _, p := range list.Segment(j - 1).Entries {
+				d.Waits.RemoveEdge(e.Txn, p.Txn)
+			}
+		}
+	}
+}
+
+// BlockOnFlight makes a pending request wait for every unfinished member
+// of the in-flight forward list — a cycle through these edges is exactly
+// the paper's cross-window (read-dependency) deadlock — and, unless
+// avoidance is off, constrains the precedence graph: every in-flight
+// member is granted this item before the pending request, so wherever
+// both meet again the member must come first. It returns the wait edges
+// installed, which the driver stores and later removes with Unblock.
+func (d *Dispatcher) BlockOnFlight(f *Flight, txn ids.Txn) []ids.Txn {
+	edges := f.Unfinished()
+	for _, m := range edges {
+		d.Waits.AddEdge(txn, m)
+	}
+	if !d.Opts.NoAvoidance {
+		for _, m := range edges {
+			d.Order.Constrain(m, txn)
+		}
+	}
+	return edges
+}
+
+// Unblock removes previously-installed request wait edges.
+func (d *Dispatcher) Unblock(txn ids.Txn, edges []ids.Txn) {
+	for _, m := range edges {
+		d.Waits.RemoveEdge(txn, m)
+	}
+}
+
+// MemberDone marks a flight member as finished (released or forwarded the
+// item) and drops the chain wait-for edges from the next segment's
+// members toward it. Extras (off-list members) only mark.
+func (d *Dispatcher) MemberDone(f *Flight, txn ids.Txn) {
+	f.done[txn] = true
+	j := f.Plan.SegOf(txn)
+	if j < 0 {
+		return
+	}
+	list := f.Plan.List
+	if j+1 >= list.NumSegments() {
+		return
+	}
+	for _, e := range list.Segment(j + 1).Entries {
+		d.Waits.RemoveEdge(e.Txn, txn)
+	}
+}
+
+// Flight tracks the server-side view of one dispatched forward list:
+// which members have finished and which late readers joined via the
+// read-expansion extension.
+type Flight struct {
+	// Plan is the immutable routing plan the flight dispatched with.
+	Plan   *FlightPlan
+	done   map[ids.Txn]bool
+	extras []ids.Txn // ascending ids; late readers admitted by read expansion
+}
+
+// NewFlight returns the tracking state for a freshly dispatched plan.
+func NewFlight(plan *FlightPlan) *Flight {
+	return &Flight{Plan: plan, done: make(map[ids.Txn]bool)}
+}
+
+// Unfinished returns the ids of members (including extras) that have not
+// yet released or forwarded the item — the transactions a new pending
+// request must wait for. List members come first in list order, then
+// extras in ascending id order, so the result never depends on map
+// iteration order.
+func (f *Flight) Unfinished() []ids.Txn {
+	var out []ids.Txn
+	for _, t := range f.Plan.List.Txns() {
+		if !f.done[t] {
+			out = append(out, t)
+		}
+	}
+	for _, t := range f.extras {
+		if !f.done[t] {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// AddExtra admits a late reader (read expansion) as a flight member.
+func (f *Flight) AddExtra(txn ids.Txn) {
+	i := sort.Search(len(f.extras), func(i int) bool { return f.extras[i] >= txn })
+	f.extras = append(f.extras, 0)
+	copy(f.extras[i+1:], f.extras[i:])
+	f.extras[i] = txn
+}
+
+// IsExtra reports whether txn joined the flight by read expansion.
+func (f *Flight) IsExtra(txn ids.Txn) bool {
+	i := sort.Search(len(f.extras), func(i int) bool { return f.extras[i] >= txn })
+	return i < len(f.extras) && f.extras[i] == txn
+}
+
+// Done reports whether txn has finished its involvement with the flight.
+func (f *Flight) Done(txn ids.Txn) bool { return f.done[txn] }

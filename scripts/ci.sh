@@ -13,8 +13,27 @@ make check
 echo "== race detector: live cluster + history audit =="
 make race
 
+echo "== race detector: live c-2PL serializability oracle + leak check =="
+go test -race ./internal/live -run 'C2PL|TestShutdownLeaksNoGoroutines' -count=1
+
 echo "== golden trajectories: conformance against committed hashes =="
 go test ./internal/engine -run Golden
+
+# A change to the golden file is a change to every pinned trajectory; it
+# must never ride along unannounced. If HEAD touches the goldens, the
+# commit message body has to carry a "golden-regen:" line explaining the
+# regeneration (go test ./internal/engine -run TestGoldenTrajectories -update).
+GOLDEN=internal/engine/testdata/golden_trajectories.txt
+if git rev-parse --verify -q HEAD^ >/dev/null &&
+	! git diff --quiet HEAD^ HEAD -- "$GOLDEN"; then
+	echo "== golden file changed in HEAD; checking for a golden-regen note =="
+	if ! git log -1 --format=%B | grep -q '^golden-regen:'; then
+		echo "FAIL: $GOLDEN changed without a 'golden-regen:' note in the commit" >&2
+		echo "message body. Regenerate deliberately and say why, e.g.:" >&2
+		echo "    golden-regen: MR1W gate change moves every g-2PL trajectory" >&2
+		exit 1
+	fi
+fi
 
 echo "== fuzz: forward-list reorder + precedence-graph invariants (10s each) =="
 go test ./internal/fwdlist -run '^$' -fuzz FuzzForwardListReorder -fuzztime 10s
