@@ -2,6 +2,13 @@
 // command line, printing run statistics and the serializability audit.
 //
 //	liveserver -protocol g2pl -clients 16 -txns 20 -latency 500us
+//
+// The link layer can be made adversarial for fault injection: chaos
+// flags reorder, duplicate and jitter deliveries (deterministically per
+// -seed), and the per-link sequencing at the protocol edge must mask all
+// of it — the audit still has to pass.
+//
+//	liveserver -protocol c2pl -chaos-reorder 0.3 -chaos-dup 0.2 -chaos-jitter 500us
 package main
 
 import (
@@ -16,7 +23,7 @@ import (
 )
 
 func main() {
-	proto := flag.String("protocol", "g2pl", "protocol: s2pl or g2pl")
+	proto := flag.String("protocol", "g2pl", "protocol: s2pl, g2pl or c2pl")
 	clients := flag.Int("clients", 12, "number of client sites")
 	txns := flag.Int("txns", 15, "committed transactions per client")
 	latency := flag.Duration("latency", 300*time.Microsecond, "one-way link latency")
@@ -24,6 +31,10 @@ func main() {
 	readProb := flag.Float64("readprob", 0.5, "probability an access is a read")
 	seed := flag.Uint64("seed", 1, "random seed")
 	noMR1W := flag.Bool("nomr1w", false, "disable the MR1W optimization")
+	stall := flag.Duration("stall-timeout", 0, "fail the run if the cluster stalls this long (0: 2m default)")
+	chaosReorder := flag.Float64("chaos-reorder", 0, "per-message probability of a link reordering the delivery")
+	chaosDup := flag.Float64("chaos-dup", 0, "per-message probability of a duplicated delivery")
+	chaosJitter := flag.Duration("chaos-jitter", 0, "maximum extra per-message delivery delay")
 	flag.Parse()
 
 	cfg := live.Config{
@@ -33,6 +44,12 @@ func main() {
 		TxnsPerClient: *txns,
 		Seed:          *seed,
 		NoMR1W:        *noMR1W,
+		StallTimeout:  *stall,
+		Chaos: live.ChaosConfig{
+			Reorder:   *chaosReorder,
+			Duplicate: *chaosDup,
+			Jitter:    *chaosJitter,
+		},
 	}
 	cfg.Workload.Items = *items
 	cfg.Workload.ReadProb = *readProb
@@ -41,6 +58,8 @@ func main() {
 		cfg.Protocol = live.S2PL
 	case "g2pl":
 		cfg.Protocol = live.G2PL
+	case "c2pl":
+		cfg.Protocol = live.C2PL
 	default:
 		fmt.Fprintf(os.Stderr, "liveserver: unknown protocol %q\n", *proto)
 		os.Exit(2)
@@ -53,6 +72,10 @@ func main() {
 	}
 	fmt.Printf("protocol=%s clients=%d txns/client=%d latency=%v\n",
 		cfg.Protocol, cfg.Clients, cfg.TxnsPerClient, cfg.Latency)
+	if cfg.Chaos != (live.ChaosConfig{}) {
+		fmt.Printf("chaos: reorder=%v dup=%v jitter=%v (seed %d)\n",
+			cfg.Chaos.Reorder, cfg.Chaos.Duplicate, cfg.Chaos.Jitter, cfg.Seed)
+	}
 	fmt.Printf("commits=%d aborts=%d messages=%d elapsed=%v mean-response=%v\n",
 		res.Stats.Commits, res.Stats.Aborts, res.Stats.Messages,
 		res.Stats.Elapsed.Round(time.Millisecond), res.Stats.MeanResponse.Round(time.Microsecond))

@@ -1,0 +1,102 @@
+package live
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/rng"
+)
+
+// ChaosConfig turns the live network from a well-behaved link into an
+// adversarial one: deliveries may be reordered, duplicated and jittered
+// per link. The faults are drawn from deterministic streams derived from
+// Config.Seed, so a failing chaos run names a seed that reproduces the
+// same fault decisions. The protocol edge (sequence numbers stamped by
+// the sender, a resequencer at each mailbox) must mask all of it — the
+// cores still see exactly-once, in-order event streams, and the
+// serializability oracle checks the result.
+type ChaosConfig struct {
+	// Reorder is the per-message probability that a delivery is displaced
+	// behind up to three deliveries already queued at its destination.
+	Reorder float64
+	// Duplicate is the per-message probability that a delivery is
+	// enqueued twice; the receiver's dedup must drop the copy.
+	Duplicate float64
+	// Jitter is the maximum extra delivery delay, drawn uniformly per
+	// message on top of the configured link latency.
+	Jitter time.Duration
+}
+
+// enabled reports whether any fault injection is configured.
+func (c ChaosConfig) enabled() bool {
+	return c.Reorder > 0 || c.Duplicate > 0 || c.Jitter > 0
+}
+
+// validate reports the first bad chaos knob.
+func (c ChaosConfig) validate() error {
+	switch {
+	case c.Reorder < 0 || c.Reorder > 1:
+		return fmt.Errorf("live: Chaos.Reorder must be in [0, 1], got %v", c.Reorder)
+	case c.Duplicate < 0 || c.Duplicate > 1:
+		return fmt.Errorf("live: Chaos.Duplicate must be in [0, 1], got %v", c.Duplicate)
+	case c.Jitter < 0:
+		return fmt.Errorf("live: Chaos.Jitter must be >= 0, got %v", c.Jitter)
+	}
+	return nil
+}
+
+// directive is the policy's fault decision for one send.
+type directive struct {
+	displace  int // insert this many slots before the destination queue's tail
+	duplicate bool
+	jitter    time.Duration
+}
+
+// chaosSeq is the rng sequence selector reserved for the chaos policy,
+// distinct from the workload generators' streams so enabling chaos does
+// not shift the transaction mix.
+const chaosSeq = 0xC1A05
+
+// linkPolicy draws fault decisions from one deterministic stream per
+// directed link, split lazily from a root stream seeded by Config.Seed.
+type linkPolicy struct {
+	cfg ChaosConfig
+
+	mu    sync.Mutex
+	root  *rng.Stream
+	links map[linkKey]*rng.Stream
+}
+
+func newLinkPolicy(cfg ChaosConfig, seed uint64) *linkPolicy {
+	return &linkPolicy{
+		cfg:   cfg,
+		root:  rng.New(seed, chaosSeq),
+		links: make(map[linkKey]*rng.Stream),
+	}
+}
+
+// roll decides the faults applied to one send on link k.
+func (p *linkPolicy) roll(k linkKey) directive {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s := p.links[k]
+	if s == nil {
+		// A stable 64-bit label per directed link keeps the per-link
+		// streams independent of link creation order.
+		label := uint64(uint32(k.src))<<32 | uint64(uint32(k.dst))
+		s = p.root.Split(label)
+		p.links[k] = s
+	}
+	var d directive
+	if p.cfg.Reorder > 0 && s.Bool(p.cfg.Reorder) {
+		d.displace = s.IntRange(1, 3)
+	}
+	if p.cfg.Duplicate > 0 && s.Bool(p.cfg.Duplicate) {
+		d.duplicate = true
+	}
+	if p.cfg.Jitter > 0 {
+		d.jitter = time.Duration(s.Float64() * float64(p.cfg.Jitter))
+	}
+	return d
+}

@@ -1,0 +1,120 @@
+package live
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/rng"
+	"repro/internal/serial"
+	"repro/internal/workload"
+)
+
+// chaosModes are the fault mixes the suite sweeps: each single fault in
+// isolation, then all of them together.
+var chaosModes = []struct {
+	name  string
+	chaos ChaosConfig
+}{
+	{"reorder", ChaosConfig{Reorder: 0.35}},
+	{"dup", ChaosConfig{Duplicate: 0.3}},
+	{"jitter", ChaosConfig{Jitter: 400 * time.Microsecond}},
+	{"all", ChaosConfig{Reorder: 0.35, Duplicate: 0.3, Jitter: 400 * time.Microsecond}},
+}
+
+// chaosConfig keeps each run small enough that the full matrix stays
+// fast under -race while still producing real contention.
+func chaosConfig(p Protocol, seed uint64, chaos ChaosConfig) Config {
+	wl := workload.Default()
+	wl.Items = 8
+	return Config{
+		Protocol:      p,
+		Clients:       6,
+		Latency:       100 * time.Microsecond,
+		Workload:      wl,
+		TxnsPerClient: 8,
+		Seed:          seed,
+		Chaos:         chaos,
+	}
+}
+
+// runChaos executes one chaos run and applies every oracle: commit
+// target reached, history serializable, and no goroutine leaked.
+func runChaos(t *testing.T, cfg Config) {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	res := mustRun(t, cfg)
+	if want := int64(cfg.Clients * cfg.TxnsPerClient); res.Stats.Commits != want {
+		t.Fatalf("commits = %d, want %d", res.Stats.Commits, want)
+	}
+	if err := serial.Check(res.History); err != nil {
+		t.Fatalf("not serializable under chaos: %v", err)
+	}
+	after := runtime.NumGoroutine()
+	deadline := time.Now().Add(5 * time.Second)
+	for after > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+		after = runtime.NumGoroutine()
+	}
+	if after > before {
+		buf := make([]byte, 1<<20)
+		n := runtime.Stack(buf, true)
+		t.Fatalf("chaos run leaked goroutines: %d before, %d after\n%s", before, after, buf[:n])
+	}
+}
+
+// TestChaosMatrix is the adversarial-network acceptance suite: seeds ×
+// protocols × fault modes, every run checked by the serializability
+// oracle and the goroutine-leak probe. CI runs it under -race.
+func TestChaosMatrix(t *testing.T) {
+	seeds := []uint64{1, 2, 3, 4}
+	if testing.Short() {
+		seeds = seeds[:2]
+	}
+	for _, p := range []Protocol{S2PL, G2PL, C2PL} {
+		for _, mode := range chaosModes {
+			for _, seed := range seeds {
+				t.Run(fmt.Sprintf("%v/%s/seed%d", p, mode.name, seed), func(t *testing.T) {
+					runChaos(t, chaosConfig(p, seed, mode.chaos))
+				})
+			}
+		}
+	}
+}
+
+// TestChaosPropertySerializable drives the property from a different
+// angle: chaos intensities themselves drawn per seed, a contended
+// workload, and the basic-mode (NoMR1W) ablation included, so the sweep
+// is not tied to the matrix's hand-picked fault points.
+func TestChaosPropertySerializable(t *testing.T) {
+	for seed := uint64(1); seed <= 4; seed++ {
+		s := rng.New(seed, 99)
+		chaos := ChaosConfig{
+			Reorder:   s.Float64() * 0.5,
+			Duplicate: s.Float64() * 0.5,
+			Jitter:    time.Duration(s.Float64() * float64(500*time.Microsecond)),
+		}
+		for _, p := range []Protocol{S2PL, G2PL, C2PL} {
+			p := p
+			t.Run(fmt.Sprintf("%v/seed%d", p, seed), func(t *testing.T) {
+				cfg := chaosConfig(p, seed, chaos)
+				cfg.Workload.Items = 5
+				cfg.Workload.MaxTxnItems = 3
+				cfg.NoMR1W = seed%2 == 0
+				runChaos(t, cfg)
+			})
+		}
+	}
+}
+
+// TestChaosZeroLatency pins the interaction of the two tentpole pieces:
+// zero-latency sends route through the pump (the old inline path skipped
+// chaos and could deadlock), so fault injection must work there too.
+func TestChaosZeroLatency(t *testing.T) {
+	for _, p := range []Protocol{S2PL, G2PL, C2PL} {
+		cfg := chaosConfig(p, 5, ChaosConfig{Reorder: 0.35, Duplicate: 0.3})
+		cfg.Latency = 0
+		runChaos(t, cfg)
+	}
+}

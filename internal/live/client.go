@@ -114,7 +114,7 @@ func (c *client) beginNext(arm func(time.Duration, func())) {
 	if c.committed >= c.cl.cfg.TxnsPerClient {
 		if !c.signaled {
 			c.signaled = true
-			c.cl.targetWG.Done()
+			c.cl.clientAtTarget()
 		}
 		return
 	}
@@ -137,7 +137,7 @@ func (c *client) beginNext(arm func(time.Duration, func())) {
 
 func (c *client) sendRequest() {
 	op := c.cur.op()
-	c.cl.net.send(c.cl.server.mbox, reqMsg{
+	c.cl.net.send(c.id, ids.Server, reqMsg{
 		txn:    c.cur.id,
 		client: c.id,
 		item:   op.Item,
@@ -304,7 +304,7 @@ func (c *client) commit(t *liveTxn, arm func(time.Duration, func())) {
 	c.cur = nil
 
 	if c.cl.cfg.Protocol == S2PL {
-		c.cl.net.send(c.cl.server.mbox, releaseMsg{txn: t.id, writes: t.writes})
+		c.cl.net.send(c.id, ids.Server, releaseMsg{txn: t.id, writes: t.writes})
 	} else {
 		for i := range t.held {
 			h := &t.held[i]
@@ -336,13 +336,13 @@ func (c *client) onAbort(txn ids.Txn, arm func(time.Duration, func())) {
 	case S2PL:
 		// The victim's release travels back before the server frees its
 		// locks (abort round trip).
-		c.cl.net.send(c.cl.server.mbox, releaseMsg{txn: t.id, aborted: true})
+		c.cl.net.send(c.id, ids.Server, releaseMsg{txn: t.id, aborted: true})
 	case C2PL:
 		// The aborted work never used its recalled items durably: the
 		// deferred releases ride on the finish message, and the cached
 		// locks themselves stay — they belong to the site.
 		released := c.cache.Finish(t.id, nil)
-		c.cl.net.send(c.cl.server.mbox, finishMsg{txn: t.id, client: c.id, released: released})
+		c.cl.net.send(c.id, ids.Server, finishMsg{txn: t.id, client: c.id, released: released})
 	default:
 		c.forwardAll(t)
 		c.residual[t.id] = t
@@ -375,10 +375,10 @@ func (c *client) finishItem(t *liveTxn, h *heldItem) {
 	h.forwarded = true
 	plan := h.plan
 	j := plan.SegOf(t.id)
-	c.cl.net.send(c.cl.server.mbox, doneMsg{txn: t.id, item: h.item})
+	c.cl.net.send(c.id, ids.Server, doneMsg{txn: t.id, item: h.item})
 	if !h.write {
 		cli, txn := plan.ReleaseTarget(j)
-		c.cl.net.send(c.cl.mailboxOf(cli), fwdMsg{
+		c.cl.net.send(c.id, cli, fwdMsg{
 			item: h.item, from: t.id, to: txn,
 			version: h.version, value: h.value,
 			release: true, plan: plan,
@@ -391,27 +391,27 @@ func (c *client) finishItem(t *liveTxn, h *heldItem) {
 	}
 	list := plan.List
 	if j+1 >= list.NumSegments() {
-		c.cl.net.send(c.cl.server.mbox, fwdMsg{item: h.item, from: t.id, version: ver, value: val, plan: plan})
+		c.cl.net.send(c.id, ids.Server, fwdMsg{item: h.item, from: t.id, version: ver, value: val, plan: plan})
 		return
 	}
 	next := list.Segment(j + 1)
 	if next.Write {
 		e := next.Entries[0]
-		c.cl.net.send(c.cl.mailboxOf(e.Client), dataMsg{txn: e.Txn, item: h.item, version: ver, value: val, plan: plan})
+		c.cl.net.send(c.id, e.Client, dataMsg{txn: e.Txn, item: h.item, version: ver, value: val, plan: plan})
 		return
 	}
 	for _, e := range next.Entries {
-		c.cl.net.send(c.cl.mailboxOf(e.Client), dataMsg{txn: e.Txn, item: h.item, version: ver, value: val, plan: plan})
+		c.cl.net.send(c.id, e.Client, dataMsg{txn: e.Txn, item: h.item, version: ver, value: val, plan: plan})
 	}
 	if j+2 < list.NumSegments() {
 		if plan.MR1W {
 			e := list.Segment(j + 2).Entries[0]
-			c.cl.net.send(c.cl.mailboxOf(e.Client), dataMsg{txn: e.Txn, item: h.item, version: ver, value: val, plan: plan})
+			c.cl.net.send(c.id, e.Client, dataMsg{txn: e.Txn, item: h.item, version: ver, value: val, plan: plan})
 		}
 		return
 	}
 	// Final read group dispatched by a writer: the data also goes home.
-	c.cl.net.send(c.cl.server.mbox, fwdMsg{item: h.item, from: t.id, version: ver, value: val, plan: plan})
+	c.cl.net.send(c.id, ids.Server, fwdMsg{item: h.item, from: t.id, version: ver, value: val, plan: plan})
 }
 
 // gcResidual drops a finished transaction once nothing further can arrive
@@ -486,10 +486,10 @@ func (c *client) onGrant(m grantMsg, arm func(time.Duration, func())) {
 // used the item, release immediately otherwise.
 func (c *client) onRecall(m recallMsg) {
 	if c.cache.Recall(m.item) == protocol.RecallDefer {
-		c.cl.net.send(c.cl.server.mbox, deferMsg{txn: c.cur.id, client: c.id, item: m.item})
+		c.cl.net.send(c.id, ids.Server, deferMsg{txn: c.cur.id, client: c.id, item: m.item})
 		return
 	}
-	c.cl.net.send(c.cl.server.mbox, crelMsg{client: c.id, item: m.item})
+	c.cl.net.send(c.id, ids.Server, crelMsg{client: c.id, item: m.item})
 }
 
 // commitC2PL finishes the current c-2PL transaction: updates and deferred
@@ -516,6 +516,6 @@ func (c *client) commitC2PL(t *liveTxn, arm func(time.Duration, func())) {
 	c.committed++
 	c.cur = nil
 	released := c.cache.Finish(t.id, writeItems)
-	c.cl.net.send(c.cl.server.mbox, finishMsg{txn: t.id, client: c.id, writes: writes, released: released})
+	c.cl.net.send(c.id, ids.Server, finishMsg{txn: t.id, client: c.id, writes: writes, released: released})
 	c.beginNext(arm)
 }

@@ -45,8 +45,9 @@ type cluster struct {
 	clients []*client
 	audit   *auditLog
 
-	stopc    chan struct{}
-	targetWG sync.WaitGroup
+	stopc     chan struct{}
+	targetc   chan struct{} // closed when every client reaches its target
+	remaining atomic.Int64  // clients still short of their commit target
 
 	commits atomic.Int64
 	aborts  atomic.Int64
@@ -57,17 +58,23 @@ type cluster struct {
 
 func newCluster(cfg Config) (*cluster, error) {
 	cl := &cluster{
-		cfg:   cfg,
-		net:   &network{latency: cfg.Latency},
-		audit: &auditLog{},
-		stopc: make(chan struct{}),
+		cfg:     cfg,
+		audit:   &auditLog{},
+		stopc:   make(chan struct{}),
+		targetc: make(chan struct{}),
 	}
+	var policy *linkPolicy
+	if cfg.Chaos.enabled() {
+		policy = newLinkPolicy(cfg.Chaos, cfg.Seed)
+	}
+	cl.net = newNetwork(cfg.Latency, cl.mailboxOf, policy)
 	cl.server = newServer(cl)
 	root := rng.New(cfg.Seed, 1)
 	for i := 0; i < cfg.Clients; i++ {
 		cl.clients = append(cl.clients, newClient(cl, ids.Client(i),
 			workload.NewGenerator(cfg.Workload, root.Split(uint64(i)))))
 	}
+	cl.remaining.Store(int64(cfg.Clients))
 	return cl, nil
 }
 
@@ -83,6 +90,14 @@ func (cl *cluster) newTxnID() ids.Txn {
 	return ids.Txn(cl.nextTxn.Add(1))
 }
 
+// clientAtTarget records one client reaching its commit target; the last
+// one releases the harness.
+func (cl *cluster) clientAtTarget() {
+	if cl.remaining.Add(-1) == 0 {
+		close(cl.targetc)
+	}
+}
+
 func (cl *cluster) run() (*Result, error) {
 	start := time.Now()
 	var wg sync.WaitGroup
@@ -91,7 +106,6 @@ func (cl *cluster) run() (*Result, error) {
 		defer wg.Done()
 		cl.server.loop()
 	}()
-	cl.targetWG.Add(len(cl.clients))
 	for _, c := range cl.clients {
 		c := c
 		wg.Add(1)
@@ -102,61 +116,32 @@ func (cl *cluster) run() (*Result, error) {
 	}
 
 	// Wait for every client to reach its commit target.
-	targets := make(chan struct{})
-	go func() {
-		cl.targetWG.Wait()
-		close(targets)
-	}()
-	deadline := 2 * time.Minute
+	deadline := cl.cfg.StallTimeout
+	if deadline == 0 {
+		deadline = 2 * time.Minute
+	}
+	var stallErr error
 	select {
-	case <-targets:
+	case <-cl.targetc:
 	case <-time.After(deadline):
-		close(cl.stopc)
-		return nil, fmt.Errorf("live: cluster stalled with %d of %d commits",
+		stallErr = fmt.Errorf("live: cluster stalled with %d of %d commits",
 			cl.commits.Load(), cl.cfg.Clients*cl.cfg.TxnsPerClient)
 	}
 
-	// Quiesce: the server must see every item home and no transaction
-	// blocked, so the audit log is complete before shutdown.
+	// Quiesce (reached targets only): the server must see every item home
+	// and no transaction blocked, so the audit log is complete before
+	// shutdown. Either way — success, stall or failed quiesce — the exit
+	// path is the same full shutdown, so no error return leaks goroutines
+	// or in-flight deliveries into subsequent runs.
 	quiet := false
-	for i := 0; i < 5000 && !quiet; i++ {
-		reply := make(chan bool, 1)
-		cl.server.mbox.ch <- quiesceMsg{reply: reply}
-		quiet = <-reply
-		if !quiet {
-			time.Sleep(time.Millisecond)
-		}
+	if stallErr == nil {
+		quiet = cl.quiesce()
 	}
-	close(cl.stopc)
-	cl.server.mbox.ch <- stopMsg{}
-	wg.Wait()
+	cl.shutdown(&wg)
 
-	// Drain any straggler timers so the network's waitgroup settles.
-	drainQuit := make(chan struct{})
-	for _, c := range cl.clients {
-		c := c
-		go func() {
-			for {
-				select {
-				case <-c.mbox.ch:
-				case <-drainQuit:
-					return
-				}
-			}
-		}()
+	if stallErr != nil {
+		return nil, stallErr
 	}
-	go func() {
-		for {
-			select {
-			case <-cl.server.mbox.ch:
-			case <-drainQuit:
-				return
-			}
-		}
-	}()
-	cl.net.wg.Wait()
-	close(drainQuit)
-
 	if !quiet {
 		return nil, fmt.Errorf("live: cluster did not quiesce (commits=%d)", cl.commits.Load())
 	}
@@ -179,8 +164,70 @@ func (cl *cluster) run() (*Result, error) {
 	}, nil
 }
 
-// Control messages used only by the cluster harness.
-type (
-	quiesceMsg struct{ reply chan bool }
-	stopMsg    struct{}
-)
+// harnessTimeout guards every harness control interaction with a protocol
+// goroutine: a wedged server must fail the run, never hang the harness
+// past the deadline it just enforced.
+const harnessTimeout = 2 * time.Second
+
+// quiesce polls the server until it reports no protocol state in flight.
+// Both the control send and the reply wait are timeout-guarded, so a
+// wedged server yields a clean not-quiet failure.
+func (cl *cluster) quiesce() bool {
+	for i := 0; i < 5000; i++ {
+		reply := make(chan bool, 1)
+		select {
+		case cl.server.mbox.ch <- quiesceMsg{reply: reply}:
+		case <-time.After(harnessTimeout):
+			return false
+		}
+		select {
+		case quiet := <-reply:
+			if quiet {
+				return true
+			}
+		case <-time.After(harnessTimeout):
+			return false
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return false
+}
+
+// shutdown stops everything the cluster started — the server and client
+// loops via stopc, then the delivery pumps and their timers by draining
+// straggler messages until the network's waitgroup settles. It is shared
+// by the success and error paths.
+func (cl *cluster) shutdown(wg *sync.WaitGroup) {
+	close(cl.stopc)
+	wg.Wait()
+
+	// With the site loops gone, in-flight pumps may be blocked on full
+	// mailboxes; drain every mailbox until the last delivery completes.
+	drainQuit := make(chan struct{})
+	var drains sync.WaitGroup
+	boxes := []*mailbox{cl.server.mbox}
+	for _, c := range cl.clients {
+		boxes = append(boxes, c.mbox)
+	}
+	for _, b := range boxes {
+		b := b
+		drains.Add(1)
+		go func() {
+			defer drains.Done()
+			for {
+				select {
+				case <-b.ch:
+				case <-drainQuit:
+					return
+				}
+			}
+		}()
+	}
+	cl.net.wg.Wait()
+	close(drainQuit)
+	drains.Wait()
+}
+
+// quiesceMsg is the harness's control probe: the server replies whether
+// no protocol state is in flight.
+type quiesceMsg struct{ reply chan bool }

@@ -1,0 +1,50 @@
+package live
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestStallTimeoutReclaimsGoroutines is the regression test for the
+// stall-path leak: when the cluster hit its deadline, run used to return
+// without waiting for the server/client goroutines or draining in-flight
+// deliveries, leaking them (and their pump timers) into subsequent runs.
+// The error path must reuse the same shutdown sequence as success.
+func TestStallTimeoutReclaimsGoroutines(t *testing.T) {
+	cfg := testConfig(S2PL)
+	cfg.TxnsPerClient = 100000 // cannot finish before the stall deadline
+	cfg.StallTimeout = 100 * time.Millisecond
+	before := runtime.NumGoroutine()
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("expected a stall error")
+	}
+	after := runtime.NumGoroutine()
+	deadline := time.Now().Add(5 * time.Second)
+	for after > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+		after = runtime.NumGoroutine()
+	}
+	if after > before {
+		buf := make([]byte, 1<<20)
+		n := runtime.Stack(buf, true)
+		t.Fatalf("stall path leaked goroutines: %d before, %d after\n%s",
+			before, after, buf[:n])
+	}
+}
+
+// TestStallErrorMessage pins the stall error shape so operators can tell
+// a stall (protocol wedge) from a failed quiesce (audit incomplete).
+func TestStallErrorMessage(t *testing.T) {
+	cfg := testConfig(G2PL)
+	cfg.TxnsPerClient = 100000
+	cfg.StallTimeout = 50 * time.Millisecond
+	_, err := Run(cfg)
+	if err == nil {
+		t.Fatal("expected a stall error")
+	}
+	if want := "cluster stalled"; !strings.Contains(err.Error(), want) {
+		t.Fatalf("stall error %q does not mention %q", err, want)
+	}
+}

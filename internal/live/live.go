@@ -70,6 +70,13 @@ type Config struct {
 	TxnsPerClient int // committed transactions each client must finish
 	Seed          uint64
 	NoMR1W        bool
+	// StallTimeout bounds the whole run: if the clients have not all
+	// reached their commit target within it, Run fails with a stall
+	// error. Zero means the two-minute default.
+	StallTimeout time.Duration
+	// Chaos injects link faults (reorder, duplicate, jitter); the zero
+	// value leaves the network well-behaved.
+	Chaos ChaosConfig
 }
 
 // Validate reports the first configuration error.
@@ -81,8 +88,13 @@ func (c Config) Validate() error {
 		return fmt.Errorf("live: Latency must be >= 0, got %v", c.Latency)
 	case c.TxnsPerClient <= 0:
 		return fmt.Errorf("live: TxnsPerClient must be positive, got %d", c.TxnsPerClient)
+	case c.StallTimeout < 0:
+		return fmt.Errorf("live: StallTimeout must be >= 0, got %v", c.StallTimeout)
 	case c.Protocol != S2PL && c.Protocol != G2PL && c.Protocol != C2PL:
 		return fmt.Errorf("live: unknown protocol %d", int(c.Protocol))
+	}
+	if err := c.Chaos.validate(); err != nil {
+		return err
 	}
 	return c.Workload.Validate()
 }
@@ -195,25 +207,43 @@ type delivery struct {
 	msg message
 }
 
-// mailbox is an endpoint of the latency-injecting network. Deliveries are
-// FIFO per destination: the protocols assume order-preserving links (in
-// c-2PL especially, a commit's finish message must not be overtaken by a
-// later cache release, or a promoted waiter would read a stale version).
+// mailbox is an endpoint of the latency-injecting network. The wire makes
+// no ordering promise — chaos mode deliberately reorders and duplicates
+// deliveries — so in-order, exactly-once delivery is not an assumption
+// but an invariant enforced here: every delivery carries a per-link
+// sequence number and the pump routes it through a resequencer before the
+// owning goroutine reads it from ch. The protocols need that invariant
+// (in c-2PL especially, a commit's finish message must not be overtaken
+// by a later cache release, or a promoted waiter would read a stale
+// version).
 type mailbox struct {
 	ch chan message
 
 	mu      sync.Mutex
 	queue   []delivery
 	pumping bool
+
+	// reseq restores per-source order; only the single pump goroutine
+	// (serialized by the pumping flag under mu) touches it.
+	reseq *resequencer
 }
 
-func newMailbox(buf int) *mailbox { return &mailbox{ch: make(chan message, buf)} }
+func newMailbox(buf int) *mailbox {
+	return &mailbox{ch: make(chan message, buf), reseq: newResequencer()}
+}
 
-// enqueue schedules a delivery and ensures a pump goroutine is draining
-// the queue in order.
-func (b *mailbox) enqueue(d delivery, wg *sync.WaitGroup) {
+// enqueue schedules a delivery displace slots before the queue's tail
+// (0 appends; chaos reordering passes more) and ensures a pump goroutine
+// is draining the queue. It never blocks the caller.
+func (b *mailbox) enqueue(d delivery, displace int, wg *sync.WaitGroup) {
 	b.mu.Lock()
-	b.queue = append(b.queue, d)
+	pos := len(b.queue) - displace
+	if pos < 0 {
+		pos = 0
+	}
+	b.queue = append(b.queue, delivery{})
+	copy(b.queue[pos+1:], b.queue[pos:])
+	b.queue[pos] = d
 	if b.pumping {
 		b.mu.Unlock()
 		return
@@ -223,8 +253,9 @@ func (b *mailbox) enqueue(d delivery, wg *sync.WaitGroup) {
 	go b.pump(wg)
 }
 
-// pump delivers queued messages in enqueue order, sleeping out each
-// message's remaining latency; it exits when the queue drains.
+// pump delivers queued messages in queue order, sleeping out each
+// message's remaining latency and resequencing per source; it exits when
+// the queue drains.
 func (b *mailbox) pump(wg *sync.WaitGroup) {
 	for {
 		b.mu.Lock()
@@ -239,31 +270,83 @@ func (b *mailbox) pump(wg *sync.WaitGroup) {
 		if wait := time.Until(d.at); wait > 0 {
 			time.Sleep(wait)
 		}
-		//repolint:allow gosend -- mailboxes are buffered and the cluster drains stragglers at shutdown (see cluster.run)
-		b.ch <- d.msg
+		for _, m := range b.deliverable(d.msg) {
+			//repolint:allow gosend -- mailboxes are buffered and the cluster drains stragglers at shutdown (see cluster.shutdown)
+			b.ch <- m
+		}
 		wg.Done()
 	}
 }
 
-// network delivers messages after a fixed latency, preserving send order
-// per destination (an order-preserving link, as TCP would provide).
-type network struct {
-	latency time.Duration
-	msgs    int64
-	mu      sync.Mutex
-	wg      sync.WaitGroup
+// deliverable resequences one popped delivery into the messages now due
+// in order: none while a gap is open or for a duplicate, several when an
+// arrival closes a gap. Raw un-enveloped messages (unit tests inject
+// them) pass straight through.
+func (b *mailbox) deliverable(m message) []message {
+	if e, ok := m.(envelope); ok {
+		return b.reseq.accept(e)
+	}
+	return []message{m}
 }
 
-func (n *network) send(dst *mailbox, m message) {
+// linkKey identifies one directed link between sites.
+type linkKey struct{ src, dst ids.Client }
+
+// network delivers messages after a fixed latency. The link itself is not
+// trusted to preserve order: the sender stamps each message with the
+// link's next sequence number, an optional chaos policy perturbs the
+// in-flight deliveries, and the receiving mailbox's resequencer restores
+// exactly-once, in-order delivery per link.
+type network struct {
+	latency time.Duration
+	lookup  func(ids.Client) *mailbox
+	policy  *linkPolicy // nil: well-behaved links
+
+	mu   sync.Mutex
+	msgs int64
+	seqs map[linkKey]uint64
+
+	wg sync.WaitGroup
+}
+
+func newNetwork(latency time.Duration, lookup func(ids.Client) *mailbox, policy *linkPolicy) *network {
+	return &network{
+		latency: latency,
+		lookup:  lookup,
+		policy:  policy,
+		seqs:    make(map[linkKey]uint64),
+	}
+}
+
+// send stamps m with the src→dst link's next sequence number and
+// schedules its delivery. Sends never block the caller: even zero-latency
+// deliveries go through the destination's pump, because delivering inline
+// from the sender's goroutine lets a full mailbox deadlock a send cycle
+// between two sites.
+func (n *network) send(src, dst ids.Client, m message) {
+	k := linkKey{src: src, dst: dst}
 	n.mu.Lock()
 	n.msgs++
+	seq := nextSeq(n.seqs[k])
+	n.seqs[k] = seq
 	n.mu.Unlock()
-	if n.latency == 0 {
-		dst.ch <- m
-		return
+
+	var d directive
+	if n.policy != nil {
+		d = n.policy.roll(k)
 	}
+	env := envelope{src: src, seq: seq, msg: m}
+	at := time.Now().Add(n.latency + d.jitter)
+	box := n.lookup(dst)
 	n.wg.Add(1)
-	dst.enqueue(delivery{at: time.Now().Add(n.latency), msg: m}, &n.wg)
+	box.enqueue(delivery{at: at, msg: env}, d.displace, &n.wg)
+	if d.duplicate {
+		n.mu.Lock()
+		n.msgs++
+		n.mu.Unlock()
+		n.wg.Add(1)
+		box.enqueue(delivery{at: at, msg: env}, 0, &n.wg)
+	}
 }
 
 func (n *network) messages() int64 {

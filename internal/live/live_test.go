@@ -38,6 +38,10 @@ func TestValidate(t *testing.T) {
 		func(c *Config) { c.TxnsPerClient = 0 },
 		func(c *Config) { c.Protocol = Protocol(7) },
 		func(c *Config) { c.Workload.Items = 0 },
+		func(c *Config) { c.StallTimeout = -time.Second },
+		func(c *Config) { c.Chaos.Reorder = 2 },
+		func(c *Config) { c.Chaos.Duplicate = -0.5 },
+		func(c *Config) { c.Chaos.Jitter = -time.Millisecond },
 	}
 	for i, mut := range cases {
 		cfg := testConfig(S2PL)

@@ -1,0 +1,167 @@
+package live
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/ids"
+)
+
+// payload labels one test message with its source and position.
+type payload struct {
+	src ids.Client
+	n   int
+}
+
+// runLinkFIFO drives nsrc concurrent senders of count messages each into
+// one destination mailbox through a network with the given policy, and
+// asserts the destination reads every sender's stream exactly once and in
+// order, whatever the link did in between.
+func runLinkFIFO(t *testing.T, policy *linkPolicy, latency time.Duration, nsrc, count int) {
+	t.Helper()
+	dst := newMailbox(8)
+	net := newNetwork(latency, func(ids.Client) *mailbox { return dst }, policy)
+	var senders sync.WaitGroup
+	for s := 0; s < nsrc; s++ {
+		s := s
+		senders.Add(1)
+		go func() {
+			defer senders.Done()
+			for i := 0; i < count; i++ {
+				net.send(ids.Client(s), 9, payload{src: ids.Client(s), n: i})
+			}
+		}()
+	}
+	next := make(map[ids.Client]int)
+	for got := 0; got < nsrc*count; got++ {
+		select {
+		case m := <-dst.ch:
+			p := m.(payload)
+			if p.n != next[p.src] {
+				t.Fatalf("from %v: delivery %d arrived, want %d (reordered, lost or duplicated)", p.src, p.n, next[p.src])
+			}
+			next[p.src]++
+		case <-time.After(10 * time.Second):
+			t.Fatalf("delivery stalled after %d of %d messages", got, nsrc*count)
+		}
+	}
+	senders.Wait()
+	net.wg.Wait()
+	select {
+	case m := <-dst.ch:
+		t.Fatalf("extra delivery %v after all %d expected (duplicate leaked through)", m, nsrc*count)
+	default:
+	}
+}
+
+func TestMailboxPerLinkFIFOConcurrentEnqueuers(t *testing.T) {
+	runLinkFIFO(t, nil, 20*time.Microsecond, 4, 300)
+}
+
+func TestMailboxPerLinkFIFOZeroLatency(t *testing.T) {
+	runLinkFIFO(t, nil, 0, 4, 300)
+}
+
+// TestMailboxPerLinkFIFOUnderChaos is the tentpole invariant at its
+// sharpest: with the link adversarially reordering, duplicating and
+// jittering deliveries, the resequencer at the mailbox edge must still
+// hand the consumer exactly-once, in-order streams per sender.
+func TestMailboxPerLinkFIFOUnderChaos(t *testing.T) {
+	chaos := ChaosConfig{Reorder: 0.5, Duplicate: 0.4, Jitter: 100 * time.Microsecond}
+	for seed := uint64(1); seed <= 3; seed++ {
+		runLinkFIFO(t, newLinkPolicy(chaos, seed), 20*time.Microsecond, 4, 300)
+	}
+}
+
+// TestZeroLatencySendDoesNotDeadlock is the regression test for the
+// inline-delivery bug: with Latency == 0 the network used to deliver
+// straight into dst.ch from the sender's own goroutine, so two sites
+// sending to each other with full (tiny) mailbox buffers deadlocked —
+// exactly a server↔client send cycle under load. All sends must go
+// through the enqueue/pump path so a sender never blocks.
+func TestZeroLatencySendDoesNotDeadlock(t *testing.T) {
+	a := newMailbox(1)
+	b := newMailbox(1)
+	boxes := map[ids.Client]*mailbox{0: a, 1: b}
+	net := newNetwork(0, func(c ids.Client) *mailbox { return boxes[c] }, nil)
+	const n = 64
+	sent := make(chan struct{}, 2)
+	go func() {
+		for i := 0; i < n; i++ {
+			net.send(0, 1, i)
+		}
+		sent <- struct{}{}
+	}()
+	go func() {
+		for i := 0; i < n; i++ {
+			net.send(1, 0, i)
+		}
+		sent <- struct{}{}
+	}()
+	deadline := time.After(5 * time.Second)
+	for i := 0; i < 2; i++ {
+		select {
+		case <-sent:
+		case <-deadline:
+			t.Fatal("zero-latency send cycle deadlocked on full mailbox buffers")
+		}
+	}
+	// Drain both mailboxes so every pump delivery completes.
+	for i := 0; i < n; i++ {
+		<-a.ch
+		<-b.ch
+	}
+	net.wg.Wait()
+}
+
+// TestChaosPolicyDeterministic pins the seeded policy: the same seed must
+// yield the same fault decisions on every link, so a failing chaos run
+// can be replayed.
+func TestChaosPolicyDeterministic(t *testing.T) {
+	chaos := ChaosConfig{Reorder: 0.3, Duplicate: 0.2, Jitter: time.Millisecond}
+	a := newLinkPolicy(chaos, 7)
+	b := newLinkPolicy(chaos, 7)
+	other := newLinkPolicy(chaos, 8)
+	k := linkKey{src: ids.Server, dst: 3}
+	same, diff := 0, 0
+	for i := 0; i < 200; i++ {
+		da, db := a.roll(k), b.roll(k)
+		if da != db {
+			t.Fatalf("roll %d diverged for identical seeds: %+v vs %+v", i, da, db)
+		}
+		if da == other.roll(k) {
+			same++
+		} else {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Fatal("different seeds never diverged; policy ignores the seed")
+	}
+}
+
+func TestChaosConfigValidate(t *testing.T) {
+	bad := []ChaosConfig{
+		{Reorder: -0.1},
+		{Reorder: 1.1},
+		{Duplicate: -0.1},
+		{Duplicate: 2},
+		{Jitter: -time.Second},
+	}
+	for i, c := range bad {
+		if c.validate() == nil {
+			t.Errorf("case %d: invalid chaos config %+v accepted", i, c)
+		}
+	}
+	ok := ChaosConfig{Reorder: 1, Duplicate: 1, Jitter: time.Second}
+	if err := ok.validate(); err != nil {
+		t.Errorf("valid chaos config rejected: %v", err)
+	}
+	if (ChaosConfig{}).enabled() {
+		t.Error("zero chaos config reports enabled")
+	}
+	if !ok.enabled() {
+		t.Error("non-zero chaos config reports disabled")
+	}
+}

@@ -1,0 +1,104 @@
+package live
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/ids"
+)
+
+// env builds a test envelope carrying its own seq as payload.
+func env(src ids.Client, seq uint64) envelope {
+	return envelope{src: src, seq: seq, msg: seq}
+}
+
+// wantOut asserts accept returned exactly the given payload seqs in order.
+func wantOut(t *testing.T, got []message, want ...uint64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("accept returned %d messages %v, want %d", len(got), got, len(want))
+	}
+	for i, m := range got {
+		if m.(uint64) != want[i] {
+			t.Fatalf("accept[%d] = %v, want %d", i, m, want[i])
+		}
+	}
+}
+
+func TestResequencerInOrder(t *testing.T) {
+	r := newResequencer()
+	for seq := uint64(1); seq <= 5; seq++ {
+		wantOut(t, r.accept(env(0, seq)), seq)
+	}
+}
+
+func TestResequencerGapBuffering(t *testing.T) {
+	r := newResequencer()
+	// 2 and 3 arrive ahead of 1: buffered, then released in order.
+	wantOut(t, r.accept(env(0, 2)))
+	wantOut(t, r.accept(env(0, 3)))
+	wantOut(t, r.accept(env(0, 1)), 1, 2, 3)
+	// The gap buffer is empty again; 4 flows straight through.
+	wantOut(t, r.accept(env(0, 4)), 4)
+}
+
+func TestResequencerDupDrop(t *testing.T) {
+	r := newResequencer()
+	wantOut(t, r.accept(env(0, 1)), 1)
+	// Duplicate of a delivered message: dropped.
+	wantOut(t, r.accept(env(0, 1)))
+	// Duplicate of a buffered (gap) message: dropped, then delivered once.
+	wantOut(t, r.accept(env(0, 3)))
+	wantOut(t, r.accept(env(0, 3)))
+	wantOut(t, r.accept(env(0, 2)), 2, 3)
+	wantOut(t, r.accept(env(0, 2)))
+	wantOut(t, r.accept(env(0, 3)))
+}
+
+func TestResequencerPerSourceStreams(t *testing.T) {
+	r := newResequencer()
+	// Sources sequence independently: seq 1 from each is deliverable, and
+	// a gap on one source does not block the other.
+	wantOut(t, r.accept(env(0, 2)))
+	wantOut(t, r.accept(env(1, 1)), 1)
+	wantOut(t, r.accept(env(ids.Server, 1)), 1)
+	wantOut(t, r.accept(env(0, 1)), 1, 2)
+}
+
+func TestResequencerUnstampedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("seq 0 (unstamped) must panic")
+		}
+	}()
+	newResequencer().accept(env(0, 0))
+}
+
+func TestResequencerGapOverflowPanics(t *testing.T) {
+	r := newResequencer()
+	// Hold the gap open at seq 1 and flood arrivals past it.
+	for seq := uint64(2); seq < maxResequencerGap+2; seq++ {
+		r.accept(env(0, seq))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unbounded gap growth must panic, not hang the run")
+		}
+	}()
+	r.accept(env(0, maxResequencerGap+2))
+}
+
+func TestNextSeqWraparoundGuard(t *testing.T) {
+	if got := nextSeq(0); got != 1 {
+		t.Fatalf("nextSeq(0) = %d, want 1", got)
+	}
+	if got := nextSeq(41); got != 42 {
+		t.Fatalf("nextSeq(41) = %d, want 42", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("sequence wraparound must panic: a wrapped counter would alias live and ancient seqs")
+		}
+	}()
+	nextSeq(math.MaxUint64)
+}

@@ -62,20 +62,23 @@ func newServer(cl *cluster) *server {
 }
 
 func (s *server) loop() {
-	for m := range s.mbox.ch {
-		switch msg := m.(type) {
-		case stopMsg:
+	for {
+		select {
+		case <-s.cl.stopc:
 			return
-		case quiesceMsg:
-			msg.reply <- s.quiet()
-		default:
-			switch s.cl.cfg.Protocol {
-			case S2PL:
-				s.handleS2PL(m)
-			case G2PL:
-				s.handleG2PL(m)
+		case m := <-s.mbox.ch:
+			switch msg := m.(type) {
+			case quiesceMsg:
+				msg.reply <- s.quiet()
 			default:
-				s.handleC2PL(m)
+				switch s.cl.cfg.Protocol {
+				case S2PL:
+					s.handleS2PL(m)
+				case G2PL:
+					s.handleG2PL(m)
+				default:
+					s.handleC2PL(m)
+				}
 			}
 		}
 	}
@@ -132,14 +135,14 @@ func (s *server) applyLock(acts []protocol.LockAction) {
 	for _, a := range acts {
 		switch a.Kind {
 		case protocol.LockGrant:
-			s.cl.net.send(s.cl.mailboxOf(a.Req.Client), dataMsg{
+			s.cl.net.send(ids.Server, a.Req.Client, dataMsg{
 				txn:     a.Req.Txn,
 				item:    a.Req.Item,
 				version: s.versions[a.Req.Item],
 				value:   s.values[a.Req.Item],
 			})
 		case protocol.LockAbort:
-			s.cl.net.send(s.cl.mailboxOf(a.Req.Client), abortMsg{txn: a.Req.Txn})
+			s.cl.net.send(ids.Server, a.Req.Client, abortMsg{txn: a.Req.Txn})
 		}
 	}
 }
@@ -191,7 +194,7 @@ func (s *server) g2plAbort(it *liveItem, m reqMsg) {
 	s.disp.Unblock(m.txn, it.edges[m.txn])
 	delete(it.edges, m.txn)
 	s.disp.Order.Remove(m.txn)
-	s.cl.net.send(s.cl.mailboxOf(m.client), abortMsg{txn: m.txn})
+	s.cl.net.send(ids.Server, m.client, abortMsg{txn: m.txn})
 }
 
 // dispatch closes the item's collection window: the core orders the
@@ -212,7 +215,7 @@ func (s *server) dispatch(it *liveItem) {
 	}
 	plan, victims, rest := s.disp.PlanWindow(it.id, wreqs)
 	for _, v := range victims {
-		s.cl.net.send(s.cl.mailboxOf(v.Client), abortMsg{txn: v.Txn})
+		s.cl.net.send(ids.Server, v.Client, abortMsg{txn: v.Txn})
 	}
 	if len(rest) != 0 {
 		// The live dispatcher runs without a window cap.
@@ -235,7 +238,7 @@ func (s *server) dispatch(it *liveItem) {
 // sendData delivers one data copy of a dispatching segment — the single
 // emission site for server-side g-2PL data messages.
 func (s *server) sendData(cli ids.Client, txn ids.Txn, item ids.Item, ver ids.Txn, val int64, plan *protocol.FlightPlan) {
-	s.cl.net.send(s.cl.mailboxOf(cli), dataMsg{txn: txn, item: item, version: ver, value: val, plan: plan})
+	s.cl.net.send(ids.Server, cli, dataMsg{txn: txn, item: item, version: ver, value: val, plan: plan})
 }
 
 // g2plHome handles data or final-segment releases arriving back at the
@@ -320,7 +323,7 @@ func (s *server) applyCache(acts []protocol.CacheAction) {
 	for _, a := range acts {
 		switch a.Kind {
 		case protocol.CacheGrant:
-			s.cl.net.send(s.cl.mailboxOf(a.Client), grantMsg{
+			s.cl.net.send(ids.Server, a.Client, grantMsg{
 				txn:     a.Txn,
 				item:    a.Item,
 				mode:    a.Mode,
@@ -328,9 +331,9 @@ func (s *server) applyCache(acts []protocol.CacheAction) {
 				value:   s.values[a.Item],
 			})
 		case protocol.CacheRecall:
-			s.cl.net.send(s.cl.mailboxOf(a.Client), recallMsg{item: a.Item})
+			s.cl.net.send(ids.Server, a.Client, recallMsg{item: a.Item})
 		case protocol.CacheAbort:
-			s.cl.net.send(s.cl.mailboxOf(a.Client), abortMsg{txn: a.Txn})
+			s.cl.net.send(ids.Server, a.Client, abortMsg{txn: a.Txn})
 		}
 	}
 }

@@ -16,6 +16,9 @@ make race
 echo "== race detector: live c-2PL serializability oracle + leak check =="
 go test -race ./internal/live -run 'C2PL|TestShutdownLeaksNoGoroutines' -count=1
 
+echo "== race detector: adversarial-network chaos sweep (short seeds) =="
+go test -race -short ./internal/live -run 'TestChaos|TestStallTimeout|TestZeroLatency' -count=1
+
 echo "== golden trajectories: conformance against committed hashes =="
 go test ./internal/engine -run Golden
 
