@@ -4,11 +4,13 @@
 //	liveserver -protocol g2pl -clients 16 -txns 20 -latency 500us
 //
 // The link layer can be made adversarial for fault injection: chaos
-// flags reorder, duplicate and jitter deliveries (deterministically per
-// -seed), and the per-link sequencing at the protocol edge must mask all
-// of it — the audit still has to pass.
+// flags reorder, duplicate, jitter and drop deliveries (deterministically
+// per -seed), and the protocol edge — per-link sequencing plus the ARQ
+// retransmission layer once -chaos-drop is in play — must mask all of
+// it: the audit still has to pass.
 //
 //	liveserver -protocol c2pl -chaos-reorder 0.3 -chaos-dup 0.2 -chaos-jitter 500us
+//	liveserver -protocol g2pl -chaos-drop 0.2 -arq-rto 2ms -arq-cap 50
 package main
 
 import (
@@ -35,6 +37,10 @@ func main() {
 	chaosReorder := flag.Float64("chaos-reorder", 0, "per-message probability of a link reordering the delivery")
 	chaosDup := flag.Float64("chaos-dup", 0, "per-message probability of a duplicated delivery")
 	chaosJitter := flag.Duration("chaos-jitter", 0, "maximum extra per-message delivery delay")
+	chaosDrop := flag.Float64("chaos-drop", 0, "per-transmission probability of a delivery lost in flight")
+	arqRTO := flag.Duration("arq-rto", 0, "initial ARQ retransmission timeout (0: default)")
+	arqCap := flag.Int("arq-cap", 0, "retransmit attempts per message before the link is declared dead (0: default)")
+	noARQ := flag.Bool("no-arq", false, "disable ARQ retransmission; dropped messages then stall the run")
 	flag.Parse()
 
 	cfg := live.Config{
@@ -49,6 +55,12 @@ func main() {
 			Reorder:   *chaosReorder,
 			Duplicate: *chaosDup,
 			Jitter:    *chaosJitter,
+			Drop:      *chaosDrop,
+		},
+		ARQ: live.ARQConfig{
+			Disabled:      *noARQ,
+			RTO:           *arqRTO,
+			RetransmitCap: *arqCap,
 		},
 	}
 	cfg.Workload.Items = *items
@@ -73,12 +85,17 @@ func main() {
 	fmt.Printf("protocol=%s clients=%d txns/client=%d latency=%v\n",
 		cfg.Protocol, cfg.Clients, cfg.TxnsPerClient, cfg.Latency)
 	if cfg.Chaos != (live.ChaosConfig{}) {
-		fmt.Printf("chaos: reorder=%v dup=%v jitter=%v (seed %d)\n",
-			cfg.Chaos.Reorder, cfg.Chaos.Duplicate, cfg.Chaos.Jitter, cfg.Seed)
+		fmt.Printf("chaos: reorder=%v dup=%v jitter=%v drop=%v (seed %d)\n",
+			cfg.Chaos.Reorder, cfg.Chaos.Duplicate, cfg.Chaos.Jitter, cfg.Chaos.Drop, cfg.Seed)
 	}
 	fmt.Printf("commits=%d aborts=%d messages=%d elapsed=%v mean-response=%v\n",
 		res.Stats.Commits, res.Stats.Aborts, res.Stats.Messages,
 		res.Stats.Elapsed.Round(time.Millisecond), res.Stats.MeanResponse.Round(time.Microsecond))
+	if cfg.Chaos.Drop > 0 {
+		fmt.Printf("reliability: dropped=%d retransmits=%d acks=%d (coalesced=%d piggybacked=%d) max-rto=%v\n",
+			res.Stats.Dropped, res.Stats.Retransmits, res.Stats.AcksSent,
+			res.Stats.AcksCoalesced, res.Stats.AcksPiggybacked, res.Stats.MaxRTO)
+	}
 	if err := serial.Check(res.History); err != nil {
 		fmt.Printf("serializability audit: FAILED: %v\n", err)
 		os.Exit(1)

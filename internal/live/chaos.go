@@ -9,12 +9,13 @@ import (
 )
 
 // ChaosConfig turns the live network from a well-behaved link into an
-// adversarial one: deliveries may be reordered, duplicated and jittered
-// per link. The faults are drawn from deterministic streams derived from
-// Config.Seed, so a failing chaos run names a seed that reproduces the
-// same fault decisions. The protocol edge (sequence numbers stamped by
-// the sender, a resequencer at each mailbox) must mask all of it — the
-// cores still see exactly-once, in-order event streams, and the
+// adversarial one: deliveries may be reordered, duplicated, jittered and
+// dropped per link. The faults are drawn from deterministic streams
+// derived from Config.Seed, so a failing chaos run names a seed that
+// reproduces the same fault decisions. The protocol edge (sequence
+// numbers stamped by the sender, a resequencer at each mailbox, and —
+// once Drop is in play — the ARQ retransmission layer) must mask all of
+// it: the cores still see exactly-once, in-order event streams, and the
 // serializability oracle checks the result.
 type ChaosConfig struct {
 	// Reorder is the per-message probability that a delivery is displaced
@@ -26,11 +27,19 @@ type ChaosConfig struct {
 	// Jitter is the maximum extra delivery delay, drawn uniformly per
 	// message on top of the configured link latency.
 	Jitter time.Duration
+	// Drop is the per-transmission probability that a delivery is lost in
+	// flight: it never reaches the destination mailbox. Loss is masked by
+	// the ARQ layer (Config.ARQ) unless that layer is disabled, in which
+	// case a dropped protocol message is fatal — the run ends in a stall
+	// error rather than a silent hang. Drop and Duplicate are independent
+	// rolls: a transmission that is both dropped and duplicated still
+	// arrives once, via the duplicate copy.
+	Drop float64
 }
 
 // enabled reports whether any fault injection is configured.
 func (c ChaosConfig) enabled() bool {
-	return c.Reorder > 0 || c.Duplicate > 0 || c.Jitter > 0
+	return c.Reorder > 0 || c.Duplicate > 0 || c.Jitter > 0 || c.Drop > 0
 }
 
 // validate reports the first bad chaos knob.
@@ -42,6 +51,8 @@ func (c ChaosConfig) validate() error {
 		return fmt.Errorf("live: Chaos.Duplicate must be in [0, 1], got %v", c.Duplicate)
 	case c.Jitter < 0:
 		return fmt.Errorf("live: Chaos.Jitter must be >= 0, got %v", c.Jitter)
+	case c.Drop < 0 || c.Drop > 1:
+		return fmt.Errorf("live: Chaos.Drop must be in [0, 1], got %v", c.Drop)
 	}
 	return nil
 }
@@ -51,6 +62,7 @@ type directive struct {
 	displace  int // insert this many slots before the destination queue's tail
 	duplicate bool
 	jitter    time.Duration
+	drop      bool
 }
 
 // chaosSeq is the rng sequence selector reserved for the chaos policy,
@@ -58,45 +70,64 @@ type directive struct {
 // not shift the transaction mix.
 const chaosSeq = 0xC1A05
 
-// linkPolicy draws fault decisions from one deterministic stream per
+// dropSplit is the label under which each link's drop stream is split
+// off its main fault stream.
+const dropSplit = 0xD20B
+
+// linkStreams are one directed link's deterministic fault sources: the
+// main stream feeds the reorder/duplicate/jitter decisions, and a
+// separately split stream feeds drop, so enabling Drop never shifts the
+// other fault decisions (and vice versa). The drop stream is split
+// unconditionally at link creation, keeping the main stream's draw
+// sequence identical whether or not Drop is configured.
+type linkStreams struct {
+	main *rng.Stream
+	drop *rng.Stream
+}
+
+// linkPolicy draws fault decisions from deterministic streams per
 // directed link, split lazily from a root stream seeded by Config.Seed.
 type linkPolicy struct {
 	cfg ChaosConfig
 
 	mu    sync.Mutex
 	root  *rng.Stream
-	links map[linkKey]*rng.Stream
+	links map[linkKey]linkStreams
 }
 
 func newLinkPolicy(cfg ChaosConfig, seed uint64) *linkPolicy {
 	return &linkPolicy{
 		cfg:   cfg,
 		root:  rng.New(seed, chaosSeq),
-		links: make(map[linkKey]*rng.Stream),
+		links: make(map[linkKey]linkStreams),
 	}
 }
 
-// roll decides the faults applied to one send on link k.
+// roll decides the faults applied to one transmission on link k.
 func (p *linkPolicy) roll(k linkKey) directive {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	s := p.links[k]
-	if s == nil {
+	s, ok := p.links[k]
+	if !ok {
 		// A stable 64-bit label per directed link keeps the per-link
 		// streams independent of link creation order.
 		label := uint64(uint32(k.src))<<32 | uint64(uint32(k.dst))
-		s = p.root.Split(label)
+		s.main = p.root.Split(label)
+		s.drop = s.main.Split(dropSplit)
 		p.links[k] = s
 	}
 	var d directive
-	if p.cfg.Reorder > 0 && s.Bool(p.cfg.Reorder) {
-		d.displace = s.IntRange(1, 3)
+	if p.cfg.Reorder > 0 && s.main.Bool(p.cfg.Reorder) {
+		d.displace = s.main.IntRange(1, 3)
 	}
-	if p.cfg.Duplicate > 0 && s.Bool(p.cfg.Duplicate) {
+	if p.cfg.Duplicate > 0 && s.main.Bool(p.cfg.Duplicate) {
 		d.duplicate = true
 	}
 	if p.cfg.Jitter > 0 {
-		d.jitter = time.Duration(s.Float64() * float64(p.cfg.Jitter))
+		d.jitter = time.Duration(s.main.Float64() * float64(p.cfg.Jitter))
+	}
+	if p.cfg.Drop > 0 && s.drop.Bool(p.cfg.Drop) {
+		d.drop = true
 	}
 	return d
 }

@@ -3,6 +3,7 @@ package live
 import (
 	"fmt"
 	"runtime"
+	"strings"
 	"testing"
 	"time"
 
@@ -12,7 +13,8 @@ import (
 )
 
 // chaosModes are the fault mixes the suite sweeps: each single fault in
-// isolation, then all of them together.
+// isolation, the three loss-free ones together, and all four at once
+// (drop exercising the ARQ layer on top of resequencing).
 var chaosModes = []struct {
 	name  string
 	chaos ChaosConfig
@@ -20,7 +22,20 @@ var chaosModes = []struct {
 	{"reorder", ChaosConfig{Reorder: 0.35}},
 	{"dup", ChaosConfig{Duplicate: 0.3}},
 	{"jitter", ChaosConfig{Jitter: 400 * time.Microsecond}},
+	{"drop", ChaosConfig{Drop: 0.25}},
 	{"all", ChaosConfig{Reorder: 0.35, Duplicate: 0.3, Jitter: 400 * time.Microsecond}},
+	{"all4", ChaosConfig{Reorder: 0.35, Duplicate: 0.3, Jitter: 400 * time.Microsecond, Drop: 0.2}},
+}
+
+// testARQ is the fast retransmission tuning the chaos suite runs with:
+// timeouts scaled to the microsecond link latencies so lossy runs
+// recover quickly, with enough budget that recoverable loss never trips
+// the cap.
+var testARQ = ARQConfig{
+	RTO:           2 * time.Millisecond,
+	MaxRTO:        32 * time.Millisecond,
+	RetransmitCap: 100,
+	AckDelay:      500 * time.Microsecond,
 }
 
 // chaosConfig keeps each run small enough that the full matrix stays
@@ -36,6 +51,7 @@ func chaosConfig(p Protocol, seed uint64, chaos ChaosConfig) Config {
 		TxnsPerClient: 8,
 		Seed:          seed,
 		Chaos:         chaos,
+		ARQ:           testARQ,
 	}
 }
 
@@ -51,17 +67,7 @@ func runChaos(t *testing.T, cfg Config) {
 	if err := serial.Check(res.History); err != nil {
 		t.Fatalf("not serializable under chaos: %v", err)
 	}
-	after := runtime.NumGoroutine()
-	deadline := time.Now().Add(5 * time.Second)
-	for after > before && time.Now().Before(deadline) {
-		time.Sleep(10 * time.Millisecond)
-		after = runtime.NumGoroutine()
-	}
-	if after > before {
-		buf := make([]byte, 1<<20)
-		n := runtime.Stack(buf, true)
-		t.Fatalf("chaos run leaked goroutines: %d before, %d after\n%s", before, after, buf[:n])
-	}
+	waitNoLeaks(t, before, "chaos run")
 }
 
 // TestChaosMatrix is the adversarial-network acceptance suite: seeds ×
@@ -94,6 +100,7 @@ func TestChaosPropertySerializable(t *testing.T) {
 			Reorder:   s.Float64() * 0.5,
 			Duplicate: s.Float64() * 0.5,
 			Jitter:    time.Duration(s.Float64() * float64(500*time.Microsecond)),
+			Drop:      s.Float64() * 0.3,
 		}
 		for _, p := range []Protocol{S2PL, G2PL, C2PL} {
 			p := p
@@ -108,13 +115,94 @@ func TestChaosPropertySerializable(t *testing.T) {
 	}
 }
 
-// TestChaosZeroLatency pins the interaction of the two tentpole pieces:
+// TestChaosZeroLatency pins the interaction of the tentpole pieces:
 // zero-latency sends route through the pump (the old inline path skipped
-// chaos and could deadlock), so fault injection must work there too.
+// chaos and could deadlock), so fault injection — including drop with
+// its retransmit timers — must work there too.
 func TestChaosZeroLatency(t *testing.T) {
 	for _, p := range []Protocol{S2PL, G2PL, C2PL} {
-		cfg := chaosConfig(p, 5, ChaosConfig{Reorder: 0.35, Duplicate: 0.3})
+		cfg := chaosConfig(p, 5, ChaosConfig{Reorder: 0.35, Duplicate: 0.3, Drop: 0.2})
 		cfg.Latency = 0
 		runChaos(t, cfg)
+	}
+}
+
+// TestChaosDropCounters checks the reliability observability: a lossy
+// run must account for what chaos dropped and what the ARQ layer did to
+// recover — nonzero drop, retransmit and ack counters, and a recorded
+// backoff high-water mark.
+func TestChaosDropCounters(t *testing.T) {
+	res := mustRun(t, chaosConfig(G2PL, 3, ChaosConfig{Drop: 0.25}))
+	st := res.Stats
+	if st.Dropped == 0 {
+		t.Fatal("25% drop chaos dropped nothing")
+	}
+	if st.Retransmits == 0 {
+		t.Fatal("lossy run needed no retransmits — ARQ never engaged")
+	}
+	if st.AcksSent+st.AcksPiggybacked == 0 {
+		t.Fatal("no acknowledgements recorded")
+	}
+	if st.MaxRTO < testARQ.RTO {
+		t.Fatalf("MaxRTO = %v, want >= initial RTO %v once retransmits happened", st.MaxRTO, testARQ.RTO)
+	}
+}
+
+// TestChaosDropARQDisabledFailsLoudly pins the stall-timeout × drop
+// path: with retransmission off, a lost protocol message wedges the run,
+// and the harness must convert that into a stall error and reclaim every
+// goroutine — never hang and never leak.
+func TestChaosDropARQDisabledFailsLoudly(t *testing.T) {
+	cfg := chaosConfig(S2PL, 2, ChaosConfig{Drop: 0.3})
+	cfg.ARQ = ARQConfig{Disabled: true}
+	cfg.StallTimeout = time.Second
+	before := runtime.NumGoroutine()
+	_, err := Run(cfg)
+	if err == nil {
+		t.Fatal("drop without ARQ completed — loss was silently tolerated")
+	}
+	if !strings.Contains(err.Error(), "stalled") {
+		t.Fatalf("error %q is not a stall", err)
+	}
+	waitNoLeaks(t, before, "ARQ-disabled drop stall")
+}
+
+// TestChaosDropRetransmitCapFailsLoudly pins the other loud-failure
+// path: total loss exhausts the retransmit cap and the run ends with an
+// explicit dead-link error well before the stall deadline, leaking
+// nothing.
+func TestChaosDropRetransmitCapFailsLoudly(t *testing.T) {
+	cfg := chaosConfig(G2PL, 1, ChaosConfig{Drop: 1})
+	cfg.ARQ = ARQConfig{RTO: time.Millisecond, MaxRTO: 2 * time.Millisecond, RetransmitCap: 3, AckDelay: time.Millisecond}
+	cfg.StallTimeout = 30 * time.Second
+	before := runtime.NumGoroutine()
+	start := time.Now()
+	_, err := Run(cfg)
+	if err == nil {
+		t.Fatal("total loss completed successfully")
+	}
+	if !strings.Contains(err.Error(), "retransmit cap") {
+		t.Fatalf("error %q does not name the retransmit cap", err)
+	}
+	if waited := time.Since(start); waited > 15*time.Second {
+		t.Fatalf("dead link took %v to report — the explicit error should beat the stall deadline", waited)
+	}
+	waitNoLeaks(t, before, "retransmit-cap failure")
+}
+
+// waitNoLeaks asserts every goroutine a failed run started is reclaimed,
+// tolerating the runtime's lag in reaping finished goroutines.
+func waitNoLeaks(t *testing.T, before int, what string) {
+	t.Helper()
+	after := runtime.NumGoroutine()
+	deadline := time.Now().Add(5 * time.Second)
+	for after > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+		after = runtime.NumGoroutine()
+	}
+	if after > before {
+		buf := make([]byte, 1<<20)
+		n := runtime.Stack(buf, true)
+		t.Fatalf("%s leaked goroutines: %d before, %d after\n%s", what, before, after, buf[:n])
 	}
 }

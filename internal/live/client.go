@@ -70,11 +70,14 @@ type client struct {
 }
 
 func newClient(cl *cluster, id ids.Client, gen *workload.Generator) *client {
+	mbox := newMailbox(4096)
+	mbox.owner = id
+	mbox.arq = cl.net.arq
 	return &client{
 		cl:       cl,
 		id:       id,
 		gen:      gen,
-		mbox:     newMailbox(4096),
+		mbox:     mbox,
 		cache:    protocol.NewCacheClient(false),
 		residual: make(map[ids.Txn]*liveTxn),
 	}

@@ -47,6 +47,7 @@ type cluster struct {
 
 	stopc     chan struct{}
 	targetc   chan struct{} // closed when every client reaches its target
+	fatalc    chan error    // first unrecoverable transport error (ARQ gave up)
 	remaining atomic.Int64  // clients still short of their commit target
 
 	commits atomic.Int64
@@ -62,12 +63,19 @@ func newCluster(cfg Config) (*cluster, error) {
 		audit:   &auditLog{},
 		stopc:   make(chan struct{}),
 		targetc: make(chan struct{}),
+		fatalc:  make(chan error, 1),
 	}
 	var policy *linkPolicy
 	if cfg.Chaos.enabled() {
 		policy = newLinkPolicy(cfg.Chaos, cfg.Seed)
 	}
 	cl.net = newNetwork(cfg.Latency, cl.mailboxOf, policy)
+	if cfg.Chaos.Drop > 0 && !cfg.ARQ.Disabled {
+		// A link that can lose messages needs the retransmission layer;
+		// without Drop there is nothing to recover and the acks would be
+		// pure overhead.
+		cl.net.arq = newARQ(cfg.ARQ, cl.net, cl.fail)
+	}
 	cl.server = newServer(cl)
 	root := rng.New(cfg.Seed, 1)
 	for i := 0; i < cfg.Clients; i++ {
@@ -76,6 +84,15 @@ func newCluster(cfg Config) (*cluster, error) {
 	}
 	cl.remaining.Store(int64(cfg.Clients))
 	return cl, nil
+}
+
+// fail records the first unrecoverable transport error and releases the
+// harness; later errors are dropped (one is enough to end the run).
+func (cl *cluster) fail(err error) {
+	select {
+	case cl.fatalc <- err:
+	default:
+	}
 }
 
 // mailboxOf resolves a site id to its mailbox (ids.Server is the server).
@@ -123,6 +140,8 @@ func (cl *cluster) run() (*Result, error) {
 	var stallErr error
 	select {
 	case <-cl.targetc:
+	case err := <-cl.fatalc:
+		stallErr = err
 	case <-time.After(deadline):
 		stallErr = fmt.Errorf("live: cluster stalled with %d of %d commits",
 			cl.commits.Load(), cl.cfg.Clients*cl.cfg.TxnsPerClient)
@@ -152,14 +171,24 @@ func (cl *cluster) run() (*Result, error) {
 	if commits > 0 {
 		mean = time.Duration(cl.resp.Load() / commits)
 	}
+	st := Stats{
+		Commits:      commits,
+		Aborts:       cl.aborts.Load(),
+		Messages:     cl.net.messages(),
+		Dropped:      cl.net.dropCount(),
+		Elapsed:      elapsed,
+		MeanResponse: mean,
+	}
+	if cl.net.arq != nil {
+		as := cl.net.arq.snapshot()
+		st.Retransmits = as.retransmits
+		st.AcksSent = as.acksSent
+		st.AcksCoalesced = as.acksCoalesced
+		st.AcksPiggybacked = as.acksPiggybacked
+		st.MaxRTO = as.maxRTO
+	}
 	return &Result{
-		Stats: Stats{
-			Commits:      commits,
-			Aborts:       cl.aborts.Load(),
-			Messages:     cl.net.messages(),
-			Elapsed:      elapsed,
-			MeanResponse: mean,
-		},
+		Stats:   st,
 		History: &cl.audit.log,
 	}, nil
 }
@@ -194,12 +223,20 @@ func (cl *cluster) quiesce() bool {
 }
 
 // shutdown stops everything the cluster started — the server and client
-// loops via stopc, then the delivery pumps and their timers by draining
-// straggler messages until the network's waitgroup settles. It is shared
-// by the success and error paths.
+// loops via stopc, the ARQ retransmit and ack timers, then the delivery
+// pumps and their timers by draining straggler messages until the
+// network's waitgroup settles. It is shared by the success and error
+// paths.
 func (cl *cluster) shutdown(wg *sync.WaitGroup) {
 	close(cl.stopc)
 	wg.Wait()
+
+	// With the site loops gone no new protocol sends happen; stop the ARQ
+	// layer before waiting on the delivery waitgroup, so no timer injects
+	// a retransmission or ack while (or after) the waitgroup settles.
+	if cl.net.arq != nil {
+		cl.net.arq.stop()
+	}
 
 	// With the site loops gone, in-flight pumps may be blocked on full
 	// mailboxes; drain every mailbox until the last delivery completes.

@@ -74,9 +74,12 @@ type Config struct {
 	// reached their commit target within it, Run fails with a stall
 	// error. Zero means the two-minute default.
 	StallTimeout time.Duration
-	// Chaos injects link faults (reorder, duplicate, jitter); the zero
-	// value leaves the network well-behaved.
+	// Chaos injects link faults (reorder, duplicate, jitter, drop); the
+	// zero value leaves the network well-behaved.
 	Chaos ChaosConfig
+	// ARQ tunes the retransmission layer that masks Chaos.Drop; it is
+	// engaged only when Drop > 0 and not Disabled. See ARQConfig.
+	ARQ ARQConfig
 }
 
 // Validate reports the first configuration error.
@@ -96,6 +99,9 @@ func (c Config) Validate() error {
 	if err := c.Chaos.validate(); err != nil {
 		return err
 	}
+	if err := c.ARQ.validate(); err != nil {
+		return err
+	}
 	return c.Workload.Validate()
 }
 
@@ -107,6 +113,17 @@ type Stats struct {
 	Elapsed  time.Duration
 	// MeanResponse is the mean commit latency over committed transactions.
 	MeanResponse time.Duration
+
+	// Reliability counters: what chaos did to the wire and what the ARQ
+	// layer did about it. All zero on a well-behaved network.
+	Dropped         int64 // transmissions lost to Chaos.Drop
+	Retransmits     int64 // envelopes re-sent by the RTO timer
+	AcksSent        int64 // standalone cumulative acks transmitted
+	AcksCoalesced   int64 // ack-worthy arrivals absorbed by a pending ack
+	AcksPiggybacked int64 // acks carried on reverse-direction envelopes
+	// MaxRTO is the longest retransmission timeout any link actually
+	// waited out; zero means no retransmission was ever needed.
+	MaxRTO time.Duration
 }
 
 // message is anything deliverable to a mailbox.
@@ -219,6 +236,13 @@ type delivery struct {
 type mailbox struct {
 	ch chan message
 
+	// owner is the site this mailbox belongs to, and arq the cluster's
+	// retransmission layer; together they let the pump acknowledge
+	// deliveries back to their senders. arq nil means no acks (reliable
+	// links, or the layer is disabled).
+	owner ids.Client
+	arq   *arq
+
 	mu      sync.Mutex
 	queue   []delivery
 	pumping bool
@@ -280,11 +304,28 @@ func (b *mailbox) pump(wg *sync.WaitGroup) {
 
 // deliverable resequences one popped delivery into the messages now due
 // in order: none while a gap is open or for a duplicate, several when an
-// arrival closes a gap. Raw un-enveloped messages (unit tests inject
-// them) pass straight through.
+// arrival closes a gap. When the ARQ layer is active, envelope arrivals
+// also feed the acknowledgement machinery — the piggybacked ack is
+// applied to this site's own sender buffers, and the arrival is noted so
+// a cumulative ack travels back — and standalone ack messages are
+// consumed here, never reaching the owner. Raw un-enveloped messages
+// (unit tests inject them) pass straight through.
 func (b *mailbox) deliverable(m message) []message {
-	if e, ok := m.(envelope); ok {
-		return b.reseq.accept(e)
+	switch e := m.(type) {
+	case ackMsg:
+		if b.arq != nil {
+			b.arq.onAck(linkKey{src: b.owner, dst: e.from}, e.cum)
+		}
+		return nil
+	case envelope:
+		out := b.reseq.accept(e)
+		if b.arq != nil {
+			if e.ack > 0 {
+				b.arq.onAck(linkKey{src: b.owner, dst: e.src}, e.ack)
+			}
+			b.arq.noteReceived(e.src, b.owner, e.seq, b.reseq.delivered(e.src))
+		}
+		return out
 	}
 	return []message{m}
 }
@@ -293,18 +334,22 @@ func (b *mailbox) deliverable(m message) []message {
 type linkKey struct{ src, dst ids.Client }
 
 // network delivers messages after a fixed latency. The link itself is not
-// trusted to preserve order: the sender stamps each message with the
-// link's next sequence number, an optional chaos policy perturbs the
-// in-flight deliveries, and the receiving mailbox's resequencer restores
-// exactly-once, in-order delivery per link.
+// trusted to preserve order — or, with Chaos.Drop, even to deliver: the
+// sender stamps each message with the link's next sequence number, an
+// optional chaos policy perturbs (and may lose) the in-flight
+// deliveries, the ARQ layer retains and retransmits unacked envelopes,
+// and the receiving mailbox's resequencer restores exactly-once,
+// in-order delivery per link.
 type network struct {
 	latency time.Duration
 	lookup  func(ids.Client) *mailbox
 	policy  *linkPolicy // nil: well-behaved links
+	arq     *arq        // nil: no retransmission layer
 
-	mu   sync.Mutex
-	msgs int64
-	seqs map[linkKey]uint64
+	mu      sync.Mutex
+	msgs    int64
+	dropped int64
+	seqs    map[linkKey]uint64
 
 	wg sync.WaitGroup
 }
@@ -318,34 +363,58 @@ func newNetwork(latency time.Duration, lookup func(ids.Client) *mailbox, policy 
 	}
 }
 
-// send stamps m with the src→dst link's next sequence number and
-// schedules its delivery. Sends never block the caller: even zero-latency
-// deliveries go through the destination's pump, because delivering inline
-// from the sender's goroutine lets a full mailbox deadlock a send cycle
-// between two sites.
+// send stamps m with the src→dst link's next sequence number, retains it
+// for retransmission when the ARQ layer is active, and schedules its
+// delivery. Sends never block the caller: even zero-latency deliveries go
+// through the destination's pump, because delivering inline from the
+// sender's goroutine lets a full mailbox deadlock a send cycle between
+// two sites.
 func (n *network) send(src, dst ids.Client, m message) {
 	k := linkKey{src: src, dst: dst}
 	n.mu.Lock()
-	n.msgs++
 	seq := nextSeq(n.seqs[k])
 	n.seqs[k] = seq
 	n.mu.Unlock()
 
+	env := envelope{src: src, seq: seq, msg: m}
+	if n.arq != nil {
+		// Retain before the first transmission: a dropped first copy must
+		// already sit in the retransmission buffer.
+		n.arq.stampAndRetain(k, &env)
+	}
+	n.transmit(k, env)
+}
+
+// transmit puts one message — a stamped envelope, a retransmission of
+// one, or an unsequenced ack — on link k, applying the chaos policy
+// between stamp and delivery. A dropped transmission is counted and
+// discarded; a duplicated one is enqueued twice. Drop and duplicate are
+// independent: the duplicate copy of a dropped transmission still
+// arrives.
+func (n *network) transmit(k linkKey, m message) {
 	var d directive
 	if n.policy != nil {
 		d = n.policy.roll(k)
 	}
-	env := envelope{src: src, seq: seq, msg: m}
-	at := time.Now().Add(n.latency + d.jitter)
-	box := n.lookup(dst)
-	n.wg.Add(1)
-	box.enqueue(delivery{at: at, msg: env}, d.displace, &n.wg)
+	n.mu.Lock()
+	n.msgs++
 	if d.duplicate {
-		n.mu.Lock()
 		n.msgs++
-		n.mu.Unlock()
+	}
+	if d.drop {
+		n.dropped++
+	}
+	n.mu.Unlock()
+
+	at := time.Now().Add(n.latency + d.jitter)
+	box := n.lookup(k.dst)
+	if !d.drop {
 		n.wg.Add(1)
-		box.enqueue(delivery{at: at, msg: env}, 0, &n.wg)
+		box.enqueue(delivery{at: at, msg: m}, d.displace, &n.wg)
+	}
+	if d.duplicate {
+		n.wg.Add(1)
+		box.enqueue(delivery{at: at, msg: m}, 0, &n.wg)
 	}
 }
 
@@ -353,6 +422,12 @@ func (n *network) messages() int64 {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	return n.msgs
+}
+
+func (n *network) dropCount() int64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.dropped
 }
 
 // auditLog is a concurrency-safe wrapper over history.Log.

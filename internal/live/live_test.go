@@ -42,6 +42,12 @@ func TestValidate(t *testing.T) {
 		func(c *Config) { c.Chaos.Reorder = 2 },
 		func(c *Config) { c.Chaos.Duplicate = -0.5 },
 		func(c *Config) { c.Chaos.Jitter = -time.Millisecond },
+		func(c *Config) { c.Chaos.Drop = 1.5 },
+		func(c *Config) { c.Chaos.Drop = -0.1 },
+		func(c *Config) { c.ARQ.RTO = -time.Millisecond },
+		func(c *Config) { c.ARQ = ARQConfig{RTO: 10 * time.Millisecond, MaxRTO: time.Millisecond} },
+		func(c *Config) { c.ARQ.RetransmitCap = -1 },
+		func(c *Config) { c.ARQ.AckDelay = -time.Microsecond },
 	}
 	for i, mut := range cases {
 		cfg := testConfig(S2PL)

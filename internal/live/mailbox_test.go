@@ -119,7 +119,7 @@ func TestZeroLatencySendDoesNotDeadlock(t *testing.T) {
 // yield the same fault decisions on every link, so a failing chaos run
 // can be replayed.
 func TestChaosPolicyDeterministic(t *testing.T) {
-	chaos := ChaosConfig{Reorder: 0.3, Duplicate: 0.2, Jitter: time.Millisecond}
+	chaos := ChaosConfig{Reorder: 0.3, Duplicate: 0.2, Jitter: time.Millisecond, Drop: 0.3}
 	a := newLinkPolicy(chaos, 7)
 	b := newLinkPolicy(chaos, 7)
 	other := newLinkPolicy(chaos, 8)
@@ -141,6 +141,35 @@ func TestChaosPolicyDeterministic(t *testing.T) {
 	}
 }
 
+// TestChaosDropIndependentStream pins the stream discipline that makes
+// Drop a pure extension: enabling it must not shift the reorder,
+// duplicate or jitter decisions of an otherwise identical seeded run,
+// because each link draws drop from its own separately split stream.
+func TestChaosDropIndependentStream(t *testing.T) {
+	base := ChaosConfig{Reorder: 0.3, Duplicate: 0.2, Jitter: time.Millisecond}
+	withDrop := base
+	withDrop.Drop = 0.5
+	a := newLinkPolicy(base, 7)
+	b := newLinkPolicy(withDrop, 7)
+	k := linkKey{src: ids.Server, dst: 3}
+	drops := 0
+	for i := 0; i < 500; i++ {
+		da, db := a.roll(k), b.roll(k)
+		if da.displace != db.displace || da.duplicate != db.duplicate || da.jitter != db.jitter {
+			t.Fatalf("roll %d: enabling Drop shifted other fault decisions: %+v vs %+v", i, da, db)
+		}
+		if da.drop {
+			t.Fatalf("roll %d: policy without Drop rolled a drop", i)
+		}
+		if db.drop {
+			drops++
+		}
+	}
+	if drops == 0 {
+		t.Fatal("Drop=0.5 never dropped in 500 rolls")
+	}
+}
+
 func TestChaosConfigValidate(t *testing.T) {
 	bad := []ChaosConfig{
 		{Reorder: -0.1},
@@ -148,13 +177,15 @@ func TestChaosConfigValidate(t *testing.T) {
 		{Duplicate: -0.1},
 		{Duplicate: 2},
 		{Jitter: -time.Second},
+		{Drop: -0.1},
+		{Drop: 1.5},
 	}
 	for i, c := range bad {
 		if c.validate() == nil {
 			t.Errorf("case %d: invalid chaos config %+v accepted", i, c)
 		}
 	}
-	ok := ChaosConfig{Reorder: 1, Duplicate: 1, Jitter: time.Second}
+	ok := ChaosConfig{Reorder: 1, Duplicate: 1, Jitter: time.Second, Drop: 1}
 	if err := ok.validate(); err != nil {
 		t.Errorf("valid chaos config rejected: %v", err)
 	}
@@ -163,5 +194,30 @@ func TestChaosConfigValidate(t *testing.T) {
 	}
 	if !ok.enabled() {
 		t.Error("non-zero chaos config reports disabled")
+	}
+	if !(ChaosConfig{Drop: 0.1}).enabled() {
+		t.Error("drop-only chaos config reports disabled")
+	}
+}
+
+func TestARQConfigValidate(t *testing.T) {
+	bad := []ARQConfig{
+		{RTO: -time.Millisecond},
+		{MaxRTO: -time.Millisecond},
+		{RTO: 10 * time.Millisecond, MaxRTO: 5 * time.Millisecond},
+		{RetransmitCap: -1},
+		{AckDelay: -time.Microsecond},
+	}
+	for i, c := range bad {
+		if c.validate() == nil {
+			t.Errorf("case %d: invalid ARQ config %+v accepted", i, c)
+		}
+	}
+	if err := (ARQConfig{}).validate(); err != nil {
+		t.Errorf("zero ARQ config rejected: %v", err)
+	}
+	def := (ARQConfig{}).withDefaults()
+	if def.RTO <= 0 || def.MaxRTO < def.RTO || def.RetransmitCap <= 0 || def.AckDelay <= 0 {
+		t.Errorf("defaults not self-consistent: %+v", def)
 	}
 }

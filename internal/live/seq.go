@@ -17,6 +17,10 @@ type envelope struct {
 	src ids.Client
 	seq uint64
 	msg message
+	// ack piggybacks the sender's cumulative acknowledgement for the
+	// reverse link (every seq <= ack received from the destination); 0
+	// carries no information. Only set when the ARQ layer is active.
+	ack uint64
 }
 
 // maxResequencerGap bounds how many out-of-order messages one link may
@@ -93,6 +97,21 @@ func (r *resequencer) accept(e envelope) []message {
 		out = append(out, m)
 		want = nextSeq(want)
 	}
+	// A drained gap must not leave its empty inner map behind: with many
+	// sources over a long run those husks accumulate without bound.
+	if h, ok := r.held[e.src]; ok && len(h) == 0 {
+		delete(r.held, e.src)
+	}
 	r.next[e.src] = want
 	return out
+}
+
+// delivered returns the cumulative in-order delivery point for one
+// source: every seq <= delivered has been handed to the consumer. This
+// is exactly the value a cumulative acknowledgement may carry.
+func (r *resequencer) delivered(src ids.Client) uint64 {
+	if n, ok := r.next[src]; ok {
+		return n - 1
+	}
+	return 0
 }

@@ -65,6 +65,53 @@ func TestResequencerPerSourceStreams(t *testing.T) {
 	wantOut(t, r.accept(env(0, 1)), 1, 2)
 }
 
+// TestResequencerHeldMapDrained is the regression test for the per-source
+// submap leak: once a gap drains, the source's inner held map must be
+// deleted, not left empty in r.held forever.
+func TestResequencerHeldMapDrained(t *testing.T) {
+	r := newResequencer()
+	// Open gaps on two sources, then drain both fully.
+	wantOut(t, r.accept(env(0, 3)))
+	wantOut(t, r.accept(env(0, 2)))
+	wantOut(t, r.accept(env(1, 2)))
+	wantOut(t, r.accept(env(0, 1)), 1, 2, 3)
+	if len(r.held) != 1 {
+		t.Fatalf("after source 0 drained: %d held entries, want 1 (source 1 still gapped)", len(r.held))
+	}
+	wantOut(t, r.accept(env(1, 1)), 1, 2)
+	if len(r.held) != 0 {
+		t.Fatalf("after full drain: %d residual held submaps, want 0", len(r.held))
+	}
+	// A partially drained gap keeps its entries.
+	wantOut(t, r.accept(env(0, 5)))
+	wantOut(t, r.accept(env(0, 7)))
+	wantOut(t, r.accept(env(0, 4)), 4, 5)
+	if len(r.held[0]) != 1 {
+		t.Fatalf("partially drained gap holds %d, want 1 (seq 7)", len(r.held[0]))
+	}
+	wantOut(t, r.accept(env(0, 6)), 6, 7)
+	if len(r.held) != 0 {
+		t.Fatalf("after second drain: %d residual held submaps, want 0", len(r.held))
+	}
+}
+
+func TestResequencerDelivered(t *testing.T) {
+	r := newResequencer()
+	if got := r.delivered(0); got != 0 {
+		t.Fatalf("delivered of unseen source = %d, want 0", got)
+	}
+	r.accept(env(0, 1))
+	r.accept(env(0, 2))
+	r.accept(env(0, 4)) // gapped: not yet delivered
+	if got := r.delivered(0); got != 2 {
+		t.Fatalf("delivered = %d, want 2 (seq 4 still gapped)", got)
+	}
+	r.accept(env(0, 3))
+	if got := r.delivered(0); got != 4 {
+		t.Fatalf("delivered = %d, want 4 after the gap closed", got)
+	}
+}
+
 func TestResequencerUnstampedPanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {

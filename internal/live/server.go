@@ -47,9 +47,12 @@ type liveFlight struct {
 }
 
 func newServer(cl *cluster) *server {
+	mbox := newMailbox(16 * cl.cfg.Clients)
+	mbox.owner = ids.Server
+	mbox.arq = cl.net.arq
 	return &server{
 		cl:       cl,
-		mbox:     newMailbox(16 * cl.cfg.Clients),
+		mbox:     mbox,
 		lockCore: protocol.NewLockServer(protocol.VictimRequester),
 		disp: protocol.NewDispatcher(protocol.WindowOptions{
 			MR1W: !cl.cfg.NoMR1W,

@@ -19,6 +19,9 @@ go test -race ./internal/live -run 'C2PL|TestShutdownLeaksNoGoroutines' -count=1
 echo "== race detector: adversarial-network chaos sweep (short seeds) =="
 go test -race -short ./internal/live -run 'TestChaos|TestStallTimeout|TestZeroLatency' -count=1
 
+echo "== race detector: lossy links — ARQ retransmission + drop chaos =="
+go test -race ./internal/live -run 'TestARQ|TestChaosDrop|TestResequencer' -count=1
+
 echo "== golden trajectories: conformance against committed hashes =="
 go test ./internal/engine -run Golden
 
