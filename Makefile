@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet lint build test race all
+.PHONY: check fmt vet lint lint-fast build test race all
 
 all: check
 
@@ -23,6 +23,19 @@ vet:
 # checks (see internal/analysis). Non-zero exit on any finding.
 lint:
 	$(GO) run ./cmd/repolint ./...
+
+# Inner-loop lint: report only on packages with uncommitted .go changes
+# (the whole module is still loaded, so cross-package checks stay sound).
+# Falls back to the full run when nothing relevant changed.
+lint-fast:
+	@pkgs=$$(git diff --name-only HEAD | grep '\.go$$' | grep -v '/testdata/' | xargs -r -n1 dirname | sort -u | paste -sd, -); \
+	if [ -z "$$pkgs" ]; then \
+		echo "lint-fast: no changed .go files; running full lint"; \
+		$(GO) run ./cmd/repolint ./...; \
+	else \
+		echo "lint-fast: $$pkgs"; \
+		$(GO) run ./cmd/repolint -only "$$pkgs" ./...; \
+	fi
 
 build:
 	$(GO) build ./...

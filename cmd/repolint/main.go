@@ -6,14 +6,20 @@
 //
 // Usage:
 //
-//	repolint [-checks a,b] [-skip c,d] [-list] [-v] [packages]
+//	repolint [-checks a,b] [-skip c,d] [-only pkgs] [-format text|json] [-list] [-v] [packages]
 //
 // The package argument is accepted for `go run ./cmd/repolint ./...`
 // symmetry but the tool always analyzes the whole module containing the
-// working directory: every check is repo-scoped by design.
+// working directory: every check is repo-scoped by design. -only narrows
+// which packages' findings are reported (the whole module is still loaded
+// and cross-package state still computed) — the inner-loop `make
+// lint-fast` uses it with the changed packages. -format=json emits every
+// finding, suppressed ones included, as a JSON array for CI tooling; the
+// exit status still reflects only unsuppressed findings.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -32,10 +38,16 @@ func run(args []string) int {
 	var (
 		checks  = fs.String("checks", "", "comma-separated checks to run (default: all)")
 		skip    = fs.String("skip", "", "comma-separated checks to skip")
+		only    = fs.String("only", "", "comma-separated packages to report on (default: all)")
+		format  = fs.String("format", "text", "output format: text or json")
 		list    = fs.Bool("list", false, "print the check catalog and exit")
 		verbose = fs.Bool("v", false, "print analyzed packages")
 	)
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *format != "text" && *format != "json" {
+		fmt.Fprintf(os.Stderr, "repolint: unknown format %q (want text or json)\n", *format)
 		return 2
 	}
 	if *list {
@@ -66,10 +78,20 @@ func run(args []string) int {
 		fmt.Fprintln(os.Stderr, "repolint:", err)
 		return 2
 	}
+	if *only != "" {
+		pkgs, err = filterPackages(pkgs, splitNames(*only))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "repolint:", err)
+			return 2
+		}
+	}
 	if *verbose {
 		for _, p := range pkgs {
 			fmt.Fprintln(os.Stderr, "repolint: analyzing", p.Path)
 		}
+	}
+	if *format == "json" {
+		return reportJSON(root, analysis.RunAll(cfg, pkgs))
 	}
 	diags := analysis.Run(cfg, pkgs)
 	for _, d := range diags {
@@ -84,6 +106,77 @@ func run(args []string) int {
 		return 1
 	}
 	return 0
+}
+
+// jsonDiag is the machine-readable finding shape scripts/ci.sh archives.
+// Suppressed findings are included so the report also audits what the
+// //repolint:allow comments are currently waiving.
+type jsonDiag struct {
+	File       string `json:"file"`
+	Line       int    `json:"line"`
+	Col        int    `json:"col"`
+	Check      string `json:"check"`
+	Message    string `json:"message"`
+	Suppressed bool   `json:"suppressed"`
+}
+
+// reportJSON prints every diagnostic as a JSON array. Only unsuppressed
+// findings fail the run, matching text mode's exit status.
+func reportJSON(root string, diags []analysis.Diagnostic) int {
+	out := make([]jsonDiag, 0, len(diags))
+	unsuppressed := 0
+	for _, d := range diags {
+		file := d.Pos.Filename
+		if rel, err := filepath.Rel(root, file); err == nil {
+			file = rel
+		}
+		out = append(out, jsonDiag{
+			File:       file,
+			Line:       d.Pos.Line,
+			Col:        d.Pos.Column,
+			Check:      d.Check,
+			Message:    d.Message,
+			Suppressed: d.Suppressed,
+		})
+		if !d.Suppressed {
+			unsuppressed++
+		}
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintln(os.Stderr, "repolint:", err)
+		return 2
+	}
+	if unsuppressed > 0 {
+		fmt.Fprintf(os.Stderr, "repolint: %d finding(s)\n", unsuppressed)
+		return 1
+	}
+	return 0
+}
+
+// filterPackages narrows the report to packages matching the -only list.
+// An entry matches a package by full import path or by trailing path
+// suffix, so `-only internal/live` works from `git diff` output without
+// knowing the module name.
+func filterPackages(pkgs []*analysis.Package, names []string) ([]*analysis.Package, error) {
+	matched := map[string]bool{}
+	var out []*analysis.Package
+	for _, p := range pkgs {
+		for _, n := range names {
+			if p.Path == n || strings.HasSuffix(p.Path, "/"+n) {
+				matched[n] = true
+				out = append(out, p)
+				break
+			}
+		}
+	}
+	for _, n := range names {
+		if !matched[n] {
+			return nil, fmt.Errorf("-only %s matches no package in the module", n)
+		}
+	}
+	return out, nil
 }
 
 // applyCheckFlags narrows cfg.Enabled from the -checks and -skip flags.

@@ -14,12 +14,26 @@
 //     mutexes copied by value, Lock calls with no same-function Unlock and
 //     select-less blocking channel sends inside goroutines of the live
 //     cluster;
-//   - the protocol-discipline check (twophase) is a syntactic 2PL tripwire:
-//     calls to the engines' lock/data grant functions are only sanctioned
-//     from an explicit per-package call-site allowlist, so a change that
-//     grants after release must consciously extend the list;
+//   - the protocol-discipline checks (twophase, emitfunnel) are syntactic
+//     tripwires: calls to the engines' lock/data grant functions and the
+//     live transport's emission funnels are only sanctioned from explicit
+//     per-package call-site allowlists, so a change that grants after
+//     release — or adds a second wire-emission site — must consciously
+//     extend the list;
+//   - the layering firewall (importboundary) pins the module's import DAG:
+//     every module-internal import edge must appear in Config.ImportAllow,
+//     and per-package forbidden imports (time in the protocol cores) are
+//     rejected outright;
+//   - protocol-evolution checks (eventexhaust, timerhygiene) require
+//     type-switches over the message/action sum types to cover every
+//     member or fail loudly in an explicit default, and flag leak-prone
+//     timer idioms (time.After in loops, unstopped timers, blind Reset)
+//     in the packages that run real goroutines;
 //   - API-hygiene checks (exporteddoc, errdiscard) require doc comments on
-//     exported identifiers and flag error values discarded with `_`.
+//     exported identifiers and flag error values discarded with `_`;
+//   - suppression hygiene (staleallow) audits the allow comments
+//     themselves: one that no longer suppresses any finding is a hole in
+//     the gate and is reported until deleted.
 //
 // Individual findings can be waived in source with a justified suppression
 // comment on the flagged line or the line above:
@@ -35,15 +49,20 @@ import (
 	"fmt"
 	"go/ast"
 	"go/token"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Diagnostic is one finding: a check name, a position and a message.
+// Suppressed marks findings waived by a //repolint:allow comment; Run
+// drops them, RunAll keeps them for machine-readable reports.
 type Diagnostic struct {
-	Check   string
-	Pos     token.Position
-	Message string
+	Check      string
+	Pos        token.Position
+	Message    string
+	Suppressed bool
 }
 
 // String formats the diagnostic in the conventional file:line:col form.
@@ -73,8 +92,15 @@ func Checks() []Check {
 		{Name: "lockbalance", Doc: "flag Lock() with no same-function Unlock() or defer Unlock()", Run: checkLockBalance},
 		{Name: "gosend", Doc: "flag select-less blocking channel sends inside live-cluster goroutines", Run: checkGoSend},
 		{Name: "twophase", Doc: "2PL tripwire: grant-function calls only from sanctioned call sites", Run: checkTwoPhase},
+		{Name: "emitfunnel", Doc: "emission funnels: calls to funnel functions only from sanctioned callers", Run: checkEmitFunnel},
+		{Name: "importboundary", Doc: "layering firewall: module-internal imports must be in the allowed DAG", Run: checkImportBoundary},
+		{Name: "eventexhaust", Doc: "switches over message/action sum types must cover every member or fail loudly", Run: checkEventExhaust},
+		{Name: "timerhygiene", Doc: "flag leak-prone timer idioms (time.After in loops, unstopped timers, blind Reset)", Run: checkTimerHygiene},
 		{Name: "exporteddoc", Doc: "require doc comments on exported identifiers", Run: checkExportedDoc},
 		{Name: "errdiscard", Doc: "flag error return values discarded with _", Run: checkErrDiscard},
+		// staleallow runs inside the driver, after suppression matching:
+		// it needs to know which allow comments absorbed a finding.
+		{Name: "staleallow", Doc: "report //repolint:allow comments that no longer suppress any finding", Run: nil},
 	}
 }
 
@@ -98,6 +124,43 @@ type Config struct {
 	// release) violation and is reported until the list is consciously
 	// extended.
 	GrantSites map[string]map[string][]string
+
+	// Funnels generalizes GrantSites beyond the 2PL rule: for each
+	// package, a map from funnel-function name to its sanctioned callers.
+	// The table pins single-emission invariants that are not about lock
+	// grants — e.g. that every wire transmission in the live cluster goes
+	// through network.transmit and every ARQ retention through
+	// network.send — so a refactor cannot quietly introduce a second
+	// emission site.
+	Funnels map[string]map[string][]string
+
+	// ImportAllow is the layering firewall: for each module package path,
+	// the module-internal import paths it is sanctioned to take. An
+	// import is "module-internal" when it shares the importer's leading
+	// path segment (repro/... importing repro/...). Any internal edge not
+	// listed — including every edge of a package with no entry at all —
+	// is a finding, and so is a listed edge the package no longer takes,
+	// which keeps the table an exact picture of the DAG.
+	ImportAllow map[string][]string
+
+	// ImportForbid lists import paths (stdlib included) a package must
+	// never take regardless of ImportAllow — e.g. time in the pure
+	// protocol cores, whose determinism the golden hashes pin.
+	ImportForbid map[string][]string
+
+	// EventSums declares the closed message sums eventexhaust enforces on
+	// type switches: a qualified type name ("repro/internal/live.message")
+	// to the concrete member type names declared in the same package. A
+	// type switch over a listed sum must cover every member or carry a
+	// default that fails loudly.
+	EventSums map[string][]string
+
+	// EnumSums lists qualified named types ("pkg.LockActionKind") whose
+	// value switches must cover every package-level constant of the type
+	// in its declaring package, or carry a loud default. Members are
+	// discovered from the type-checker, so adding a constant instantly
+	// makes every non-exhaustive switch a finding.
+	EnumSums map[string]bool
 
 	// Enabled restricts which checks run; nil enables all of them.
 	Enabled map[string]bool
@@ -172,6 +235,81 @@ func DefaultConfig() *Config {
 				"applyCache": {"c2plRequest", "c2plDefer", "c2plRelease", "c2plFinish"},
 			},
 		},
+		Funnels: map[string]map[string][]string{
+			// The live transport's emission topology (DESIGN.md §10–11):
+			// every wire transmission funnels through network.transmit
+			// (fresh sends, ARQ retransmissions, standalone acks — nothing
+			// else may put a message on a link), sequencing + retransmit
+			// retention happen exactly once in network.send, and the ARQ
+			// receive-side state advances only from the mailbox pump.
+			"repro/internal/live": {
+				"transmit":       {"send", "fireAck", "fireRetransmit"},
+				"stampAndRetain": {"send"},
+				"onAck":          {"deliverable"},
+				"noteReceived":   {"deliverable"},
+			},
+		},
+		ImportAllow: map[string][]string{
+			"repro/cmd/experiments":     {"repro/internal/exp"},
+			"repro/cmd/g2plsim":         {"repro/internal/core", "repro/internal/netmodel", "repro/internal/sim"},
+			"repro/cmd/liveserver":      {"repro/internal/live", "repro/internal/serial", "repro/internal/workload"},
+			"repro/cmd/repolint":        {"repro/internal/analysis"},
+			"repro/examples/hotspot":    {"repro/internal/core"},
+			"repro/examples/liveserver": {"repro/internal/live", "repro/internal/serial", "repro/internal/workload"},
+			"repro/examples/quickstart": {"repro/internal/core"},
+			"repro/examples/wanscaling": {"repro/internal/core", "repro/internal/netmodel"},
+			"repro/internal/analysis":   {},
+			"repro/internal/core":       {"repro/internal/engine", "repro/internal/netmodel", "repro/internal/sim", "repro/internal/stats", "repro/internal/workload"},
+			"repro/internal/engine":     {"repro/internal/history", "repro/internal/ids", "repro/internal/lock", "repro/internal/netmodel", "repro/internal/protocol", "repro/internal/rng", "repro/internal/sim", "repro/internal/stats", "repro/internal/workload"},
+			"repro/internal/exp":        {"repro/internal/core", "repro/internal/engine", "repro/internal/netmodel", "repro/internal/sim", "repro/internal/stats"},
+			"repro/internal/fwdlist":    {"repro/internal/ids"},
+			"repro/internal/history":    {"repro/internal/ids"},
+			"repro/internal/ids":        {},
+			"repro/internal/live":       {"repro/internal/history", "repro/internal/ids", "repro/internal/lock", "repro/internal/protocol", "repro/internal/rng", "repro/internal/workload"},
+			"repro/internal/lock":       {"repro/internal/ids"},
+			"repro/internal/netmodel":   {"repro/internal/sim"},
+			"repro/internal/prec":       {"repro/internal/ids"},
+			"repro/internal/protocol":   {"repro/internal/fwdlist", "repro/internal/ids", "repro/internal/lock", "repro/internal/prec", "repro/internal/wfg"},
+			"repro/internal/rng":        {},
+			"repro/internal/serial":     {"repro/internal/history", "repro/internal/ids"},
+			"repro/internal/sim":        {},
+			"repro/internal/stats":      {},
+			"repro/internal/wfg":        {"repro/internal/ids"},
+			"repro/internal/workload":   {"repro/internal/ids", "repro/internal/rng", "repro/internal/sim"},
+		},
+		ImportForbid: map[string][]string{
+			// The protocol cores and the deterministic substrate run on
+			// virtual time only; even importing time (beyond what the
+			// walltime check would catch call-by-call) is a layering bug.
+			"repro/internal/protocol": {"time", "repro/internal/sim", "repro/internal/live", "repro/internal/netmodel"},
+			"repro/internal/sim":      {"time"},
+			"repro/internal/engine":   {"time"},
+			"repro/internal/netmodel": {"time"},
+			"repro/internal/lock":     {"time"},
+			"repro/internal/wfg":      {"time"},
+			"repro/internal/prec":     {"time"},
+			"repro/internal/fwdlist":  {"time"},
+		},
+		EventSums: map[string][]string{
+			// The live cluster's post-resequencer message vocabulary: what
+			// a site goroutine can pull out of its mailbox. Adding a 2PC
+			// PrepareMsg here makes every site switch that ignores it a
+			// lint error instead of a runtime stall. Transport-internal
+			// types (envelope, ackMsg) are consumed below the sum and are
+			// deliberately not members.
+			"repro/internal/live.message": {
+				"reqMsg", "dataMsg", "abortMsg", "releaseMsg", "fwdMsg",
+				"doneMsg", "grantMsg", "recallMsg", "deferMsg", "crelMsg",
+				"finishMsg", "quiesceMsg",
+			},
+		},
+		EnumSums: map[string]bool{
+			"repro/internal/protocol.LockActionKind":  true,
+			"repro/internal/protocol.CacheActionKind": true,
+			"repro/internal/protocol.RecallDecision":  true,
+			"repro/internal/live.Protocol":            true,
+			"repro/internal/engine.Protocol":          true,
+		},
 	}
 }
 
@@ -201,34 +339,82 @@ func (ctx *Context) Reportf(pos token.Pos, format string, args ...any) {
 // surviving findings sorted by position. Suppressed findings are dropped;
 // malformed suppression comments are themselves findings.
 func Run(cfg *Config, pkgs []*Package) []Diagnostic {
-	var diags []Diagnostic
-	for _, pkg := range pkgs {
-		for _, ch := range Checks() {
-			if !cfg.enabled(ch.Name) {
-				continue
-			}
-			ch.Run(&Context{Cfg: cfg, Pkg: pkg, check: ch.Name, diags: &diags})
-		}
-	}
 	var out []Diagnostic
-	supByFile := map[string]map[int]map[string]bool{}
-	for _, pkg := range pkgs {
-		sup, bad := suppressions(pkg)
-		diags = append(diags, bad...)
-		for file, lines := range sup {
-			supByFile[file] = lines
+	for _, d := range RunAll(cfg, pkgs) {
+		if !d.Suppressed {
+			out = append(out, d)
 		}
 	}
-	for _, d := range diags {
-		if lines := supByFile[d.Pos.Filename]; lines != nil {
-			if lines[d.Pos.Line][d.Check] || lines[d.Pos.Line-1][d.Check] {
-				continue
+	return out
+}
+
+// RunAll is Run without the suppression filter: waived findings stay in
+// the result with Suppressed set, which is what the -format=json report
+// and the staleness audit need. Checks run per package in parallel —
+// every pass reads only its own package's syntax plus immutable
+// type-checker output — and the merged findings are sorted by position,
+// so the output order is deterministic regardless of scheduling.
+func RunAll(cfg *Config, pkgs []*Package) []Diagnostic {
+	perPkg := make([][]Diagnostic, len(pkgs))
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for i, pkg := range pkgs {
+		i, pkg := i, pkg
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			var diags []Diagnostic
+			for _, ch := range Checks() {
+				if ch.Run == nil || !cfg.enabled(ch.Name) {
+					continue
+				}
+				ch.Run(&Context{Cfg: cfg, Pkg: pkg, check: ch.Name, diags: &diags})
+			}
+			perPkg[i] = diags
+		}()
+	}
+	wg.Wait()
+
+	var diags []Diagnostic
+	sites := map[string]map[int]*allowSite{} // file -> line -> comment
+	for i, pkg := range pkgs {
+		diags = append(diags, perPkg[i]...)
+		bad := collectAllows(pkg, sites)
+		diags = append(diags, bad...)
+	}
+
+	// Match findings against allow comments (same line or the line
+	// above), marking which comment absorbed which check so staleness is
+	// decidable afterwards.
+	match := func(d *Diagnostic) {
+		lines := sites[d.Pos.Filename]
+		if lines == nil {
+			return
+		}
+		for _, s := range []*allowSite{lines[d.Pos.Line], lines[d.Pos.Line-1]} {
+			if s != nil && s.checks[d.Check] {
+				s.used[d.Check] = true
+				d.Suppressed = true
+				return
 			}
 		}
-		out = append(out, d)
 	}
-	sort.Slice(out, func(i, j int) bool {
-		a, b := out[i].Pos, out[j].Pos
+	for i := range diags {
+		match(&diags[i])
+	}
+
+	if cfg.enabled("staleallow") {
+		stale := staleAllows(cfg, sites)
+		for i := range stale {
+			match(&stale[i])
+		}
+		diags = append(diags, stale...)
+	}
+
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
 		if a.Filename != b.Filename {
 			return a.Filename < b.Filename
 		}
@@ -238,18 +424,25 @@ func Run(cfg *Config, pkgs []*Package) []Diagnostic {
 		if a.Column != b.Column {
 			return a.Column < b.Column
 		}
-		return out[i].Check < out[j].Check
+		return diags[i].Check < diags[j].Check
 	})
-	return out
+	return diags
 }
 
 const allowPrefix = "//repolint:allow"
 
-// suppressions scans a package's comments for //repolint:allow markers and
-// returns, per file, the set of check names allowed at each line. An allow
-// comment missing its mandatory "-- reason" is returned as a diagnostic.
-func suppressions(pkg *Package) (map[string]map[int]map[string]bool, []Diagnostic) {
-	out := map[string]map[int]map[string]bool{}
+// allowSite is one well-formed //repolint:allow comment: the checks it
+// names and, after matching, which of them actually suppressed a finding.
+type allowSite struct {
+	pos    token.Position
+	checks map[string]bool
+	used   map[string]bool
+}
+
+// collectAllows scans a package's comments for //repolint:allow markers,
+// filling sites keyed by file and line. An allow comment missing its
+// mandatory "-- reason" is returned as a diagnostic instead.
+func collectAllows(pkg *Package, sites map[string]map[int]*allowSite) []Diagnostic {
 	var bad []Diagnostic
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
@@ -268,23 +461,69 @@ func suppressions(pkg *Package) (map[string]map[int]map[string]bool, []Diagnosti
 					})
 					continue
 				}
-				lines := out[pos.Filename]
+				lines := sites[pos.Filename]
 				if lines == nil {
-					lines = map[int]map[string]bool{}
-					out[pos.Filename] = lines
+					lines = map[int]*allowSite{}
+					sites[pos.Filename] = lines
 				}
-				set := lines[pos.Line]
-				if set == nil {
-					set = map[string]bool{}
-					lines[pos.Line] = set
+				s := lines[pos.Line]
+				if s == nil {
+					s = &allowSite{pos: pos, checks: map[string]bool{}, used: map[string]bool{}}
+					lines[pos.Line] = s
 				}
 				for _, n := range strings.Split(names, ",") {
-					set[strings.TrimSpace(n)] = true
+					s.checks[strings.TrimSpace(n)] = true
 				}
 			}
 		}
 	}
-	return out, bad
+	return bad
+}
+
+// staleAllows audits the allow comments after matching: a comment naming
+// a check that ran but suppressed nothing is a hole in the gate (the code
+// it waived has moved or been fixed), and a comment naming a check that
+// does not exist is a typo that silently never worked. Checks disabled in
+// this run are not judged — a partial run cannot tell used from stale.
+func staleAllows(cfg *Config, sites map[string]map[int]*allowSite) []Diagnostic {
+	known := map[string]bool{"suppression": true}
+	for _, c := range Checks() {
+		known[c.Name] = true
+	}
+	var all []*allowSite
+	for _, lines := range sites {
+		for _, s := range lines {
+			all = append(all, s)
+		}
+	}
+	var out []Diagnostic
+	for _, s := range all {
+		var names []string
+		for n := range s.checks {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			switch {
+			case !known[n]:
+				out = append(out, Diagnostic{
+					Check:   "staleallow",
+					Pos:     s.pos,
+					Message: fmt.Sprintf("repolint:allow names unknown check %q (typo? see repolint -list)", n),
+				})
+			case n == "staleallow", !cfg.enabled(n):
+				// An allow of staleallow itself is a deliberate keep; a
+				// disabled check leaves its allows unjudgable.
+			case !s.used[n]:
+				out = append(out, Diagnostic{
+					Check:   "staleallow",
+					Pos:     s.pos,
+					Message: fmt.Sprintf("stale suppression: no %s finding is waived here any more — delete the allow comment", n),
+				})
+			}
+		}
+	}
+	return out
 }
 
 // enclosingFunc returns the name of the innermost FuncDecl containing pos

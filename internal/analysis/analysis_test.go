@@ -20,39 +20,69 @@ import (
 // comment would itself count as documentation (const/var/type specs).
 var wantRe = regexp.MustCompile(`//\s*want[: ]\s*([a-z][a-z, ]*[a-z])\s*$`)
 
-// wantDiags reads the fixture sources in dir and returns the expected
-// diagnostics as a map from "file.go:line" to the sorted multiset of check
-// names wanted on that line.
+// wantDiags walks the fixture sources under dir (recursively, so a
+// multi-package fixture module reads the same way as a flat one) and
+// returns the expected diagnostics as a map from "file.go:line" to the
+// sorted multiset of check names wanted on that line. File names must be
+// unique across the tree, since diagnostics key by base name.
 func wantDiags(t *testing.T, dir string) map[string][]string {
 	t.Helper()
-	entries, err := os.ReadDir(dir)
-	if err != nil {
-		t.Fatal(err)
-	}
 	want := map[string][]string{}
-	for _, e := range entries {
-		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
-			continue
+	seen := map[string]bool{}
+	err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(d.Name(), ".go") {
+			return err
 		}
-		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if seen[d.Name()] {
+			t.Fatalf("fixture %s: duplicate file name %s; markers key by base name", dir, d.Name())
+		}
+		seen[d.Name()] = true
+		data, err := os.ReadFile(path)
 		if err != nil {
-			t.Fatal(err)
+			return err
 		}
 		for i, line := range strings.Split(string(data), "\n") {
 			m := wantRe.FindStringSubmatch(line)
 			if m == nil {
 				continue
 			}
-			key := fmt.Sprintf("%s:%d", e.Name(), i+1)
+			key := fmt.Sprintf("%s:%d", d.Name(), i+1)
 			names := strings.FieldsFunc(m[1], func(r rune) bool { return r == ' ' || r == ',' })
 			want[key] = append(want[key], names...)
 			sort.Strings(want[key])
 		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
 	}
 	if len(want) == 0 {
 		t.Fatalf("fixture %s declares no // want markers", dir)
 	}
 	return want
+}
+
+// diffDiags asserts got against want in both directions: every marker
+// must be hit and every diagnostic must be wanted.
+func diffDiags(t *testing.T, want, got map[string][]string) {
+	t.Helper()
+	keys := map[string]bool{}
+	for k := range want {
+		keys[k] = true
+	}
+	for k := range got {
+		keys[k] = true
+	}
+	var sorted []string
+	for k := range keys {
+		sorted = append(sorted, k)
+	}
+	sort.Strings(sorted)
+	for _, k := range sorted {
+		if !reflect.DeepEqual(want[k], got[k]) {
+			t.Errorf("%s: want %v, got %v", k, want[k], got[k])
+		}
+	}
 }
 
 // gotDiags groups Run's findings by "file.go:line" with sorted check
@@ -116,6 +146,34 @@ func TestFixtures(t *testing.T) {
 			name:    "hygiene",
 			enabled: []string{"exporteddoc", "errdiscard"},
 		},
+		{
+			name:    "exhaust",
+			enabled: []string{"eventexhaust"},
+			cfg: func(c *Config, p string) {
+				c.EventSums = map[string][]string{p + ".event": {"ping", "pong", "stop"}}
+				c.EnumSums = map[string]bool{p + ".kind": true}
+			},
+		},
+		{
+			name:    "timer",
+			enabled: []string{"timerhygiene"},
+			cfg:     func(c *Config, p string) { c.ConcurrentPkgs = map[string]bool{p: true} },
+		},
+		{
+			name:    "funnel",
+			enabled: []string{"emitfunnel"},
+			cfg: func(c *Config, p string) {
+				c.Funnels = map[string]map[string][]string{p: {
+					"emit":        {"send", "retransmit", "ghostCaller"}, // ghostCaller: must be reported
+					"ghostFunnel": {"send"},                              // stale entry: must be reported
+				}}
+			},
+		},
+		{
+			name:    "stale",
+			enabled: []string{"walltime", "staleallow"},
+			cfg:     func(c *Config, p string) { c.DeterministicPkgs = map[string]bool{p: true} },
+		},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -133,27 +191,44 @@ func TestFixtures(t *testing.T) {
 			if len(diags) == 0 {
 				t.Fatalf("fixture %s produced no diagnostics; repolint would exit 0", tc.name)
 			}
-			want := wantDiags(t, dir)
-			got := gotDiags(diags)
-			keys := map[string]bool{}
-			for k := range want {
-				keys[k] = true
-			}
-			for k := range got {
-				keys[k] = true
-			}
-			var sorted []string
-			for k := range keys {
-				sorted = append(sorted, k)
-			}
-			sort.Strings(sorted)
-			for _, k := range sorted {
-				if !reflect.DeepEqual(want[k], got[k]) {
-					t.Errorf("%s: want %v, got %v", k, want[k], got[k])
-				}
-			}
+			diffDiags(t, wantDiags(t, dir), gotDiags(diags))
 		})
 	}
+}
+
+// TestBoundaryFixture runs the layering firewall over a fixture
+// mini-module (import edges between fixture packages need a module tree,
+// not a single flat package) and asserts the exact position of every
+// finding: a not-allowed edge, an import with no table entry, a forbidden
+// import and an unused allow entry.
+func TestBoundaryFixture(t *testing.T) {
+	loader, err := NewLoader(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join("testdata", "src", "boundary")
+	pkgs, err := loader.LoadFixtureModule(dir, "bmod")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 4 {
+		t.Fatalf("fixture module loaded %d packages, want 4", len(pkgs))
+	}
+	cfg := &Config{
+		Enabled: enableOnly("importboundary"),
+		ImportAllow: map[string][]string{
+			"bmod/a": {"bmod/b", "bmod/c"}, // c is never imported: unused entry
+			"bmod/b": {},                   // imports c anyway: edge not allowed
+			// bmod/c has no entry: its internal import must be declared first
+			"bmod/d": {},
+		},
+		ImportForbid: map[string][]string{"bmod/c": {"time"}},
+	}
+	diags := Run(cfg, pkgs)
+	if len(diags) == 0 {
+		t.Fatal("boundary fixture produced no diagnostics; repolint would exit 0")
+	}
+	diffDiags(t, wantDiags(t, dir), gotDiags(diags))
 }
 
 // TestCheckToggle verifies Enabled actually gates checks: with only
@@ -189,9 +264,11 @@ func TestCheckToggle(t *testing.T) {
 	}
 }
 
-// TestDefaultConfigCleanHead is the gate the Makefile relies on: the
-// shipped policy must report nothing on the repository itself.
-func TestDefaultConfigCleanHead(t *testing.T) {
+// TestRepolintCleanOnRepo is the self-gate the Makefile and CI rely on:
+// the shipped policy — all checks, staleallow included — must report zero
+// unsuppressed findings on the repository itself, so the repo can never
+// merge lint-dirty.
+func TestRepolintCleanOnRepo(t *testing.T) {
 	if testing.Short() {
 		t.Skip("type-checks the whole module; skipped in -short mode")
 	}

@@ -1,0 +1,31 @@
+package analysis
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// BenchmarkRepolintModule times one full-policy pass over the whole
+// module with an already-warm loader — the steady-state cost the parallel
+// per-package driver determines. Loading (parse + type-check, dominated
+// by the one `go list -export` walk) happens once outside the timed loop,
+// mirroring how cmd/repolint amortizes it across all checks. The gate's
+// budget is ~2s for the full module; the driver itself should be far
+// under that.
+func BenchmarkRepolintModule(b *testing.B) {
+	loader, err := NewLoader(filepath.Join("..", ".."))
+	if err != nil {
+		b.Fatal(err)
+	}
+	pkgs, err := loader.LoadModule()
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if diags := Run(cfg, pkgs); len(diags) != 0 {
+			b.Fatalf("module not lint-clean: %d findings", len(diags))
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package analysis
+
+import (
+	"strconv"
+	"strings"
+)
+
+// checkImportBoundary is the layering firewall. Config.ImportAllow is the
+// module's import DAG written down: for every package, the exact set of
+// module-internal imports it is sanctioned to take. Three things are
+// findings — an internal import edge missing from the table (a layering
+// change nobody reviewed), a table entry the package no longer imports
+// (the table has drifted from the code and stopped being documentation),
+// and any import on the package's Config.ImportForbid list regardless of
+// the table (time in the protocol cores, engines under the lock layer).
+// An internal import from a package with no table entry at all is also
+// reported: a new package must declare its edges before it can take any.
+func checkImportBoundary(ctx *Context) {
+	pkg := ctx.Pkg
+	seg := leadingSegment(pkg.Path)
+	forbid := map[string]bool{}
+	for _, p := range ctx.Cfg.ImportForbid[pkg.Path] {
+		forbid[p] = true
+	}
+	entry, hasEntry := ctx.Cfg.ImportAllow[pkg.Path]
+	allowed := map[string]bool{}
+	for _, p := range entry {
+		allowed[p] = true
+	}
+	taken := map[string]bool{}
+	for _, f := range pkg.Files {
+		for _, spec := range f.Imports {
+			path, err := strconv.Unquote(spec.Path.Value)
+			if err != nil {
+				continue
+			}
+			if forbid[path] {
+				ctx.Reportf(spec.Pos(), "forbidden import %s in %s (Config.ImportForbid pins this layer off it)", path, pkg.Path)
+			}
+			if leadingSegment(path) != seg {
+				continue // external edges (stdlib, future deps) are not the DAG's business
+			}
+			taken[path] = true
+			switch {
+			case !hasEntry:
+				ctx.Reportf(spec.Pos(), "package %s has no ImportAllow entry but imports module-internal %s — declare its edges in the layering table first", pkg.Path, path)
+			case !allowed[path]:
+				ctx.Reportf(spec.Pos(), "import edge %s -> %s is not in the allowed DAG (Config.ImportAllow) — a layering change must extend the table consciously", pkg.Path, path)
+			}
+		}
+	}
+	if hasEntry {
+		for _, p := range entry {
+			if !taken[p] {
+				ctx.Reportf(pkg.Files[0].Pos(), "ImportAllow sanctions %s -> %s but the package no longer takes that edge — prune the entry so the table stays exact", pkg.Path, p)
+			}
+		}
+	}
+}
+
+// leadingSegment returns an import path's first segment: the module name
+// for module-internal paths ("repro/internal/engine" -> "repro"), the
+// path itself for single-segment stdlib packages ("time" -> "time").
+// Two paths sharing a leading segment are edges inside the same module.
+func leadingSegment(path string) string {
+	if i := strings.IndexByte(path, '/'); i >= 0 {
+		return path[:i]
+	}
+	return path
+}

@@ -1,0 +1,221 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// checkEventExhaust enforces closed-sum handling on the protocol's message
+// and action vocabularies. Two shapes are covered:
+//
+//   - type switches over a declared message sum (Config.EventSums maps the
+//     qualified interface name to its concrete member types) must name
+//     every member, or carry a default that fails loudly;
+//   - value switches over an enum kind (Config.EnumSums) must cover every
+//     package-level constant of the type in its declaring package, or
+//     carry a loud default. Members come from the type-checker, so adding
+//     a constant instantly makes every non-exhaustive switch a finding.
+//
+// "Fails loudly" means the default panics, calls a Fatal/fail-named
+// helper, or returns a constructed error — anything that turns an
+// unhandled 2PC PrepareMsg into a crash or an error instead of a silent
+// drop and a runtime stall.
+func checkEventExhaust(ctx *Context) {
+	if len(ctx.Cfg.EventSums) == 0 && len(ctx.Cfg.EnumSums) == 0 {
+		return
+	}
+	pkg := ctx.Pkg
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch sw := n.(type) {
+			case *ast.TypeSwitchStmt:
+				checkTypeSum(ctx, sw)
+			case *ast.SwitchStmt:
+				checkEnumSum(ctx, sw)
+			}
+			return true
+		})
+	}
+}
+
+// checkTypeSum handles the type-switch shape: the switched expression's
+// type must be a declared EventSums key for the switch to be judged.
+func checkTypeSum(ctx *Context, sw *ast.TypeSwitchStmt) {
+	pkg := ctx.Pkg
+	var assert *ast.TypeAssertExpr
+	switch s := sw.Assign.(type) {
+	case *ast.ExprStmt:
+		assert, _ = s.X.(*ast.TypeAssertExpr)
+	case *ast.AssignStmt:
+		if len(s.Rhs) == 1 {
+			assert, _ = s.Rhs[0].(*ast.TypeAssertExpr)
+		}
+	}
+	if assert == nil {
+		return
+	}
+	sum := qualifiedTypeName(pkg.Info.TypeOf(assert.X))
+	members := ctx.Cfg.EventSums[sum]
+	if len(members) == 0 {
+		return
+	}
+	covered := map[string]bool{}
+	hasDefault, loud := false, false
+	for _, stmt := range sw.Body.List {
+		clause := stmt.(*ast.CaseClause)
+		if clause.List == nil {
+			hasDefault, loud = true, loudBody(clause.Body)
+			continue
+		}
+		for _, expr := range clause.List {
+			if name := memberTypeName(pkg, expr); name != "" {
+				covered[name] = true
+			}
+		}
+	}
+	var missing []string
+	for _, m := range members {
+		if !covered[m] {
+			missing = append(missing, m)
+		}
+	}
+	if len(missing) == 0 || (hasDefault && loud) {
+		return
+	}
+	why := "and has no default"
+	if hasDefault {
+		why = "and the default drops them silently"
+	}
+	ctx.Reportf(sw.Pos(), "type switch over %s misses member(s) %s %s — handle them or add a default that fails loudly",
+		sum, strings.Join(missing, ", "), why)
+}
+
+// checkEnumSum handles the value-switch shape over a kind enum: members
+// are every package-level constant of the type in its declaring package.
+func checkEnumSum(ctx *Context, sw *ast.SwitchStmt) {
+	pkg := ctx.Pkg
+	if sw.Tag == nil {
+		return
+	}
+	t := pkg.Info.TypeOf(sw.Tag)
+	sum := qualifiedTypeName(t)
+	if !ctx.Cfg.EnumSums[sum] {
+		return
+	}
+	named, ok := derefNamed(t)
+	if !ok {
+		return
+	}
+	declPkg := named.Obj().Pkg()
+	var members []string
+	for _, name := range declPkg.Scope().Names() { // Names() is sorted
+		c, isConst := declPkg.Scope().Lookup(name).(*types.Const)
+		if isConst && types.Identical(c.Type(), t) {
+			members = append(members, name)
+		}
+	}
+	covered := map[string]bool{}
+	hasDefault, loud := false, false
+	for _, stmt := range sw.Body.List {
+		clause := stmt.(*ast.CaseClause)
+		if clause.List == nil {
+			hasDefault, loud = true, loudBody(clause.Body)
+			continue
+		}
+		for _, expr := range clause.List {
+			var id *ast.Ident
+			switch e := expr.(type) {
+			case *ast.Ident:
+				id = e
+			case *ast.SelectorExpr:
+				id = e.Sel
+			default:
+				continue
+			}
+			if c, isConst := pkg.Info.Uses[id].(*types.Const); isConst && c.Pkg() == declPkg {
+				covered[c.Name()] = true
+			}
+		}
+	}
+	var missing []string
+	for _, m := range members {
+		if !covered[m] {
+			missing = append(missing, m)
+		}
+	}
+	if len(missing) == 0 || (hasDefault && loud) {
+		return
+	}
+	why := "and has no default"
+	if hasDefault {
+		why = "and the default drops them silently"
+	}
+	ctx.Reportf(sw.Pos(), "switch over %s misses constant(s) %s %s — handle them or add a default that fails loudly",
+		sum, strings.Join(missing, ", "), why)
+}
+
+// memberTypeName resolves a case-clause type expression to the bare name
+// of the named type it denotes (pointers dereferenced), or "".
+func memberTypeName(pkg *Package, expr ast.Expr) string {
+	named, ok := derefNamed(pkg.Info.TypeOf(expr))
+	if !ok {
+		return ""
+	}
+	return named.Obj().Name()
+}
+
+// qualifiedTypeName renders a (possibly pointer) named type as
+// "importpath.Name", or "" for unnamed and universe types.
+func qualifiedTypeName(t types.Type) string {
+	named, ok := derefNamed(t)
+	if !ok || named.Obj().Pkg() == nil {
+		return ""
+	}
+	return named.Obj().Pkg().Path() + "." + named.Obj().Name()
+}
+
+func derefNamed(t types.Type) (*types.Named, bool) {
+	if t == nil {
+		return nil, false
+	}
+	if p, isPtr := t.Underlying().(*types.Pointer); isPtr {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return named, ok
+}
+
+// loudBody reports whether a default clause fails loudly: it panics,
+// calls a Fatal/fail-named helper, or returns a constructed error
+// (fmt.Errorf / errors.New). A bare return, a log line or an empty body
+// all count as silent — they are exactly the stall the check exists for.
+func loudBody(body []ast.Stmt) bool {
+	loud := false
+	for _, stmt := range body {
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			var name string
+			switch fun := call.Fun.(type) {
+			case *ast.Ident:
+				name = fun.Name
+			case *ast.SelectorExpr:
+				name = fun.Sel.Name
+			default:
+				return true
+			}
+			switch {
+			case name == "panic",
+				strings.Contains(name, "Fatal"), strings.Contains(name, "fatal"),
+				strings.Contains(name, "Fail"), strings.Contains(name, "fail"),
+				name == "Errorf", name == "New":
+				loud = true
+			}
+			return true
+		})
+	}
+	return loud
+}

@@ -1,0 +1,82 @@
+package analysis
+
+import (
+	"go/ast"
+	"sort"
+	"strings"
+)
+
+// runFunnel enforces one "calls to F only from sanctioned callers" table
+// over the context's package. The table is the documentation of an
+// emission topology: each key names a funnel function, each value lists
+// the only functions allowed to call it. Before matching call sites the
+// table itself is validated — an entry naming a function the package no
+// longer declares would silently sanction nothing, so it is reported at
+// the package's first file. describe renders the violation message, which
+// lets twophase and emitfunnel share the machinery while keeping their
+// domain-specific explanations.
+func runFunnel(ctx *Context, table map[string][]string, describe func(callee, caller, allowed string) string) {
+	if len(table) == 0 {
+		return
+	}
+	pkg := ctx.Pkg
+	declared := map[string]bool{}
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok {
+				declared[fd.Name.Name] = true
+			}
+		}
+	}
+	var names []string
+	for name := range table {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if !declared[name] {
+			ctx.Reportf(pkg.Files[0].Pos(), "%s table names function %q not declared in %s", ctx.check, name, pkg.Path)
+		}
+		for _, caller := range table[name] {
+			if !declared[caller] {
+				ctx.Reportf(pkg.Files[0].Pos(), "%s table sanctions caller %q of %q, but it is not declared in %s", ctx.check, caller, name, pkg.Path)
+			}
+		}
+	}
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			name := calleeName(pkg, call)
+			allowed, tabled := table[name]
+			if !tabled {
+				return true
+			}
+			caller := enclosingFunc(pkg, call.Pos())
+			for _, sanctioned := range allowed {
+				if sanctioned == caller {
+					return true
+				}
+			}
+			ctx.Reportf(call.Pos(), "%s", describe(name, caller, strings.Join(allowed, ", ")))
+			return true
+		})
+	}
+}
+
+// checkEmitFunnel pins single-emission invariants that are not about lock
+// grants: Config.Funnels declares, per package, the functions through
+// which an effect (a wire transmission, ARQ retention, receive-side state
+// advance) must flow and the only callers sanctioned to reach them. A
+// call from anywhere else means a refactor has opened a second emission
+// site — exactly the bug class the resequencer/ARQ layering exists to
+// prevent — and is reported until the table is consciously extended.
+func checkEmitFunnel(ctx *Context) {
+	runFunnel(ctx, ctx.Cfg.Funnels[ctx.Pkg.Path], func(callee, caller, allowed string) string {
+		return "funnel function " + callee + " called from " + caller +
+			", outside its sanctioned callers (" + allowed +
+			"); a second emission site breaks the single-funnel invariant — review and extend the table if legitimate"
+	})
+}

@@ -46,6 +46,10 @@ type Loader struct {
 	loading    map[string]bool
 	std        types.ImporterFrom
 
+	// fixroots maps fixture mini-module paths (LoadFixtureModule) to the
+	// directory trees their packages resolve from.
+	fixroots map[string]string
+
 	// export maps non-module import paths to compiled export-data files,
 	// filled lazily by ensureExport on the first non-module import; gc is
 	// the importer reading them. A nil map means not yet attempted; an
@@ -156,7 +160,8 @@ func isSourceFile(name string) bool {
 		!strings.HasPrefix(name, "_")
 }
 
-// load parses and type-checks one module package by import path, memoized.
+// load parses and type-checks one module (or fixture-module) package by
+// import path, memoized.
 func (l *Loader) load(path string) (*Package, error) {
 	if pkg := l.pkgs[path]; pkg != nil {
 		return pkg, nil
@@ -167,14 +172,38 @@ func (l *Loader) load(path string) (*Package, error) {
 	l.loading[path] = true
 	defer delete(l.loading, path)
 
-	rel := strings.TrimPrefix(strings.TrimPrefix(path, l.modulePath), "/")
-	dir := filepath.Join(l.root, filepath.FromSlash(rel))
+	dir, ok := l.dirFor(path)
+	if !ok {
+		return nil, fmt.Errorf("analysis: %s is outside the module and every fixture tree", path)
+	}
 	pkg, err := l.loadDir(dir, path)
 	if err != nil {
 		return nil, err
 	}
 	l.pkgs[path] = pkg
 	return pkg, nil
+}
+
+// dirFor resolves an import path to the source directory it loads from:
+// under the module root for module paths, under a registered fixture tree
+// for fixture-module paths.
+func (l *Loader) dirFor(path string) (string, bool) {
+	under := func(mod, root string) (string, bool) {
+		if path != mod && !strings.HasPrefix(path, mod+"/") {
+			return "", false
+		}
+		rel := strings.TrimPrefix(strings.TrimPrefix(path, mod), "/")
+		return filepath.Join(root, filepath.FromSlash(rel)), true
+	}
+	if dir, ok := under(l.modulePath, l.root); ok {
+		return dir, true
+	}
+	for mod, root := range l.fixroots {
+		if dir, ok := under(mod, root); ok {
+			return dir, true
+		}
+	}
+	return "", false
 }
 
 // loadDir parses the non-test sources in dir and type-checks them as the
@@ -217,6 +246,50 @@ func (l *Loader) loadDir(dir, path string) (*Package, error) {
 // files may import the standard library only.
 func (l *Loader) LoadFixture(dir, path string) (*Package, error) {
 	return l.loadDir(dir, path)
+}
+
+// LoadFixtureModule walks a standalone directory tree (under testdata/)
+// as a mini-module rooted at modPath: every subdirectory holding Go files
+// becomes a package modPath/<rel>, and imports below modPath resolve
+// within the tree — which is what the import-boundary fixtures need to
+// exercise internal-edge rules without touching the real module.
+func (l *Loader) LoadFixtureModule(root, modPath string) ([]*Package, error) {
+	root, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	if l.fixroots == nil {
+		l.fixroots = map[string]string{}
+	}
+	l.fixroots[modPath] = root
+	var pkgs []*Package
+	err = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil || !d.IsDir() {
+			return err
+		}
+		if !hasGoFiles(path) {
+			return nil
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		ip := modPath
+		if rel != "." {
+			ip = modPath + "/" + filepath.ToSlash(rel)
+		}
+		pkg, err := l.load(ip)
+		if err != nil {
+			return err
+		}
+		pkgs = append(pkgs, pkg)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
+	return pkgs, nil
 }
 
 // ensureExport fills the export-data map on first use: one `go list
@@ -266,7 +339,7 @@ func (li *loaderImporter) Import(path string) (*types.Package, error) {
 
 func (li *loaderImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
 	l := (*Loader)(li)
-	if path == l.modulePath || strings.HasPrefix(path, l.modulePath+"/") {
+	if _, ok := l.dirFor(path); ok { // module-internal or fixture-module path
 		pkg, err := l.load(path)
 		if err != nil {
 			return nil, err

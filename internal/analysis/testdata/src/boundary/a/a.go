@@ -1,0 +1,9 @@
+// Package a sits at the top of the fixture module's layering: its table
+// entry allows edges to b and c, but it only takes the edge to b — the
+// unused c entry must be reported so the table stays an exact DAG.
+package a // want importboundary
+
+import "bmod/b"
+
+// Top relays through the layer below.
+func Top(x int) int { return b.Mid(x) }

@@ -1,0 +1,8 @@
+// Package b has a table entry with no allowed edges, yet imports c: the
+// edge is not in the allowed DAG and must be reported at the import.
+package b
+
+import "bmod/c" // want importboundary
+
+// Mid relays through the layer below.
+func Mid(x int) int { return c.Low(x) }

@@ -1,0 +1,12 @@
+// Package c has no ImportAllow entry at all, so its internal import of d
+// must be reported — a new package declares its edges before taking any.
+// It also imports time, which its ImportForbid entry pins off.
+package c
+
+import (
+	"bmod/d" // want importboundary
+	"time"   // want importboundary
+)
+
+// Low relays to the leaf, stamping nothing but pretending to.
+func Low(x int) int { return d.Leaf(x) + int(time.Now().Unix()*0) }

@@ -1,0 +1,6 @@
+// Package d is the clean leaf: an empty table entry and no internal
+// imports, so the firewall has nothing to say about it.
+package d
+
+// Leaf is the bottom of the fixture layering.
+func Leaf(x int) int { return x }

@@ -1,0 +1,90 @@
+// Package exhaust exercises the eventexhaust check: type switches over a
+// declared message sum and value switches over an enum kind must cover
+// every member or fail loudly in a default.
+package exhaust
+
+import "fmt"
+
+type event any
+
+type ping struct{}
+type pong struct{}
+type stop struct{}
+
+type kind int
+
+const (
+	kindA kind = iota
+	kindB
+	kindC
+)
+
+func missingMember(e event) {
+	switch e.(type) { // want eventexhaust
+	case ping:
+	}
+}
+
+func silentDefault(e event) {
+	switch e.(type) { // want eventexhaust
+	case ping, pong:
+	default:
+	}
+}
+
+func loudDefault(e event) {
+	switch e.(type) {
+	case ping:
+	default:
+		panic("exhaust: unexpected event")
+	}
+}
+
+func fullCoverage(e event) {
+	switch x := e.(type) {
+	case ping, pong:
+		_ = x
+	case stop:
+	}
+}
+
+func kindMissing(k kind) {
+	switch k { // want eventexhaust
+	case kindA:
+	}
+}
+
+func kindSilentDefault(k kind) {
+	switch k { // want eventexhaust
+	case kindA, kindB:
+	default:
+	}
+}
+
+func kindLoudDefault(k kind) error {
+	switch k {
+	case kindA:
+	default:
+		return fmt.Errorf("exhaust: unexpected kind %d", k)
+	}
+	return nil
+}
+
+func kindFull(k kind) {
+	switch k {
+	case kindA, kindB, kindC:
+	}
+}
+
+// use keeps every symbol referenced so the fixture type-checks clean.
+func use() {
+	missingMember(ping{})
+	silentDefault(pong{})
+	loudDefault(stop{})
+	fullCoverage(ping{})
+	kindMissing(kindA)
+	kindSilentDefault(kindB)
+	_ = kindLoudDefault(kindC)
+	kindFull(kindA)
+	use()
+}

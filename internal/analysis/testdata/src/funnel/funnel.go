@@ -1,0 +1,32 @@
+// Package funnel exercises the emitfunnel check: calls to a funnel
+// function are sanctioned only from its declared callers, and table
+// entries naming undeclared functions are reported against the package.
+package funnel // want emitfunnel emitfunnel
+
+var wire []int
+
+// emit is the single emission site the table protects.
+func emit(x int) { wire = append(wire, x) }
+
+// send is the sanctioned caller.
+func send(x int) { emit(x) }
+
+// retransmit is sanctioned too, and may reach emit through a closure:
+// closures act on behalf of their enclosing function.
+func retransmit(x int) {
+	redo := func() { emit(x) }
+	redo()
+}
+
+// rogue is not in the table: a second emission site.
+func rogue(x int) {
+	emit(x + 1) // want emitfunnel
+}
+
+// use keeps every symbol referenced so the fixture type-checks clean.
+func use() {
+	send(1)
+	retransmit(2)
+	rogue(3)
+	use()
+}

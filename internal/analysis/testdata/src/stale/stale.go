@@ -1,0 +1,33 @@
+// Package stale exercises the staleallow check: a suppression that still
+// waives a finding is kept silently, one that waives nothing is reported,
+// and one naming a check that does not exist is reported as a typo.
+package stale
+
+import "time"
+
+// used carries a live walltime finding; its allow comment absorbs it and
+// must NOT be reported stale.
+func used() time.Time {
+	//repolint:allow walltime -- fixture: justified and load-bearing
+	return time.Now()
+}
+
+// gone stopped reading the clock; its allow comment now waives nothing.
+func gone() int {
+	//repolint:allow walltime -- fixture: obsolete reason // want staleallow
+	return 42
+}
+
+// typo names a check that was never in the catalog.
+func typo() int {
+	//repolint:allow wolltime -- fixture: misspelled check name // want staleallow
+	return 7
+}
+
+// use keeps every symbol referenced so the fixture type-checks clean.
+func use() {
+	_ = used()
+	_ = gone()
+	_ = typo()
+	use()
+}

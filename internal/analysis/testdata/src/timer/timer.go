@@ -1,0 +1,106 @@
+// Package timer exercises the timerhygiene check's five rules: time.After
+// in loops, time.After re-arms, unstopped local timers, blind Reset and
+// time.Tick.
+package timer
+
+import "time"
+
+func afterInLoop(stopc chan struct{}) {
+	for {
+		select {
+		case <-stopc:
+			return
+		case <-time.After(time.Second): // want timerhygiene
+		}
+	}
+}
+
+func afterInRange(work chan int) {
+	for range work {
+		<-time.After(time.Millisecond) // want timerhygiene
+	}
+}
+
+func afterOnce(stopc chan struct{}) {
+	timeout := time.After(time.Second)
+	select {
+	case <-stopc:
+	case <-timeout:
+	}
+}
+
+func rearmAfter(events chan int) {
+	var deadline <-chan time.Time
+	for ev := range events {
+		if ev > 0 {
+			deadline = time.After(time.Second) // want timerhygiene
+		}
+		select {
+		case <-deadline:
+			return
+		default:
+		}
+	}
+}
+
+func unstoppedTimer() {
+	t := time.NewTimer(time.Second) // want timerhygiene
+	<-t.C
+}
+
+func stoppedTimer() {
+	t := time.NewTimer(time.Second)
+	defer t.Stop()
+	<-t.C
+}
+
+func unstoppedTicker(n int) {
+	tk := time.NewTicker(time.Millisecond) // want timerhygiene
+	for i := 0; i < n; i++ {
+		<-tk.C
+	}
+}
+
+func stoppedTicker(n int) {
+	tk := time.NewTicker(time.Millisecond)
+	defer tk.Stop()
+	for i := 0; i < n; i++ {
+		<-tk.C
+	}
+}
+
+func blindReset(t *time.Timer) {
+	t.Reset(time.Second) // want timerhygiene
+}
+
+func safeReset(t *time.Timer, d time.Duration) {
+	if !t.Stop() {
+		select {
+		case <-t.C:
+		default:
+		}
+	}
+	t.Reset(d)
+}
+
+func tick(results chan<- time.Time) {
+	for now := range time.Tick(time.Second) { // want timerhygiene
+		results <- now
+	}
+}
+
+// use keeps every symbol referenced so the fixture type-checks clean.
+func use() {
+	afterInLoop(nil)
+	afterInRange(nil)
+	afterOnce(nil)
+	rearmAfter(nil)
+	unstoppedTimer()
+	stoppedTimer()
+	unstoppedTicker(0)
+	stoppedTicker(0)
+	blindReset(nil)
+	safeReset(nil, 0)
+	tick(nil)
+	use()
+}

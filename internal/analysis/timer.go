@@ -1,0 +1,170 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// checkTimerHygiene flags the timer idioms that leak goroutines or timers
+// in long-lived concurrent code (Config.ConcurrentPkgs — the deterministic
+// packages cannot legally touch time at all, the walltime check owns
+// them). Five rules, each a bug class the live cluster has actually hit:
+//
+//  1. time.After inside a for/range loop allocates a fresh timer every
+//     iteration; none is collected until it fires, so a hot loop holds an
+//     unbounded timer pile (use one time.NewTimer and re-arm it).
+//  2. re-assigning a time.After channel to an existing variable is the
+//     same leak in disguise: the previous timer keeps running to term.
+//  3. a function-local time.NewTimer/NewTicker with no Stop call in the
+//     same function leaks its timer on every early return (fields are
+//     exempt: their lifetime is the struct's, audited by hand).
+//  4. Reset on a *time.Timer in a function with no Stop on the same
+//     receiver races a possibly-fired timer: Stop-drain-Reset is the only
+//     safe re-arm dance.
+//  5. time.Tick has no Stop at all; it is never acceptable off main.
+func checkTimerHygiene(ctx *Context) {
+	if !ctx.Cfg.ConcurrentPkgs[ctx.Pkg.Path] {
+		return
+	}
+	for _, f := range ctx.Pkg.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				timerHygieneFunc(ctx, fd)
+			}
+		}
+	}
+}
+
+func timerHygieneFunc(ctx *Context, fd *ast.FuncDecl) {
+	pkg := ctx.Pkg
+
+	// One pass collects every Stop receiver so rules 3 and 4 can ask
+	// "is this timer ever stopped here" without re-walking the body.
+	stopped := map[string]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Stop" {
+			stopped[types.ExprString(sel.X)] = true
+		}
+		return true
+	})
+
+	var loopDepth int
+	rearming := map[*ast.CallExpr]bool{} // direct time.After RHS of an = assignment
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			// Loop headers evaluate once — walk them at the current depth,
+			// only the body re-executes per iteration.
+			for _, h := range headersOf(n) {
+				ast.Inspect(h, walk)
+			}
+			loopDepth++
+			ast.Inspect(bodyOf(n), walk)
+			loopDepth--
+			return false
+		case *ast.AssignStmt:
+			if n.Tok != token.ASSIGN {
+				return true
+			}
+			for _, rhs := range n.Rhs {
+				if call, ok := rhs.(*ast.CallExpr); ok && isTimeCall(pkg, call, "After") {
+					rearming[call] = true
+					ctx.Reportf(call.Pos(), "re-arming time.After discards the previous timer, which runs to term anyway — use one time.NewTimer and Stop/drain/Reset it")
+				}
+			}
+			return true
+		case *ast.CallExpr:
+			switch {
+			case isTimeCall(pkg, n, "After") && loopDepth > 0 && !rearming[n]:
+				ctx.Reportf(n.Pos(), "time.After in a loop allocates an uncollectable timer per iteration — hoist one time.NewTimer out and re-arm it")
+			case isTimeCall(pkg, n, "Tick"):
+				ctx.Reportf(n.Pos(), "time.Tick can never be stopped; use time.NewTicker with a deferred Stop")
+			}
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Reset" {
+				if t := pkg.Info.TypeOf(sel.X); t != nil && t.String() == "*time.Timer" {
+					if !stopped[types.ExprString(sel.X)] {
+						ctx.Reportf(n.Pos(), "Reset on %s with no Stop in this function races a fired timer — Stop, drain the channel, then Reset", types.ExprString(sel.X))
+					}
+				}
+			}
+		}
+		return true
+	}
+	ast.Inspect(fd.Body, walk)
+
+	// Rule 3: locals born of NewTimer/NewTicker must meet a Stop.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok || assign.Tok != token.DEFINE || len(assign.Rhs) != 1 || len(assign.Lhs) != 1 {
+			return true
+		}
+		call, ok := assign.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		var ctor string
+		for _, name := range []string{"NewTimer", "NewTicker"} {
+			if isTimeCall(pkg, call, name) {
+				ctor = name
+			}
+		}
+		if ctor == "" {
+			return true
+		}
+		if id, ok := assign.Lhs[0].(*ast.Ident); ok && !stopped[id.Name] {
+			ctx.Reportf(call.Pos(), "time.%s assigned to %s but never stopped in %s — defer %s.Stop() or stop it on every exit path",
+				ctor, id.Name, fd.Name.Name, id.Name)
+		}
+		return true
+	})
+}
+
+// bodyOf returns the block of a for or range statement.
+func bodyOf(n ast.Node) *ast.BlockStmt {
+	switch n := n.(type) {
+	case *ast.ForStmt:
+		return n.Body
+	case *ast.RangeStmt:
+		return n.Body
+	}
+	return nil
+}
+
+// headersOf returns the once-evaluated header nodes of a loop statement.
+func headersOf(n ast.Node) []ast.Node {
+	var out []ast.Node
+	switch n := n.(type) {
+	case *ast.ForStmt:
+		for _, m := range []ast.Node{n.Init, n.Cond, n.Post} {
+			if m != nil {
+				out = append(out, m)
+			}
+		}
+	case *ast.RangeStmt:
+		if n.X != nil {
+			out = append(out, n.X)
+		}
+	}
+	return out
+}
+
+// isTimeCall reports whether call invokes the named function of package
+// time (resolving the import through the type-checker, not its spelling).
+func isTimeCall(pkg *Package, call *ast.CallExpr, name string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := pkg.Info.Uses[id].(*types.PkgName)
+	return ok && pn.Imported().Path() == "time"
+}

@@ -3,8 +3,6 @@ package analysis
 import (
 	"go/ast"
 	"go/types"
-	"sort"
-	"strings"
 )
 
 // checkTwoPhase is the syntactic two-phase-rule tripwire. In a 2PL engine
@@ -15,60 +13,16 @@ import (
 // package's grant functions to an explicit allowlist of callers
 // (Config.GrantSites); a call from anywhere else is reported until a human
 // reviews the new path and extends the list. The allowlist is the
-// documentation of the protocol's sanctioned grant topology.
+// documentation of the protocol's sanctioned grant topology. The matching
+// itself is the shared funnel engine (funnel.go); this check keeps its own
+// name and message because a grant-site violation is a protocol bug, not
+// merely a layering one.
 func checkTwoPhase(ctx *Context) {
-	table := ctx.Cfg.GrantSites[ctx.Pkg.Path]
-	if len(table) == 0 {
-		return
-	}
-	pkg := ctx.Pkg
-	// Verify the allowlist still names real functions, so stale entries
-	// fail loudly instead of silently sanctioning nothing.
-	declared := map[string]bool{}
-	for _, f := range pkg.Files {
-		for _, d := range f.Decls {
-			if fd, ok := d.(*ast.FuncDecl); ok {
-				declared[fd.Name.Name] = true
-			}
-		}
-	}
-	var grantNames []string
-	for name := range table {
-		grantNames = append(grantNames, name)
-	}
-	sort.Strings(grantNames)
-	for _, name := range grantNames {
-		if !declared[name] {
-			ctx.Reportf(pkg.Files[0].Pos(), "twophase allowlist names grant function %q not declared in %s", name, pkg.Path)
-		}
-		for _, caller := range table[name] {
-			if !declared[caller] {
-				ctx.Reportf(pkg.Files[0].Pos(), "twophase allowlist sanctions caller %q of %q, but it is not declared in %s", caller, name, pkg.Path)
-			}
-		}
-	}
-	for _, f := range pkg.Files {
-		ast.Inspect(f, func(n ast.Node) bool {
-			call, ok := n.(*ast.CallExpr)
-			if !ok {
-				return true
-			}
-			name := calleeName(pkg, call)
-			allowed, isGrant := table[name]
-			if !isGrant {
-				return true
-			}
-			caller := enclosingFunc(pkg, call.Pos())
-			for _, sanctioned := range allowed {
-				if sanctioned == caller {
-					return true
-				}
-			}
-			ctx.Reportf(call.Pos(), "grant function %s called from %s, outside the sanctioned 2PL call sites (%s); a grant on a release path breaks the two-phase rule — review and extend the allowlist if legitimate",
-				name, caller, strings.Join(allowed, ", "))
-			return true
-		})
-	}
+	runFunnel(ctx, ctx.Cfg.GrantSites[ctx.Pkg.Path], func(callee, caller, allowed string) string {
+		return "grant function " + callee + " called from " + caller +
+			", outside the sanctioned 2PL call sites (" + allowed +
+			"); a grant on a release path breaks the two-phase rule — review and extend the allowlist if legitimate"
+	})
 }
 
 // calleeName resolves a call expression to the name of a function or

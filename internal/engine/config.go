@@ -209,8 +209,11 @@ func Run(cfg Config) (Result, error) {
 		return runS2PL(cfg)
 	case C2PL:
 		return runC2PL(cfg)
-	default:
+	case G2PL:
 		return runG2PL(cfg)
+	default:
+		// Unreachable past Validate; loud beats silently running g-2PL.
+		return Result{}, fmt.Errorf("engine: unknown protocol %v", cfg.Protocol)
 	}
 }
 

@@ -8,7 +8,8 @@ package history
 
 import (
 	"fmt"
-	"sort"
+	"maps"
+	"slices"
 
 	"repro/internal/ids"
 )
@@ -65,13 +66,7 @@ func (l *Log) Chain(item ids.Item) []ids.Txn { return l.chains[item] }
 
 // Items returns the items with at least one installed write, sorted.
 func (l *Log) Items() []ids.Item {
-	out := make([]ids.Item, 0, len(l.chains))
-	//repolint:allow maprange -- keys are sorted before use
-	for it := range l.chains {
-		out = append(out, it)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return slices.Sorted(maps.Keys(l.chains))
 }
 
 // Validate checks that every chain entry corresponds to a committed
@@ -91,8 +86,9 @@ func (l *Log) Validate() error {
 			m[c.Txn] = true
 		}
 	}
-	//repolint:allow maprange -- invariant scan; any violation is an error
-	for item, chain := range l.chains {
+	// Sorted iteration keeps the reported first violation stable run to run.
+	for _, item := range slices.Sorted(maps.Keys(l.chains)) {
+		chain := l.chains[item]
 		if len(chain) != len(wrote[item]) {
 			return fmt.Errorf("history: chain of %v has %d entries, %d writers committed", item, len(chain), len(wrote[item]))
 		}

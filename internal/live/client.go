@@ -86,10 +86,19 @@ func newClient(cl *cluster, id ids.Client, gen *workload.Generator) *client {
 // loop is the client goroutine: a single select over the stop signal, the
 // mailbox and the one pending timer (idle or think time).
 func (c *client) loop() {
+	// One reusable timer for the client's single pending deadline: arming
+	// with time.After would orphan the previous timer on every re-arm.
+	// timerC is nil (blocking its select case) while nothing is pending.
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	defer timer.Stop()
 	var timerC <-chan time.Time
 	var onTimer func()
 	arm := func(d time.Duration, fn func()) {
-		timerC = time.After(d)
+		rearm(timer, d)
+		timerC = timer.C
 		onTimer = fn
 	}
 	c.beginNext(arm)
@@ -346,10 +355,12 @@ func (c *client) onAbort(txn ids.Txn, arm func(time.Duration, func())) {
 		// locks themselves stay — they belong to the site.
 		released := c.cache.Finish(t.id, nil)
 		c.cl.net.send(c.id, ids.Server, finishMsg{txn: t.id, client: c.id, released: released})
-	default:
+	case G2PL:
 		c.forwardAll(t)
 		c.residual[t.id] = t
 		c.gcResidual(t)
+	default:
+		panic(fmt.Sprintf("live: client running unknown protocol %v", c.cl.cfg.Protocol))
 	}
 	if c.cur == t {
 		c.cur = nil

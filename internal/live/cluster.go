@@ -132,17 +132,21 @@ func (cl *cluster) run() (*Result, error) {
 		}()
 	}
 
-	// Wait for every client to reach its commit target.
+	// Wait for every client to reach its commit target. A stopped
+	// NewTimer, not time.After: the default deadline is two minutes, and a
+	// leaked timer per successful run would pile up across a sweep.
 	deadline := cl.cfg.StallTimeout
 	if deadline == 0 {
 		deadline = 2 * time.Minute
 	}
+	stall := time.NewTimer(deadline)
+	defer stall.Stop()
 	var stallErr error
 	select {
 	case <-cl.targetc:
 	case err := <-cl.fatalc:
 		stallErr = err
-	case <-time.After(deadline):
+	case <-stall.C:
 		stallErr = fmt.Errorf("live: cluster stalled with %d of %d commits",
 			cl.commits.Load(), cl.cfg.Clients*cl.cfg.TxnsPerClient)
 	}
@@ -195,31 +199,50 @@ func (cl *cluster) run() (*Result, error) {
 
 // harnessTimeout guards every harness control interaction with a protocol
 // goroutine: a wedged server must fail the run, never hang the harness
-// past the deadline it just enforced.
-const harnessTimeout = 2 * time.Second
+// past the deadline it just enforced. A variable so tests can shrink it.
+var harnessTimeout = 2 * time.Second
 
 // quiesce polls the server until it reports no protocol state in flight.
 // Both the control send and the reply wait are timeout-guarded, so a
-// wedged server yields a clean not-quiet failure.
+// wedged server yields a clean not-quiet failure. One timer is re-armed
+// across all iterations — time.After here would allocate two uncollected
+// timers per poll, five thousand polls deep on a busy cluster.
 func (cl *cluster) quiesce() bool {
+	guard := time.NewTimer(harnessTimeout)
+	defer guard.Stop()
 	for i := 0; i < 5000; i++ {
 		reply := make(chan bool, 1)
+		rearm(guard, harnessTimeout)
 		select {
 		case cl.server.mbox.ch <- quiesceMsg{reply: reply}:
-		case <-time.After(harnessTimeout):
+		case <-guard.C:
 			return false
 		}
+		rearm(guard, harnessTimeout)
 		select {
 		case quiet := <-reply:
 			if quiet {
 				return true
 			}
-		case <-time.After(harnessTimeout):
+		case <-guard.C:
 			return false
 		}
 		time.Sleep(time.Millisecond)
 	}
 	return false
+}
+
+// rearm restarts a timer for its next wait: Stop, drain a fire that may
+// already sit in the channel, then Reset — the only race-free re-arm
+// dance for a timer whose channel is read by a select.
+func rearm(t *time.Timer, d time.Duration) {
+	if !t.Stop() {
+		select {
+		case <-t.C:
+		default:
+		}
+	}
+	t.Reset(d)
 }
 
 // shutdown stops everything the cluster started — the server and client

@@ -1,0 +1,67 @@
+package live
+
+import (
+	"testing"
+	"time"
+)
+
+// newTestCluster builds a wired cluster without starting any goroutine,
+// for white-box prodding of the server's handlers and the harness paths.
+func newTestCluster(t *testing.T, p Protocol) *cluster {
+	t.Helper()
+	cl, err := newCluster(testConfig(p))
+	if err != nil {
+		t.Fatalf("newCluster(%v): %v", p, err)
+	}
+	return cl
+}
+
+func wantPanic(t *testing.T, what string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s: unexpected message silently dropped; want panic", what)
+		}
+	}()
+	fn()
+}
+
+// A message kind a handler does not own must fail loudly: a silent drop
+// is how an unhandled message type becomes a cluster stall (the sender
+// waits forever for the reply that was dropped). These pin the
+// eventexhaust contract on the three per-protocol server handlers.
+
+func TestServerS2PLUnexpectedMessagePanics(t *testing.T) {
+	cl := newTestCluster(t, S2PL)
+	wantPanic(t, "s-2PL server", func() { cl.server.handleS2PL(grantMsg{}) })
+}
+
+func TestServerG2PLUnexpectedMessagePanics(t *testing.T) {
+	cl := newTestCluster(t, G2PL)
+	wantPanic(t, "g-2PL server", func() { cl.server.handleG2PL(deferMsg{}) })
+}
+
+func TestServerC2PLUnexpectedMessagePanics(t *testing.T) {
+	cl := newTestCluster(t, C2PL)
+	wantPanic(t, "c-2PL server", func() { cl.server.handleC2PL(dataMsg{}) })
+}
+
+// TestQuiesceWedgedServerTimesOut pins the harness-timeout behavior the
+// quiesce timer refactor must preserve: with no server goroutine running,
+// the control probes land in the buffered mailbox but no reply ever
+// comes, and quiesce must give up within the (overridden) harness timeout
+// instead of hanging or reporting quiet.
+func TestQuiesceWedgedServerTimesOut(t *testing.T) {
+	cl := newTestCluster(t, S2PL)
+	old := harnessTimeout
+	harnessTimeout = 50 * time.Millisecond
+	defer func() { harnessTimeout = old }()
+
+	start := time.Now()
+	if cl.quiesce() {
+		t.Fatal("quiesce reported quiet with no server running")
+	}
+	if e := time.Since(start); e > 5*time.Second {
+		t.Fatalf("quiesce took %v to give up; want roughly the %v harness timeout", e, harnessTimeout)
+	}
+}

@@ -311,6 +311,7 @@ func (b *mailbox) pump(wg *sync.WaitGroup) {
 // consumed here, never reaching the owner. Raw un-enveloped messages
 // (unit tests inject them) pass straight through.
 func (b *mailbox) deliverable(m message) []message {
+	//repolint:allow eventexhaust -- transport demux below the sum: protocol members pass through untouched, only the wire-layer envelope/ack are consumed
 	switch e := m.(type) {
 	case ackMsg:
 		if b.arq != nil {

@@ -1,6 +1,8 @@
 package live
 
 import (
+	"fmt"
+
 	"repro/internal/ids"
 	"repro/internal/protocol"
 )
@@ -79,8 +81,10 @@ func (s *server) loop() {
 					s.handleS2PL(m)
 				case G2PL:
 					s.handleG2PL(m)
-				default:
+				case C2PL:
 					s.handleC2PL(m)
+				default:
+					panic(fmt.Sprintf("live: server running unknown protocol %v", s.cl.cfg.Protocol))
 				}
 			}
 		}
@@ -94,13 +98,16 @@ func (s *server) quiet() bool {
 		return s.lockCore.Quiet()
 	case C2PL:
 		return s.cacheCore.Quiet()
-	}
-	for _, it := range s.items {
-		if !it.atServer || len(it.pending) > 0 {
-			return false
+	case G2PL:
+		for _, it := range s.items {
+			if !it.atServer || len(it.pending) > 0 {
+				return false
+			}
 		}
+		return true
+	default:
+		panic(fmt.Sprintf("live: server running unknown protocol %v", s.cl.cfg.Protocol))
 	}
-	return true
 }
 
 // ---- s-2PL ----
@@ -111,6 +118,10 @@ func (s *server) handleS2PL(m message) {
 		s.s2plRequest(msg)
 	case releaseMsg:
 		s.s2plRelease(msg)
+	default:
+		// Every other message kind is client-bound; receiving one here is
+		// a routing bug, and dropping it would stall the sender forever.
+		panic(fmt.Sprintf("live: s-2PL server got unexpected %T", m))
 	}
 }
 
@@ -160,6 +171,8 @@ func (s *server) handleG2PL(m message) {
 		s.g2plHome(msg)
 	case doneMsg:
 		s.g2plDone(msg)
+	default:
+		panic(fmt.Sprintf("live: g-2PL server got unexpected %T", m))
 	}
 }
 
@@ -297,6 +310,8 @@ func (s *server) handleC2PL(m message) {
 		s.c2plRelease(msg)
 	case finishMsg:
 		s.c2plFinish(msg)
+	default:
+		panic(fmt.Sprintf("live: c-2PL server got unexpected %T", m))
 	}
 }
 

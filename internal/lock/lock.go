@@ -9,6 +9,8 @@ package lock
 
 import (
 	"fmt"
+	"maps"
+	"slices"
 	"sort"
 
 	"repro/internal/ids"
@@ -327,10 +329,7 @@ func (m *Manager) HeldCount(txn ids.Txn) int { return len(m.held[txn]) }
 // HeldBy returns the items txn currently holds locks on, with modes.
 func (m *Manager) HeldBy(txn ids.Txn) map[ids.Item]Mode {
 	out := make(map[ids.Item]Mode, len(m.held[txn]))
-	//repolint:allow maprange -- copying map to map, order-free
-	for it, mode := range m.held[txn] {
-		out[it] = mode
-	}
+	maps.Copy(out, m.held[txn])
 	return out
 }
 
@@ -403,8 +402,9 @@ func (m *Manager) QueueLen(item ids.Item) int {
 // describing the first violation. Tests and the live system's debug mode
 // call this; engines do not, for speed.
 func (m *Manager) Validate() error {
-	//repolint:allow maprange -- invariant scan; any violation is an error
-	for item, s := range m.items {
+	// Sorted iteration keeps the reported first violation stable run to run.
+	for _, item := range slices.Sorted(maps.Keys(m.items)) {
+		s := m.items[item]
 		writers := 0
 		for i, h := range s.holders {
 			if i > 0 && s.holders[i-1].txn >= h.txn {
@@ -428,10 +428,10 @@ func (m *Manager) Validate() error {
 			}
 		}
 	}
-	//repolint:allow maprange -- invariant scan; any violation is an error
-	for t, items := range m.held {
-		//repolint:allow maprange -- invariant scan; any violation is an error
-		for item, mode := range items {
+	for _, t := range slices.Sorted(maps.Keys(m.held)) {
+		items := m.held[t]
+		for _, item := range slices.Sorted(maps.Keys(items)) {
+			mode := items[item]
 			s := m.items[item]
 			if s == nil {
 				return fmt.Errorf("lock: stale held entry %v on %v", t, item)

@@ -10,6 +10,17 @@ cd "$(dirname "$0")/.."
 echo "== make check (gofmt, go vet, repolint, build, tests) =="
 make check
 
+# Machine-readable lint report: every finding, suppressed ones included,
+# archived as a build artifact so a review can audit what the
+# //repolint:allow comments currently waive without re-running the tool.
+echo "== repolint -format=json: archive machine-readable report =="
+mkdir -p artifacts
+lint_start=$(date +%s)
+go run ./cmd/repolint -format=json >artifacts/repolint.json
+lint_end=$(date +%s)
+echo "repolint: full-module JSON pass took $((lint_end - lint_start))s," \
+	"$(grep -c '"check"' artifacts/repolint.json || true) finding(s) archived"
+
 echo "== race detector: live cluster + history audit =="
 make race
 
