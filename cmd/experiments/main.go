@@ -23,6 +23,9 @@ func main() {
 	full := flag.Bool("full", false, "use the paper's full measurement protocol (50000 commits x 5 replications; hours)")
 	commits := flag.Int("commits", 0, "override measured commits per run")
 	reps := flag.Int("reps", 0, "override replications per point")
+	shards := flag.Int("shards", 0, "sharded experiments: run only this shard count (0: builtin sweep)")
+	crossRatio := flag.Float64("cross-ratio", -1, "sharded experiments: cross-shard transaction probability (-1: default)")
+	zipfTheta := flag.Float64("zipf-theta", 0, "sharded hot-shard experiment: Zipf skew in (0,1) (0: builtin sweep)")
 	flag.Parse()
 
 	if *list {
@@ -42,6 +45,12 @@ func main() {
 	}
 	if *reps > 0 {
 		sc.Replications = *reps
+	}
+	sc.Shards = *shards
+	sc.ZipfTheta = *zipfTheta
+	if *crossRatio >= 0 {
+		sc.CrossRatio = *crossRatio
+		sc.CrossRatioSet = true
 	}
 
 	run := func(e exp.Experiment) {

@@ -11,6 +11,13 @@
 //
 //	liveserver -protocol c2pl -chaos-reorder 0.3 -chaos-dup 0.2 -chaos-jitter 500us
 //	liveserver -protocol g2pl -chaos-drop 0.2 -arq-rto 2ms -arq-cap 50
+//
+// With -shards the single lock server becomes K range-partitioned shard
+// sites plus a 2PC commit coordinator (s-2PL only); -bank runs the
+// balance-transfer workload and checks the conservation invariant.
+//
+//	liveserver -protocol s2pl -shards 4 -cross-ratio 0.5 -chaos-drop 0.2
+//	liveserver -protocol s2pl -shards 4 -cross-ratio 0.6 -bank -balance 100
 package main
 
 import (
@@ -41,6 +48,11 @@ func main() {
 	arqRTO := flag.Duration("arq-rto", 0, "initial ARQ retransmission timeout (0: default)")
 	arqCap := flag.Int("arq-cap", 0, "retransmit attempts per message before the link is declared dead (0: default)")
 	noARQ := flag.Bool("no-arq", false, "disable ARQ retransmission; dropped messages then stall the run")
+	shards := flag.Int("shards", 0, "shard the lock space across this many servers plus a 2PC coordinator (s2pl only)")
+	crossRatio := flag.Float64("cross-ratio", 0, "probability a transaction may cross shard boundaries")
+	zipfTheta := flag.Float64("zipf-theta", 0, "Zipf access skew in (0,1); 0 keeps uniform access")
+	bank := flag.Bool("bank", false, "run the bank-transfer workload (sharded only; forces 2-item all-write transactions)")
+	balance := flag.Int64("balance", 100, "initial per-item balance for -bank")
 	flag.Parse()
 
 	cfg := live.Config{
@@ -65,6 +77,18 @@ func main() {
 	}
 	cfg.Workload.Items = *items
 	cfg.Workload.ReadProb = *readProb
+	if *zipfTheta > 0 {
+		cfg.Workload.Access = workload.Zipf
+		cfg.Workload.ZipfTheta = *zipfTheta
+	}
+	cfg.Shards = *shards
+	cfg.CrossRatio = *crossRatio
+	if *bank {
+		cfg.Bank = true
+		cfg.InitialBalance = *balance
+		cfg.Workload.MinTxnItems, cfg.Workload.MaxTxnItems = 2, 2
+		cfg.Workload.ReadProb = 0
+	}
 	switch *proto {
 	case "s2pl":
 		cfg.Protocol = live.S2PL
@@ -84,6 +108,9 @@ func main() {
 	}
 	fmt.Printf("protocol=%s clients=%d txns/client=%d latency=%v\n",
 		cfg.Protocol, cfg.Clients, cfg.TxnsPerClient, cfg.Latency)
+	if cfg.Shards > 1 {
+		fmt.Printf("shards=%d cross-ratio=%v zipf-theta=%v\n", cfg.Shards, cfg.CrossRatio, *zipfTheta)
+	}
 	if cfg.Chaos != (live.ChaosConfig{}) {
 		fmt.Printf("chaos: reorder=%v dup=%v jitter=%v drop=%v (seed %d)\n",
 			cfg.Chaos.Reorder, cfg.Chaos.Duplicate, cfg.Chaos.Jitter, cfg.Chaos.Drop, cfg.Seed)
@@ -95,6 +122,22 @@ func main() {
 		fmt.Printf("reliability: dropped=%d retransmits=%d acks=%d (coalesced=%d piggybacked=%d) max-rto=%v\n",
 			res.Stats.Dropped, res.Stats.Retransmits, res.Stats.AcksSent,
 			res.Stats.AcksCoalesced, res.Stats.AcksPiggybacked, res.Stats.MaxRTO)
+	}
+	if tpc := res.Stats.TwoPC; tpc.Txns > 0 {
+		fmt.Printf("2pc: txns=%d cross=%.2f prepares=%d votes=%d/%d 1phase=%d forced-aborts=%d\n",
+			tpc.Txns, tpc.CrossRatio(), tpc.Prepares, tpc.VotesYes, tpc.VotesNo, tpc.OnePhase, tpc.ForcedAborts)
+	}
+	if cfg.Bank {
+		var sum int64
+		for _, v := range res.Values {
+			sum += v
+		}
+		want := int64(cfg.Workload.Items) * cfg.InitialBalance
+		if sum != want {
+			fmt.Printf("bank invariant: FAILED: total balance %d, want %d\n", sum, want)
+			os.Exit(1)
+		}
+		fmt.Printf("bank invariant: ok (total balance %d across %d accounts)\n", sum, cfg.Workload.Items)
 	}
 	if err := serial.Check(res.History); err != nil {
 		fmt.Printf("serializability audit: FAILED: %v\n", err)

@@ -203,7 +203,11 @@ func DefaultConfig() *Config {
 				// immediate-acquire grant is built inline and is the
 				// growing-phase case the two-phase rule permits by
 				// definition.)
-				"grantActions": {"abortVictim", "CommitRelease", "AbortRelease"},
+				"grantActions": {"abortVictim", "CommitRelease", "AbortRelease", "CancelBlocked"},
+				// 2PC: the participant wrapper re-emits the wrapped core's
+				// grants/aborts only through relay, from its four event entry
+				// points.
+				"relay": {"Request", "Prepare", "Decide", "ClientAbort"},
 				// c-2PL: cache-lock grants leave the core in grant, for a
 				// fresh compatible request or a queue promotion; promotions
 				// happen only when a holder leaves via removeHolder, itself
@@ -228,14 +232,36 @@ func DefaultConfig() *Config {
 				// end of the two grant emitters.
 				"applyCacheActions": {"serverRequest", "serverDefer", "serverRelease", "serverFinish"},
 				"clientGrant":       {"sendGrant", "applyCacheActions"},
+				// Sharded s-2PL (2PC): participant and coordinator decisions
+				// become sends only in applyPart/applyCoord; grants reach a
+				// client only through the sendPartGrant/clientPartGrant pair.
+				"applyPart":       {"shardRequest", "shardPrepare", "shardDecide", "shardAbortRelease"},
+				"applyCoord":      {"applyPart", "shardedCommit", "unwindAbort", "clientVictim"},
+				"sendPartGrant":   {"applyPart"},
+				"clientPartGrant": {"sendPartGrant"},
 			},
 			"repro/internal/live": {
 				"applyLock":  {"s2plRequest", "s2plRelease"},
 				"sendData":   {"dispatch"},
 				"applyCache": {"c2plRequest", "c2plDefer", "c2plRelease", "c2plFinish"},
+				// The sharded topology's two action emitters: every
+				// message a shard site or the coordinator site sends is
+				// the image of a protocol-core action, emitted through
+				// exactly one function per site kind.
+				"applyShard": {"shardRequest", "shardRelease", "shardPrepare", "shardDecide"},
+				"apply2PC":   {"coordBlocked", "coordVote", "coordCommitReq", "coordAbortDone"},
 			},
 		},
 		Funnels: map[string]map[string][]string{
+			// The 2PC coordinator's decision topology (DESIGN.md §13):
+			// every commit/abort decision — and the client reply carrying
+			// it — is emitted through Coordinator.decide, from the four
+			// events that can close a transaction's fate. A second decision
+			// site is exactly how a transaction ends up committed at one
+			// shard and aborted at another.
+			"repro/internal/protocol": {
+				"decide": {"CommitRequest", "Vote", "AbortDone", "Timeout"},
+			},
 			// The live transport's emission topology (DESIGN.md §10–11):
 			// every wire transmission funnels through network.transmit
 			// (fresh sends, ARQ retransmissions, standalone acks — nothing
@@ -261,15 +287,15 @@ func DefaultConfig() *Config {
 			"repro/internal/analysis":   {},
 			"repro/internal/core":       {"repro/internal/engine", "repro/internal/netmodel", "repro/internal/sim", "repro/internal/stats", "repro/internal/workload"},
 			"repro/internal/engine":     {"repro/internal/history", "repro/internal/ids", "repro/internal/lock", "repro/internal/netmodel", "repro/internal/protocol", "repro/internal/rng", "repro/internal/sim", "repro/internal/stats", "repro/internal/workload"},
-			"repro/internal/exp":        {"repro/internal/core", "repro/internal/engine", "repro/internal/netmodel", "repro/internal/sim", "repro/internal/stats"},
+			"repro/internal/exp":        {"repro/internal/core", "repro/internal/engine", "repro/internal/netmodel", "repro/internal/sim", "repro/internal/stats", "repro/internal/workload"},
 			"repro/internal/fwdlist":    {"repro/internal/ids"},
 			"repro/internal/history":    {"repro/internal/ids"},
 			"repro/internal/ids":        {},
-			"repro/internal/live":       {"repro/internal/history", "repro/internal/ids", "repro/internal/lock", "repro/internal/protocol", "repro/internal/rng", "repro/internal/workload"},
+			"repro/internal/live":       {"repro/internal/history", "repro/internal/ids", "repro/internal/lock", "repro/internal/protocol", "repro/internal/rng", "repro/internal/stats", "repro/internal/workload"},
 			"repro/internal/lock":       {"repro/internal/ids"},
 			"repro/internal/netmodel":   {"repro/internal/sim"},
 			"repro/internal/prec":       {"repro/internal/ids"},
-			"repro/internal/protocol":   {"repro/internal/fwdlist", "repro/internal/ids", "repro/internal/lock", "repro/internal/prec", "repro/internal/wfg"},
+			"repro/internal/protocol":   {"repro/internal/fwdlist", "repro/internal/ids", "repro/internal/lock", "repro/internal/prec", "repro/internal/stats", "repro/internal/wfg"},
 			"repro/internal/rng":        {},
 			"repro/internal/serial":     {"repro/internal/history", "repro/internal/ids"},
 			"repro/internal/sim":        {},
@@ -301,12 +327,20 @@ func DefaultConfig() *Config {
 				"reqMsg", "dataMsg", "abortMsg", "releaseMsg", "fwdMsg",
 				"doneMsg", "grantMsg", "recallMsg", "deferMsg", "crelMsg",
 				"finishMsg", "quiesceMsg",
+				// The sharded 2PC vocabulary (DESIGN.md §13): shard→coord
+				// block/clear/vote reports, client→coord commit requests and
+				// abort completions, coord→shard prepares and decisions,
+				// coord→client outcomes.
+				"blockedMsg", "clearedMsg", "commitReqMsg", "prepareMsg",
+				"voteMsg", "decisionMsg", "outcomeMsg", "abortDoneMsg",
 			},
 		},
 		EnumSums: map[string]bool{
 			"repro/internal/protocol.LockActionKind":  true,
 			"repro/internal/protocol.CacheActionKind": true,
 			"repro/internal/protocol.RecallDecision":  true,
+			"repro/internal/protocol.CoordActionKind": true,
+			"repro/internal/protocol.PartActionKind":  true,
 			"repro/internal/live.Protocol":            true,
 			"repro/internal/engine.Protocol":          true,
 		},

@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"repro/internal/history"
+	"repro/internal/ids"
 	"repro/internal/protocol"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -100,6 +101,35 @@ type Config struct {
 	// both protocols.
 	Victim VictimPolicy
 
+	// Shards, when > 1, splits the item space across K lock-server shards
+	// coordinated by a 2PC commit coordinator (extension, DESIGN.md §13).
+	// s-2PL only. 0 or 1 runs the single-server topology unchanged — the
+	// golden trajectories pin that equivalence.
+	Shards int
+
+	// CrossRatio is the probability a sharded transaction draws its items
+	// from the whole pool instead of being confined to one shard's range;
+	// it steers the cross-shard (2PC) fraction of the workload. Requires
+	// range sharding, whose ranges the workload confinement mirrors.
+	CrossRatio float64
+
+	// HashShards selects the multiplicative-hash shard map instead of the
+	// default range map. Hash placement scatters every multi-item
+	// transaction across shards, so it excludes the CrossRatio confinement
+	// knob.
+	HashShards bool
+
+	// Bank turns the sharded run into fixed-total bank transfers: every
+	// transaction reads two account balances under write locks and moves a
+	// deterministic amount from the first to the second, so the global
+	// balance sum is invariant under any serializable execution — the 2PC
+	// atomicity oracle. Requires Shards >= 2 and a 2-item all-write
+	// workload.
+	Bank bool
+
+	// InitialBalance seeds every item's value before a Bank run.
+	InitialBalance int64
+
 	// RecordHistory captures every committed transaction's reads/writes
 	// for the serializability oracle. Costs memory; off in sweeps.
 	RecordHistory bool
@@ -137,8 +167,25 @@ func (c Config) Validate() error {
 		return fmt.Errorf("engine: WindowDelay must be >= 0, got %d", c.WindowDelay)
 	case c.Protocol != S2PL && c.Protocol != G2PL && c.Protocol != C2PL:
 		return fmt.Errorf("engine: unknown protocol %d", int(c.Protocol))
+	case c.Shards < 0:
+		return fmt.Errorf("engine: Shards must be >= 0, got %d", c.Shards)
+	case c.Shards > 1 && c.Protocol != S2PL:
+		return fmt.Errorf("engine: sharding is implemented for s-2PL only, got %v", c.Protocol)
+	case c.CrossRatio < 0 || c.CrossRatio > 1:
+		return fmt.Errorf("engine: CrossRatio %v outside [0,1]", c.CrossRatio)
+	case c.HashShards && c.CrossRatio != 0:
+		return fmt.Errorf("engine: CrossRatio confinement requires range sharding")
+	case c.Bank && c.Shards < 2:
+		return fmt.Errorf("engine: Bank requires Shards >= 2, got %d", c.Shards)
+	case c.Bank && (c.Workload.MinTxnItems != 2 || c.Workload.MaxTxnItems != 2 || c.Workload.ReadProb != 0):
+		return fmt.Errorf("engine: Bank requires a 2-item all-write workload")
 	}
-	return c.Workload.Validate()
+	wl := c.Workload
+	if c.Shards > 1 && !c.HashShards {
+		wl.Shards = c.Shards
+		wl.CrossProb = c.CrossRatio
+	}
+	return wl.Validate()
 }
 
 // Result summarizes one run.
@@ -174,6 +221,16 @@ type Result struct {
 	// TrajectoryHash is the kernel event-stream digest when
 	// Config.TraceHash was set, zero otherwise.
 	TrajectoryHash uint64
+
+	// TwoPC carries the sharded run's per-phase commit counters; zero for
+	// single-server runs.
+	TwoPC stats.TwoPC
+
+	// Values is the final data-item store of a sharded run, which drains
+	// to quiescence after the commit target instead of stopping mid-flight
+	// — what the bank-transfer invariant asserts over. Nil for
+	// single-server runs.
+	Values map[ids.Item]int64
 }
 
 // AbortPct returns the paper's "percentage of transactions aborted":
@@ -206,6 +263,9 @@ func Run(cfg Config) (Result, error) {
 	}
 	switch cfg.Protocol {
 	case S2PL:
+		if cfg.Shards > 1 {
+			return runS2PLSharded(cfg)
+		}
 		return runS2PL(cfg)
 	case C2PL:
 		return runC2PL(cfg)
@@ -253,6 +313,13 @@ type collector struct {
 	abortDisp    int64
 	log          *history.Log
 	done         bool
+
+	// onDone, when set, replaces the kernel stop at target: the sharded
+	// driver drains in-flight transactions to quiescence instead, so no
+	// commit can be caught half-installed. Post-target commits still reach
+	// the history log (the oracle wants the complete run); the measured
+	// counters stay frozen.
+	onDone func()
 }
 
 func newCollector(k *sim.Kernel, cfg Config) *collector {
@@ -267,6 +334,9 @@ func (c *collector) measuring() bool { return c.totalCommits >= int64(c.warmup) 
 
 func (c *collector) commit(rt sim.Time, rec history.Committed) {
 	if c.done {
+		if c.onDone != nil && c.log != nil {
+			c.log.Commit(rec)
+		}
 		return
 	}
 	if c.measuring() {
@@ -279,12 +349,19 @@ func (c *collector) commit(rt sim.Time, rec history.Committed) {
 	}
 	if c.commits >= int64(c.target) {
 		c.done = true
+		if c.onDone != nil {
+			c.onDone()
+			return
+		}
 		c.kernel.Stop()
 	}
 }
 
 func (c *collector) abort() {
 	if c.done {
+		if c.onDone != nil && c.log != nil {
+			c.log.Abort()
+		}
 		return
 	}
 	if c.measuring() {

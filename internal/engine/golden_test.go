@@ -93,6 +93,22 @@ func goldenCases() []goldenCase {
 			}
 		}
 	}
+	// Sharded s-2PL points (tentpole): K shard sites plus the 2PC
+	// coordinator, range-mapped, with a cross-shard fraction big enough
+	// that prepares, votes and global-deadlock victims all appear. The
+	// single-server points above are untouched — K <= 1 routes through
+	// the unchanged engine, pinned by TestShardedOneShardIsSingleServer.
+	for _, k := range []int{2, 4} {
+		for _, seed := range []uint64{1, 7} {
+			cfg := goldenConfig(S2PL, seed)
+			cfg.Shards = k
+			cfg.CrossRatio = 0.4
+			cases = append(cases, goldenCase{
+				name: fmt.Sprintf("%s/shards%d/seed%d", S2PL, k, seed),
+				cfg:  cfg,
+			})
+		}
+	}
 	return cases
 }
 

@@ -1,0 +1,436 @@
+package engine
+
+import (
+	"fmt"
+	"slices"
+
+	"repro/internal/history"
+	"repro/internal/ids"
+	"repro/internal/netmodel"
+	"repro/internal/protocol"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// s2pcWrite is one staged write of a sharded transaction: the value it
+// installs if the commit decision lands at its shard.
+type s2pcWrite struct {
+	item  ids.Item
+	value int64
+}
+
+// s2pcTxn is one transaction instance executing under sharded s-2PL with
+// a 2PC commit.
+type s2pcTxn struct {
+	id      ids.Txn
+	client  *s2pcClient
+	profile workload.Profile
+	opIdx   int
+	start   sim.Time
+	reqSent sim.Time
+	reads   []history.Read
+	vals    []int64 // granted value per completed op, for bank transfers
+	touched []int   // shards touched, in first-touch order
+	rec     history.Committed
+	// writesBy stages the per-shard writes between the commit request and
+	// the decisions that install them.
+	writesBy map[int][]s2pcWrite
+}
+
+func (t *s2pcTxn) op() workload.Op { return t.profile.Ops[t.opIdx] }
+
+// touch records a shard in the transaction's participant set.
+func (t *s2pcTxn) touch(s int) {
+	if !slices.Contains(t.touched, s) {
+		t.touched = append(t.touched, s)
+	}
+}
+
+// shards returns the participant set in ascending order.
+func (t *s2pcTxn) shards() []int {
+	out := slices.Clone(t.touched)
+	slices.Sort(out)
+	return out
+}
+
+// s2pcClient is one client site: multiprogramming level 1, sequential
+// execution, exactly as in the single-server engine.
+type s2pcClient struct {
+	id  ids.Client
+	gen *workload.Generator
+	cur *s2pcTxn
+}
+
+// s2pcRun adapts the sharded protocol cores — K protocol.Participant lock
+// shards plus one protocol.Coordinator — to the discrete-event kernel.
+// Every decision lives in the cores; this driver owns the version/value
+// store, the transaction lifecycle and message delivery, mirroring
+// s2plRun. Unlike the single-server engines it drains to quiescence after
+// the commit target (collector.onDone) instead of stopping mid-event, so
+// the final store never holds half a distributed commit.
+type s2pcRun struct {
+	cfg     Config
+	kernel  *sim.Kernel
+	net     *netmodel.Network
+	col     *collector
+	smap    protocol.ShardMap
+	coord   *protocol.Coordinator
+	parts   []*protocol.Participant
+	version map[ids.Item]ids.Txn
+	value   map[ids.Item]int64
+	active  map[ids.Txn]*s2pcTxn
+	clients []*s2pcClient
+	nextTxn ids.Txn
+	maxEv   *sim.Event
+}
+
+func runS2PLSharded(cfg Config) (Result, error) {
+	k := sim.New()
+	hasher := installTracer(k, cfg)
+	var smap protocol.ShardMap
+	if cfg.HashShards {
+		smap = protocol.NewHashShardMap(cfg.Shards)
+	} else {
+		smap = protocol.NewRangeShardMap(cfg.Shards, cfg.Workload.Items)
+	}
+	r := &s2pcRun{
+		cfg:     cfg,
+		kernel:  k,
+		net:     netmodel.New(k, cfg.Latency),
+		col:     newCollector(k, cfg),
+		smap:    smap,
+		coord:   protocol.NewCoordinator(cfg.Victim),
+		version: make(map[ids.Item]ids.Txn),
+		value:   make(map[ids.Item]int64),
+		active:  make(map[ids.Txn]*s2pcTxn),
+		nextTxn: 1,
+	}
+	r.col.onDone = r.onTarget
+	for s := 0; s < cfg.Shards; s++ {
+		r.parts = append(r.parts, protocol.NewParticipant(s, cfg.Victim))
+	}
+	if cfg.InitialBalance != 0 {
+		for i := 0; i < cfg.Workload.Items; i++ {
+			r.value[ids.Item(i)] = cfg.InitialBalance
+		}
+	}
+	root := rng.New(cfg.Seed, 1)
+	wl := cfg.Workload
+	wl.HomeSlots = cfg.Clients
+	if !cfg.HashShards {
+		wl.Shards = cfg.Shards
+		wl.CrossProb = cfg.CrossRatio
+	}
+	for i := 0; i < cfg.Clients; i++ {
+		wl.HomeSlot = i
+		c := &s2pcClient{
+			id:  ids.Client(i),
+			gen: workload.NewGenerator(wl, root.Split(uint64(i))),
+		}
+		r.clients = append(r.clients, c)
+		k.AtLabeled(c.gen.Idle(), "2pc.begin", func() { r.begin(c) })
+	}
+	if cfg.MaxTime > 0 {
+		r.maxEv = k.AtLabeled(cfg.MaxTime, "maxtime", k.Stop)
+	}
+	k.Run()
+	if !r.col.done {
+		return Result{}, fmt.Errorf("engine: sharded s-2PL run hit MaxTime %d with %d/%d commits", cfg.MaxTime, r.col.commits, cfg.TargetCommits)
+	}
+	res := r.col.result(S2PL, r.net.Messages, r.net.Bytes, k.Now())
+	res.TwoPC = r.coord.Counters()
+	res.Values = r.value
+	if hasher != nil {
+		res.TrajectoryHash = hasher.Sum64()
+	}
+	return res, nil
+}
+
+// onTarget runs when the commit target is reached: the clients stop
+// spawning (scheduleNext checks col.done) and the livelock guard is
+// cancelled so the kernel can drain the in-flight transactions and stop
+// on an empty queue.
+func (r *s2pcRun) onTarget() {
+	if r.maxEv != nil {
+		r.kernel.Cancel(r.maxEv)
+	}
+}
+
+// begin starts a fresh transaction at client c and sends its first
+// request immediately.
+func (r *s2pcRun) begin(c *s2pcClient) {
+	if r.col.done {
+		return
+	}
+	t := &s2pcTxn{
+		id:      r.nextTxn,
+		client:  c,
+		profile: c.gen.Next(),
+		start:   r.kernel.Now(),
+	}
+	r.nextTxn++
+	c.cur = t
+	r.active[t.id] = t
+	r.sendRequest(t)
+}
+
+// sendRequest ships the current operation's lock request to its owning
+// shard.
+func (r *s2pcRun) sendRequest(t *s2pcTxn) {
+	op := t.op()
+	s := r.smap.Of(op.Item)
+	t.touch(s)
+	t.reqSent = r.kernel.Now()
+	epoch := t.opIdx
+	r.net.Send(sizeRequest, "2pc.req", func() { r.shardRequest(s, t, op, epoch) })
+}
+
+// shardRequest is one shard's request handler: the participant core
+// acquires, blocks (reporting the block to the coordinator) or resolves a
+// local deadlock, and this driver emits its decisions.
+func (r *s2pcRun) shardRequest(s int, t *s2pcTxn, op workload.Op, epoch int) {
+	r.applyPart(s, r.parts[s].Request(protocol.LockRequest{
+		Txn: t.id, Client: t.client.id, Item: op.Item, Write: op.Write, Epoch: epoch,
+	}))
+}
+
+// applyPart emits a participant core's ordered decisions onto the
+// simulated network — the single delivery site for sharded grants, local
+// abort notices and the shard→coordinator control traffic.
+func (r *s2pcRun) applyPart(s int, acts []protocol.PartAction) {
+	for _, a := range acts {
+		switch a.Kind {
+		case protocol.PartGrant:
+			t := r.active[a.Req.Txn]
+			if t == nil {
+				continue // unwound while the grant was pending
+			}
+			r.sendPartGrant(t, workload.Op{Item: a.Req.Item, Write: a.Req.Write})
+		case protocol.PartAbort:
+			t := r.active[a.Req.Txn]
+			if t == nil {
+				continue
+			}
+			// A local (single-shard) deadlock victim: same unwind contract
+			// as single-server s-2PL, except the release fans out to every
+			// touched shard and the coordinator learns the abort completed.
+			delete(r.active, t.id)
+			r.col.abortEnq++
+			r.net.Send(sizeControl, "2pc.abort", func() { r.clientAbort(t) })
+		case protocol.PartBlocked:
+			txn, cli, epoch, held, waits := a.Txn, a.Client, a.Epoch, a.Held, a.WaitsFor
+			r.net.Send(sizeControl, "2pc.blocked", func() {
+				r.applyCoord(r.coord.Blocked(txn, cli, epoch, held, waits))
+			})
+		case protocol.PartCleared:
+			txn, epoch := a.Txn, a.Epoch
+			r.net.Send(sizeControl, "2pc.cleared", func() { r.coord.Cleared(txn, epoch) })
+		case protocol.PartVote:
+			txn, yes := a.Txn, a.Yes
+			r.net.Send(sizeControl, "2pc.vote", func() {
+				r.applyCoord(r.coord.Vote(txn, s, yes))
+			})
+		default:
+			panic(fmt.Sprintf("engine: unknown participant action kind %d", int(a.Kind)))
+		}
+	}
+}
+
+// sendPartGrant ships the data item (with its committed version and
+// value) from its shard to the requesting client.
+func (r *s2pcRun) sendPartGrant(t *s2pcTxn, op workload.Op) {
+	ver, val := r.version[op.Item], r.value[op.Item]
+	r.net.Send(sizeData, "2pc.grant", func() { r.clientPartGrant(t, op, ver, val) })
+}
+
+// clientPartGrant is the client's grant handler: record the access,
+// think, then issue the next request or start the commit.
+func (r *s2pcRun) clientPartGrant(t *s2pcTxn, op workload.Op, ver ids.Txn, val int64) {
+	if r.active[t.id] != t {
+		return // unwound while the grant was in flight
+	}
+	r.col.opWait.Add(float64(r.kernel.Now() - t.reqSent))
+	if !op.Write {
+		t.reads = append(t.reads, history.Read{Item: op.Item, Version: ver})
+	}
+	t.vals = append(t.vals, val)
+	// A conservative coordinator victim notice can unwind the transaction
+	// mid-think (its stale wait edges made it look blocked), so both timer
+	// closures re-check liveness before acting.
+	think := t.client.gen.Think()
+	if t.opIdx+1 < len(t.profile.Ops) {
+		r.kernel.AfterLabeled(think, "2pc.think", func() {
+			if r.active[t.id] != t {
+				return
+			}
+			t.opIdx++
+			r.sendRequest(t)
+		})
+		return
+	}
+	r.kernel.AfterLabeled(think, "2pc.commit", func() {
+		if r.active[t.id] != t {
+			return
+		}
+		r.shardedCommit(t)
+	})
+}
+
+// shardedCommit starts the commit at the client: the writes are staged
+// per shard (for a bank run, the transfer amounts derive from the granted
+// balances) and the commit request goes to the coordinator, which decides
+// in one phase for a single-shard transaction or runs the voting round.
+// Response time stops at the outcome's arrival, not here.
+func (r *s2pcRun) shardedCommit(t *s2pcTxn) {
+	rec := history.Committed{Txn: t.id, Reads: t.reads}
+	t.writesBy = make(map[int][]s2pcWrite)
+	delta := int64(t.id%7) + 1
+	widx := 0
+	for i, op := range t.profile.Ops {
+		if !op.Write {
+			continue
+		}
+		rec.Writes = append(rec.Writes, op.Item)
+		// Non-bank runs install the writer's id as the value — a version
+		// stamp; bank runs move delta from the first account to the second.
+		val := int64(t.id)
+		if r.cfg.Bank {
+			if widx == 0 {
+				val = t.vals[i] - delta
+			} else {
+				val = t.vals[i] + delta
+			}
+		}
+		widx++
+		s := r.smap.Of(op.Item)
+		t.writesBy[s] = append(t.writesBy[s], s2pcWrite{item: op.Item, value: val})
+	}
+	t.rec = rec
+	shards := t.shards()
+	r.net.Send(sizeControl+sizeData*len(rec.Writes), "2pc.commitreq", func() {
+		r.applyCoord(r.coord.CommitRequest(t.id, t.client.id, shards))
+	})
+}
+
+// applyCoord emits the coordinator core's ordered decisions onto the
+// simulated network — the single delivery site for prepares, decisions,
+// outcome replies and victim notices.
+func (r *s2pcRun) applyCoord(acts []protocol.CoordAction) {
+	for _, a := range acts {
+		switch a.Kind {
+		case protocol.CoordPrepare:
+			s, txn := a.Shard, a.Txn
+			r.net.Send(sizeControl, "2pc.prepare", func() { r.shardPrepare(s, txn) })
+		case protocol.CoordDecide:
+			s, txn, commit := a.Shard, a.Txn, a.Commit
+			var writes []s2pcWrite
+			if commit {
+				if t := r.active[txn]; t != nil {
+					writes = t.writesBy[s]
+				}
+			}
+			r.net.Send(sizeControl+sizeData*len(writes), "2pc.decide", func() {
+				r.shardDecide(s, txn, commit, writes)
+			})
+		case protocol.CoordReply:
+			txn, commit := a.Txn, a.Commit
+			r.net.Send(sizeControl, "2pc.outcome", func() { r.clientOutcome(txn, commit) })
+		case protocol.CoordVictim:
+			txn := a.Txn
+			r.col.abortEnq++
+			r.net.Send(sizeControl, "2pc.victim", func() { r.clientVictim(txn) })
+		default:
+			panic(fmt.Sprintf("engine: unknown coordinator action kind %d", int(a.Kind)))
+		}
+	}
+}
+
+// shardPrepare delivers a prepare at its shard and routes the vote back.
+func (r *s2pcRun) shardPrepare(s int, txn ids.Txn) {
+	r.applyPart(s, r.parts[s].Prepare(txn))
+}
+
+// shardDecide delivers the commit/abort decision at one shard. Commit
+// writes install only while the shard still carries the transaction
+// (Participant.Involved) — a duplicate or presumed-abort decision must
+// change nothing.
+func (r *s2pcRun) shardDecide(s int, txn ids.Txn, commit bool, writes []s2pcWrite) {
+	if commit && r.parts[s].Involved(txn) {
+		for _, w := range writes {
+			r.version[w.item] = txn
+			r.value[w.item] = w.value
+		}
+	}
+	r.applyPart(s, r.parts[s].Decide(txn, commit))
+}
+
+// clientOutcome is the client's end of the commit: a commit outcome
+// closes the transaction (response time measured to here, matching the
+// single-server protocol's commit point at the client), an abort outcome
+// — a commit request that raced a victim abort — unwinds it.
+func (r *s2pcRun) clientOutcome(txn ids.Txn, commit bool) {
+	t := r.active[txn]
+	if t == nil {
+		return // already unwound; the coordinator was acked elsewhere
+	}
+	if !commit {
+		r.unwindAbort(t)
+		return
+	}
+	delete(r.active, txn)
+	r.col.commit(r.kernel.Now()-t.start, t.rec)
+	r.scheduleNext(t.client)
+}
+
+// clientVictim handles the coordinator's global-deadlock victim notice.
+// A notice for a transaction that already unwound (a local victim notice
+// or abort reply won the race) is still acknowledged, so the
+// coordinator's victim mark always clears.
+func (r *s2pcRun) clientVictim(txn ids.Txn) {
+	t := r.active[txn]
+	if t == nil {
+		r.net.Send(sizeControl, "2pc.abortdone", func() {
+			r.applyCoord(r.coord.AbortDone(txn))
+		})
+		return
+	}
+	r.unwindAbort(t)
+}
+
+// clientAbort handles a shard's local victim notice.
+func (r *s2pcRun) clientAbort(t *s2pcTxn) {
+	r.unwindAbort(t)
+}
+
+// unwindAbort is the client's abort unwind, shared by every abort path:
+// count the abort, release at every touched shard, tell the coordinator
+// the unwind finished, replace the transaction after an idle period.
+func (r *s2pcRun) unwindAbort(t *s2pcTxn) {
+	delete(r.active, t.id)
+	r.col.abort()
+	for _, s := range t.shards() {
+		r.net.Send(sizeControl, "2pc.abortrel", func() { r.shardAbortRelease(s, t.id) })
+	}
+	r.net.Send(sizeControl, "2pc.abortdone", func() {
+		r.applyCoord(r.coord.AbortDone(t.id))
+	})
+	r.scheduleNext(t.client)
+}
+
+// shardAbortRelease delivers one shard's share of a client-side abort
+// unwind.
+func (r *s2pcRun) shardAbortRelease(s int, txn ids.Txn) {
+	r.applyPart(s, r.parts[s].ClientAbort(txn))
+}
+
+// scheduleNext replaces the finished transaction after an idle period,
+// unless the commit target was reached — then the client stops and the
+// run drains.
+func (r *s2pcRun) scheduleNext(c *s2pcClient) {
+	c.cur = nil
+	if r.col.done {
+		return
+	}
+	r.kernel.AfterLabeled(c.gen.Idle(), "2pc.begin", func() { r.begin(c) })
+}

@@ -27,6 +27,16 @@ type Scale struct {
 	// the experiment performs (engine.Result.TrajectoryHash), making a
 	// whole sweep auditable for reproducibility.
 	TraceHash bool
+
+	// Sharded experiment knobs (the cmd's -shards, -cross-ratio and
+	// -zipf-theta flags). Zero values mean each sharded experiment's own
+	// defaults; CrossRatio needs an explicit set-marker because 0 (fully
+	// shard-confined) is a meaningful override. Single-server experiments
+	// ignore all of these.
+	Shards        int
+	CrossRatio    float64
+	CrossRatioSet bool
+	ZipfTheta     float64
 }
 
 // Quick is the default scale for tests, benches and interactive runs.
@@ -84,6 +94,8 @@ func All() []Experiment {
 		{"ext-readexpand", "Extension: read-expansion of dispatched read groups", extReadExpand},
 		{"ext-sorted", "Extension: canonical (sorted) item access order", extSorted},
 		{"ext-c2pl", "Extension: caching 2PL (c-2PL) three-way comparison", extC2PL},
+		{"sharded-scaling", "Sharded: 2PC phase profile vs shard count, s-2PL", shardedScaling},
+		{"sharded-hotshard", "Sharded: uniform vs Zipf hot-shard skew, s-2PL", shardedHotShard},
 	}
 }
 

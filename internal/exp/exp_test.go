@@ -100,6 +100,36 @@ func TestEveryExperimentRuns(t *testing.T) {
 	}
 }
 
+// TestShardedExperimentsRender pins the sharded registry entries: both
+// sweeps run, print the 2PC phase profile, and honor the cmd flag knobs
+// (Shards / CrossRatio / ZipfTheta overrides collapse the sweeps).
+func TestShardedExperimentsRender(t *testing.T) {
+	sc := tiny()
+	sc.Shards = 2
+	sc.CrossRatio, sc.CrossRatioSet = 0.8, true
+	sc.ZipfTheta = 0.7
+	var b strings.Builder
+	e, _ := ByID("sharded-scaling")
+	if err := e.Run(sc, &b); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"cross-ratio 0.80", "prep/txn", "forced-aborts"} {
+		if !strings.Contains(b.String(), want) {
+			t.Fatalf("sharded-scaling missing %q: %s", want, b.String())
+		}
+	}
+	b.Reset()
+	e, _ = ByID("sharded-hotshard")
+	if err := e.Run(sc, &b); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"K=2", "uniform", "zipf(0.70)"} {
+		if !strings.Contains(b.String(), want) {
+			t.Fatalf("sharded-hotshard missing %q: %s", want, b.String())
+		}
+	}
+}
+
 func TestQuickAndPaperScales(t *testing.T) {
 	q, p := Quick(), Paper()
 	if q.TargetCommits >= p.TargetCommits {

@@ -1,0 +1,138 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/engine"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// The sharded experiments drive the multi-lock-server s-2PL engine
+// (DESIGN.md §13) directly: sharding is s-2PL-only, so there is a single
+// curve and the interesting output is the 2PC phase profile — prepares
+// per transaction, one-phase fast-path share, cross-shard ratio and
+// coordinator-side forced aborts — next to the usual response and abort
+// estimates.
+
+// shardedConfig is the common experiment point: the Table 1 workload at
+// s-WAN latency, partitioned across k range shards.
+func shardedConfig(sc Scale, k int, cross float64) engine.Config {
+	return engine.Config{
+		Protocol:      engine.S2PL,
+		Clients:       50,
+		Latency:       500,
+		Workload:      workload.Default(),
+		Shards:        k,
+		CrossRatio:    cross,
+		TargetCommits: sc.TargetCommits,
+		WarmupCommits: sc.WarmupCommits,
+		MaxTime:       sc.MaxTime,
+	}
+}
+
+// shardedPoint replicates one sharded configuration under the standard
+// seed schedule and aggregates estimates plus summed 2PC counters.
+func shardedPoint(sc Scale, cfg engine.Config) (rt, ab stats.Estimate, tpc stats.TwoPC, err error) {
+	var resp, abort []float64
+	for rep := 0; rep < sc.Replications; rep++ {
+		cfg.Seed = 1 + uint64(rep)*0x9e3779b9
+		res, runErr := engine.Run(cfg)
+		if runErr != nil {
+			return rt, ab, tpc, fmt.Errorf("exp: sharded replication %d: %w", rep, runErr)
+		}
+		resp = append(resp, res.MeanResponse())
+		abort = append(abort, res.AbortPct())
+		tpc.Prepares += res.TwoPC.Prepares
+		tpc.VotesYes += res.TwoPC.VotesYes
+		tpc.VotesNo += res.TwoPC.VotesNo
+		tpc.Commits += res.TwoPC.Commits
+		tpc.Aborts += res.TwoPC.Aborts
+		tpc.OnePhase += res.TwoPC.OnePhase
+		tpc.ForcedAborts += res.TwoPC.ForcedAborts
+		tpc.CrossTxns += res.TwoPC.CrossTxns
+		tpc.Txns += res.TwoPC.Txns
+	}
+	return stats.FromReplications(resp), stats.FromReplications(abort), tpc, nil
+}
+
+// shardedScaling sweeps the shard count at a fixed cross-shard ratio.
+// K=1 is the unsharded single-server baseline (no 2PC traffic at all).
+func shardedScaling(sc Scale, w io.Writer) error {
+	cross := 0.4
+	if sc.CrossRatioSet {
+		cross = sc.CrossRatio
+	}
+	// K stops at 4: the 25-item Table 1 space needs every shard range to
+	// hold a full MaxTxnItems transaction for the confinement draw.
+	ks := []int{1, 2, 4}
+	if sc.Shards > 0 {
+		ks = []int{sc.Shards}
+	}
+	fmt.Fprintf(w, "Sharded s-2PL vs shard count (50 clients, s-WAN, cross-ratio %.2f)\n", cross)
+	fmt.Fprintf(w, "  %-4s %-20s %-16s %-8s %-10s %-10s %s\n",
+		"K", "mean response", "% aborted", "cross", "prep/txn", "1phase%", "forced-aborts")
+	for _, k := range ks {
+		rt, ab, tpc, err := shardedPoint(sc, shardedConfig(sc, k, cross))
+		if err != nil {
+			return err
+		}
+		prepPerTxn, onePhasePct := 0.0, 0.0
+		if tpc.Txns > 0 {
+			prepPerTxn = float64(tpc.Prepares) / float64(tpc.Txns)
+			onePhasePct = 100 * float64(tpc.OnePhase) / float64(tpc.Txns)
+		}
+		fmt.Fprintf(w, "  %-4d %-20s %-16s %-8.2f %-10.2f %-10.1f %d\n",
+			k, rt, ab, tpc.CrossRatio(), prepPerTxn, onePhasePct, tpc.ForcedAborts)
+	}
+	fmt.Fprintln(w)
+	return nil
+}
+
+// shardedHotShard contrasts uniform access with Zipf skew: range
+// sharding maps the Zipf head onto shard 0, so a hot shard emerges and
+// contention (aborts, coordinator victims) rises with θ while the
+// uniform row stays the balanced baseline.
+func shardedHotShard(sc Scale, w io.Writer) error {
+	k := 4
+	if sc.Shards > 0 {
+		k = sc.Shards
+	}
+	cross := 0.4
+	if sc.CrossRatioSet {
+		cross = sc.CrossRatio
+	}
+	thetas := []float64{0.5, 0.9}
+	if sc.ZipfTheta > 0 {
+		thetas = []float64{sc.ZipfTheta}
+	}
+	fmt.Fprintf(w, "Hot shard vs uniform access (K=%d, 50 clients, s-WAN, cross-ratio %.2f)\n", k, cross)
+	fmt.Fprintf(w, "  %-14s %-20s %-16s %-8s %s\n",
+		"access", "mean response", "% aborted", "cross", "forced-aborts")
+	rows := []struct {
+		name  string
+		theta float64 // 0: uniform
+	}{{"uniform", 0}}
+	for _, th := range thetas {
+		rows = append(rows, struct {
+			name  string
+			theta float64
+		}{fmt.Sprintf("zipf(%.2f)", th), th})
+	}
+	for _, row := range rows {
+		cfg := shardedConfig(sc, k, cross)
+		if row.theta > 0 {
+			cfg.Workload.Access = workload.Zipf
+			cfg.Workload.ZipfTheta = row.theta
+		}
+		rt, ab, tpc, err := shardedPoint(sc, cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "  %-14s %-20s %-16s %-8.2f %d\n",
+			row.name, rt, ab, tpc.CrossRatio(), tpc.ForcedAborts)
+	}
+	fmt.Fprintln(w)
+	return nil
+}

@@ -30,10 +30,33 @@ type Client int32
 // Server is the pseudo-client id of the data server site.
 const Server Client = -1
 
-// String renders a client id as C<n>, or "server" for the server site.
+// Coordinator is the pseudo-client id of the 2PC commit coordinator site
+// in a sharded topology.
+const Coordinator Client = -2
+
+// ShardSite returns the pseudo-client id of lock-server shard k. Shard
+// sites occupy the ids below Coordinator: shard 0 is -3, shard 1 is -4,
+// and so on.
+func ShardSite(k int) Client { return Client(-3 - k) }
+
+// ShardIndex inverts ShardSite; it panics on a non-shard id.
+func ShardIndex(c Client) int {
+	if c > Coordinator-1 {
+		panic(fmt.Sprintf("ids: %v is not a shard site", c))
+	}
+	return int(-3 - c)
+}
+
+// String renders a client id as C<n>, or the site name for the server,
+// coordinator and shard pseudo-clients.
 func (c Client) String() string {
-	if c == Server {
+	switch {
+	case c == Server:
 		return "server"
+	case c == Coordinator:
+		return "coord"
+	case c < Coordinator:
+		return fmt.Sprintf("S%d", ShardIndex(c))
 	}
 	return fmt.Sprintf("C%d", int32(c))
 }

@@ -22,6 +22,11 @@ type liveTxn struct {
 	aborted bool
 	done    bool
 
+	// touched lists the distinct shards this transaction sent requests
+	// to (sharded topology only): the 2PC participant set, and the
+	// targets of an abort unwind.
+	touched []int
+
 	// g-2PL bookkeeping: reader releases received (and required) per
 	// item on which this transaction is the next writer.
 	relGot  map[ids.Item]int
@@ -40,6 +45,16 @@ type heldItem struct {
 }
 
 func (t *liveTxn) op() workload.Op { return t.profile.Ops[t.opIdx] }
+
+// touch records a shard in the transaction's participant set, once.
+func (t *liveTxn) touch(shard int) {
+	for _, s := range t.touched {
+		if s == shard {
+			return
+		}
+	}
+	t.touched = append(t.touched, shard)
+}
 
 func (t *liveTxn) heldEntry(item ids.Item) *heldItem {
 	for i := range t.held {
@@ -149,12 +164,20 @@ func (c *client) beginNext(arm func(time.Duration, func())) {
 
 func (c *client) sendRequest() {
 	op := c.cur.op()
-	c.cl.net.send(c.id, ids.Server, reqMsg{
+	m := reqMsg{
 		txn:    c.cur.id,
 		client: c.id,
 		item:   op.Item,
 		write:  op.Write,
-	})
+		epoch:  c.cur.opIdx,
+	}
+	if c.cl.sharded() {
+		s := c.cl.smap.Of(op.Item)
+		c.cur.touch(s)
+		c.cl.net.send(c.id, ids.ShardSite(s), m)
+		return
+	}
+	c.cl.net.send(c.id, ids.Server, m)
 }
 
 func (c *client) handle(m message, arm func(time.Duration, func())) {
@@ -165,6 +188,8 @@ func (c *client) handle(m message, arm func(time.Duration, func())) {
 		c.onRelease(msg, arm)
 	case abortMsg:
 		c.onAbort(msg.txn, arm)
+	case outcomeMsg:
+		c.onOutcome(msg, arm)
 	case grantMsg:
 		c.onGrant(msg, arm)
 	case recallMsg:
@@ -298,8 +323,12 @@ func (c *client) onRelease(m fwdMsg, arm func(time.Duration, func())) {
 }
 
 // commit finishes the current transaction (s-2PL and g-2PL; c-2PL commits
-// via commitC2PL).
+// via commitC2PL, sharded s-2PL via commitSharded).
 func (c *client) commit(t *liveTxn, arm func(time.Duration, func())) {
+	if c.cl.sharded() {
+		c.commitSharded(t)
+		return
+	}
 	t.done = true
 	rec := history.Committed{Txn: t.id, Reads: t.reads}
 	for i := range t.held {
@@ -334,8 +363,96 @@ func (c *client) commit(t *liveTxn, arm func(time.Duration, func())) {
 	c.beginNext(arm)
 }
 
+// commitSharded hands a fully-granted transaction to the 2PC
+// coordinator: the commit record and the staged per-shard writes travel
+// with the request, and the transaction stays current — neither done nor
+// counted — until the coordinator's outcome (or a victim notice) comes
+// back.
+func (c *client) commitSharded(t *liveTxn) {
+	rec := history.Committed{Txn: t.id, Reads: t.reads}
+	writesBy := make(map[int][]writeUpdate)
+	delta := int64(t.id%7) + 1
+	widx := 0
+	for i := range t.held {
+		h := &t.held[i]
+		if !h.write {
+			continue
+		}
+		rec.Writes = append(rec.Writes, h.item)
+		val := int64(t.id)
+		if c.cl.cfg.Bank {
+			// A deterministic transfer between the transaction's two
+			// accounts: debit the first, credit the second by the same
+			// amount, preserving the global balance sum.
+			if widx == 0 {
+				val = h.value - delta
+			} else {
+				val = h.value + delta
+			}
+		}
+		widx++
+		s := c.cl.smap.Of(h.item)
+		writesBy[s] = append(writesBy[s], writeUpdate{item: h.item, value: val})
+	}
+	c.cl.net.send(c.id, ids.Coordinator, commitReqMsg{
+		txn: t.id, client: c.id, shards: t.touched, rec: rec, writesBy: writesBy,
+	})
+}
+
+// onOutcome finishes a sharded transaction on the coordinator's reply.
+func (c *client) onOutcome(m outcomeMsg, arm func(time.Duration, func())) {
+	t := c.txnByID(m.txn, false)
+	if t == nil || t.done {
+		return
+	}
+	if m.commit {
+		t.done = true
+		c.cl.commits.Add(1)
+		c.cl.resp.Add(int64(time.Since(t.start)))
+		c.committed++
+		c.cur = nil
+		c.beginNext(arm)
+		return
+	}
+	// An abort reply: the commit request crossed a victim notice in
+	// flight and the coordinator killed the round. The victim notice
+	// normally unwinds the transaction first (per-link FIFO delivers it
+	// ahead of this reply); unwind here only if it somehow has not.
+	c.abortSharded(t, arm)
+}
+
+// abortSharded unwinds a dead sharded transaction: aborted releases to
+// every touched shard free its locks and queue entries, and the
+// abort-done ack lets the coordinator clear its victim mark.
+func (c *client) abortSharded(t *liveTxn, arm func(time.Duration, func())) {
+	t.aborted = true
+	t.done = true
+	c.cl.audit.abort()
+	c.cl.aborts.Add(1)
+	for _, s := range t.touched {
+		c.cl.net.send(c.id, ids.ShardSite(s), releaseMsg{txn: t.id, aborted: true})
+	}
+	c.cl.net.send(c.id, ids.Coordinator, abortDoneMsg{txn: t.id})
+	if c.cur == t {
+		c.cur = nil
+		c.beginNext(arm)
+	}
+}
+
 // onAbort handles a deadlock-victim notice.
 func (c *client) onAbort(txn ids.Txn, arm func(time.Duration, func())) {
+	if c.cl.sharded() {
+		t := c.txnByID(txn, false)
+		if t == nil || t.done {
+			// The transaction already finished here (e.g. a stale blocked
+			// report got a committed transaction victimed); ack anyway so
+			// the coordinator clears its victim mark.
+			c.cl.net.send(c.id, ids.Coordinator, abortDoneMsg{txn: txn})
+			return
+		}
+		c.abortSharded(t, arm)
+		return
+	}
 	t := c.txnByID(txn, false)
 	if t == nil || t.done || t.aborted {
 		return

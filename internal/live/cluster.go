@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/history"
 	"repro/internal/ids"
+	"repro/internal/protocol"
 	"repro/internal/rng"
 	"repro/internal/workload"
 )
@@ -21,6 +22,9 @@ const tick = 20 * time.Microsecond
 type Result struct {
 	Stats   Stats
 	History *history.Log
+	// Values is the final item store of a sharded run, merged across the
+	// shard sites after shutdown; nil on a single-server cluster.
+	Values map[ids.Item]int64
 }
 
 // Run executes a live cluster to completion: every client commits
@@ -41,7 +45,10 @@ func Run(cfg Config) (*Result, error) {
 type cluster struct {
 	cfg     Config
 	net     *network
-	server  *server
+	server  *server // single-server topology; nil when sharded
+	smap    protocol.ShardMap
+	shards  []*shardSite
+	coord   *coordSite
 	clients []*client
 	audit   *auditLog
 
@@ -76,11 +83,20 @@ func newCluster(cfg Config) (*cluster, error) {
 		// pure overhead.
 		cl.net.arq = newARQ(cfg.ARQ, cl.net, cl.fail)
 	}
-	cl.server = newServer(cl)
+	if cl.sharded() {
+		cl.smap = protocol.NewRangeShardMap(cfg.Shards, cfg.Workload.Items)
+		for k := 0; k < cfg.Shards; k++ {
+			cl.shards = append(cl.shards, newShardSite(cl, k))
+		}
+		cl.coord = newCoordSite(cl)
+	} else {
+		cl.server = newServer(cl)
+	}
+	wl := cfg.effectiveWorkload()
 	root := rng.New(cfg.Seed, 1)
 	for i := 0; i < cfg.Clients; i++ {
 		cl.clients = append(cl.clients, newClient(cl, ids.Client(i),
-			workload.NewGenerator(cfg.Workload, root.Split(uint64(i)))))
+			workload.NewGenerator(wl, root.Split(uint64(i)))))
 	}
 	cl.remaining.Store(int64(cfg.Clients))
 	return cl, nil
@@ -95,12 +111,34 @@ func (cl *cluster) fail(err error) {
 	}
 }
 
-// mailboxOf resolves a site id to its mailbox (ids.Server is the server).
+// sharded reports whether the cluster runs the multi-shard topology.
+func (cl *cluster) sharded() bool { return cl.cfg.Shards > 1 }
+
+// mailboxOf resolves a site id to its mailbox: the server, the 2PC
+// coordinator, a lock-server shard, or a client.
 func (cl *cluster) mailboxOf(c ids.Client) *mailbox {
-	if c == ids.Server {
+	switch {
+	case c == ids.Server:
 		return cl.server.mbox
+	case c == ids.Coordinator:
+		return cl.coord.mbox
+	case c < ids.Coordinator:
+		return cl.shards[ids.ShardIndex(c)].mbox
 	}
 	return cl.clients[int(c)].mbox
+}
+
+// protocolBoxes lists the mailboxes of the protocol sites: the single
+// server, or the shard sites plus the coordinator.
+func (cl *cluster) protocolBoxes() []*mailbox {
+	if !cl.sharded() {
+		return []*mailbox{cl.server.mbox}
+	}
+	var boxes []*mailbox
+	for _, ss := range cl.shards {
+		boxes = append(boxes, ss.mbox)
+	}
+	return append(boxes, cl.coord.mbox)
 }
 
 func (cl *cluster) newTxnID() ids.Txn {
@@ -118,11 +156,27 @@ func (cl *cluster) clientAtTarget() {
 func (cl *cluster) run() (*Result, error) {
 	start := time.Now()
 	var wg sync.WaitGroup
-	wg.Add(1)
-	go func() {
-		defer wg.Done()
-		cl.server.loop()
-	}()
+	if cl.sharded() {
+		for _, ss := range cl.shards {
+			ss := ss
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				ss.loop()
+			}()
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cl.coord.loop()
+		}()
+	} else {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cl.server.loop()
+		}()
+	}
 	for _, c := range cl.clients {
 		c := c
 		wg.Add(1)
@@ -191,10 +245,22 @@ func (cl *cluster) run() (*Result, error) {
 		st.AcksPiggybacked = as.acksPiggybacked
 		st.MaxRTO = as.maxRTO
 	}
-	return &Result{
+	res := &Result{
 		Stats:   st,
 		History: &cl.audit.log,
-	}, nil
+	}
+	if cl.sharded() {
+		// The site goroutines are gone (shutdown waited on them), so their
+		// state is safe to harvest single-threaded here.
+		res.Stats.TwoPC = cl.coord.coord.Counters()
+		res.Values = make(map[ids.Item]int64)
+		for _, ss := range cl.shards {
+			for item, v := range ss.values {
+				res.Values[item] = v
+			}
+		}
+	}
+	return res, nil
 }
 
 // harnessTimeout guards every harness control interaction with a protocol
@@ -202,30 +268,41 @@ func (cl *cluster) run() (*Result, error) {
 // past the deadline it just enforced. A variable so tests can shrink it.
 var harnessTimeout = 2 * time.Second
 
-// quiesce polls the server until it reports no protocol state in flight.
-// Both the control send and the reply wait are timeout-guarded, so a
-// wedged server yields a clean not-quiet failure. One timer is re-armed
-// across all iterations — time.After here would allocate two uncollected
-// timers per poll, five thousand polls deep on a busy cluster.
+// quiesce polls every protocol site until a single pass reports no
+// protocol state in flight anywhere. The pass is not atomic, but any
+// message still travelling between sites leaves a lock, vote round or
+// abort mark open at one of them, so an all-quiet pass implies a truly
+// quiescent cluster. Both the control send and the reply wait are
+// timeout-guarded, so a wedged site yields a clean not-quiet failure. One
+// timer is re-armed across all iterations — time.After here would
+// allocate two uncollected timers per poll, five thousand polls deep on a
+// busy cluster.
 func (cl *cluster) quiesce() bool {
 	guard := time.NewTimer(harnessTimeout)
 	defer guard.Stop()
+	boxes := cl.protocolBoxes()
 	for i := 0; i < 5000; i++ {
-		reply := make(chan bool, 1)
-		rearm(guard, harnessTimeout)
-		select {
-		case cl.server.mbox.ch <- quiesceMsg{reply: reply}:
-		case <-guard.C:
-			return false
-		}
-		rearm(guard, harnessTimeout)
-		select {
-		case quiet := <-reply:
-			if quiet {
-				return true
+		quietAll := true
+		for _, b := range boxes {
+			reply := make(chan bool, 1)
+			rearm(guard, harnessTimeout)
+			select {
+			case b.ch <- quiesceMsg{reply: reply}:
+			case <-guard.C:
+				return false
 			}
-		case <-guard.C:
-			return false
+			rearm(guard, harnessTimeout)
+			select {
+			case quiet := <-reply:
+				if !quiet {
+					quietAll = false
+				}
+			case <-guard.C:
+				return false
+			}
+		}
+		if quietAll {
+			return true
 		}
 		time.Sleep(time.Millisecond)
 	}
@@ -265,7 +342,7 @@ func (cl *cluster) shutdown(wg *sync.WaitGroup) {
 	// mailboxes; drain every mailbox until the last delivery completes.
 	drainQuit := make(chan struct{})
 	var drains sync.WaitGroup
-	boxes := []*mailbox{cl.server.mbox}
+	boxes := cl.protocolBoxes()
 	for _, c := range cl.clients {
 		boxes = append(boxes, c.mbox)
 	}

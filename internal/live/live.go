@@ -31,6 +31,7 @@ import (
 	"repro/internal/ids"
 	"repro/internal/lock"
 	"repro/internal/protocol"
+	"repro/internal/stats"
 	"repro/internal/workload"
 )
 
@@ -80,6 +81,31 @@ type Config struct {
 	// ARQ tunes the retransmission layer that masks Chaos.Drop; it is
 	// engaged only when Drop > 0 and not Disabled. See ARQConfig.
 	ARQ ARQConfig
+	// Shards > 1 splits the lock space across that many range-partitioned
+	// lock-server shard sites with a 2PC commit coordinator (s-2PL only);
+	// Shards <= 1 keeps the classic single server.
+	Shards int
+	// CrossRatio is the probability a transaction may cross shard
+	// boundaries (workload.CrossProb); the rest stay shard-confined.
+	CrossRatio float64
+	// Bank turns each transaction's writes into a balance transfer
+	// between its two items, preserving the global balance sum — the
+	// cross-shard atomicity invariant. Requires a sharded cluster and a
+	// 2-item all-write workload.
+	Bank bool
+	// InitialBalance seeds every item's value for Bank runs.
+	InitialBalance int64
+}
+
+// effectiveWorkload is the workload configuration the generators actually
+// run: cluster sharding maps onto the workload's shard-confinement knobs.
+func (c Config) effectiveWorkload() workload.Config {
+	wl := c.Workload
+	if c.Shards > 1 {
+		wl.Shards = c.Shards
+		wl.CrossProb = c.CrossRatio
+	}
+	return wl
 }
 
 // Validate reports the first configuration error.
@@ -95,6 +121,20 @@ func (c Config) Validate() error {
 		return fmt.Errorf("live: StallTimeout must be >= 0, got %v", c.StallTimeout)
 	case c.Protocol != S2PL && c.Protocol != G2PL && c.Protocol != C2PL:
 		return fmt.Errorf("live: unknown protocol %d", int(c.Protocol))
+	case c.Shards < 0:
+		return fmt.Errorf("live: Shards must be >= 0, got %d", c.Shards)
+	case c.Shards > 1 && c.Protocol != S2PL:
+		return fmt.Errorf("live: sharding requires s-2PL, got %v", c.Protocol)
+	case c.CrossRatio < 0 || c.CrossRatio > 1:
+		return fmt.Errorf("live: CrossRatio must be in [0,1], got %v", c.CrossRatio)
+	case c.CrossRatio > 0 && c.Shards <= 1:
+		return fmt.Errorf("live: CrossRatio needs Shards > 1")
+	case c.Bank && c.Shards <= 1:
+		return fmt.Errorf("live: Bank requires a sharded cluster")
+	case c.InitialBalance != 0 && !c.Bank:
+		return fmt.Errorf("live: InitialBalance requires Bank")
+	case c.Bank && (c.Workload.MinTxnItems != 2 || c.Workload.MaxTxnItems != 2 || c.Workload.ReadProb != 0):
+		return fmt.Errorf("live: Bank requires a 2-item all-write workload")
 	}
 	if err := c.Chaos.validate(); err != nil {
 		return err
@@ -102,7 +142,7 @@ func (c Config) Validate() error {
 	if err := c.ARQ.validate(); err != nil {
 		return err
 	}
-	return c.Workload.Validate()
+	return c.effectiveWorkload().Validate()
 }
 
 // Stats summarizes a cluster run.
@@ -124,6 +164,10 @@ type Stats struct {
 	// MaxRTO is the longest retransmission timeout any link actually
 	// waited out; zero means no retransmission was ever needed.
 	MaxRTO time.Duration
+
+	// TwoPC holds the coordinator's per-phase counters on a sharded run;
+	// all zero on a single-server cluster.
+	TwoPC stats.TwoPC
 }
 
 // message is anything deliverable to a mailbox.
@@ -138,6 +182,10 @@ type (
 		client ids.Client
 		item   ids.Item
 		write  bool
+		// epoch is the transaction's operation index — the block-episode
+		// id the sharded coordinator orders block/clear reports by. The
+		// single server ignores it.
+		epoch int
 	}
 	// dataMsg delivers a data item (copy or exclusive) to a client,
 	// together with the forward-list routing plan (nil under s-2PL).

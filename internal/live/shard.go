@@ -1,0 +1,292 @@
+package live
+
+import (
+	"fmt"
+
+	"repro/internal/history"
+	"repro/internal/ids"
+	"repro/internal/protocol"
+)
+
+// Sharded s-2PL messages (DESIGN.md §13). They ride the same chaos-proof
+// transport as everything else: the resequencer gives each directed link
+// exactly-once in-order delivery, which is all the presumed-abort
+// protocol asks of its network.
+type (
+	// blockedMsg reports a blocked transaction, with its local wait
+	// edges and block episode, from a shard to the coordinator.
+	blockedMsg struct {
+		txn    ids.Txn
+		client ids.Client
+		epoch  int
+		held   int
+		waits  []ids.Txn
+	}
+	// clearedMsg retracts a previously reported block. It echoes the
+	// episode so the coordinator can reject a clear that lost a
+	// cross-link race to a newer episode's report.
+	clearedMsg struct {
+		txn   ids.Txn
+		epoch int
+	}
+	// voteMsg carries one shard's prepare vote to the coordinator.
+	voteMsg struct {
+		txn   ids.Txn
+		shard int
+		yes   bool
+	}
+	// commitReqMsg asks the coordinator to commit a fully-granted
+	// transaction. It carries the commit record and the staged per-shard
+	// writes, so the coordinator can audit-log the commit at decision
+	// time and attach each shard's writes to its decision.
+	commitReqMsg struct {
+		txn      ids.Txn
+		client   ids.Client
+		shards   []int
+		rec      history.Committed
+		writesBy map[int][]writeUpdate
+	}
+	// prepareMsg asks a shard to vote on a transaction.
+	prepareMsg struct {
+		txn ids.Txn
+	}
+	// decisionMsg delivers the global commit/abort decision to one
+	// shard, carrying the writes a commit installs there.
+	decisionMsg struct {
+		txn    ids.Txn
+		commit bool
+		writes []writeUpdate
+	}
+	// outcomeMsg reports the final outcome to the requesting client.
+	outcomeMsg struct {
+		txn    ids.Txn
+		commit bool
+	}
+	// abortDoneMsg closes a client's abort unwind at the coordinator.
+	abortDoneMsg struct {
+		txn ids.Txn
+	}
+)
+
+// shardSite is one lock-server shard: a goroutine owning one partition of
+// the item space — its locks (a protocol.Participant) and its slice of
+// the versioned store. All state is owned by the site goroutine.
+type shardSite struct {
+	cl   *cluster
+	idx  int
+	mbox *mailbox
+	part *protocol.Participant
+
+	versions map[ids.Item]ids.Txn
+	values   map[ids.Item]int64
+}
+
+func newShardSite(cl *cluster, idx int) *shardSite {
+	mbox := newMailbox(16 * cl.cfg.Clients)
+	mbox.owner = ids.ShardSite(idx)
+	mbox.arq = cl.net.arq
+	ss := &shardSite{
+		cl:       cl,
+		idx:      idx,
+		mbox:     mbox,
+		part:     protocol.NewParticipant(idx, protocol.VictimRequester),
+		versions: make(map[ids.Item]ids.Txn),
+		values:   make(map[ids.Item]int64),
+	}
+	if cl.cfg.InitialBalance != 0 {
+		for i := 0; i < cl.cfg.Workload.Items; i++ {
+			if cl.smap.Of(ids.Item(i)) == idx {
+				ss.values[ids.Item(i)] = cl.cfg.InitialBalance
+			}
+		}
+	}
+	return ss
+}
+
+func (ss *shardSite) loop() {
+	for {
+		select {
+		case <-ss.cl.stopc:
+			return
+		case m := <-ss.mbox.ch:
+			switch msg := m.(type) {
+			case quiesceMsg:
+				msg.reply <- ss.part.Quiet()
+			case reqMsg:
+				ss.shardRequest(msg)
+			case releaseMsg:
+				ss.shardRelease(msg)
+			case prepareMsg:
+				ss.shardPrepare(msg)
+			case decisionMsg:
+				ss.shardDecide(msg)
+			default:
+				panic(fmt.Sprintf("live: shard %d got unexpected %T", ss.idx, m))
+			}
+		}
+	}
+}
+
+func (ss *shardSite) shardRequest(m reqMsg) {
+	ss.applyShard(ss.part.Request(protocol.LockRequest{
+		Txn: m.txn, Client: m.client, Item: m.item, Write: m.write, Epoch: m.epoch,
+	}))
+}
+
+// shardRelease handles a client-side abort unwind; commits never arrive
+// this way (their writes and releases ride the coordinator's decision).
+func (ss *shardSite) shardRelease(m releaseMsg) {
+	if !m.aborted {
+		panic(fmt.Sprintf("live: shard %d got a commit release for %v; commits ride decisions", ss.idx, m.txn))
+	}
+	ss.applyShard(ss.part.ClientAbort(m.txn))
+}
+
+func (ss *shardSite) shardPrepare(m prepareMsg) {
+	ss.applyShard(ss.part.Prepare(m.txn))
+}
+
+// shardDecide applies the coordinator's decision. Commit writes install
+// only while the shard still carries the transaction — a duplicate or
+// presumed-abort decision must change nothing.
+func (ss *shardSite) shardDecide(m decisionMsg) {
+	if m.commit && ss.part.Involved(m.txn) {
+		for _, w := range m.writes {
+			ss.versions[w.item] = m.txn
+			ss.values[w.item] = w.value
+		}
+	}
+	ss.applyShard(ss.part.Decide(m.txn, m.commit))
+}
+
+// applyShard emits the participant core's ordered decisions as messages —
+// the single delivery site for sharded grants, local abort notices and
+// the shard→coordinator control traffic.
+func (ss *shardSite) applyShard(acts []protocol.PartAction) {
+	for _, a := range acts {
+		switch a.Kind {
+		case protocol.PartGrant:
+			ss.cl.net.send(ids.ShardSite(ss.idx), a.Req.Client, dataMsg{
+				txn:     a.Req.Txn,
+				item:    a.Req.Item,
+				version: ss.versions[a.Req.Item],
+				value:   ss.values[a.Req.Item],
+			})
+		case protocol.PartAbort:
+			ss.cl.net.send(ids.ShardSite(ss.idx), a.Req.Client, abortMsg{txn: a.Req.Txn})
+		case protocol.PartBlocked:
+			ss.cl.net.send(ids.ShardSite(ss.idx), ids.Coordinator, blockedMsg{
+				txn: a.Txn, client: a.Client, epoch: a.Epoch, held: a.Held, waits: a.WaitsFor,
+			})
+		case protocol.PartCleared:
+			ss.cl.net.send(ids.ShardSite(ss.idx), ids.Coordinator, clearedMsg{txn: a.Txn, epoch: a.Epoch})
+		case protocol.PartVote:
+			ss.cl.net.send(ids.ShardSite(ss.idx), ids.Coordinator, voteMsg{txn: a.Txn, shard: ss.idx, yes: a.Yes})
+		default:
+			panic(fmt.Sprintf("live: shard %d emitting unknown action kind %d", ss.idx, int(a.Kind)))
+		}
+	}
+}
+
+// coordSite is the 2PC commit coordinator site: a goroutine wrapping the
+// pure protocol.Coordinator plus the commit records held between a
+// commit request and its decision. Commits are audit-logged here, at
+// decision time, so the oracle's log order matches the decision order —
+// a dependent transaction can only reach its own decision after this
+// one's, on this same goroutine.
+type coordSite struct {
+	cl    *cluster
+	mbox  *mailbox
+	coord *protocol.Coordinator
+
+	pending map[ids.Txn]commitReqMsg
+}
+
+func newCoordSite(cl *cluster) *coordSite {
+	mbox := newMailbox(16 * cl.cfg.Clients)
+	mbox.owner = ids.Coordinator
+	mbox.arq = cl.net.arq
+	return &coordSite{
+		cl:      cl,
+		mbox:    mbox,
+		coord:   protocol.NewCoordinator(protocol.VictimRequester),
+		pending: make(map[ids.Txn]commitReqMsg),
+	}
+}
+
+func (cs *coordSite) loop() {
+	for {
+		select {
+		case <-cs.cl.stopc:
+			return
+		case m := <-cs.mbox.ch:
+			switch msg := m.(type) {
+			case quiesceMsg:
+				msg.reply <- cs.coord.Quiet()
+			case blockedMsg:
+				cs.coordBlocked(msg)
+			case clearedMsg:
+				cs.coord.Cleared(msg.txn, msg.epoch)
+			case voteMsg:
+				cs.coordVote(msg)
+			case commitReqMsg:
+				cs.coordCommitReq(msg)
+			case abortDoneMsg:
+				cs.coordAbortDone(msg)
+			default:
+				panic(fmt.Sprintf("live: coordinator got unexpected %T", m))
+			}
+		}
+	}
+}
+
+func (cs *coordSite) coordBlocked(m blockedMsg) {
+	cs.apply2PC(cs.coord.Blocked(m.txn, m.client, m.epoch, m.held, m.waits))
+}
+
+func (cs *coordSite) coordVote(m voteMsg) {
+	cs.apply2PC(cs.coord.Vote(m.txn, m.shard, m.yes))
+}
+
+func (cs *coordSite) coordCommitReq(m commitReqMsg) {
+	cs.pending[m.txn] = m
+	cs.apply2PC(cs.coord.CommitRequest(m.txn, m.client, m.shards))
+}
+
+// coordAbortDone closes a victim unwind. If a commit request crossed the
+// victim notice in flight, the core kills its round here; the stored
+// record dies with it.
+func (cs *coordSite) coordAbortDone(m abortDoneMsg) {
+	cs.apply2PC(cs.coord.AbortDone(m.txn))
+	delete(cs.pending, m.txn)
+}
+
+// apply2PC emits the coordinator core's ordered decisions as messages —
+// the single delivery site for prepares, decisions, outcome replies and
+// victim notices, and the audit point for sharded commits.
+func (cs *coordSite) apply2PC(acts []protocol.CoordAction) {
+	for _, a := range acts {
+		switch a.Kind {
+		case protocol.CoordPrepare:
+			cs.cl.net.send(ids.Coordinator, ids.ShardSite(a.Shard), prepareMsg{txn: a.Txn})
+		case protocol.CoordDecide:
+			var writes []writeUpdate
+			if a.Commit {
+				writes = cs.pending[a.Txn].writesBy[a.Shard]
+			}
+			cs.cl.net.send(ids.Coordinator, ids.ShardSite(a.Shard), decisionMsg{
+				txn: a.Txn, commit: a.Commit, writes: writes,
+			})
+		case protocol.CoordReply:
+			if a.Commit {
+				cs.cl.audit.commit(cs.pending[a.Txn].rec)
+			}
+			delete(cs.pending, a.Txn)
+			cs.cl.net.send(ids.Coordinator, a.Client, outcomeMsg{txn: a.Txn, commit: a.Commit})
+		case protocol.CoordVictim:
+			cs.cl.net.send(ids.Coordinator, a.Client, abortMsg{txn: a.Txn})
+		default:
+			panic(fmt.Sprintf("live: coordinator emitting unknown action kind %d", int(a.Kind)))
+		}
+	}
+}

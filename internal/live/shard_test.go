@@ -1,0 +1,209 @@
+package live
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/ids"
+	"repro/internal/serial"
+	"repro/internal/workload"
+)
+
+// shardedLiveConfig is the base sharded cluster used by the suite: small
+// enough to keep the chaos matrix fast under -race, contended enough
+// that grants, blocks, global deadlocks, votes and victims all occur.
+func shardedLiveConfig(k int, seed uint64, chaos ChaosConfig) Config {
+	wl := workload.Default()
+	wl.Items = 24
+	cfg := Config{
+		Protocol:      S2PL,
+		Clients:       6,
+		Latency:       100 * time.Microsecond,
+		Workload:      wl,
+		TxnsPerClient: 8,
+		Seed:          seed,
+		Chaos:         chaos,
+		ARQ:           testARQ,
+		Shards:        k,
+		CrossRatio:    0.5,
+	}
+	return cfg
+}
+
+// bankLiveConfig turns the sharded cluster into the transfer workload:
+// two accounts per transaction, all writes, every item seeded with the
+// same balance.
+func bankLiveConfig(k int, seed uint64, chaos ChaosConfig) Config {
+	cfg := shardedLiveConfig(k, seed, chaos)
+	cfg.Workload.MinTxnItems = 2
+	cfg.Workload.MaxTxnItems = 2
+	cfg.Workload.ReadProb = 0
+	cfg.CrossRatio = 0.6
+	cfg.Bank = true
+	cfg.InitialBalance = 100
+	return cfg
+}
+
+// runSharded executes one sharded run and applies every oracle: commit
+// target reached, history serializable, 2PC counters coherent, and no
+// goroutine leaked.
+func runSharded(t *testing.T, cfg Config) *Result {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	res := mustRun(t, cfg)
+	if want := int64(cfg.Clients * cfg.TxnsPerClient); res.Stats.Commits != want {
+		t.Fatalf("commits = %d, want %d", res.Stats.Commits, want)
+	}
+	if err := serial.Check(res.History); err != nil {
+		t.Fatalf("sharded run not serializable: %v", err)
+	}
+	tpc := res.Stats.TwoPC
+	if tpc.Txns == 0 {
+		t.Fatalf("coordinator saw no commit requests: %+v", tpc)
+	}
+	if tpc.Commits+tpc.Aborts != tpc.Txns {
+		t.Fatalf("commit requests unaccounted: %+v", tpc)
+	}
+	if res.Values == nil {
+		t.Fatal("sharded run returned no value store")
+	}
+	waitNoLeaks(t, before, "sharded run")
+	return res
+}
+
+func TestShardedLiveValidate(t *testing.T) {
+	base := shardedLiveConfig(4, 1, ChaosConfig{})
+	cases := []func(*Config){
+		func(c *Config) { c.Shards = -1 },
+		func(c *Config) { c.Protocol = G2PL },
+		func(c *Config) { c.Protocol = C2PL },
+		func(c *Config) { c.CrossRatio = 1.5 },
+		func(c *Config) { c.Shards = 1 }, // CrossRatio still set
+		func(c *Config) { c.Bank = true },
+		func(c *Config) { c.InitialBalance = 5 }, // without Bank
+		func(c *Config) { c.Shards = 30 },        // shard range below MaxTxnItems
+	}
+	for i, mutate := range cases {
+		cfg := base
+		mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d: invalid sharded config accepted", i)
+		}
+	}
+}
+
+// TestShardedLiveCompletes runs the multi-shard topology on a
+// well-behaved network across shard counts and seeds, checking the
+// coordinator actually coordinated: cross-shard transactions prepared,
+// voted, and the phase counters add up.
+func TestShardedLiveCompletes(t *testing.T) {
+	for _, k := range []int{2, 4} {
+		for _, seed := range []uint64{1, 2} {
+			t.Run(fmt.Sprintf("K%d/seed%d", k, seed), func(t *testing.T) {
+				res := runSharded(t, shardedLiveConfig(k, seed, ChaosConfig{}))
+				tpc := res.Stats.TwoPC
+				if tpc.CrossTxns == 0 || tpc.Prepares == 0 || tpc.VotesYes == 0 {
+					t.Fatalf("no cross-shard voting rounds ran: %+v", tpc)
+				}
+				if cr := tpc.CrossRatio(); cr <= 0 || cr >= 1 {
+					t.Fatalf("cross ratio %v out of range", cr)
+				}
+			})
+		}
+	}
+}
+
+// TestShardedChaosMatrix subjects the sharded topology to the full fault
+// matrix — reorder, duplication, jitter, drop, and all four at once. The
+// 2PC layer itself assumes only per-link exactly-once FIFO delivery,
+// which the resequencer and ARQ reconstruct above the chaos; every run
+// must still reach its target with a serializable history. CI runs this
+// under -race.
+func TestShardedChaosMatrix(t *testing.T) {
+	seeds := []uint64{1, 2}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	for _, mode := range chaosModes {
+		for _, seed := range seeds {
+			t.Run(fmt.Sprintf("%s/seed%d", mode.name, seed), func(t *testing.T) {
+				runSharded(t, shardedLiveConfig(3, seed, mode.chaos))
+			})
+		}
+	}
+}
+
+// bankSum folds the final store of a bank run into the global balance.
+func bankSum(res *Result, items int) int64 {
+	var sum int64
+	for i := 0; i < items; i++ {
+		sum += res.Values[ids.Item(i)]
+	}
+	return sum
+}
+
+// TestShardedBankInvariant is the live cross-shard atomicity oracle: a
+// torn transfer — debit installed at one shard, credit aborted at the
+// other — changes the global balance sum, so the sum coming back exact
+// after every run proves 2PC atomicity end to end, under every chaos
+// mode. CI runs this under -race.
+func TestShardedBankInvariant(t *testing.T) {
+	modes := append([]struct {
+		name  string
+		chaos ChaosConfig
+	}{{"clean", ChaosConfig{}}}, chaosModes...)
+	for _, mode := range modes {
+		t.Run(mode.name, func(t *testing.T) {
+			cfg := bankLiveConfig(4, 3, mode.chaos)
+			res := runSharded(t, cfg)
+			want := int64(cfg.Workload.Items) * cfg.InitialBalance
+			if got := bankSum(res, cfg.Workload.Items); got != want {
+				t.Fatalf("global balance %d, want %d: a transfer tore across shards under %s",
+					got, want, mode.name)
+			}
+			if res.Stats.TwoPC.CrossTxns == 0 {
+				t.Fatalf("bank run exercised no cross-shard commits: %+v", res.Stats.TwoPC)
+			}
+		})
+	}
+}
+
+// TestShardedConfinedNoCoordinator pins the one-phase fast path: with
+// CrossRatio zero every transaction stays inside one shard, so commits
+// still flow through the coordinator (it owns the decision) but no
+// prepare round ever runs.
+func TestShardedConfinedNoCoordinator(t *testing.T) {
+	cfg := shardedLiveConfig(4, 5, ChaosConfig{})
+	cfg.CrossRatio = 0
+	res := runSharded(t, cfg)
+	tpc := res.Stats.TwoPC
+	if tpc.CrossTxns != 0 || tpc.Prepares != 0 {
+		t.Fatalf("confined workload ran voting rounds: %+v", tpc)
+	}
+}
+
+// TestShardedZipfHotShard checks the skew knob reaches the live sharded
+// cluster: with range sharding a Zipf pattern concentrates load on the
+// shard owning the hot head of the item space, which shows up as more
+// deadlock aborts than the uniform pattern produces.
+func TestShardedZipfHotShard(t *testing.T) {
+	run := func(access workload.Pattern, theta float64) int64 {
+		var aborts int64
+		for seed := uint64(1); seed <= 3; seed++ {
+			cfg := shardedLiveConfig(4, seed, ChaosConfig{})
+			cfg.CrossRatio = 0.2
+			cfg.Workload.Access = access
+			cfg.Workload.ZipfTheta = theta
+			res := runSharded(t, cfg)
+			aborts += res.Stats.Aborts
+		}
+		return aborts
+	}
+	uniform := run(workload.Uniform, 0)
+	hot := run(workload.Zipf, 0.9)
+	if hot <= uniform {
+		t.Fatalf("hot-shard skew did not raise contention: zipf aborts %d <= uniform %d", hot, uniform)
+	}
+}

@@ -1,0 +1,318 @@
+package protocol
+
+import (
+	"slices"
+
+	"repro/internal/ids"
+	"repro/internal/stats"
+	"repro/internal/wfg"
+)
+
+// CoordActionKind discriminates Coordinator outputs.
+type CoordActionKind int
+
+const (
+	// CoordPrepare asks one participant shard to vote on a transaction.
+	CoordPrepare CoordActionKind = iota
+	// CoordDecide delivers the global commit/abort decision to one shard.
+	CoordDecide
+	// CoordReply reports the final outcome to the requesting client.
+	CoordReply
+	// CoordVictim notifies a client that its blocked transaction was chosen
+	// as a global deadlock victim; the client unwinds with per-shard abort
+	// releases and a final AbortDone.
+	CoordVictim
+)
+
+// CoordAction is one ordered output of the coordinator core.
+type CoordAction struct {
+	Kind   CoordActionKind
+	Txn    ids.Txn
+	Shard  int        // destination shard for Prepare/Decide
+	Client ids.Client // destination client for Reply/Victim
+	Commit bool       // the decision, for Decide/Reply
+}
+
+// coordBlocked is the coordinator's view of one blocked transaction: who
+// to notify on a victim abort, how much work dies with it, the wait
+// edges currently charged to the global graph, and the block episode
+// (the transaction's operation index) the report belongs to.
+type coordBlocked struct {
+	client ids.Client
+	epoch  int
+	held   int
+	edges  []ids.Txn
+}
+
+// coordPending is one transaction in its voting round.
+type coordPending struct {
+	client ids.Client
+	shards []int // participant shards, ascending
+	voted  map[int]bool
+	yes    int
+}
+
+// Coordinator is the 2PC commit coordinator as a pure state machine:
+// block/clear reports, commit requests, votes and abort completions come
+// in; prepares, decisions, replies and victim notices come out, in order.
+//
+// The protocol is presumed-abort: the coordinator keeps no state for a
+// decided transaction, so a vote arriving for an unknown transaction is
+// answered with an abort decision (if it was a yes — the participant is
+// prepared and waiting) or ignored (a no voter already unwound locally).
+// No transport guarantee beyond per-link FIFO is needed: duplicates and
+// stale messages land on missing entries and resolve to abort, never to
+// a second, conflicting decision.
+//
+// Deadlock detection is global: participants report blocked transactions
+// with their local wait-for edges, the coordinator assembles them into
+// one graph and breaks cycles with the shared ChooseVictim policy. The
+// assembled graph is conservative — cross-link timing can leave stale
+// edges visible after a local grant — so a detected cycle may be
+// spurious (an extra abort), but never invisible. Per-link FIFO alone
+// does not guarantee that: a transaction blocks at most at one shard at
+// a time (its operations are sequential), but the clear from shard A and
+// the next block report from shard B travel different links, so the
+// coordinator can see them in either order. Each report therefore
+// carries its block episode — the transaction's operation index, which
+// is globally monotone — and the coordinator ignores any report or clear
+// older than the episode it currently stores for that transaction.
+// Without the epochs, a late clear from A would silently drop B's live
+// edges and a real deadlock could go undetected forever. A stale report
+// can still land after its episode was forgotten (transient spurious
+// edges), but per-link FIFO guarantees its paired clear follows on the
+// same link, so it always resolves.
+type Coordinator struct {
+	policy  VictimPolicy
+	waits   *wfg.Graph
+	blocked map[ids.Txn]*coordBlocked
+	pending map[ids.Txn]*coordPending
+	aborted map[ids.Txn]bool // victims awaiting the client's AbortDone
+	tpc     stats.TwoPC
+}
+
+// NewCoordinator returns an empty commit coordinator using the given
+// global deadlock victim policy.
+func NewCoordinator(policy VictimPolicy) *Coordinator {
+	return &Coordinator{
+		policy:  policy,
+		waits:   wfg.New(),
+		blocked: make(map[ids.Txn]*coordBlocked),
+		pending: make(map[ids.Txn]*coordPending),
+		aborted: make(map[ids.Txn]bool),
+	}
+}
+
+// Blocked ingests a participant's report that txn is waiting behind
+// waitsFor at one shard, then hunts for global deadlock cycles through
+// it. A report for a transaction already voting or already victimed is
+// stale and ignored; a repeat report replaces the stored edges.
+func (c *Coordinator) Blocked(txn ids.Txn, client ids.Client, epoch, held int, waitsFor []ids.Txn) []CoordAction {
+	if c.pending[txn] != nil || c.aborted[txn] {
+		return nil
+	}
+	if prev := c.blocked[txn]; prev != nil && prev.epoch >= epoch {
+		return nil // a newer episode's report won the cross-link race
+	}
+	c.dropEdges(txn)
+	b := &coordBlocked{client: client, epoch: epoch, held: held, edges: slices.Clone(waitsFor)}
+	c.blocked[txn] = b
+	for _, w := range b.edges {
+		c.waits.AddEdge(txn, w)
+	}
+	var acts []CoordAction
+	for {
+		cycle := c.waits.CycleThrough(txn)
+		if cycle == nil {
+			return acts
+		}
+		victim := ChooseVictim(c.policy, cycle, txn, held, c.victimInfo)
+		acts = c.forceAbort(victim, acts)
+	}
+}
+
+// victimInfo is the coordinator's liveness rule: only a transaction that
+// is currently reported blocked — and not already voting or victimed —
+// may be chosen over the fallback requester.
+func (c *Coordinator) victimInfo(id ids.Txn) (alive bool, held int) {
+	b := c.blocked[id]
+	if b == nil || c.pending[id] != nil || c.aborted[id] {
+		return false, 0
+	}
+	return true, b.held
+}
+
+// forceAbort records a global deadlock victim: its edges leave the graph
+// immediately (breaking the cycle), the victim notice goes to its client,
+// and the aborted mark holds until the client's AbortDone closes the
+// unwind.
+func (c *Coordinator) forceAbort(v ids.Txn, acts []CoordAction) []CoordAction {
+	b := c.blocked[v]
+	c.dropEdges(v)
+	c.aborted[v] = true
+	c.tpc.ForcedAborts++
+	act := CoordAction{Kind: CoordVictim, Txn: v}
+	if b != nil {
+		act.Client = b.client
+	}
+	return append(acts, act)
+}
+
+// Cleared drops a transaction's stored wait edges after a participant
+// reports its local block resolved. Only the clear matching the stored
+// episode may drop them: a slower link can deliver an old episode's
+// clear after a newer episode's report, and honoring it would erase live
+// edges — hiding a real deadlock.
+func (c *Coordinator) Cleared(txn ids.Txn, epoch int) {
+	b := c.blocked[txn]
+	if b == nil || b.epoch != epoch {
+		return
+	}
+	c.dropEdges(txn)
+}
+
+// dropEdges removes txn's stored edges from the global graph.
+func (c *Coordinator) dropEdges(txn ids.Txn) {
+	b := c.blocked[txn]
+	if b == nil {
+		return
+	}
+	for _, w := range b.edges {
+		c.waits.RemoveEdge(txn, w)
+	}
+	delete(c.blocked, txn)
+}
+
+// CommitRequest starts the commit of a fully-granted transaction touching
+// the given shards. A single-shard transaction commits in one phase — the
+// decision ships with the request's reply and no vote is collected; a
+// cross-shard transaction enters its voting round. A request racing a
+// victim abort is answered with an abort reply, which the client (already
+// unwinding) ignores.
+func (c *Coordinator) CommitRequest(txn ids.Txn, client ids.Client, shards []int) []CoordAction {
+	if c.pending[txn] != nil {
+		return nil // duplicate request; the voting round is underway
+	}
+	shards = slices.Clone(shards)
+	slices.Sort(shards)
+	shards = slices.Compact(shards)
+	c.tpc.Txns++
+	if len(shards) > 1 {
+		c.tpc.CrossTxns++
+	}
+	if c.aborted[txn] {
+		delete(c.aborted, txn)
+		c.tpc.Aborts++
+		return c.decide(nil, txn, nil, false, client, true)
+	}
+	if len(shards) == 1 {
+		c.tpc.OnePhase++
+		c.tpc.Commits++
+		return c.decide(nil, txn, shards, true, client, true)
+	}
+	c.pending[txn] = &coordPending{
+		client: client,
+		shards: shards,
+		voted:  make(map[int]bool, len(shards)),
+	}
+	acts := make([]CoordAction, 0, len(shards))
+	for _, s := range shards {
+		c.tpc.Prepares++
+		acts = append(acts, CoordAction{Kind: CoordPrepare, Txn: txn, Shard: s})
+	}
+	return acts
+}
+
+// Vote ingests one participant's vote. A yes vote for an unknown
+// transaction is presumed-abort's signature move: the decision was made
+// (or never requested) and forgotten, so the prepared participant is told
+// to abort; a no vote for an unknown transaction needs nothing — the
+// voter already unwound.
+func (c *Coordinator) Vote(txn ids.Txn, shard int, yes bool) []CoordAction {
+	p := c.pending[txn]
+	if p == nil {
+		if yes {
+			return c.decide(nil, txn, []int{shard}, false, 0, false)
+		}
+		return nil
+	}
+	if !slices.Contains(p.shards, shard) || p.voted[shard] {
+		return nil
+	}
+	p.voted[shard] = true
+	if !yes {
+		c.tpc.VotesNo++
+		c.tpc.Aborts++
+		delete(c.pending, txn)
+		// The no voter aborted unilaterally; the others get the decision.
+		rest := make([]int, 0, len(p.shards)-1)
+		for _, s := range p.shards {
+			if s != shard {
+				rest = append(rest, s)
+			}
+		}
+		return c.decide(nil, txn, rest, false, p.client, true)
+	}
+	c.tpc.VotesYes++
+	p.yes++
+	if p.yes < len(p.shards) {
+		return nil
+	}
+	c.tpc.Commits++
+	delete(c.pending, txn)
+	return c.decide(nil, txn, p.shards, true, p.client, true)
+}
+
+// AbortDone closes a victim's unwind: the client has sent its per-shard
+// abort releases, so the aborted mark and any stale block state drop. If
+// a commit request crossed the victim notice in flight, its voting round
+// dies here with abort decisions to its shards — the client is already
+// gone, so no reply is sent.
+func (c *Coordinator) AbortDone(txn ids.Txn) []CoordAction {
+	c.dropEdges(txn)
+	delete(c.aborted, txn)
+	p := c.pending[txn]
+	if p == nil {
+		return nil
+	}
+	delete(c.pending, txn)
+	c.tpc.Aborts++
+	return c.decide(nil, txn, p.shards, false, 0, false)
+}
+
+// Timeout aborts a stalled voting round (a participant that will never
+// vote). Participants that voted yes learn the abort decision; the client
+// gets an abort reply. Unknown transactions are a no-op — presumed abort
+// covers any straggler votes.
+func (c *Coordinator) Timeout(txn ids.Txn) []CoordAction {
+	p := c.pending[txn]
+	if p == nil {
+		return nil
+	}
+	delete(c.pending, txn)
+	c.tpc.Aborts++
+	return c.decide(nil, txn, p.shards, false, p.client, true)
+}
+
+// decide emits a decision: one CoordDecide per listed shard (ascending)
+// plus, when reply is set, the client's CoordReply — the single funnel
+// every coordinator decision routes through (repolint pins its callers).
+func (c *Coordinator) decide(acts []CoordAction, txn ids.Txn, shards []int, commit bool, client ids.Client, reply bool) []CoordAction {
+	for _, s := range shards {
+		acts = append(acts, CoordAction{Kind: CoordDecide, Txn: txn, Shard: s, Commit: commit})
+	}
+	if reply {
+		acts = append(acts, CoordAction{Kind: CoordReply, Txn: txn, Client: client, Commit: commit})
+	}
+	return acts
+}
+
+// Quiet reports whether no voting round, block report or victim unwind is
+// in flight — the live cluster's coordinator quiescence condition.
+func (c *Coordinator) Quiet() bool {
+	return len(c.pending) == 0 && len(c.blocked) == 0 &&
+		len(c.aborted) == 0 && c.waits.Edges() == 0
+}
+
+// Counters returns the accumulated 2PC phase counters.
+func (c *Coordinator) Counters() stats.TwoPC { return c.tpc }

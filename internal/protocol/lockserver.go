@@ -12,6 +12,11 @@ type LockRequest struct {
 	Client ids.Client
 	Item   ids.Item
 	Write  bool
+	// Epoch is the transaction's operation index at this request — a
+	// globally monotone block-episode id the sharded coordinator uses to
+	// order block/clear reports across links. The single-server engines
+	// ignore it.
+	Epoch int
 }
 
 // Mode returns the lock mode the request asks for.
@@ -160,11 +165,45 @@ func (s *LockServer) clearBlocked(txn ids.Txn) {
 	delete(s.blocked, txn)
 }
 
+// CancelBlocked withdraws a transaction's queued request without touching
+// its held locks — the participant half of a coordinator-side deadlock
+// abort, where the victim notice originates remotely and only the local
+// queue entry must disappear (held locks wait for the AbortRelease round
+// trip, exactly as in abortVictim). Unknown or unblocked transactions are
+// a no-op; promoted waiters are granted.
+func (s *LockServer) CancelBlocked(txn ids.Txn) []LockAction {
+	s.clearBlocked(txn)
+	grants := s.locks.CancelWait(txn)
+	delete(s.live, txn)
+	delete(s.req, txn)
+	return s.grantActions(nil, grants)
+}
+
 // Quiet reports whether no request is blocked and the wait-for graph is
 // empty — the live cluster's quiescence condition.
 func (s *LockServer) Quiet() bool {
 	return len(s.blocked) == 0 && s.waits.Edges() == 0
 }
+
+// Live reports whether txn is still running from this core's view: it
+// requested at least one lock and has neither committed nor aborted.
+func (s *LockServer) Live(txn ids.Txn) bool { return s.live[txn] }
+
+// WaitEdges returns a copy of txn's stored wait edges — the transactions
+// it is blocked behind, in the lock table's promotion order. Empty when
+// txn is not blocked.
+func (s *LockServer) WaitEdges(txn ids.Txn) []ids.Txn {
+	edges := s.blocked[txn]
+	if len(edges) == 0 {
+		return nil
+	}
+	out := make([]ids.Txn, len(edges))
+	copy(out, edges)
+	return out
+}
+
+// HeldCount returns the number of items txn currently holds.
+func (s *LockServer) HeldCount(txn ids.Txn) int { return s.locks.HeldCount(txn) }
 
 // HoldersOf returns the lock holders of item in ascending transaction
 // order (test hook).

@@ -1,0 +1,165 @@
+package protocol
+
+import "repro/internal/ids"
+
+// PartActionKind discriminates Participant outputs.
+type PartActionKind int
+
+const (
+	// PartGrant delivers a granted item to the requesting client.
+	PartGrant PartActionKind = iota
+	// PartAbort notifies a local (single-shard) deadlock victim's client.
+	PartAbort
+	// PartBlocked reports a newly blocked transaction, with its local wait
+	// edges, to the coordinator for global deadlock detection.
+	PartBlocked
+	// PartCleared reports that a previously reported block resolved.
+	PartCleared
+	// PartVote carries this shard's prepare vote to the coordinator.
+	PartVote
+)
+
+// PartAction is one ordered output of a participant shard core.
+type PartAction struct {
+	Kind     PartActionKind
+	Req      LockRequest // grant/abort: the request being answered
+	Txn      ids.Txn
+	Client   ids.Client // blocked: whom the coordinator notifies on victim abort
+	Epoch    int        // blocked/cleared: the block episode (operation index)
+	Held     int        // blocked: local items held, for victim selection
+	WaitsFor []ids.Txn  // blocked: local wait edges
+	Yes      bool       // vote
+}
+
+// Participant wraps one shard's LockServer for the 2PC layer: lock
+// traffic passes through to the core, while blocks, clears and votes are
+// surfaced for the coordinator. Local single-shard deadlocks still
+// resolve locally (the core's own cycle detection); only cross-shard
+// cycles need the coordinator's assembled graph.
+type Participant struct {
+	shard    int
+	core     *LockServer
+	reported map[ids.Txn]int  // block epoch reported and not yet cleared
+	prepared map[ids.Txn]bool // yes votes cast, awaiting the decision
+}
+
+// NewParticipant returns a participant for shard index shard using the
+// given local deadlock victim policy.
+func NewParticipant(shard int, policy VictimPolicy) *Participant {
+	return &Participant{
+		shard:    shard,
+		core:     NewLockServer(policy),
+		reported: make(map[ids.Txn]int),
+		prepared: make(map[ids.Txn]bool),
+	}
+}
+
+// Shard returns this participant's shard index.
+func (p *Participant) Shard() int { return p.shard }
+
+// Request passes a lock request to the core and reports a resulting block
+// to the coordinator with the local wait edges and held count — the raw
+// material of global deadlock detection.
+func (p *Participant) Request(q LockRequest) []PartAction {
+	acts := p.relay(nil, p.core.Request(q))
+	if p.core.Blocked(q.Txn) {
+		p.reported[q.Txn] = q.Epoch
+		acts = append(acts, PartAction{
+			Kind:     PartBlocked,
+			Txn:      q.Txn,
+			Client:   q.Client,
+			Epoch:    q.Epoch,
+			Held:     p.core.HeldCount(q.Txn),
+			WaitsFor: p.core.WaitEdges(q.Txn),
+		})
+	}
+	return acts
+}
+
+// Prepare casts this shard's vote: yes iff the transaction is live and
+// running free here. A no vote unwinds the local state immediately —
+// under presumed abort the no voter needs no decision message, so it must
+// not leave locks behind for one.
+func (p *Participant) Prepare(txn ids.Txn) []PartAction {
+	if p.prepared[txn] || (p.core.Live(txn) && !p.core.Blocked(txn)) {
+		p.prepared[txn] = true
+		return []PartAction{{Kind: PartVote, Txn: txn, Yes: true}}
+	}
+	acts := p.relay(nil, p.core.CancelBlocked(txn))
+	acts = p.clearReport(acts, txn)
+	acts = p.relay(acts, p.core.AbortRelease(txn))
+	return append(acts, PartAction{Kind: PartVote, Txn: txn, Yes: false})
+}
+
+// Involved reports whether this shard still carries state for txn — the
+// driver's gate for applying a decision's effects exactly once (a
+// duplicate or presumed-abort decision finds nothing and must change
+// nothing).
+func (p *Participant) Involved(txn ids.Txn) bool {
+	return p.prepared[txn] || p.core.Live(txn)
+}
+
+// Decide applies the coordinator's decision: a commit releases the held
+// locks in one step (strictness held through the voting round), an abort
+// cancels and releases whatever remains. Both are idempotent on a
+// transaction this shard no longer knows.
+func (p *Participant) Decide(txn ids.Txn, commit bool) []PartAction {
+	delete(p.prepared, txn)
+	if commit {
+		return p.relay(nil, p.core.CommitRelease(txn))
+	}
+	acts := p.relay(nil, p.core.CancelBlocked(txn))
+	acts = p.clearReport(acts, txn)
+	return p.relay(acts, p.core.AbortRelease(txn))
+}
+
+// ClientAbort unwinds a transaction the client is abandoning (a global
+// deadlock victim's per-shard release): the queued request, if any, is
+// cancelled and all held locks release.
+func (p *Participant) ClientAbort(txn ids.Txn) []PartAction {
+	delete(p.prepared, txn)
+	acts := p.relay(nil, p.core.CancelBlocked(txn))
+	acts = p.clearReport(acts, txn)
+	return p.relay(acts, p.core.AbortRelease(txn))
+}
+
+// relay converts the wrapped core's lock actions into participant
+// actions, clearing block reports resolved by a grant or local abort —
+// the single funnel every participant grant/abort emission routes through
+// (repolint pins its callers).
+func (p *Participant) relay(acts []PartAction, lockActs []LockAction) []PartAction {
+	for _, a := range lockActs {
+		switch a.Kind {
+		case LockGrant:
+			acts = p.clearReport(acts, a.Req.Txn)
+			acts = append(acts, PartAction{Kind: PartGrant, Req: a.Req})
+		case LockAbort:
+			acts = p.clearReport(acts, a.Req.Txn)
+			acts = append(acts, PartAction{Kind: PartAbort, Req: a.Req})
+		default:
+			panic("protocol: participant relaying unknown lock action")
+		}
+	}
+	return acts
+}
+
+// clearReport emits a PartCleared for txn if its block was reported and
+// not yet cleared, echoing the reported episode so the coordinator can
+// reject it if a newer episode's report overtook it on another link.
+func (p *Participant) clearReport(acts []PartAction, txn ids.Txn) []PartAction {
+	epoch, ok := p.reported[txn]
+	if !ok {
+		return acts
+	}
+	delete(p.reported, txn)
+	return append(acts, PartAction{Kind: PartCleared, Txn: txn, Epoch: epoch})
+}
+
+// Quiet reports whether the wrapped core is idle and no vote is awaiting
+// its decision.
+func (p *Participant) Quiet() bool {
+	return len(p.prepared) == 0 && p.core.Quiet()
+}
+
+// Core exposes the wrapped lock core (test hook).
+func (p *Participant) Core() *LockServer { return p.core }

@@ -1,0 +1,42 @@
+package stats
+
+// TwoPC aggregates the per-phase counters of the sharded two-phase-commit
+// layer: how many prepares were sent, how the participants voted, how many
+// transactions took the one-phase fast path, and how often the coordinator
+// forced an abort to break a global deadlock. The counters are plain
+// integers filled by a single goroutine (the DES driver or, in the live
+// cluster, the coordinator site) and harvested after shutdown.
+type TwoPC struct {
+	Prepares     int64 // prepare messages sent (one per participant shard)
+	VotesYes     int64 // yes votes received
+	VotesNo      int64 // no votes received
+	Commits      int64 // transactions the coordinator decided to commit
+	Aborts       int64 // transactions the coordinator decided to abort
+	OnePhase     int64 // single-shard commits that skipped the prepare round
+	ForcedAborts int64 // coordinator-side deadlock victims
+	CrossTxns    int64 // committed-or-aborted transactions touching >1 shard
+	Txns         int64 // all transactions that reached a commit request
+}
+
+// CrossRatio returns the fraction of commit-requested transactions that
+// touched more than one shard — the knob the workload's cross-shard
+// probability steers and the experiments report.
+func (t TwoPC) CrossRatio() float64 {
+	if t.Txns == 0 {
+		return 0
+	}
+	return float64(t.CrossTxns) / float64(t.Txns)
+}
+
+// Merge adds other's counters into t.
+func (t *TwoPC) Merge(other TwoPC) {
+	t.Prepares += other.Prepares
+	t.VotesYes += other.VotesYes
+	t.VotesNo += other.VotesNo
+	t.Commits += other.Commits
+	t.Aborts += other.Aborts
+	t.OnePhase += other.OnePhase
+	t.ForcedAborts += other.ForcedAborts
+	t.CrossTxns += other.CrossTxns
+	t.Txns += other.Txns
+}

@@ -54,6 +54,40 @@ type Config struct {
 	Locality  float64
 	HomeSlot  int
 	HomeSlots int
+
+	// Shards, when > 1, aligns transactions with a range-sharded item
+	// space: with probability CrossProb a transaction draws from the whole
+	// pool (and so usually spans shards), otherwise it is confined to one
+	// shard's contiguous range — the shard owning an anchor item drawn
+	// through the normal access pattern, so a Zipf anchor concentrates
+	// confined traffic on the hot shard. The ranges mirror
+	// protocol.RangeShardMap: Items/Shards per shard, remainder on the
+	// last.
+	Shards    int
+	CrossProb float64
+}
+
+// shardRange returns the half-open item range [lo, hi) owned by shard s,
+// mirroring protocol.RangeShardMap's placement.
+func (c Config) shardRange(s int) (lo, hi int) {
+	per := c.Items / c.Shards
+	lo = s * per
+	hi = lo + per
+	if s == c.Shards-1 {
+		hi = c.Items
+	}
+	return lo, hi
+}
+
+// shardOf returns the shard owning item, mirroring
+// protocol.RangeShardMap.Of.
+func (c Config) shardOf(item int) int {
+	per := c.Items / c.Shards
+	s := item / per
+	if s >= c.Shards {
+		s = c.Shards - 1
+	}
+	return s
 }
 
 // home returns the half-open item range [lo, hi) of this client's home
@@ -111,6 +145,14 @@ func (c Config) Validate() error {
 		return fmt.Errorf("workload: ZipfTheta %v outside (0,1)", c.ZipfTheta)
 	case c.Locality < 0 || c.Locality > 1:
 		return fmt.Errorf("workload: Locality %v outside [0,1]", c.Locality)
+	case c.Shards < 0:
+		return fmt.Errorf("workload: Shards must be non-negative, got %d", c.Shards)
+	case c.CrossProb < 0 || c.CrossProb > 1:
+		return fmt.Errorf("workload: CrossProb %v outside [0,1]", c.CrossProb)
+	case c.Shards > 1 && c.Items/c.Shards < c.MaxTxnItems:
+		return fmt.Errorf("workload: shard range of %d items cannot hold MaxTxnItems %d", c.Items/c.Shards, c.MaxTxnItems)
+	case c.Shards > 1 && c.Locality > 0:
+		return fmt.Errorf("workload: Shards and Locality are mutually exclusive")
 	}
 	return nil
 }
@@ -174,6 +216,25 @@ func (g *Generator) Next() Profile {
 			} else {
 				v = g.stream.Intn(g.cfg.Items)
 			}
+			if !seen[v] {
+				seen[v] = true
+				items = append(items, v)
+			}
+		}
+	case g.cfg.Shards > 1 && !g.stream.Bool(g.cfg.CrossProb):
+		// Shard-confined transaction: the anchor draw picks the shard
+		// (through the configured access pattern, so skew shows up as a
+		// hot shard), then the items come uniformly from its range.
+		var anchor int
+		if g.cfg.Access == Zipf {
+			anchor = g.zipf.Next(g.stream)
+		} else {
+			anchor = g.stream.Intn(g.cfg.Items)
+		}
+		lo, hi := g.cfg.shardRange(g.cfg.shardOf(anchor))
+		seen := make(map[int]bool, k)
+		for len(items) < k {
+			v := lo + g.stream.Intn(hi-lo)
 			if !seen[v] {
 				seen[v] = true
 				items = append(items, v)

@@ -207,3 +207,129 @@ func TestNewGeneratorPanicsOnInvalid(t *testing.T) {
 	}()
 	NewGenerator(Config{}, rng.New(1, 1))
 }
+
+func TestShardValidateRejections(t *testing.T) {
+	base := Default()
+	base.Shards = 5
+	cases := []func(*Config){
+		func(c *Config) { c.Shards = -1 },
+		func(c *Config) { c.CrossProb = -0.1 },
+		func(c *Config) { c.CrossProb = 1.1 },
+		func(c *Config) { c.Shards = 10 }, // 2-item ranges < MaxTxnItems
+		func(c *Config) { c.Locality = 0.5 },
+	}
+	for i, mutate := range cases {
+		c := base
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: invalid shard config accepted: %+v", i, c)
+		}
+	}
+}
+
+// TestShardConfinement checks that with CrossProb = 0 every transaction
+// stays inside one shard's contiguous range, and that every shard gets
+// traffic.
+func TestShardConfinement(t *testing.T) {
+	cfg := Default()
+	cfg.Shards = 5
+	cfg.CrossProb = 0
+	g := gen(cfg, 1)
+	hit := map[int]bool{}
+	for i := 0; i < 3000; i++ {
+		p := g.Next()
+		s := cfg.shardOf(int(p.Ops[0].Item))
+		hit[s] = true
+		lo, hi := cfg.shardRange(s)
+		for _, op := range p.Ops {
+			if int(op.Item) < lo || int(op.Item) >= hi {
+				t.Fatalf("confined txn crossed shards: item %v outside [%d,%d)", op.Item, lo, hi)
+			}
+		}
+	}
+	if len(hit) != cfg.Shards {
+		t.Fatalf("confined traffic reached %d of %d shards", len(hit), cfg.Shards)
+	}
+}
+
+// TestShardCrossProb checks the knob's extremes: CrossProb = 1 behaves
+// exactly like the unsharded draw (the confinement branch never fires and
+// the stream consumes one extra Bool per txn), and a middle setting
+// produces both confined and crossing transactions.
+func TestShardCrossProb(t *testing.T) {
+	cfg := Default()
+	cfg.Shards = 5
+	cfg.CrossProb = 0.5
+	g := gen(cfg, 1)
+	confined, crossed := 0, 0
+	for i := 0; i < 3000; i++ {
+		p := g.Next()
+		s := cfg.shardOf(int(p.Ops[0].Item))
+		same := true
+		for _, op := range p.Ops {
+			if cfg.shardOf(int(op.Item)) != s {
+				same = false
+			}
+		}
+		if same {
+			confined++
+		} else {
+			crossed++
+		}
+	}
+	// Half the txns draw from the whole pool; multi-item ones usually
+	// cross the 5-item ranges, single-item ones never do.
+	if crossed < 600 || confined < 600 {
+		t.Fatalf("CrossProb=0.5 gave %d crossed / %d confined", crossed, confined)
+	}
+}
+
+// TestShardZipfAnchorsHotShard checks that the Zipf anchor concentrates
+// confined transactions on shard 0 (owner of the hot low items), the
+// mechanism behind the engine's hot-shard sweep.
+func TestShardZipfAnchorsHotShard(t *testing.T) {
+	cfg := Default()
+	cfg.Shards = 5
+	cfg.CrossProb = 0
+	cfg.Access = Zipf
+	cfg.ZipfTheta = 0.9
+	g := gen(cfg, 1)
+	counts := map[int]int{}
+	const n = 3000
+	for i := 0; i < n; i++ {
+		p := g.Next()
+		counts[cfg.shardOf(int(p.Ops[0].Item))]++
+	}
+	if counts[0] <= n/cfg.Shards {
+		t.Fatalf("hot shard 0 got %d of %d confined txns, no better than uniform", counts[0], n)
+	}
+	for s := 1; s < cfg.Shards; s++ {
+		if counts[s] >= counts[0] {
+			t.Fatalf("shard %d (%d txns) beat the hot shard (%d)", s, counts[s], counts[0])
+		}
+	}
+}
+
+// TestShardsDisabledKeepsStream pins stream compatibility: Shards <= 1
+// must not consume any extra random draws, so pre-sharding seeds keep
+// their exact workloads (the golden trajectories depend on this).
+func TestShardsDisabledKeepsStream(t *testing.T) {
+	a := gen(Default(), 9)
+	cfg := Default()
+	cfg.Shards = 1
+	b := gen(cfg, 9)
+	for i := 0; i < 500; i++ {
+		pa, pb := a.Next(), b.Next()
+		if len(pa.Ops) != len(pb.Ops) {
+			t.Fatalf("txn %d: sizes diverge", i)
+		}
+		for j := range pa.Ops {
+			if pa.Ops[j] != pb.Ops[j] {
+				t.Fatalf("txn %d op %d: %+v vs %+v", i, j, pa.Ops[j], pb.Ops[j])
+			}
+		}
+		if a.Think() != b.Think() || a.Idle() != b.Idle() {
+			t.Fatalf("txn %d: timing draws diverge", i)
+		}
+	}
+}

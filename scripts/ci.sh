@@ -33,6 +33,9 @@ go test -race -short ./internal/live -run 'TestChaos|TestStallTimeout|TestZeroLa
 echo "== race detector: lossy links — ARQ retransmission + drop chaos =="
 go test -race ./internal/live -run 'TestARQ|TestChaosDrop|TestResequencer' -count=1
 
+echo "== race detector: sharded 2PC cluster — chaos matrix + bank invariant =="
+go test -race -short ./internal/live -run 'TestSharded' -count=1
+
 echo "== golden trajectories: conformance against committed hashes =="
 go test ./internal/engine -run Golden
 
@@ -55,5 +58,8 @@ fi
 echo "== fuzz: forward-list reorder + precedence-graph invariants (10s each) =="
 go test ./internal/fwdlist -run '^$' -fuzz FuzzForwardListReorder -fuzztime 10s
 go test ./internal/prec -run '^$' -fuzz FuzzPrecAcyclic -fuzztime 10s
+
+echo "== fuzz: 2PC coordinator/participant atomicity (10s) =="
+go test ./internal/protocol -run '^$' -fuzz FuzzCoordinator2PC -fuzztime 10s
 
 echo "CI gate passed."
