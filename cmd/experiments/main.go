@@ -26,7 +26,20 @@ func main() {
 	shards := flag.Int("shards", 0, "sharded experiments: run only this shard count (0: builtin sweep)")
 	crossRatio := flag.Float64("cross-ratio", -1, "sharded experiments: cross-shard transaction probability (-1: default)")
 	zipfTheta := flag.Float64("zipf-theta", 0, "sharded hot-shard experiment: Zipf skew in (0,1) (0: builtin sweep)")
+	victim := flag.String("victim", "requester", "deadlock victim policy: requester or leastheld")
+	deadlock := flag.String("deadlock-policy", "detect", "deadlock policy: detect, nowait, waitdie or woundwait")
 	flag.Parse()
+
+	victimPolicy, err := exp.ParseVictimPolicy(*victim)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(2)
+	}
+	deadlockPolicy, err := exp.ParseDeadlockPolicy(*deadlock)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(2)
+	}
 
 	if *list {
 		for _, e := range exp.All() {
@@ -48,6 +61,8 @@ func main() {
 	}
 	sc.Shards = *shards
 	sc.ZipfTheta = *zipfTheta
+	sc.Victim = victimPolicy
+	sc.Deadlock = deadlockPolicy
 	if *crossRatio >= 0 {
 		sc.CrossRatio = *crossRatio
 		sc.CrossRatioSet = true

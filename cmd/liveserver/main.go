@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"repro/internal/live"
+	"repro/internal/protocol"
 	"repro/internal/serial"
 	"repro/internal/workload"
 )
@@ -53,7 +54,20 @@ func main() {
 	zipfTheta := flag.Float64("zipf-theta", 0, "Zipf access skew in (0,1); 0 keeps uniform access")
 	bank := flag.Bool("bank", false, "run the bank-transfer workload (sharded only; forces 2-item all-write transactions)")
 	balance := flag.Int64("balance", 100, "initial per-item balance for -bank")
+	victim := flag.String("victim", "requester", "deadlock victim policy: requester or leastheld")
+	deadlock := flag.String("deadlock-policy", "detect", "deadlock policy: detect, nowait, waitdie or woundwait")
 	flag.Parse()
+
+	victimPolicy, err := protocol.ParseVictimPolicy(*victim)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "liveserver: %v\n", err)
+		os.Exit(2)
+	}
+	deadlockPolicy, err := protocol.ParseDeadlockPolicy(*deadlock)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "liveserver: %v\n", err)
+		os.Exit(2)
+	}
 
 	cfg := live.Config{
 		Clients:       *clients,
@@ -74,6 +88,8 @@ func main() {
 			RTO:           *arqRTO,
 			RetransmitCap: *arqCap,
 		},
+		Victim:   victimPolicy,
+		Deadlock: deadlockPolicy,
 	}
 	cfg.Workload.Items = *items
 	cfg.Workload.ReadProb = *readProb
@@ -106,8 +122,8 @@ func main() {
 		fmt.Fprintf(os.Stderr, "liveserver: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Printf("protocol=%s clients=%d txns/client=%d latency=%v\n",
-		cfg.Protocol, cfg.Clients, cfg.TxnsPerClient, cfg.Latency)
+	fmt.Printf("protocol=%s clients=%d txns/client=%d latency=%v deadlock-policy=%s victim=%s\n",
+		cfg.Protocol, cfg.Clients, cfg.TxnsPerClient, cfg.Latency, cfg.Deadlock, cfg.Victim)
 	if cfg.Shards > 1 {
 		fmt.Printf("shards=%d cross-ratio=%v zipf-theta=%v\n", cfg.Shards, cfg.CrossRatio, *zipfTheta)
 	}
@@ -118,6 +134,13 @@ func main() {
 	fmt.Printf("commits=%d aborts=%d messages=%d elapsed=%v mean-response=%v\n",
 		res.Stats.Commits, res.Stats.Aborts, res.Stats.Messages,
 		res.Stats.Elapsed.Round(time.Millisecond), res.Stats.MeanResponse.Round(time.Microsecond))
+	fmt.Printf("latency: p50=%v p95=%v p99=%v mean-blocked=%v\n",
+		res.Stats.P50.Round(time.Microsecond), res.Stats.P95.Round(time.Microsecond),
+		res.Stats.P99.Round(time.Microsecond), res.Stats.MeanBlocked.Round(time.Microsecond))
+	if c := res.Stats.Causes; c.Total() > 0 {
+		fmt.Printf("abort causes: deadlock=%d wound=%d die=%d nowait=%d timeout=%d\n",
+			c.Deadlock, c.Wound, c.Die, c.NoWait, c.Timeout)
+	}
 	if cfg.Chaos.Drop > 0 {
 		fmt.Printf("reliability: dropped=%d retransmits=%d acks=%d (coalesced=%d piggybacked=%d) max-rto=%v\n",
 			res.Stats.Dropped, res.Stats.Retransmits, res.Stats.AcksSent,

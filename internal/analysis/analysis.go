@@ -210,10 +210,13 @@ func DefaultConfig() *Config {
 				"relay": {"Request", "Prepare", "Decide", "ClientAbort"},
 				// c-2PL: cache-lock grants leave the core in grant, for a
 				// fresh compatible request or a queue promotion; promotions
-				// happen only when a holder leaves via removeHolder, itself
-				// reachable only from the two release entry points.
+				// happen when a holder leaves via removeHolder (reachable
+				// only from the two release entry points) or when an
+				// avoidance policy's judge pass aborts a queued head — an
+				// abort-path promotion, which the two-phase rule permits the
+				// same way it permits abortVictim's grants in the s-2PL core.
 				"grant":        {"Request", "promote"},
-				"promote":      {"removeHolder"},
+				"promote":      {"removeHolder", "judgeRequest", "judgeDefer"},
 				"removeHolder": {"Release", "Finish"},
 			},
 			"repro/internal/engine": {
@@ -261,6 +264,18 @@ func DefaultConfig() *Config {
 			// shard and aborted at another.
 			"repro/internal/protocol": {
 				"decide": {"CommitRequest", "Vote", "AbortDone", "Timeout"},
+				// The deadlock-policy seam (DESIGN.md §14): every avoidance
+				// decision routes through JudgeBlock, consulted at exactly
+				// one block point per core — a second judge site is how two
+				// cores disagree about who is older. Victim aborts funnel
+				// through one abort emitter per victim kind.
+				"JudgeBlock":   {"judgeBlocked", "judgeRequest", "judgeDefer"},
+				"judgeBlocked": {"Request"},
+				"judgeRequest": {"Request"},
+				"judgeDefer":   {"Defer"},
+				"abortVictim":  {"Request", "judgeBlocked"},
+				"woundHolder":  {"judgeRequest", "judgeDefer"},
+				"abortWaiter":  {"Request", "Defer", "judgeRequest", "judgeDefer"},
 			},
 			// The live transport's emission topology (DESIGN.md §10–11):
 			// every wire transmission funnels through network.transmit
@@ -273,12 +288,19 @@ func DefaultConfig() *Config {
 				"stampAndRetain": {"send"},
 				"onAck":          {"deliverable"},
 				"noteReceived":   {"deliverable"},
+				// g-2PL judges policy in the driver (its wait edges come
+				// from window chaining, not the lock table), so the live
+				// server's judge/wound/abort topology is pinned here the
+				// same way the cores' is above.
+				"g2plJudge": {"g2plRequest"},
+				"g2plWound": {"g2plJudge"},
+				"g2plAbort": {"g2plRequest", "g2plJudge"},
 			},
 		},
 		ImportAllow: map[string][]string{
 			"repro/cmd/experiments":     {"repro/internal/exp"},
 			"repro/cmd/g2plsim":         {"repro/internal/core", "repro/internal/netmodel", "repro/internal/sim"},
-			"repro/cmd/liveserver":      {"repro/internal/live", "repro/internal/serial", "repro/internal/workload"},
+			"repro/cmd/liveserver":      {"repro/internal/live", "repro/internal/protocol", "repro/internal/serial", "repro/internal/workload"},
 			"repro/cmd/repolint":        {"repro/internal/analysis"},
 			"repro/examples/hotspot":    {"repro/internal/core"},
 			"repro/examples/liveserver": {"repro/internal/live", "repro/internal/serial", "repro/internal/workload"},
@@ -341,8 +363,13 @@ func DefaultConfig() *Config {
 			"repro/internal/protocol.RecallDecision":  true,
 			"repro/internal/protocol.CoordActionKind": true,
 			"repro/internal/protocol.PartActionKind":  true,
-			"repro/internal/live.Protocol":            true,
-			"repro/internal/engine.Protocol":          true,
+			// The policy enums: adding a fifth deadlock policy (or a third
+			// victim rule) instantly flags every switch that does not
+			// handle it — JudgeBlock and the String/parse pairs.
+			"repro/internal/protocol.DeadlockPolicy": true,
+			"repro/internal/protocol.VictimPolicy":   true,
+			"repro/internal/live.Protocol":           true,
+			"repro/internal/engine.Protocol":         true,
 		},
 	}
 }

@@ -33,6 +33,7 @@ type Params struct {
 	FIFOWindows    bool
 	WindowDelay    sim.Time
 	Victim         engine.VictimPolicy
+	Deadlock       engine.DeadlockPolicy
 
 	// Measurement protocol.
 	TargetCommits int
@@ -115,6 +116,7 @@ func (p Params) engineConfig(proto engine.Protocol, replication int) engine.Conf
 		FIFOWindows:    p.FIFOWindows,
 		WindowDelay:    p.WindowDelay,
 		Victim:         p.Victim,
+		Deadlock:       p.Deadlock,
 		RecordHistory:  p.RecordHistory,
 		MaxTime:        p.MaxTime,
 		TraceHash:      p.TraceHash,

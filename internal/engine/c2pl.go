@@ -25,6 +25,7 @@ const C2PL Protocol = 2
 // c2plTxn is one transaction instance under c-2PL.
 type c2plTxn struct {
 	id      ids.Txn
+	ts      ids.Txn // priority timestamp: first incarnation's id
 	client  *c2plClient
 	profile workload.Profile
 	opIdx   int
@@ -43,6 +44,9 @@ type c2plClient struct {
 	gen   *workload.Generator
 	cache *protocol.CacheClient
 	cur   *c2plTxn
+	// carryTs preserves an aborted transaction's priority for its restart
+	// (Wait-Die/Wound-Wait fairness). Cleared on commit.
+	carryTs ids.Txn
 }
 
 // c2plRun adapts the protocol c-2PL cores to the discrete-event kernel:
@@ -70,7 +74,7 @@ func runC2PL(cfg Config) (Result, error) {
 		kernel:  k,
 		net:     netmodel.New(k, cfg.Latency),
 		col:     newCollector(k, cfg),
-		core:    protocol.NewCacheServer(),
+		core:    protocol.NewCacheServer(cfg.Deadlock),
 		version: make(map[ids.Item]ids.Txn),
 		active:  make(map[ids.Txn]*c2plTxn),
 		nextTxn: 1,
@@ -96,6 +100,8 @@ func runC2PL(cfg Config) (Result, error) {
 		return Result{}, fmt.Errorf("engine: c-2PL run hit MaxTime %d with %d/%d commits", cfg.MaxTime, r.col.commits, cfg.TargetCommits)
 	}
 	res := r.col.result(C2PL, r.net.Messages, r.net.Bytes, k.Now())
+	res.Events = k.Fired()
+	res.Causes = r.core.Causes()
 	if hasher != nil {
 		res.TrajectoryHash = hasher.Sum64()
 	}
@@ -103,8 +109,13 @@ func runC2PL(cfg Config) (Result, error) {
 }
 
 func (r *c2plRun) begin(c *c2plClient) {
+	ts := c.carryTs
+	if ts == 0 {
+		ts = r.nextTxn
+	}
 	t := &c2plTxn{
 		id:      r.nextTxn,
+		ts:      ts,
 		client:  c,
 		profile: c.gen.Next(),
 		start:   r.kernel.Now(),
@@ -138,18 +149,26 @@ func (r *c2plRun) granted(t *c2plTxn, op workload.Op, ver ids.Txn) {
 	think := t.client.gen.Think()
 	if t.opIdx+1 < len(t.profile.Ops) {
 		r.kernel.AfterLabeled(think, "c2pl.think", func() {
+			if t.done() {
+				return // wounded mid-think; the abort notice won the race
+			}
 			t.opIdx++
 			r.step(t)
 		})
 		return
 	}
-	r.kernel.AfterLabeled(think, "c2pl.commit", func() { r.commit(t) })
+	r.kernel.AfterLabeled(think, "c2pl.commit", func() {
+		if t.done() {
+			return // wounded mid-think; the abort notice won the race
+		}
+		r.commit(t)
+	})
 }
 
 // serverRequest hands a cache miss to the server core and emits its
 // decisions.
 func (r *c2plRun) serverRequest(t *c2plTxn, op workload.Op) {
-	r.applyCacheActions(r.core.Request(t.id, t.client.id, op.Item, op.Write))
+	r.applyCacheActions(r.core.Request(t.id, t.client.id, op.Item, op.Write, t.ts))
 }
 
 // applyCacheActions emits the core's ordered decisions onto the simulated
@@ -191,7 +210,7 @@ func (r *c2plRun) clientGrant(t *c2plTxn, item ids.Item, mode lock.Mode, ver ids
 	if !live {
 		return
 	}
-	r.col.opWait.Add(float64(r.kernel.Now() - t.reqSent))
+	r.col.opWaited(r.kernel.Now() - t.reqSent)
 	r.granted(t, t.op(), ver)
 }
 
@@ -210,7 +229,7 @@ func (r *c2plRun) clientRecall(c *c2plClient, item ids.Item) {
 // detection happens here, the first moment the server learns the wait is
 // real.
 func (r *c2plRun) serverDefer(t *c2plTxn, item ids.Item) {
-	r.applyCacheActions(r.core.Defer(t.id, t.client.id, item))
+	r.applyCacheActions(r.core.Defer(t.id, t.client.id, item, t.ts))
 }
 
 // serverRelease handles a standalone (idle-cache) release.
@@ -226,6 +245,7 @@ func (r *c2plRun) clientAbort(t *c2plTxn) {
 	if c.cur != t {
 		return
 	}
+	c.carryTs = t.ts
 	r.col.abort()
 	r.finishClient(t, nil)
 	r.kernel.AfterLabeled(c.gen.Idle(), "c2pl.begin", func() { r.begin(c) })
@@ -244,6 +264,7 @@ func (r *c2plRun) commit(t *c2plTxn) {
 		}
 	}
 	rec.Writes = writes
+	t.client.carryTs = 0
 	r.col.commit(rt, rec)
 	r.finishClient(t, writes)
 	r.kernel.AfterLabeled(t.client.gen.Idle(), "c2pl.begin", func() { r.begin(t.client) })

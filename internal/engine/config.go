@@ -58,6 +58,41 @@ const (
 	VictimLeastHeld = protocol.VictimLeastHeld
 )
 
+// DeadlockPolicy selects how conflicting lock requests resolve: detect
+// cycles after blocking (the paper's protocol, the default) or avoid
+// deadlock by timestamp order. Aliased from the protocol core.
+type DeadlockPolicy = protocol.DeadlockPolicy
+
+const (
+	// PolicyDetect blocks and resolves wait-for cycles by aborting victims.
+	PolicyDetect = protocol.PolicyDetect
+	// PolicyNoWait aborts the requester on any conflict.
+	PolicyNoWait = protocol.PolicyNoWait
+	// PolicyWaitDie lets an older requester wait and kills a younger one.
+	PolicyWaitDie = protocol.PolicyWaitDie
+	// PolicyWoundWait lets an older requester abort younger lock holders.
+	PolicyWoundWait = protocol.PolicyWoundWait
+)
+
+// ParseVictimPolicy re-exports the protocol core's victim-policy flag
+// parser alongside the aliased type, so layers above the engine can
+// translate flag strings without importing the core directly.
+func ParseVictimPolicy(s string) (VictimPolicy, error) {
+	return protocol.ParseVictimPolicy(s)
+}
+
+// ParseDeadlockPolicy parses "detect", "nowait", "waitdie" or
+// "woundwait".
+func ParseDeadlockPolicy(s string) (DeadlockPolicy, error) {
+	return protocol.ParseDeadlockPolicy(s)
+}
+
+// DeadlockPolicies returns every deadlock policy in declaration order,
+// for sweeps.
+func DeadlockPolicies() []DeadlockPolicy {
+	return protocol.DeadlockPolicies()
+}
+
 // Config describes one simulation run.
 type Config struct {
 	Protocol Protocol
@@ -100,6 +135,11 @@ type Config struct {
 	// Victim selects the deadlock victim policy, applied identically to
 	// both protocols.
 	Victim VictimPolicy
+
+	// Deadlock selects the deadlock policy (detect, nowait, waitdie,
+	// woundwait), applied to every protocol. The zero value is the paper's
+	// detect-and-abort, pinned by the golden trajectories.
+	Deadlock DeadlockPolicy
 
 	// Shards, when > 1, splits the item space across K lock-server shards
 	// coordinated by a 2PC commit coordinator (extension, DESIGN.md §13).
@@ -167,6 +207,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("engine: WindowDelay must be >= 0, got %d", c.WindowDelay)
 	case c.Protocol != S2PL && c.Protocol != G2PL && c.Protocol != C2PL:
 		return fmt.Errorf("engine: unknown protocol %d", int(c.Protocol))
+	case c.Deadlock < protocol.PolicyDetect || c.Deadlock > protocol.PolicyWoundWait:
+		return fmt.Errorf("engine: unknown deadlock policy %d", int(c.Deadlock))
 	case c.Shards < 0:
 		return fmt.Errorf("engine: Shards must be >= 0, got %d", c.Shards)
 	case c.Shards > 1 && c.Protocol != S2PL:
@@ -214,6 +256,10 @@ type Result struct {
 
 	Duration sim.Time // simulated time consumed by the whole run
 
+	// Events is the number of kernel events fired over the whole run —
+	// the denominator of the DES events/sec benchmark metric.
+	Events uint64
+
 	// History is non-nil when Config.RecordHistory was set; it includes
 	// warmup commits so version chains are complete.
 	History *history.Log
@@ -225,6 +271,20 @@ type Result struct {
 	// TwoPC carries the sharded run's per-phase commit counters; zero for
 	// single-server runs.
 	TwoPC stats.TwoPC
+
+	// Causes splits the aborts by why the deadlock policy killed them
+	// (cycle victim, wound, die, no-wait conflict, coordinator timeout).
+	Causes stats.AbortCauses
+
+	// RespSample holds measured commit response times for percentile
+	// reporting (p50/p95/p99); the mean lives in Response.
+	RespSample stats.Sample
+
+	// BlockedSample holds the per-operation time-blocked estimate: the
+	// request-to-grant wait minus the two uncontended network legs,
+	// clamped at zero. Tail percentiles here are where deadlock policies
+	// separate when means barely move.
+	BlockedSample stats.Sample
 
 	// Values is the final data-item store of a sharded run, which drains
 	// to quiescence after the commit target instead of stopping mid-flight
@@ -299,14 +359,17 @@ func installTracer(k *sim.Kernel, cfg Config) *sim.TrajectoryHasher {
 
 // collector implements the shared measurement protocol.
 type collector struct {
-	kernel *sim.Kernel
-	warmup int
-	target int
+	kernel  *sim.Kernel
+	warmup  int
+	target  int
+	latency sim.Time
 
 	totalCommits int64
 	commits      int64
 	aborts       int64
 	resp         stats.Accumulator
+	respSample   stats.Sample
+	blockedSamp  stats.Sample
 	opWait       stats.Accumulator
 	windowLen    stats.Accumulator
 	abortEnq     int64
@@ -323,7 +386,7 @@ type collector struct {
 }
 
 func newCollector(k *sim.Kernel, cfg Config) *collector {
-	c := &collector{kernel: k, warmup: cfg.WarmupCommits, target: cfg.TargetCommits}
+	c := &collector{kernel: k, warmup: cfg.WarmupCommits, target: cfg.TargetCommits, latency: cfg.Latency}
 	if cfg.RecordHistory {
 		c.log = &history.Log{}
 	}
@@ -342,6 +405,7 @@ func (c *collector) commit(rt sim.Time, rec history.Committed) {
 	if c.measuring() {
 		c.commits++
 		c.resp.Add(float64(rt))
+		c.respSample.Add(float64(rt))
 	}
 	c.totalCommits++
 	if c.log != nil {
@@ -355,6 +419,18 @@ func (c *collector) commit(rt sim.Time, rec history.Committed) {
 		}
 		c.kernel.Stop()
 	}
+}
+
+// opWaited folds one operation's request-to-grant wait into the queueing
+// accumulators, deriving the time-blocked estimate: the wait minus the
+// two network legs every request pays even uncontended, clamped at zero.
+func (c *collector) opWaited(w sim.Time) {
+	c.opWait.Add(float64(w))
+	b := w - 2*c.latency
+	if b < 0 {
+		b = 0
+	}
+	c.blockedSamp.Add(float64(b))
 }
 
 func (c *collector) abort() {
@@ -386,5 +462,7 @@ func (c *collector) result(p Protocol, msgs, bytes int64, dur sim.Time) Result {
 		AbortsAtDispatch: c.abortDisp,
 		Duration:         dur,
 		History:          c.log,
+		RespSample:       c.respSample,
+		BlockedSample:    c.blockedSamp,
 	}
 }

@@ -9,12 +9,14 @@ import (
 	"repro/internal/protocol"
 	"repro/internal/rng"
 	"repro/internal/sim"
+	"repro/internal/stats"
 	"repro/internal/workload"
 )
 
 // g2plTxn is one transaction instance executing under g-2PL.
 type g2plTxn struct {
 	id      ids.Txn
+	ts      ids.Txn // priority timestamp: first incarnation's id
 	client  *g2plClient
 	profile workload.Profile
 	opIdx   int
@@ -37,6 +39,9 @@ func (t *g2plTxn) op() workload.Op { return t.profile.Ops[t.opIdx] }
 type g2plClient struct {
 	id  ids.Client
 	gen *workload.Generator
+	// carryTs preserves an aborted transaction's priority for its restart
+	// (Wait-Die/Wound-Wait fairness). Cleared on commit.
+	carryTs ids.Txn
 }
 
 // g2plReq is a pending lock request collected during an item's window.
@@ -91,6 +96,7 @@ type g2plRun struct {
 	pending map[ids.Txn]*g2plItem // item a transaction's request waits on
 	clients []*g2plClient
 	nextTxn ids.Txn
+	causes  stats.AbortCauses
 
 	// trace, when non-nil, receives one line per protocol event; set
 	// only by debugging tests.
@@ -142,6 +148,8 @@ func runG2PL(cfg Config) (Result, error) {
 		return Result{}, fmt.Errorf("engine: g-2PL run hit MaxTime %d with %d/%d commits", cfg.MaxTime, r.col.commits, cfg.TargetCommits)
 	}
 	res := r.col.result(G2PL, r.net.Messages, r.net.Bytes, k.Now())
+	res.Events = k.Fired()
+	res.Causes = r.causes
 	if hasher != nil {
 		res.TrajectoryHash = hasher.Sum64()
 	}
@@ -159,8 +167,13 @@ func (r *g2plRun) item(id ids.Item) *g2plItem {
 
 // begin starts a fresh transaction and sends its first request.
 func (r *g2plRun) begin(c *g2plClient) {
+	ts := c.carryTs
+	if ts == 0 {
+		ts = r.nextTxn
+	}
 	t := &g2plTxn{
 		id:      r.nextTxn,
+		ts:      ts,
 		client:  c,
 		profile: c.gen.Next(),
 		start:   r.kernel.Now(),
@@ -196,6 +209,9 @@ func (r *g2plRun) serverRequest(t *g2plTxn, op workload.Op) {
 	it.pending = append(it.pending, req)
 	r.pending[t.id] = it
 	r.addPendingEdges(it, req)
+	if r.cfg.Deadlock.Avoidance() {
+		r.judgeFlight(req)
+	}
 	r.resolveDeadlocks(t)
 }
 
@@ -206,8 +222,54 @@ func (r *g2plRun) resolveDeadlocks(t *g2plTxn) {
 		if cycle == nil {
 			return
 		}
+		r.causes.Deadlock++
 		r.abortTxn(r.chooseVictim(cycle, t))
 	}
+}
+
+// judgeFlight applies an avoidance policy to a request that just blocked
+// on an in-flight forward list: the requester dies (No-Wait on any wait;
+// Wait-Die when younger than an unfinished member) or wounds its younger
+// unfinished members (Wound-Wait). Cycle detection stays on as a backstop
+// under every policy: g-2PL wait edges derive from window chaining and
+// precedence order, not pure timestamp order, so timestamps alone cannot
+// guarantee acyclicity here.
+func (r *g2plRun) judgeFlight(q *g2plReq) {
+	t := q.txn
+	if t.aborted || len(q.edges) == 0 {
+		return
+	}
+	bts := make([]ids.Txn, len(q.edges))
+	for i, b := range q.edges {
+		bts[i] = r.tsOf(b)
+	}
+	die, wound := protocol.JudgeBlock(r.cfg.Deadlock, t.ts, bts)
+	if die {
+		if r.cfg.Deadlock == protocol.PolicyNoWait {
+			r.causes.NoWait++
+		} else {
+			r.causes.Die++
+		}
+		r.abortTxn(t)
+		return
+	}
+	for _, i := range wound {
+		v := r.active[q.edges[i]]
+		if v == nil || v.done || v.aborted {
+			continue
+		}
+		r.causes.Wound++
+		r.abortTxn(v)
+	}
+}
+
+// tsOf returns a transaction's priority timestamp, defaulting to its id
+// for transactions no longer active.
+func (r *g2plRun) tsOf(id ids.Txn) ids.Txn {
+	if t := r.active[id]; t != nil {
+		return t.ts
+	}
+	return id
 }
 
 // scheduleDispatch arranges for the item's collection window to close:
@@ -255,6 +317,9 @@ func (r *g2plRun) chooseVictim(cycle []ids.Txn, fallback *g2plTxn) *g2plTxn {
 // constraints dissolve, and the client is notified to forward any held
 // data unchanged.
 func (r *g2plRun) abortTxn(v *g2plTxn) {
+	if v.aborted || v.done {
+		return // a wound already claimed it in this same batch
+	}
 	v.aborted = true
 	delete(r.active, v.id)
 	if it := r.pending[v.id]; it != nil {
@@ -393,6 +458,11 @@ func (r *g2plRun) dispatchWindow(it *g2plItem) {
 	for _, q := range rest {
 		r.addPendingEdges(it, q)
 	}
+	if r.cfg.Deadlock.Avoidance() {
+		for _, q := range rest {
+			r.judgeFlight(q)
+		}
+	}
 	for _, q := range rest {
 		if !q.txn.aborted {
 			r.resolveDeadlocks(q.txn)
@@ -441,7 +511,7 @@ func (r *g2plRun) clientData(t *g2plTxn, item ids.Item, ver ids.Txn) {
 	if op.Item != item {
 		panic(fmt.Sprintf("engine: %v received %v while waiting for %v", t.id, item, op.Item))
 	}
-	r.col.opWait.Add(float64(r.kernel.Now() - t.reqSent))
+	r.col.opWaited(r.kernel.Now() - t.reqSent)
 	r.tracef("deliver %v %v wait=%d", item, t.id, r.kernel.Now()-t.reqSent)
 	t.held = append(t.held, item)
 	if !op.Write {
@@ -450,12 +520,20 @@ func (r *g2plRun) clientData(t *g2plTxn, item ids.Item, ver ids.Txn) {
 	think := t.client.gen.Think()
 	if t.opIdx+1 < len(t.profile.Ops) {
 		r.kernel.AfterLabeled(think, "g2pl.think", func() {
+			if t.aborted || t.done {
+				return // wounded mid-think; the abort notice handles the unwind
+			}
 			t.opIdx++
 			r.sendRequest(t)
 		})
 		return
 	}
-	r.kernel.AfterLabeled(think, "g2pl.commit", func() { r.commit(t) })
+	r.kernel.AfterLabeled(think, "g2pl.commit", func() {
+		if t.aborted || t.done {
+			return // wounded mid-think; the abort notice handles the unwind
+		}
+		r.commit(t)
+	})
 }
 
 // commit ends the transaction at its client: response time stops here.
@@ -473,6 +551,7 @@ func (r *g2plRun) commit(t *g2plTxn) {
 	}
 	t.done = true
 	delete(r.active, t.id)
+	t.client.carryTs = 0
 	r.tracef("commit %v held=%v rt=%d", t.id, t.held, rt)
 	r.col.commit(rt, rec)
 	r.disp.Order.Remove(t.id)
@@ -627,6 +706,7 @@ func (r *g2plRun) decReturns(it *g2plItem) {
 // transaction after an idle period.
 func (r *g2plRun) clientAbort(t *g2plTxn) {
 	t.done = true
+	t.client.carryTs = t.ts
 	r.tracef("abortNotice %v held=%v", t.id, t.held)
 	r.col.abort()
 	for _, item := range t.held {

@@ -25,6 +25,7 @@ const (
 // s2plTxn is one transaction instance executing under s-2PL.
 type s2plTxn struct {
 	id      ids.Txn
+	ts      ids.Txn // priority timestamp: first incarnation's id
 	client  *s2plClient
 	profile workload.Profile
 	opIdx   int
@@ -41,6 +42,11 @@ type s2plClient struct {
 	id  ids.Client
 	gen *workload.Generator
 	cur *s2plTxn
+	// carryTs is the timestamp an aborted transaction bequeaths to its
+	// restart: under Wait-Die/Wound-Wait a victim retries with a fresh id
+	// but its original priority, so it ages into un-killability instead of
+	// starving. Cleared on commit.
+	carryTs ids.Txn
 }
 
 // s2plRun adapts the protocol.LockServer core to the discrete-event
@@ -79,7 +85,7 @@ func runS2PL(cfg Config) (Result, error) {
 		kernel:  k,
 		net:     netmodel.New(k, cfg.Latency),
 		col:     newCollector(k, cfg),
-		core:    protocol.NewLockServer(cfg.Victim),
+		core:    protocol.NewLockServer(cfg.Victim, cfg.Deadlock),
 		version: make(map[ids.Item]ids.Txn),
 		active:  make(map[ids.Txn]*s2plTxn),
 		nextTxn: 1,
@@ -104,6 +110,8 @@ func runS2PL(cfg Config) (Result, error) {
 		return Result{}, fmt.Errorf("engine: s-2PL run hit MaxTime %d with %d/%d commits", cfg.MaxTime, r.col.commits, cfg.TargetCommits)
 	}
 	res := r.col.result(S2PL, r.net.Messages, r.net.Bytes, k.Now())
+	res.Events = k.Fired()
+	res.Causes = r.core.Causes()
 	if hasher != nil {
 		res.TrajectoryHash = hasher.Sum64()
 	}
@@ -113,8 +121,13 @@ func runS2PL(cfg Config) (Result, error) {
 // begin starts a fresh transaction at client c and sends its first
 // request immediately.
 func (r *s2plRun) begin(c *s2plClient) {
+	ts := c.carryTs
+	if ts == 0 {
+		ts = r.nextTxn
+	}
 	t := &s2plTxn{
 		id:      r.nextTxn,
+		ts:      ts,
 		client:  c,
 		profile: c.gen.Next(),
 		start:   r.kernel.Now(),
@@ -138,7 +151,7 @@ func (r *s2plRun) sendRequest(t *s2plTxn) {
 func (r *s2plRun) serverRequest(t *s2plTxn, op workload.Op) {
 	r.tracef("req %v %v w=%v", op.Item, t.id, op.Write)
 	r.applyLockActions(r.core.Request(protocol.LockRequest{
-		Txn: t.id, Client: t.client.id, Item: op.Item, Write: op.Write,
+		Txn: t.id, Client: t.client.id, Item: op.Item, Write: op.Write, Ts: t.ts,
 	}))
 }
 
@@ -147,7 +160,7 @@ func (r *s2plRun) serverRequest(t *s2plTxn, op workload.Op) {
 // (repolint's twophase check pins sendGrant to this caller).
 func (r *s2plRun) applyLockActions(acts []protocol.LockAction) {
 	for _, a := range acts {
-		t := r.active[a.Req.Txn]
+		t := r.active[a.Txn]
 		if t == nil {
 			continue // finished while the action was pending; nothing to deliver
 		}
@@ -177,7 +190,7 @@ func (r *s2plRun) sendGrant(t *s2plTxn, op workload.Op) {
 // clientGrant is the client's grant handler: record the access, think,
 // then issue the next request or commit.
 func (r *s2plRun) clientGrant(t *s2plTxn, op workload.Op, ver ids.Txn) {
-	r.col.opWait.Add(float64(r.kernel.Now() - t.reqSent))
+	r.col.opWaited(r.kernel.Now() - t.reqSent)
 	r.tracef("deliver %v %v wait=%d", op.Item, t.id, r.kernel.Now()-t.reqSent)
 	if !op.Write {
 		t.reads = append(t.reads, history.Read{Item: op.Item, Version: ver})
@@ -185,12 +198,20 @@ func (r *s2plRun) clientGrant(t *s2plTxn, op workload.Op, ver ids.Txn) {
 	think := t.client.gen.Think()
 	if t.opIdx+1 < len(t.profile.Ops) {
 		r.kernel.AfterLabeled(think, "s2pl.think", func() {
+			if t.client.cur != t {
+				return // wounded mid-think; the abort notice won the race
+			}
 			t.opIdx++
 			r.sendRequest(t)
 		})
 		return
 	}
-	r.kernel.AfterLabeled(think, "s2pl.commit", func() { r.commit(t) })
+	r.kernel.AfterLabeled(think, "s2pl.commit", func() {
+		if t.client.cur != t {
+			return // wounded mid-think; the abort notice won the race
+		}
+		r.commit(t)
+	})
 }
 
 // commit ends the transaction at the client: response time stops here and
@@ -204,6 +225,7 @@ func (r *s2plRun) commit(t *s2plTxn) {
 		}
 	}
 	r.tracef("commit %v rt=%d", t.id, rt)
+	t.client.carryTs = 0
 	r.col.commit(rt, rec)
 	r.net.Send(sizeControl+sizeData*len(rec.Writes), "s2pl.release", func() { r.serverRelease(t, rec.Writes) })
 	r.scheduleNext(t.client)
@@ -223,6 +245,10 @@ func (r *s2plRun) serverRelease(t *s2plTxn, writes []ids.Item) {
 // its lock release travels back to the server, and the client replaces
 // the transaction after an idle period (paper §4).
 func (r *s2plRun) clientAbort(t *s2plTxn) {
+	if t.client.cur != t {
+		return // the commit beat the wound notice; nothing to unwind
+	}
+	t.client.carryTs = t.ts
 	r.col.abort()
 	r.net.Send(sizeControl, "s2pl.abortrel", func() { r.serverAbortRelease(t) })
 	r.scheduleNext(t.client)

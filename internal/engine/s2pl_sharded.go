@@ -24,6 +24,7 @@ type s2pcWrite struct {
 // a 2PC commit.
 type s2pcTxn struct {
 	id      ids.Txn
+	ts      ids.Txn // priority timestamp: first incarnation's id
 	client  *s2pcClient
 	profile workload.Profile
 	opIdx   int
@@ -60,6 +61,9 @@ type s2pcClient struct {
 	id  ids.Client
 	gen *workload.Generator
 	cur *s2pcTxn
+	// carryTs preserves an aborted transaction's priority for its restart
+	// (Wait-Die/Wound-Wait fairness). Cleared on commit.
+	carryTs ids.Txn
 }
 
 // s2pcRun adapts the sharded protocol cores — K protocol.Participant lock
@@ -100,7 +104,7 @@ func runS2PLSharded(cfg Config) (Result, error) {
 		net:     netmodel.New(k, cfg.Latency),
 		col:     newCollector(k, cfg),
 		smap:    smap,
-		coord:   protocol.NewCoordinator(cfg.Victim),
+		coord:   protocol.NewCoordinator(cfg.Victim, cfg.Deadlock),
 		version: make(map[ids.Item]ids.Txn),
 		value:   make(map[ids.Item]int64),
 		active:  make(map[ids.Txn]*s2pcTxn),
@@ -108,7 +112,7 @@ func runS2PLSharded(cfg Config) (Result, error) {
 	}
 	r.col.onDone = r.onTarget
 	for s := 0; s < cfg.Shards; s++ {
-		r.parts = append(r.parts, protocol.NewParticipant(s, cfg.Victim))
+		r.parts = append(r.parts, protocol.NewParticipant(s, cfg.Victim, cfg.Deadlock))
 	}
 	if cfg.InitialBalance != 0 {
 		for i := 0; i < cfg.Workload.Items; i++ {
@@ -139,7 +143,12 @@ func runS2PLSharded(cfg Config) (Result, error) {
 		return Result{}, fmt.Errorf("engine: sharded s-2PL run hit MaxTime %d with %d/%d commits", cfg.MaxTime, r.col.commits, cfg.TargetCommits)
 	}
 	res := r.col.result(S2PL, r.net.Messages, r.net.Bytes, k.Now())
+	res.Events = k.Fired()
 	res.TwoPC = r.coord.Counters()
+	res.Causes = r.coord.Causes()
+	for _, p := range r.parts {
+		res.Causes.Merge(p.Core().Causes())
+	}
 	res.Values = r.value
 	if hasher != nil {
 		res.TrajectoryHash = hasher.Sum64()
@@ -163,8 +172,13 @@ func (r *s2pcRun) begin(c *s2pcClient) {
 	if r.col.done {
 		return
 	}
+	ts := c.carryTs
+	if ts == 0 {
+		ts = r.nextTxn
+	}
 	t := &s2pcTxn{
 		id:      r.nextTxn,
+		ts:      ts,
 		client:  c,
 		profile: c.gen.Next(),
 		start:   r.kernel.Now(),
@@ -191,7 +205,7 @@ func (r *s2pcRun) sendRequest(t *s2pcTxn) {
 // local deadlock, and this driver emits its decisions.
 func (r *s2pcRun) shardRequest(s int, t *s2pcTxn, op workload.Op, epoch int) {
 	r.applyPart(s, r.parts[s].Request(protocol.LockRequest{
-		Txn: t.id, Client: t.client.id, Item: op.Item, Write: op.Write, Epoch: epoch,
+		Txn: t.id, Client: t.client.id, Item: op.Item, Write: op.Write, Epoch: epoch, Ts: t.ts,
 	}))
 }
 
@@ -202,13 +216,13 @@ func (r *s2pcRun) applyPart(s int, acts []protocol.PartAction) {
 	for _, a := range acts {
 		switch a.Kind {
 		case protocol.PartGrant:
-			t := r.active[a.Req.Txn]
+			t := r.active[a.Txn]
 			if t == nil {
 				continue // unwound while the grant was pending
 			}
 			r.sendPartGrant(t, workload.Op{Item: a.Req.Item, Write: a.Req.Write})
 		case protocol.PartAbort:
-			t := r.active[a.Req.Txn]
+			t := r.active[a.Txn]
 			if t == nil {
 				continue
 			}
@@ -250,7 +264,7 @@ func (r *s2pcRun) clientPartGrant(t *s2pcTxn, op workload.Op, ver ids.Txn, val i
 	if r.active[t.id] != t {
 		return // unwound while the grant was in flight
 	}
-	r.col.opWait.Add(float64(r.kernel.Now() - t.reqSent))
+	r.col.opWaited(r.kernel.Now() - t.reqSent)
 	if !op.Write {
 		t.reads = append(t.reads, history.Read{Item: op.Item, Version: ver})
 	}
@@ -379,6 +393,7 @@ func (r *s2pcRun) clientOutcome(txn ids.Txn, commit bool) {
 		return
 	}
 	delete(r.active, txn)
+	t.client.carryTs = 0
 	r.col.commit(r.kernel.Now()-t.start, t.rec)
 	r.scheduleNext(t.client)
 }
@@ -408,6 +423,7 @@ func (r *s2pcRun) clientAbort(t *s2pcTxn) {
 // the unwind finished, replace the transaction after an idle period.
 func (r *s2pcRun) unwindAbort(t *s2pcTxn) {
 	delete(r.active, t.id)
+	t.client.carryTs = t.ts
 	r.col.abort()
 	for _, s := range t.shards() {
 		r.net.Send(sizeControl, "2pc.abortrel", func() { r.shardAbortRelease(s, t.id) })

@@ -37,6 +37,26 @@ type Scale struct {
 	CrossRatio    float64
 	CrossRatioSet bool
 	ZipfTheta     float64
+
+	// Deadlock-handling knobs (the cmd's -deadlock-policy and -victim
+	// flags), threaded through every run an experiment performs. Zero
+	// values are the paper's defaults: detect-and-abort, requester victim.
+	Victim   engine.VictimPolicy
+	Deadlock engine.DeadlockPolicy
+}
+
+// ParseVictimPolicy and ParseDeadlockPolicy re-export the protocol
+// core's flag parsers through the experiment facade, so cmd/experiments
+// can translate its flag strings without widening its import surface
+// beyond this package.
+func ParseVictimPolicy(s string) (engine.VictimPolicy, error) {
+	return engine.ParseVictimPolicy(s)
+}
+
+// ParseDeadlockPolicy parses "detect", "nowait", "waitdie" or
+// "woundwait".
+func ParseDeadlockPolicy(s string) (engine.DeadlockPolicy, error) {
+	return engine.ParseDeadlockPolicy(s)
 }
 
 // Quick is the default scale for tests, benches and interactive runs.
@@ -56,6 +76,8 @@ func (s Scale) apply(p core.Params) core.Params {
 	p.Replications = s.Replications
 	p.MaxTime = s.MaxTime
 	p.TraceHash = s.TraceHash
+	p.Victim = s.Victim
+	p.Deadlock = s.Deadlock
 	return p
 }
 
@@ -91,6 +113,7 @@ func All() []Experiment {
 		{"ablation-avoidance", "Ablation: deadlock avoidance on/off", ablationAvoidance},
 		{"ablation-grouping", "Ablation: reader-grouping vs FIFO forward lists", ablationGrouping},
 		{"ablation-victim", "Ablation: deadlock victim policy", ablationVictim},
+		{"policy-matrix", "Policy matrix: deadlock policy x protocol (aborts, throughput, p99)", policyMatrix},
 		{"ext-readexpand", "Extension: read-expansion of dispatched read groups", extReadExpand},
 		{"ext-sorted", "Extension: canonical (sorted) item access order", extSorted},
 		{"ext-c2pl", "Extension: caching 2PL (c-2PL) three-way comparison", extC2PL},

@@ -1,0 +1,31 @@
+package live
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkLiveCluster measures end-to-end live commits per wall second
+// per protocol on a clean network — the live half of the benchmark
+// trajectory (scripts/bench.sh). Each iteration runs a full cluster to
+// its commit target and through shutdown, so goroutine startup, mailbox
+// traffic and quiescence are all in the measured path.
+func BenchmarkLiveCluster(b *testing.B) {
+	for _, p := range []Protocol{S2PL, G2PL, C2PL} {
+		b.Run(p.String(), func(b *testing.B) {
+			cfg := chaosConfig(p, 1, ChaosConfig{})
+			var commits int64
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				res, err := Run(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				commits += res.Stats.Commits
+			}
+			if el := time.Since(start).Seconds(); el > 0 {
+				b.ReportMetric(float64(commits)/el, "commits/s")
+			}
+		})
+	}
+}

@@ -7,15 +7,23 @@ import (
 	"repro/internal/history"
 	"repro/internal/ids"
 	"repro/internal/protocol"
+	"repro/internal/stats"
 	"repro/internal/workload"
 )
 
 // liveTxn is one transaction instance at a client.
 type liveTxn struct {
-	id      ids.Txn
+	id ids.Txn
+	// ts is the priority timestamp the Wait-Die/Wound-Wait policies order
+	// conflicts by: the first incarnation's id, carried across restarts so
+	// a victim ages instead of starving.
+	ts      ids.Txn
 	profile workload.Profile
 	opIdx   int
 	start   time.Time
+	// opSent is when the current operation's request left, for the
+	// blocked-time estimate (observed wait minus the round trip).
+	opSent  time.Time
 	reads   []history.Read
 	writes  []writeUpdate
 	held    []heldItem
@@ -82,6 +90,18 @@ type client struct {
 	residual  map[ids.Txn]*liveTxn
 	committed int
 	signaled  bool
+
+	// carryTs is the priority timestamp the next transaction begins with:
+	// set when one aborts (the restart keeps its age — the no-starvation
+	// guarantee of Wait-Die/Wound-Wait), cleared when one commits.
+	carryTs ids.Txn
+
+	// Latency accounting, owned by the client goroutine and harvested by
+	// the harness after shutdown: commit-latency sample for percentiles,
+	// and the summed per-operation wait beyond one round trip.
+	respSamp  stats.Sample
+	blockedNs int64
+	blockedN  int64
 }
 
 func newClient(cl *cluster, id ids.Client, gen *workload.Generator) *client {
@@ -146,8 +166,14 @@ func (c *client) beginNext(arm func(time.Duration, func())) {
 		return
 	}
 	arm(time.Duration(c.gen.Idle())*tick, func() {
+		id := c.cl.newTxnID()
+		ts := id
+		if c.carryTs != 0 {
+			ts = c.carryTs
+		}
 		c.cur = &liveTxn{
-			id:      c.cl.newTxnID(),
+			id:      id,
+			ts:      ts,
 			profile: c.gen.Next(),
 			start:   time.Now(),
 			relGot:  make(map[ids.Item]int),
@@ -164,12 +190,14 @@ func (c *client) beginNext(arm func(time.Duration, func())) {
 
 func (c *client) sendRequest() {
 	op := c.cur.op()
+	c.cur.opSent = time.Now()
 	m := reqMsg{
 		txn:    c.cur.id,
 		client: c.id,
 		item:   op.Item,
 		write:  op.Write,
 		epoch:  c.cur.opIdx,
+		ts:     c.cur.ts,
 	}
 	if c.cl.sharded() {
 		s := c.cl.smap.Of(op.Item)
@@ -253,6 +281,7 @@ func (c *client) onData(txn ids.Txn, item ids.Item, ver ids.Txn, val int64, plan
 	if op.Item != item {
 		panic(fmt.Sprintf("live: %v received %v while waiting for %v", txn, item, op.Item))
 	}
+	c.noteWait(t)
 	t.held = append(t.held, heldItem{item: item, write: op.Write, plan: plan, version: ver, value: val})
 	if !op.Write {
 		t.reads = append(t.reads, history.Read{Item: item, Version: ver})
@@ -266,6 +295,22 @@ func (c *client) onData(txn ids.Txn, item ids.Item, ver ids.Txn, val int64, plan
 		return
 	}
 	arm(think, func() { c.commit(t, arm) })
+}
+
+// noteWait records the current operation's blocked-time estimate: the
+// observed request-to-data wait minus one server round trip, clamped at
+// zero — waits at or under the wire cost are not lock contention.
+func (c *client) noteWait(t *liveTxn) {
+	if t.opSent.IsZero() {
+		return
+	}
+	w := time.Since(t.opSent) - 2*c.cl.cfg.Latency
+	if w < 0 {
+		w = 0
+	}
+	c.blockedNs += int64(w)
+	c.blockedN++
+	t.opSent = time.Time{}
 }
 
 // needFor returns the reader releases txn must gather on plan, or 0.
@@ -340,8 +385,11 @@ func (c *client) commit(t *liveTxn, arm func(time.Duration, func())) {
 	}
 	c.cl.audit.commit(rec)
 	c.cl.commits.Add(1)
-	c.cl.resp.Add(int64(time.Since(t.start)))
+	resp := time.Since(t.start)
+	c.cl.resp.Add(int64(resp))
+	c.respSamp.Add(float64(resp))
 	c.committed++
+	c.carryTs = 0
 	c.cur = nil
 
 	if c.cl.cfg.Protocol == S2PL {
@@ -408,8 +456,11 @@ func (c *client) onOutcome(m outcomeMsg, arm func(time.Duration, func())) {
 	if m.commit {
 		t.done = true
 		c.cl.commits.Add(1)
-		c.cl.resp.Add(int64(time.Since(t.start)))
+		resp := time.Since(t.start)
+		c.cl.resp.Add(int64(resp))
+		c.respSamp.Add(float64(resp))
 		c.committed++
+		c.carryTs = 0
 		c.cur = nil
 		c.beginNext(arm)
 		return
@@ -427,6 +478,7 @@ func (c *client) onOutcome(m outcomeMsg, arm func(time.Duration, func())) {
 func (c *client) abortSharded(t *liveTxn, arm func(time.Duration, func())) {
 	t.aborted = true
 	t.done = true
+	c.carryTs = t.ts
 	c.cl.audit.abort()
 	c.cl.aborts.Add(1)
 	for _, s := range t.touched {
@@ -459,6 +511,7 @@ func (c *client) onAbort(txn ids.Txn, arm func(time.Duration, func())) {
 	}
 	t.aborted = true
 	t.done = true
+	c.carryTs = t.ts
 	c.cl.audit.abort()
 	c.cl.aborts.Add(1)
 	switch c.cl.cfg.Protocol {
@@ -610,6 +663,7 @@ func (c *client) onGrant(m grantMsg, arm func(time.Duration, func())) {
 		return
 	}
 	t := c.cur
+	c.noteWait(t)
 	c.c2plGranted(t, t.op(), ver, arm)
 }
 
@@ -617,7 +671,7 @@ func (c *client) onGrant(m grantMsg, arm func(time.Duration, func())) {
 // used the item, release immediately otherwise.
 func (c *client) onRecall(m recallMsg) {
 	if c.cache.Recall(m.item) == protocol.RecallDefer {
-		c.cl.net.send(c.id, ids.Server, deferMsg{txn: c.cur.id, client: c.id, item: m.item})
+		c.cl.net.send(c.id, ids.Server, deferMsg{txn: c.cur.id, client: c.id, item: m.item, ts: c.cur.ts})
 		return
 	}
 	c.cl.net.send(c.id, ids.Server, crelMsg{client: c.id, item: m.item})
@@ -643,8 +697,11 @@ func (c *client) commitC2PL(t *liveTxn, arm func(time.Duration, func())) {
 	}
 	c.cl.audit.commit(rec)
 	c.cl.commits.Add(1)
-	c.cl.resp.Add(int64(time.Since(t.start)))
+	resp := time.Since(t.start)
+	c.cl.resp.Add(int64(resp))
+	c.respSamp.Add(float64(resp))
 	c.committed++
+	c.carryTs = 0
 	c.cur = nil
 	released := c.cache.Finish(t.id, writeItems)
 	c.cl.net.send(c.id, ids.Server, finishMsg{txn: t.id, client: c.id, writes: writes, released: released})

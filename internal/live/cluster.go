@@ -10,6 +10,7 @@ import (
 	"repro/internal/ids"
 	"repro/internal/protocol"
 	"repro/internal/rng"
+	"repro/internal/stats"
 	"repro/internal/workload"
 )
 
@@ -236,6 +237,36 @@ func (cl *cluster) run() (*Result, error) {
 		Dropped:      cl.net.dropCount(),
 		Elapsed:      elapsed,
 		MeanResponse: mean,
+	}
+	// The client goroutines are gone (shutdown waited on them), so their
+	// latency accounting is safe to merge single-threaded here.
+	var respSamp stats.Sample
+	var blockedNs, blockedN int64
+	for _, c := range cl.clients {
+		respSamp.Merge(&c.respSamp)
+		blockedNs += c.blockedNs
+		blockedN += c.blockedN
+	}
+	st.P50 = time.Duration(respSamp.Percentile(0.50))
+	st.P95 = time.Duration(respSamp.Percentile(0.95))
+	st.P99 = time.Duration(respSamp.Percentile(0.99))
+	if blockedN > 0 {
+		st.MeanBlocked = time.Duration(blockedNs / blockedN)
+	}
+	if cl.sharded() {
+		st.Causes = cl.coord.coord.Causes()
+		for _, ss := range cl.shards {
+			st.Causes.Merge(ss.part.Core().Causes())
+		}
+	} else {
+		switch cl.cfg.Protocol {
+		case S2PL:
+			st.Causes = cl.server.lockCore.Causes()
+		case C2PL:
+			st.Causes = cl.server.cacheCore.Causes()
+		case G2PL:
+			st.Causes = cl.server.causes
+		}
 	}
 	if cl.net.arq != nil {
 		as := cl.net.arq.snapshot()

@@ -95,6 +95,12 @@ type Config struct {
 	Bank bool
 	// InitialBalance seeds every item's value for Bank runs.
 	InitialBalance int64
+	// Victim selects the deadlock victim policy used when detection finds
+	// a cycle (s-2PL and the sharded coordinator; zero value: requester).
+	Victim protocol.VictimPolicy
+	// Deadlock selects the conflict-resolution strategy: detect-and-abort
+	// (zero value), No-Wait, Wait-Die or Wound-Wait.
+	Deadlock protocol.DeadlockPolicy
 }
 
 // effectiveWorkload is the workload configuration the generators actually
@@ -135,6 +141,10 @@ func (c Config) Validate() error {
 		return fmt.Errorf("live: InitialBalance requires Bank")
 	case c.Bank && (c.Workload.MinTxnItems != 2 || c.Workload.MaxTxnItems != 2 || c.Workload.ReadProb != 0):
 		return fmt.Errorf("live: Bank requires a 2-item all-write workload")
+	case c.Victim < protocol.VictimRequester || c.Victim > protocol.VictimLeastHeld:
+		return fmt.Errorf("live: unknown victim policy %d", int(c.Victim))
+	case c.Deadlock < protocol.PolicyDetect || c.Deadlock > protocol.PolicyWoundWait:
+		return fmt.Errorf("live: unknown deadlock policy %d", int(c.Deadlock))
 	}
 	if err := c.Chaos.validate(); err != nil {
 		return err
@@ -153,6 +163,15 @@ type Stats struct {
 	Elapsed  time.Duration
 	// MeanResponse is the mean commit latency over committed transactions.
 	MeanResponse time.Duration
+	// P50/P95/P99 are commit-latency percentiles over a deterministic
+	// reservoir of committed transactions.
+	P50, P95, P99 time.Duration
+	// MeanBlocked estimates the mean lock-wait per server round trip: the
+	// observed wait minus two link latencies, clamped at zero.
+	MeanBlocked time.Duration
+	// Causes breaks the aborts down by what killed them (deadlock cycle,
+	// wound, die, no-wait).
+	Causes stats.AbortCauses
 
 	// Reliability counters: what chaos did to the wire and what the ARQ
 	// layer did about it. All zero on a well-behaved network.
@@ -186,6 +205,9 @@ type (
 		// id the sharded coordinator orders block/clear reports by. The
 		// single server ignores it.
 		epoch int
+		// ts is the transaction's priority timestamp (first incarnation's
+		// id), used by the Wait-Die/Wound-Wait policies.
+		ts ids.Txn
 	}
 	// dataMsg delivers a data item (copy or exclusive) to a client,
 	// together with the forward-list routing plan (nil under s-2PL).
@@ -244,6 +266,7 @@ type (
 		txn    ids.Txn
 		client ids.Client
 		item   ids.Item
+		ts     ids.Txn // priority timestamp, as in reqMsg
 	}
 	// crelMsg is a client's immediate cache release of a recalled item.
 	crelMsg struct {

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/ids"
 	"repro/internal/protocol"
+	"repro/internal/stats"
 )
 
 // server is the single data-server site. All state below is owned by the
@@ -20,9 +21,17 @@ type server struct {
 	lockCore *protocol.LockServer
 
 	// disp and items are the g-2PL state: the dispatch core plus the
-	// per-item window/flight bookkeeping.
-	disp  *protocol.Dispatcher
-	items map[ids.Item]*liveItem
+	// per-item window/flight bookkeeping. Under an avoidance policy the
+	// server also tracks each transaction's priority timestamp and the
+	// item its request is pending on, so Wound-Wait can find and unhook a
+	// victim's queued request; causes counts the policy-decided aborts
+	// (the DES engines count these inside the cores — g-2PL judges in the
+	// driver, so the live server mirrors that here).
+	disp        *protocol.Dispatcher
+	items       map[ids.Item]*liveItem
+	g2plTs      map[ids.Txn]ids.Txn
+	g2plPending map[ids.Txn]*liveItem
+	causes      stats.AbortCauses
 
 	// cacheCore is the c-2PL state machine.
 	cacheCore *protocol.CacheServer
@@ -55,14 +64,16 @@ func newServer(cl *cluster) *server {
 	return &server{
 		cl:       cl,
 		mbox:     mbox,
-		lockCore: protocol.NewLockServer(protocol.VictimRequester),
+		lockCore: protocol.NewLockServer(cl.cfg.Victim, cl.cfg.Deadlock),
 		disp: protocol.NewDispatcher(protocol.WindowOptions{
 			MR1W: !cl.cfg.NoMR1W,
 		}),
-		items:     make(map[ids.Item]*liveItem),
-		cacheCore: protocol.NewCacheServer(),
-		versions:  make(map[ids.Item]ids.Txn),
-		values:    make(map[ids.Item]int64),
+		items:       make(map[ids.Item]*liveItem),
+		g2plTs:      make(map[ids.Txn]ids.Txn),
+		g2plPending: make(map[ids.Txn]*liveItem),
+		cacheCore:   protocol.NewCacheServer(cl.cfg.Deadlock),
+		versions:    make(map[ids.Item]ids.Txn),
+		values:      make(map[ids.Item]int64),
 	}
 }
 
@@ -127,7 +138,7 @@ func (s *server) handleS2PL(m message) {
 
 func (s *server) s2plRequest(m reqMsg) {
 	s.applyLock(s.lockCore.Request(protocol.LockRequest{
-		Txn: m.txn, Client: m.client, Item: m.item, Write: m.write,
+		Txn: m.txn, Client: m.client, Item: m.item, Write: m.write, Ts: m.ts,
 	}))
 }
 
@@ -149,14 +160,16 @@ func (s *server) applyLock(acts []protocol.LockAction) {
 	for _, a := range acts {
 		switch a.Kind {
 		case protocol.LockGrant:
-			s.cl.net.send(ids.Server, a.Req.Client, dataMsg{
-				txn:     a.Req.Txn,
+			s.cl.net.send(ids.Server, a.Client, dataMsg{
+				txn:     a.Txn,
 				item:    a.Req.Item,
 				version: s.versions[a.Req.Item],
 				value:   s.values[a.Req.Item],
 			})
 		case protocol.LockAbort:
-			s.cl.net.send(ids.Server, a.Req.Client, abortMsg{txn: a.Req.Txn})
+			// Addressed via Txn/Client, not Req: a wounded lock holder has
+			// no queued request for the core to echo back.
+			s.cl.net.send(ids.Server, a.Client, abortMsg{txn: a.Txn})
 		}
 	}
 }
@@ -188,19 +201,96 @@ func (s *server) item(id ids.Item) *liveItem {
 func (s *server) g2plRequest(m reqMsg) {
 	it := s.item(m.item)
 	it.pending = append(it.pending, m)
+	if s.cl.cfg.Deadlock.Avoidance() {
+		ts := m.ts
+		if ts == 0 {
+			ts = m.txn
+		}
+		s.g2plTs[m.txn] = ts
+		s.g2plPending[m.txn] = it
+	}
 	if it.atServer && it.flight == nil {
 		s.dispatch(it)
 		return
 	}
 	if it.flight != nil {
 		it.edges[m.txn] = s.disp.BlockOnFlight(it.flight.fl, m.txn)
+		if s.cl.cfg.Deadlock.Avoidance() && s.g2plJudge(it, m) {
+			return // the requester died; nothing left to cycle-check
+		}
 		if s.disp.Waits.CycleThrough(m.txn) != nil {
+			s.causes.Deadlock++
 			s.g2plAbort(it, m)
 		}
 	}
 }
 
+// g2plJudge applies the avoidance policy at the block-on-flight point,
+// the live twin of the engine's judgeFlight: the requester dies (No-Wait,
+// Wait-Die) or wounds the younger unfinished flight members (Wound-Wait).
+// Cycle detection stays armed as a backstop under every policy — g-2PL
+// wait edges also arise from window chaining and precedence order, which
+// no timestamp discipline covers. Reports whether the requester aborted.
+func (s *server) g2plJudge(it *liveItem, m reqMsg) bool {
+	blockers := it.edges[m.txn]
+	if len(blockers) == 0 {
+		return false
+	}
+	blockerTs := make([]ids.Txn, len(blockers))
+	for i, b := range blockers {
+		blockerTs[i] = s.g2plTsOf(b)
+	}
+	die, wound := protocol.JudgeBlock(s.cl.cfg.Deadlock, s.g2plTsOf(m.txn), blockerTs)
+	if die {
+		if s.cl.cfg.Deadlock == protocol.PolicyNoWait {
+			s.causes.NoWait++
+		} else {
+			s.causes.Die++
+		}
+		s.g2plAbort(it, m)
+		return true
+	}
+	for _, i := range wound {
+		s.causes.Wound++
+		s.g2plWound(it, blockers[i])
+	}
+	return false
+}
+
+// g2plTsOf returns txn's priority timestamp, defaulting to its id.
+func (s *server) g2plTsOf(txn ids.Txn) ids.Txn {
+	if ts, ok := s.g2plTs[txn]; ok {
+		return ts
+	}
+	return txn
+}
+
+// g2plWound aborts one unfinished member of it's flight on behalf of an
+// older blocked requester. If the victim's own next request is queued
+// somewhere, it is unhooked first (the victim will never run again); the
+// abort notice does the rest — the client forwards the wounded
+// transaction's held items unchanged, so the flight still completes and
+// the window closes.
+func (s *server) g2plWound(it *liveItem, txn ids.Txn) {
+	if pit := s.g2plPending[txn]; pit != nil {
+		delete(s.g2plPending, txn)
+		for i, q := range pit.pending {
+			if q.txn == txn {
+				pit.pending = append(pit.pending[:i], pit.pending[i+1:]...)
+				break
+			}
+		}
+		s.disp.Unblock(txn, pit.edges[txn])
+		delete(pit.edges, txn)
+	}
+	s.disp.Order.Remove(txn)
+	if e, ok := it.flight.fl.Plan.EntryOf(txn); ok {
+		s.cl.net.send(ids.Server, e.Client, abortMsg{txn: txn})
+	}
+}
+
 func (s *server) g2plAbort(it *liveItem, m reqMsg) {
+	delete(s.g2plPending, m.txn)
 	for i, q := range it.pending {
 		if q.txn == m.txn {
 			it.pending = append(it.pending[:i], it.pending[i+1:]...)
@@ -228,6 +318,7 @@ func (s *server) dispatch(it *liveItem) {
 		wreqs[i] = protocol.WindowRequest{Txn: q.txn, Client: q.client, Write: q.write}
 		s.disp.Unblock(q.txn, it.edges[q.txn])
 		delete(it.edges, q.txn)
+		delete(s.g2plPending, q.txn)
 	}
 	plan, victims, rest := s.disp.PlanWindow(it.id, wreqs)
 	for _, v := range victims {
@@ -316,11 +407,11 @@ func (s *server) handleC2PL(m message) {
 }
 
 func (s *server) c2plRequest(m reqMsg) {
-	s.applyCache(s.cacheCore.Request(m.txn, m.client, m.item, m.write))
+	s.applyCache(s.cacheCore.Request(m.txn, m.client, m.item, m.write, m.ts))
 }
 
 func (s *server) c2plDefer(m deferMsg) {
-	s.applyCache(s.cacheCore.Defer(m.txn, m.client, m.item))
+	s.applyCache(s.cacheCore.Defer(m.txn, m.client, m.item, m.ts))
 }
 
 func (s *server) c2plRelease(m crelMsg) {

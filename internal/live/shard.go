@@ -89,7 +89,7 @@ func newShardSite(cl *cluster, idx int) *shardSite {
 		cl:       cl,
 		idx:      idx,
 		mbox:     mbox,
-		part:     protocol.NewParticipant(idx, protocol.VictimRequester),
+		part:     protocol.NewParticipant(idx, cl.cfg.Victim, cl.cfg.Deadlock),
 		versions: make(map[ids.Item]ids.Txn),
 		values:   make(map[ids.Item]int64),
 	}
@@ -129,7 +129,7 @@ func (ss *shardSite) loop() {
 
 func (ss *shardSite) shardRequest(m reqMsg) {
 	ss.applyShard(ss.part.Request(protocol.LockRequest{
-		Txn: m.txn, Client: m.client, Item: m.item, Write: m.write, Epoch: m.epoch,
+		Txn: m.txn, Client: m.client, Item: m.item, Write: m.write, Epoch: m.epoch, Ts: m.ts,
 	}))
 }
 
@@ -166,14 +166,16 @@ func (ss *shardSite) applyShard(acts []protocol.PartAction) {
 	for _, a := range acts {
 		switch a.Kind {
 		case protocol.PartGrant:
-			ss.cl.net.send(ids.ShardSite(ss.idx), a.Req.Client, dataMsg{
-				txn:     a.Req.Txn,
+			ss.cl.net.send(ids.ShardSite(ss.idx), a.Client, dataMsg{
+				txn:     a.Txn,
 				item:    a.Req.Item,
 				version: ss.versions[a.Req.Item],
 				value:   ss.values[a.Req.Item],
 			})
 		case protocol.PartAbort:
-			ss.cl.net.send(ids.ShardSite(ss.idx), a.Req.Client, abortMsg{txn: a.Req.Txn})
+			// Addressed via Txn/Client, not Req: a wounded lock holder has
+			// no queued request for the core to echo back.
+			ss.cl.net.send(ids.ShardSite(ss.idx), a.Client, abortMsg{txn: a.Txn})
 		case protocol.PartBlocked:
 			ss.cl.net.send(ids.ShardSite(ss.idx), ids.Coordinator, blockedMsg{
 				txn: a.Txn, client: a.Client, epoch: a.Epoch, held: a.Held, waits: a.WaitsFor,
@@ -209,7 +211,7 @@ func newCoordSite(cl *cluster) *coordSite {
 	return &coordSite{
 		cl:      cl,
 		mbox:    mbox,
-		coord:   protocol.NewCoordinator(protocol.VictimRequester),
+		coord:   protocol.NewCoordinator(cl.cfg.Victim, cl.cfg.Deadlock),
 		pending: make(map[ids.Txn]commitReqMsg),
 	}
 }

@@ -10,7 +10,7 @@ import (
 // immediate grant, commit release — the per-operation cost every
 // simulated or live lock request pays.
 func BenchmarkGrantPath(b *testing.B) {
-	s := NewLockServer(VictimRequester)
+	s := NewLockServer(VictimRequester, PolicyDetect)
 	for i := 0; i < b.N; i++ {
 		txn := ids.Txn(i + 1)
 		item := ids.Item(i % 64)
@@ -52,26 +52,26 @@ func BenchmarkForwardListDispatch(b *testing.B) {
 // clients: a conflicting request recalls the cached item, the holder
 // defers to commit, and the finish releases and promotes the waiter.
 func BenchmarkRecallRoundTrip(b *testing.B) {
-	s := NewCacheServer()
+	s := NewCacheServer(PolicyDetect)
 	holder := NewCacheClient(false)
 	other := NewCacheClient(false)
 
 	holder.Begin()
-	acts := s.Request(1, 0, 1, true)
+	acts := s.Request(1, 0, 1, true, 0)
 	holder.Install(1, acts[0].Mode, ids.None, 0, true)
 	hTxn, hClient, wClient := ids.Txn(1), ids.Client(0), ids.Client(1)
 
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		wTxn := ids.Txn(2*i + 2)
-		acts := s.Request(wTxn, wClient, 1, true)
+		acts := s.Request(wTxn, wClient, 1, true, 0)
 		if len(acts) != 1 || acts[0].Kind != CacheRecall {
 			b.Fatalf("request acts = %+v", acts)
 		}
 		if dec := holder.Recall(1); dec != RecallDefer {
 			b.Fatalf("decision = %v", dec)
 		}
-		if acts := s.Defer(hTxn, hClient, 1); len(acts) != 0 {
+		if acts := s.Defer(hTxn, hClient, 1, 0); len(acts) != 0 {
 			b.Fatalf("defer acts = %+v", acts)
 		}
 		released := holder.Finish(hTxn, []ids.Item{1})

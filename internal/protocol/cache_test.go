@@ -21,14 +21,14 @@ func kindsOf(acts []CacheAction) []CacheActionKind {
 // granted, the cache entry survives the commit, and the next transaction
 // at the same client hits locally with no server involvement.
 func TestCacheGrantSurvivesCommit(t *testing.T) {
-	s := NewCacheServer()
+	s := NewCacheServer(PolicyDetect)
 	c := NewCacheClient(false)
 
 	c.Begin()
 	if _, _, ok := c.Hit(1, true); ok {
 		t.Fatal("cold cache should miss")
 	}
-	acts := s.Request(10, 0, 1, true)
+	acts := s.Request(10, 0, 1, true, 0)
 	if len(acts) != 1 || acts[0].Kind != CacheGrant || acts[0].Already {
 		t.Fatalf("acts = %+v, want one fresh grant", acts)
 	}
@@ -59,15 +59,15 @@ func TestCacheGrantSurvivesCommit(t *testing.T) {
 // conflicting request recalls the item, the holder's running transaction
 // defers, and the deferred release at finish promotes the waiter.
 func TestCacheRecallDeferAndPromote(t *testing.T) {
-	s := NewCacheServer()
+	s := NewCacheServer(PolicyDetect)
 	c0 := NewCacheClient(false)
 
 	c0.Begin()
-	acts := s.Request(10, 0, 1, true)
+	acts := s.Request(10, 0, 1, true, 0)
 	c0.Install(1, acts[0].Mode, ids.None, 0, true)
 
 	// C1 wants the same item exclusively: one recall to C0, no grant.
-	acts = s.Request(11, 1, 1, true)
+	acts = s.Request(11, 1, 1, true, 0)
 	if len(acts) != 1 || acts[0].Kind != CacheRecall || acts[0].Client != 0 || acts[0].Item != 1 {
 		t.Fatalf("acts = %+v, want one recall to C0", acts)
 	}
@@ -79,7 +79,7 @@ func TestCacheRecallDeferAndPromote(t *testing.T) {
 	if dec := c0.Recall(1); dec != RecallDefer {
 		t.Fatalf("recall decision = %v, want defer", dec)
 	}
-	if acts := s.Defer(10, 0, 1); len(acts) != 0 {
+	if acts := s.Defer(10, 0, 1, 0); len(acts) != 0 {
 		t.Fatalf("defer acts = %+v, want none (no cycle)", acts)
 	}
 
@@ -104,17 +104,17 @@ func TestCacheRecallDeferAndPromote(t *testing.T) {
 // holder whose running transaction never touched the item gives it up at
 // once, and an absent entry still answers with a release.
 func TestCacheIdleRecallReleasesImmediately(t *testing.T) {
-	s := NewCacheServer()
+	s := NewCacheServer(PolicyDetect)
 	c0 := NewCacheClient(false)
 
 	c0.Begin()
-	acts := s.Request(10, 0, 1, false)
+	acts := s.Request(10, 0, 1, false, 0)
 	c0.Install(1, acts[0].Mode, ids.None, 0, true)
 	c0.Finish(10, nil)
 	s.Finish(10, 0, nil)
 
 	// C1 writes: recall goes out; C0 is idle on the item -> release.
-	acts = s.Request(11, 1, 1, true)
+	acts = s.Request(11, 1, 1, true, 0)
 	if len(acts) != 1 || acts[0].Kind != CacheRecall {
 		t.Fatalf("acts = %+v, want recall", acts)
 	}
@@ -138,17 +138,17 @@ func TestCacheIdleRecallReleasesImmediately(t *testing.T) {
 // edges exist for: two cached readers both request exclusive, each
 // deferring the other's recall — the second requester dies.
 func TestCacheUpgradeDeadlock(t *testing.T) {
-	s := NewCacheServer()
+	s := NewCacheServer(PolicyDetect)
 	c0, c1 := NewCacheClient(false), NewCacheClient(false)
 
 	// Both clients cache x1 shared via committed transactions.
 	c0.Begin()
-	a := s.Request(10, 0, 1, false)
+	a := s.Request(10, 0, 1, false, 0)
 	c0.Install(1, a[0].Mode, ids.None, 0, true)
 	c0.Finish(10, nil)
 	s.Finish(10, 0, nil)
 	c1.Begin()
-	a = s.Request(11, 1, 1, false)
+	a = s.Request(11, 1, 1, false, 0)
 	c1.Install(1, a[0].Mode, ids.None, 0, true)
 	c1.Finish(11, nil)
 	s.Finish(11, 1, nil)
@@ -159,11 +159,11 @@ func TestCacheUpgradeDeadlock(t *testing.T) {
 	c1.Begin()
 	c1.Hit(1, false)
 
-	acts := s.Request(20, 0, 1, true) // C0 upgrade: recall to C1
+	acts := s.Request(20, 0, 1, true, 0) // C0 upgrade: recall to C1
 	if !reflect.DeepEqual(kindsOf(acts), []CacheActionKind{CacheRecall}) || acts[0].Client != 1 {
 		t.Fatalf("first upgrade acts = %+v, want recall to C1", acts)
 	}
-	acts = s.Request(21, 1, 1, true) // C1 upgrade: recall to C0, T21 waits T20
+	acts = s.Request(21, 1, 1, true, 0) // C1 upgrade: recall to C0, T21 waits T20
 	if !reflect.DeepEqual(kindsOf(acts), []CacheActionKind{CacheRecall}) || acts[0].Client != 0 {
 		t.Fatalf("second upgrade acts = %+v, want recall to C0", acts)
 	}
@@ -175,12 +175,12 @@ func TestCacheUpgradeDeadlock(t *testing.T) {
 	if dec := c1.Recall(1); dec != RecallDefer {
 		t.Fatal("C1 should defer")
 	}
-	if acts := s.Defer(20, 0, 1); len(acts) != 0 {
+	if acts := s.Defer(20, 0, 1, 0); len(acts) != 0 {
 		t.Fatalf("first defer acts = %+v, want none yet", acts)
 	}
 	// C1's deferral closes the cycle T20 <-> T21; the queued waiter whose
 	// wait became real dies.
-	acts = s.Defer(21, 1, 1)
+	acts = s.Defer(21, 1, 1, 0)
 	if len(acts) != 1 || acts[0].Kind != CacheAbort {
 		t.Fatalf("second defer acts = %+v, want one abort", acts)
 	}
@@ -221,17 +221,17 @@ func TestCacheUpgradeDeadlock(t *testing.T) {
 // that owes a recalled release cannot be granted again until the release
 // lands, even when the queue has drained.
 func TestCacheOwedReleaseBlocksGrant(t *testing.T) {
-	s := NewCacheServer()
+	s := NewCacheServer(PolicyDetect)
 	c0 := NewCacheClient(false)
 
 	c0.Begin()
-	a := s.Request(10, 0, 1, false)
+	a := s.Request(10, 0, 1, false, 0)
 	c0.Install(1, a[0].Mode, ids.None, 0, true)
 	c0.Finish(10, nil)
 	s.Finish(10, 0, nil)
 
 	// C1 requests exclusive: recall to C0 goes out.
-	s.Request(11, 1, 1, true)
+	s.Request(11, 1, 1, true, 0)
 	// C0 idle-releases; the grant to T11 fires.
 	c0.Recall(1)
 	acts := s.Release(0, 1)
@@ -242,11 +242,11 @@ func TestCacheOwedReleaseBlocksGrant(t *testing.T) {
 	// Rebuild the owed state: C0 holds again, a recall is outstanding, and
 	// this time C0 itself re-requests before its release lands.
 	s.Finish(11, 1, []ids.Item{1}) // C1 releases its exclusive at commit
-	a = s.Request(12, 0, 1, false)
+	a = s.Request(12, 0, 1, false, 0)
 	if len(a) != 1 || a[0].Kind != CacheGrant {
 		t.Fatalf("re-request acts = %+v, want grant", a)
 	}
-	s.Request(13, 1, 1, true) // recall to C0 outstanding again
+	s.Request(13, 1, 1, true, 0) // recall to C0 outstanding again
 	if !s.Recalled(1, 0) {
 		t.Fatal("recall should be outstanding")
 	}
@@ -263,7 +263,7 @@ func TestCacheOwedReleaseBlocksGrant(t *testing.T) {
 	// C0 requests fresh: nothing is queued and no holders remain, so the
 	// owed-release guard is the only thing that could block. C0's release
 	// already landed (clearing recalled), so this must grant.
-	acts = s.Request(14, 0, 1, false)
+	acts = s.Request(14, 0, 1, false, 0)
 	if len(acts) != 1 || acts[0].Kind != CacheGrant {
 		t.Fatalf("acts = %+v, want grant (release landed, guard clear)", acts)
 	}
@@ -272,12 +272,12 @@ func TestCacheOwedReleaseBlocksGrant(t *testing.T) {
 // TestCacheNoRetainAblation checks the cache-ablation client: every
 // cached entry releases at transaction end in ascending item order.
 func TestCacheNoRetainAblation(t *testing.T) {
-	s := NewCacheServer()
+	s := NewCacheServer(PolicyDetect)
 	c := NewCacheClient(true)
 
 	c.Begin()
 	for _, item := range []ids.Item{3, 1, 2} {
-		acts := s.Request(10, 0, item, true)
+		acts := s.Request(10, 0, item, true, 0)
 		if len(acts) != 1 || acts[0].Kind != CacheGrant {
 			t.Fatalf("acts = %+v, want grant", acts)
 		}

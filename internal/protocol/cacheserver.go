@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/ids"
 	"repro/internal/lock"
+	"repro/internal/stats"
 	"repro/internal/wfg"
 )
 
@@ -59,20 +60,52 @@ type cacheOwner struct {
 // running transaction used the item defers its release to commit
 // (callback semantics). Returned actions must be emitted in order.
 type CacheServer struct {
-	waits   *wfg.Graph
-	blocked map[ids.Txn][]ids.Txn
-	items   map[ids.Item]*cacheOwner
-	live    map[ids.Txn]bool
+	deadlock DeadlockPolicy
+	waits    *wfg.Graph
+	blocked  map[ids.Txn][]ids.Txn
+	items    map[ids.Item]*cacheOwner
+	live     map[ids.Txn]bool
+	doomed   map[ids.Txn]bool       // abort notice in flight, Finish not yet back
+	ts       map[ids.Txn]ids.Txn    // priority timestamps (Wait-Die/Wound-Wait)
+	client   map[ids.Txn]ids.Client // destination for wound notices
+	causes   stats.AbortCauses
 }
 
-// NewCacheServer returns an empty c-2PL server core.
-func NewCacheServer() *CacheServer {
+// NewCacheServer returns an empty c-2PL server core using the given
+// deadlock policy. Under an avoidance policy conflicting requests still
+// queue and still trigger recalls — cached locks survive transaction
+// boundaries, so without the recall a restarted victim would re-conflict
+// against an idle holder forever — but the wait-for graph is never
+// populated; timestamp order resolves every conflict at the moment the
+// server learns a wait is real (the request, or the holder's deferral).
+func NewCacheServer(deadlock DeadlockPolicy) *CacheServer {
 	return &CacheServer{
-		waits:   wfg.New(),
-		blocked: make(map[ids.Txn][]ids.Txn),
-		items:   make(map[ids.Item]*cacheOwner),
-		live:    make(map[ids.Txn]bool),
+		deadlock: deadlock,
+		waits:    wfg.New(),
+		blocked:  make(map[ids.Txn][]ids.Txn),
+		items:    make(map[ids.Item]*cacheOwner),
+		live:     make(map[ids.Txn]bool),
+		doomed:   make(map[ids.Txn]bool),
+		ts:       make(map[ids.Txn]ids.Txn),
+		client:   make(map[ids.Txn]ids.Client),
 	}
+}
+
+// noteTxn records a transaction's priority timestamp and home client.
+func (s *CacheServer) noteTxn(txn ids.Txn, client ids.Client, ts ids.Txn) {
+	if ts == 0 {
+		ts = txn
+	}
+	s.ts[txn] = ts
+	s.client[txn] = client
+}
+
+// tsOf returns a transaction's priority timestamp, defaulting to its id.
+func (s *CacheServer) tsOf(txn ids.Txn) ids.Txn {
+	if t, ok := s.ts[txn]; ok {
+		return t
+	}
+	return txn
 }
 
 func (s *CacheServer) state(item ids.Item) *cacheOwner {
@@ -92,8 +125,15 @@ func (s *CacheServer) state(item ids.Item) *cacheOwner {
 // compatible with the owning clients, otherwise queue, recall the lock
 // from the conflicting holders and run deadlock detection — the requester
 // itself is the victim when its wait closes a cycle.
-func (s *CacheServer) Request(txn ids.Txn, client ids.Client, item ids.Item, write bool) []CacheAction {
+func (s *CacheServer) Request(txn ids.Txn, client ids.Client, item ids.Item, write bool, ts ids.Txn) []CacheAction {
+	if s.deadlock.Avoidance() && s.doomed[txn] {
+		// A wound notice is in flight to this still-running transaction;
+		// ignoring the request (rather than re-animating the victim) lets
+		// the client unwind when the notice lands.
+		return nil
+	}
 	s.live[txn] = true
+	s.noteTxn(txn, client, ts)
 	o := s.state(item)
 	mode := lock.Shared
 	if write {
@@ -131,23 +171,72 @@ func (s *CacheServer) Request(txn ids.Txn, client ids.Client, item ids.Item, wri
 			edges = append(edges, q.Txn)
 		}
 	}
+	if s.deadlock.Avoidance() {
+		return s.judgeRequest(acts, o, txn, item, edges)
+	}
 	s.addBlocked(txn, edges)
 	if s.waits.CycleThrough(txn) != nil {
+		s.causes.Deadlock++
 		acts = s.abortWaiter(acts, o, txn, item)
 	}
 	return acts
+}
+
+// judgeRequest applies an avoidance policy to a freshly queued request:
+// the requester dies, wounds its younger blockers (deferred holders die
+// in place and release at their client's Finish; queued-ahead victims
+// leave the queue at once), or waits with no wait-for edges. A closing
+// promote picks up any head the wounds unblocked.
+func (s *CacheServer) judgeRequest(acts []CacheAction, o *cacheOwner, txn ids.Txn, item ids.Item, blockers []ids.Txn) []CacheAction {
+	bts := make([]ids.Txn, len(blockers))
+	for i, b := range blockers {
+		bts[i] = s.tsOf(b)
+	}
+	die, wound := JudgeBlock(s.deadlock, s.tsOf(txn), bts)
+	if die {
+		if s.deadlock == PolicyNoWait {
+			s.causes.NoWait++
+		} else {
+			s.causes.Die++
+		}
+		return s.abortWaiter(acts, o, txn, item)
+	}
+	for _, i := range wound {
+		v := blockers[i]
+		if !s.live[v] {
+			continue // already wounded; its release is on the way
+		}
+		s.causes.Wound++
+		if o.deferred[v] {
+			acts = s.woundHolder(acts, o, v, item)
+		} else {
+			acts = s.abortWaiter(acts, o, v, item)
+		}
+	}
+	return s.promote(acts, o, item)
 }
 
 // Defer records that a holder's running transaction keeps the item until
 // it finishes, adding the corresponding wait-for edges for every queued
 // requester — deadlock detection happens here, the first moment the
 // server learns the wait is real.
-func (s *CacheServer) Defer(txn ids.Txn, client ids.Client, item ids.Item) []CacheAction {
+func (s *CacheServer) Defer(txn ids.Txn, client ids.Client, item ids.Item, ts ids.Txn) []CacheAction {
 	o := s.state(item)
 	if !o.holders[client] {
 		return nil // released in the meantime
 	}
+	if s.deadlock.Avoidance() && s.doomed[txn] {
+		return nil // wounded while the deferral was in flight; the unwind releases
+	}
 	o.deferred[txn] = true
+	if s.deadlock.Avoidance() {
+		// The deferral may be the server's first sight of this transaction
+		// (it can run entirely on cached items): record it now so it is a
+		// woundable, timestamped participant in the conflict.
+		s.live[txn] = true
+		s.noteTxn(txn, client, ts)
+		return s.judgeDefer(o, txn, item)
+	}
 	for _, w := range o.queue {
 		s.addBlocked(w.Txn, []ids.Txn{txn})
 	}
@@ -157,10 +246,54 @@ func (s *CacheServer) Defer(txn ids.Txn, client ids.Client, item ids.Item) []Cac
 			continue
 		}
 		if s.waits.CycleThrough(w.Txn) != nil {
+			s.causes.Deadlock++
 			acts = s.abortWaiter(acts, o, w.Txn, item)
 		}
 	}
 	return acts
+}
+
+// judgeDefer applies an avoidance policy the moment a holder's deferral
+// makes its queued waiters' waits real: each waiter is judged against
+// the deferring transaction — a younger waiter dies under Wait-Die, an
+// older one wounds the deferring holder under Wound-Wait.
+func (s *CacheServer) judgeDefer(o *cacheOwner, txn ids.Txn, item ids.Item) []CacheAction {
+	var acts []CacheAction
+	blocker := []ids.Txn{s.tsOf(txn)}
+	for _, w := range append([]CacheReq(nil), o.queue...) {
+		if !s.live[w.Txn] {
+			continue
+		}
+		die, wound := JudgeBlock(s.deadlock, s.tsOf(w.Txn), blocker)
+		switch {
+		case die:
+			if s.deadlock == PolicyNoWait {
+				s.causes.NoWait++
+			} else {
+				s.causes.Die++
+			}
+			acts = s.abortWaiter(acts, o, w.Txn, item)
+		case len(wound) > 0 && s.live[txn]:
+			s.causes.Wound++
+			acts = s.woundHolder(acts, o, txn, item)
+		}
+	}
+	return s.promote(acts, o, item)
+}
+
+// woundHolder kills a running transaction that deferred its release: the
+// abort notice goes to its home client, which unwinds and releases its
+// deferred items through the normal Finish path — the deferral entry and
+// held locks stay until that round trip lands, exactly like an s-2PL
+// wound victim's held locks.
+func (s *CacheServer) woundHolder(acts []CacheAction, o *cacheOwner, txn ids.Txn, item ids.Item) []CacheAction {
+	s.clearBlocked(txn)
+	s.waits.RemoveTxn(txn)
+	delete(s.live, txn)
+	s.doomed[txn] = true
+	return append(acts, CacheAction{
+		Kind: CacheAbort, Txn: txn, Client: s.client[txn], Item: item, Mode: o.mode,
+	})
 }
 
 // Release handles a standalone (idle-cache) release from a client.
@@ -180,8 +313,14 @@ func (s *CacheServer) Finish(txn ids.Txn, client ids.Client, released []ids.Item
 	}
 	s.waits.RemoveTxn(txn)
 	delete(s.live, txn)
+	delete(s.doomed, txn)
+	delete(s.ts, txn)
+	delete(s.client, txn)
 	return acts
 }
+
+// Causes returns the abort-cause counters accumulated so far.
+func (s *CacheServer) Causes() stats.AbortCauses { return s.causes }
 
 // grantable reports whether a request may take the lock right now (no
 // queue jumping: the queue must be empty, and a client that still owes a
@@ -293,6 +432,7 @@ func (s *CacheServer) abortWaiter(acts []CacheAction, o *cacheOwner, txn ids.Txn
 	s.clearBlocked(txn)
 	s.waits.RemoveTxn(txn)
 	delete(s.live, txn)
+	s.doomed[txn] = true
 	return append(acts, CacheAction{
 		Kind: CacheAbort, Txn: txn, Client: victim.Client, Item: item, Mode: victim.Mode,
 	})

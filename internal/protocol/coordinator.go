@@ -83,23 +83,29 @@ type coordPending struct {
 // edges), but per-link FIFO guarantees its paired clear follows on the
 // same link, so it always resolves.
 type Coordinator struct {
-	policy  VictimPolicy
-	waits   *wfg.Graph
-	blocked map[ids.Txn]*coordBlocked
-	pending map[ids.Txn]*coordPending
-	aborted map[ids.Txn]bool // victims awaiting the client's AbortDone
-	tpc     stats.TwoPC
+	policy   VictimPolicy
+	deadlock DeadlockPolicy
+	waits    *wfg.Graph
+	blocked  map[ids.Txn]*coordBlocked
+	pending  map[ids.Txn]*coordPending
+	aborted  map[ids.Txn]bool // victims awaiting the client's AbortDone
+	tpc      stats.TwoPC
+	causes   stats.AbortCauses
 }
 
 // NewCoordinator returns an empty commit coordinator using the given
-// global deadlock victim policy.
-func NewCoordinator(policy VictimPolicy) *Coordinator {
+// global deadlock victim policy and deadlock policy. Under an avoidance
+// policy the participants never send block reports and the global
+// detector stands down (Blocked becomes a no-op): timestamp order is
+// global, so cross-shard cycles cannot form.
+func NewCoordinator(policy VictimPolicy, deadlock DeadlockPolicy) *Coordinator {
 	return &Coordinator{
-		policy:  policy,
-		waits:   wfg.New(),
-		blocked: make(map[ids.Txn]*coordBlocked),
-		pending: make(map[ids.Txn]*coordPending),
-		aborted: make(map[ids.Txn]bool),
+		policy:   policy,
+		deadlock: deadlock,
+		waits:    wfg.New(),
+		blocked:  make(map[ids.Txn]*coordBlocked),
+		pending:  make(map[ids.Txn]*coordPending),
+		aborted:  make(map[ids.Txn]bool),
 	}
 }
 
@@ -108,6 +114,9 @@ func NewCoordinator(policy VictimPolicy) *Coordinator {
 // it. A report for a transaction already voting or already victimed is
 // stale and ignored; a repeat report replaces the stored edges.
 func (c *Coordinator) Blocked(txn ids.Txn, client ids.Client, epoch, held int, waitsFor []ids.Txn) []CoordAction {
+	if c.deadlock.Avoidance() {
+		return nil // avoidance: no global graph, nothing to assemble
+	}
 	if c.pending[txn] != nil || c.aborted[txn] {
 		return nil
 	}
@@ -151,6 +160,7 @@ func (c *Coordinator) forceAbort(v ids.Txn, acts []CoordAction) []CoordAction {
 	c.dropEdges(v)
 	c.aborted[v] = true
 	c.tpc.ForcedAborts++
+	c.causes.Deadlock++
 	act := CoordAction{Kind: CoordVictim, Txn: v}
 	if b != nil {
 		act.Client = b.client
@@ -291,6 +301,7 @@ func (c *Coordinator) Timeout(txn ids.Txn) []CoordAction {
 	}
 	delete(c.pending, txn)
 	c.tpc.Aborts++
+	c.causes.Timeout++
 	return c.decide(nil, txn, p.shards, false, p.client, true)
 }
 
@@ -316,3 +327,7 @@ func (c *Coordinator) Quiet() bool {
 
 // Counters returns the accumulated 2PC phase counters.
 func (c *Coordinator) Counters() stats.TwoPC { return c.tpc }
+
+// Causes returns the coordinator's abort-cause counters (global deadlock
+// victims and timed-out voting rounds).
+func (c *Coordinator) Causes() stats.AbortCauses { return c.causes }

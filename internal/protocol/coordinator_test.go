@@ -53,7 +53,7 @@ func TestRangeShardMapContiguous(t *testing.T) {
 // A single-shard commit takes the one-phase path: decision and reply in
 // one step, no prepares.
 func TestCoordinatorOnePhase(t *testing.T) {
-	c := NewCoordinator(VictimRequester)
+	c := NewCoordinator(VictimRequester, PolicyDetect)
 	acts := c.CommitRequest(1, 3, []int{2})
 	if len(acts) != 2 || acts[0].Kind != CoordDecide || !acts[0].Commit || acts[0].Shard != 2 ||
 		acts[1].Kind != CoordReply || !acts[1].Commit || acts[1].Client != 3 {
@@ -71,7 +71,7 @@ func TestCoordinatorOnePhase(t *testing.T) {
 // A cross-shard commit runs the voting round: prepares out, all-yes votes
 // back, then commit decisions to every shard plus the client reply.
 func TestCoordinatorTwoPhaseCommit(t *testing.T) {
-	c := NewCoordinator(VictimRequester)
+	c := NewCoordinator(VictimRequester, PolicyDetect)
 	acts := c.CommitRequest(1, 3, []int{1, 0})
 	if len(acts) != 2 || acts[0].Kind != CoordPrepare || acts[0].Shard != 0 ||
 		acts[1].Kind != CoordPrepare || acts[1].Shard != 1 {
@@ -102,7 +102,7 @@ func TestCoordinatorTwoPhaseCommit(t *testing.T) {
 // A no vote aborts the round: the no voter unwound unilaterally, the
 // other shards get abort decisions, the client an abort reply.
 func TestCoordinatorVoteNoAborts(t *testing.T) {
-	c := NewCoordinator(VictimRequester)
+	c := NewCoordinator(VictimRequester, PolicyDetect)
 	c.CommitRequest(1, 3, []int{0, 1, 2})
 	acts := c.Vote(1, 1, false)
 	if len(acts) != 3 || acts[0].Shard != 0 || acts[1].Shard != 2 || acts[2].Kind != CoordReply {
@@ -128,7 +128,7 @@ func TestCoordinatorVoteNoAborts(t *testing.T) {
 
 // Duplicate votes and duplicate commit requests must not double-decide.
 func TestCoordinatorDuplicatesIgnored(t *testing.T) {
-	c := NewCoordinator(VictimRequester)
+	c := NewCoordinator(VictimRequester, PolicyDetect)
 	c.CommitRequest(1, 3, []int{0, 1})
 	if acts := c.CommitRequest(1, 3, []int{0, 1}); len(acts) != 0 {
 		t.Fatalf("duplicate commit request must be ignored: %+v", acts)
@@ -145,7 +145,7 @@ func TestCoordinatorDuplicatesIgnored(t *testing.T) {
 // A cross-shard cycle assembled from two shards' reports is broken by a
 // victim notice, and the client's AbortDone closes the unwind.
 func TestCoordinatorGlobalDeadlock(t *testing.T) {
-	c := NewCoordinator(VictimRequester)
+	c := NewCoordinator(VictimRequester, PolicyDetect)
 	if acts := c.Blocked(1, 10, 0, 1, []ids.Txn{2}); len(acts) != 0 {
 		t.Fatalf("no cycle yet: %+v", acts)
 	}
@@ -166,7 +166,7 @@ func TestCoordinatorGlobalDeadlock(t *testing.T) {
 // Timeout on a stalled round aborts it; every shard that might be
 // prepared learns the decision.
 func TestCoordinatorTimeout(t *testing.T) {
-	c := NewCoordinator(VictimRequester)
+	c := NewCoordinator(VictimRequester, PolicyDetect)
 	c.CommitRequest(1, 3, []int{0, 1})
 	c.Vote(1, 0, true)
 	acts := c.Timeout(1)
@@ -184,7 +184,7 @@ func TestCoordinatorTimeout(t *testing.T) {
 // A commit request that raced a victim notice is answered with an abort
 // reply and consumes the victim mark.
 func TestCoordinatorVictimRace(t *testing.T) {
-	c := NewCoordinator(VictimRequester)
+	c := NewCoordinator(VictimRequester, PolicyDetect)
 	c.Blocked(1, 10, 0, 1, []ids.Txn{2})
 	acts := c.Blocked(2, 11, 0, 1, []ids.Txn{1})
 	if len(acts) != 1 || acts[0].Kind != CoordVictim {
@@ -205,7 +205,7 @@ func TestCoordinatorVictimRace(t *testing.T) {
 // clear must not erase a newer episode's edges, a stale report must not
 // replace them, and the matching clear still resolves.
 func TestCoordinatorEpochOrdering(t *testing.T) {
-	c := NewCoordinator(VictimRequester)
+	c := NewCoordinator(VictimRequester, PolicyDetect)
 	// Episode 3 at shard B is the live report.
 	c.Blocked(1, 10, 3, 1, []ids.Txn{2})
 	// Episode 1's clear from shard A arrives late: must be ignored.
@@ -231,7 +231,7 @@ func TestCoordinatorEpochOrdering(t *testing.T) {
 // Participant basics: grant, vote, decide; the wrapped core's single-shard
 // deadlock handling still works underneath.
 func TestParticipantPrepareDecide(t *testing.T) {
-	p := NewParticipant(0, VictimRequester)
+	p := NewParticipant(0, VictimRequester, PolicyDetect)
 	acts := p.Request(LockRequest{Txn: 1, Client: 0, Item: 5, Write: true})
 	if len(acts) != 1 || acts[0].Kind != PartGrant {
 		t.Fatalf("uncontended request must grant: %+v", acts)
@@ -257,7 +257,7 @@ func TestParticipantPrepareDecide(t *testing.T) {
 // A blocked transaction reports its wait edges; the grant that unblocks
 // it reports the clear before the grant.
 func TestParticipantBlockReportAndClear(t *testing.T) {
-	p := NewParticipant(0, VictimRequester)
+	p := NewParticipant(0, VictimRequester, PolicyDetect)
 	p.Request(LockRequest{Txn: 1, Client: 0, Item: 5, Write: true})
 	acts := p.Request(LockRequest{Txn: 2, Client: 1, Item: 5, Write: true})
 	if len(acts) != 1 || acts[0].Kind != PartBlocked || acts[0].Txn != 2 ||
@@ -273,7 +273,7 @@ func TestParticipantBlockReportAndClear(t *testing.T) {
 // Prepare of a transaction this shard does not hold in good standing
 // votes no and unwinds locally.
 func TestParticipantVoteNoUnwinds(t *testing.T) {
-	p := NewParticipant(0, VictimRequester)
+	p := NewParticipant(0, VictimRequester, PolicyDetect)
 	acts := p.Prepare(99)
 	if len(acts) != 1 || acts[0].Kind != PartVote || acts[0].Yes {
 		t.Fatalf("prepare of unknown txn must vote no: %+v", acts)
@@ -298,7 +298,7 @@ func TestParticipantVoteNoUnwinds(t *testing.T) {
 // ClientAbort releases held locks and cancels a queued request, emitting
 // the promotion grants and the clear report.
 func TestParticipantClientAbort(t *testing.T) {
-	p := NewParticipant(0, VictimRequester)
+	p := NewParticipant(0, VictimRequester, PolicyDetect)
 	p.Request(LockRequest{Txn: 1, Client: 0, Item: 5, Write: true})
 	p.Request(LockRequest{Txn: 2, Client: 1, Item: 5, Write: true})
 	acts := p.ClientAbort(2)

@@ -104,16 +104,16 @@ type fzHarness struct {
 	applied [][]int // [txn index][shard]: 0 none, 1 commit, 2 abort
 }
 
-func newFzHarness(t *testing.T) *fzHarness {
+func newFzHarness(t *testing.T, pol DeadlockPolicy) *fzHarness {
 	h := &fzHarness{
 		t:       t,
-		coord:   NewCoordinator(VictimLeastHeld),
+		coord:   NewCoordinator(VictimLeastHeld, pol),
 		smap:    NewRangeShardMap(fzShards, fzItems),
 		state:   make([]fzTxnState, len(fzScript)),
 		applied: make([][]int, len(fzScript)),
 	}
 	for s := 0; s < fzShards; s++ {
-		h.parts = append(h.parts, NewParticipant(s, VictimLeastHeld))
+		h.parts = append(h.parts, NewParticipant(s, VictimLeastHeld, pol))
 	}
 	for i := range fzScript {
 		h.applied[i] = make([]int, fzShards)
@@ -165,7 +165,9 @@ func (h *fzHarness) routePart(s int, acts []PartAction) {
 		case PartGrant:
 			h.push(fzS2C+s, fzMsg{kind: fzGrant, txn: a.Req.Txn, item: a.Req.Item})
 		case PartAbort:
-			h.push(fzS2C+s, fzMsg{kind: fzLocalAbort, txn: a.Req.Txn})
+			// a.Txn, not a.Req.Txn: a Wound-Wait victim holds locks without
+			// a blocked request, so its abort action carries a zero Req.
+			h.push(fzS2C+s, fzMsg{kind: fzLocalAbort, txn: a.Txn})
 		case PartBlocked:
 			h.push(fzS2Co+s, fzMsg{kind: fzBlocked, txn: a.Txn, client: a.Client, epoch: a.Epoch, held: a.Held, waits: a.WaitsFor})
 		case PartCleared:
@@ -320,12 +322,21 @@ func (h *fzHarness) deliver(start int, dup bool) bool {
 // match applied decisions, and every core quiesces.
 func FuzzCoordinator2PC(f *testing.F) {
 	f.Add([]byte{})
-	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13})
-	f.Add([]byte{13, 12, 11, 10, 9, 8, 7, 6, 5, 4, 3, 2, 1, 0})
-	f.Add([]byte{0, 0, 0, 240, 241, 1, 1, 224, 225, 2, 2, 245, 230, 12, 13})
-	f.Add([]byte{3, 14, 159, 26, 53, 58, 97, 93, 238, 46, 224, 251, 83, 27, 9})
+	for pol := byte(0); pol < 4; pol++ {
+		// The first byte selects the deadlock policy; the same delivery
+		// schedules are seeded under all four.
+		f.Add([]byte{pol, 0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13})
+		f.Add([]byte{pol, 13, 12, 11, 10, 9, 8, 7, 6, 5, 4, 3, 2, 1, 0})
+		f.Add([]byte{pol, 0, 0, 0, 240, 241, 1, 1, 224, 225, 2, 2, 245, 230, 12, 13})
+		f.Add([]byte{pol, 3, 14, 159, 26, 53, 58, 97, 93, 238, 46, 224, 251, 83, 27, 9})
+	}
 	f.Fuzz(func(t *testing.T, data []byte) {
-		h := newFzHarness(t)
+		pol := PolicyDetect
+		if len(data) > 0 {
+			pol = DeadlockPolicies()[int(data[0])%len(DeadlockPolicies())]
+			data = data[1:]
+		}
+		h := newFzHarness(t, pol)
 		for _, b := range data {
 			switch {
 			case b >= 240:

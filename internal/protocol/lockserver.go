@@ -3,6 +3,7 @@ package protocol
 import (
 	"repro/internal/ids"
 	"repro/internal/lock"
+	"repro/internal/stats"
 	"repro/internal/wfg"
 )
 
@@ -17,6 +18,12 @@ type LockRequest struct {
 	// order block/clear reports across links. The single-server engines
 	// ignore it.
 	Epoch int
+	// Ts is the transaction's priority timestamp for the Wait-Die and
+	// Wound-Wait policies: the monotonic id of its first incarnation, kept
+	// across restarts so an old transaction eventually wins every
+	// conflict. Zero means "use Txn", which is correct for transactions
+	// that never restarted.
+	Ts ids.Txn
 }
 
 // Mode returns the lock mode the request asks for.
@@ -41,10 +48,14 @@ const (
 // LockAction is one ordered output of the s-2PL server core. Req is the
 // request being granted, or the victim's blocked request for an abort, so
 // the driver has the destination client and item without keeping its own
-// request table.
+// request table. Txn and Client always identify the affected transaction:
+// a Wound-Wait victim may hold locks without having a blocked request, in
+// which case Req is zero and only Txn/Client carry the destination.
 type LockAction struct {
-	Kind LockActionKind
-	Req  LockRequest
+	Kind   LockActionKind
+	Req    LockRequest
+	Txn    ids.Txn
+	Client ids.Client
 }
 
 // LockServer is the s-2PL server-side state machine: the lock table, the
@@ -52,24 +63,37 @@ type LockAction struct {
 // through Request, CommitRelease and AbortRelease; the returned actions
 // must be emitted in order.
 type LockServer struct {
-	policy  VictimPolicy
-	locks   *lock.Manager
-	waits   *wfg.Graph
-	blocked map[ids.Txn][]ids.Txn // stored wait edges per blocked txn
-	req     map[ids.Txn]LockRequest
-	live    map[ids.Txn]bool
+	policy   VictimPolicy
+	deadlock DeadlockPolicy
+	locks    *lock.Manager
+	waits    *wfg.Graph
+	blocked  map[ids.Txn][]ids.Txn // stored wait edges per blocked txn
+	req      map[ids.Txn]LockRequest
+	live     map[ids.Txn]bool
+	doomed   map[ids.Txn]bool       // abort notice in flight, release not yet back
+	shielded map[ids.Txn]bool       // voted yes in 2PC: wound-immune until decided
+	ts       map[ids.Txn]ids.Txn    // priority timestamps (Wait-Die/Wound-Wait)
+	client   map[ids.Txn]ids.Client // destination for wound notices
+	causes   stats.AbortCauses
 }
 
 // NewLockServer returns an empty s-2PL core using the given deadlock
-// victim policy.
-func NewLockServer(policy VictimPolicy) *LockServer {
+// victim policy (who dies when detection finds a cycle) and deadlock
+// policy (whether conflicts block-and-detect or resolve by timestamp
+// order).
+func NewLockServer(policy VictimPolicy, deadlock DeadlockPolicy) *LockServer {
 	return &LockServer{
-		policy:  policy,
-		locks:   lock.NewManager(),
-		waits:   wfg.New(),
-		blocked: make(map[ids.Txn][]ids.Txn),
-		req:     make(map[ids.Txn]LockRequest),
-		live:    make(map[ids.Txn]bool),
+		policy:   policy,
+		deadlock: deadlock,
+		locks:    lock.NewManager(),
+		waits:    wfg.New(),
+		blocked:  make(map[ids.Txn][]ids.Txn),
+		req:      make(map[ids.Txn]LockRequest),
+		live:     make(map[ids.Txn]bool),
+		doomed:   make(map[ids.Txn]bool),
+		shielded: make(map[ids.Txn]bool),
+		ts:       make(map[ids.Txn]ids.Txn),
+		client:   make(map[ids.Txn]ids.Client),
 	}
 }
 
@@ -79,12 +103,28 @@ func NewLockServer(policy VictimPolicy) *LockServer {
 // each abort first granting whatever the victim's cancelled request
 // unblocked, then emitting the abort notice.
 func (s *LockServer) Request(q LockRequest) []LockAction {
+	if s.deadlock.Avoidance() && s.doomed[q.Txn] {
+		// A wound notice is in flight to this still-running transaction;
+		// ignoring the request (rather than re-animating the victim) lets
+		// the client unwind when the notice lands. Unreachable under
+		// detection, whose victims are always blocked and silent.
+		return nil
+	}
 	s.live[q.Txn] = true
+	s.client[q.Txn] = q.Client
+	ts := q.Ts
+	if ts == 0 {
+		ts = q.Txn
+	}
+	s.ts[q.Txn] = ts
 	if s.locks.Acquire(q.Txn, q.Item, q.Mode()) {
-		return []LockAction{{Kind: LockGrant, Req: q}}
+		return []LockAction{{Kind: LockGrant, Req: q, Txn: q.Txn, Client: q.Client}}
 	}
 	s.req[q.Txn] = q
 	blockers := s.locks.WaitsFor(q.Txn)
+	if s.deadlock.Avoidance() {
+		return s.judgeBlocked(q, ts, blockers)
+	}
 	s.blocked[q.Txn] = blockers
 	for _, b := range blockers {
 		s.waits.AddEdge(q.Txn, b)
@@ -96,8 +136,59 @@ func (s *LockServer) Request(q LockRequest) []LockAction {
 			return acts
 		}
 		victim := ChooseVictim(s.policy, cycle, q.Txn, s.locks.HeldCount(q.Txn), s.victimInfo)
+		s.causes.Deadlock++
 		acts = s.abortVictim(victim, acts)
 	}
+}
+
+// judgeBlocked applies an avoidance policy at the block point: the
+// requester either dies (No-Wait on any conflict; Wait-Die when younger
+// than a blocker), wounds its younger blockers (Wound-Wait), or waits —
+// without ever touching the wait-for graph, which is what keeps the
+// graph empty and makes global (coordinator-side) detection unnecessary
+// under avoidance. Wounded victims keep their held locks until the
+// client's AbortRelease round trip, exactly like detection victims.
+func (s *LockServer) judgeBlocked(q LockRequest, ts ids.Txn, blockers []ids.Txn) []LockAction {
+	bts := make([]ids.Txn, len(blockers))
+	for i, b := range blockers {
+		bts[i] = s.tsOf(b)
+	}
+	die, wound := JudgeBlock(s.deadlock, ts, bts)
+	if die {
+		if s.deadlock == PolicyNoWait {
+			s.causes.NoWait++
+		} else {
+			s.causes.Die++
+		}
+		return s.abortVictim(q.Txn, nil)
+	}
+	var acts []LockAction
+	for _, i := range wound {
+		v := blockers[i]
+		if !s.live[v] || s.shielded[v] {
+			// Already wounded (its locks are draining via AbortRelease), or
+			// prepared in 2PC: a yes voter must survive to the decision, and
+			// it never waits again, so waiting for it cannot cycle.
+			continue
+		}
+		s.causes.Wound++
+		acts = s.abortVictim(v, acts)
+	}
+	if _, waiting := s.req[q.Txn]; waiting {
+		// Still queued (wounding a queued-ahead blocker can promote the
+		// requester immediately); record the block for Blocked/Quiet
+		// bookkeeping. No wfg edges: timestamp order keeps waits acyclic.
+		s.blocked[q.Txn] = blockers
+	}
+	return acts
+}
+
+// tsOf returns a transaction's priority timestamp, defaulting to its id.
+func (s *LockServer) tsOf(txn ids.Txn) ids.Txn {
+	if t, ok := s.ts[txn]; ok {
+		return t
+	}
+	return txn
 }
 
 // victimInfo is the s-2PL liveness rule for victim selection: any
@@ -115,10 +206,11 @@ func (s *LockServer) abortVictim(v ids.Txn, acts []LockAction) []LockAction {
 	s.clearBlocked(v)
 	grants := s.locks.CancelWait(v)
 	delete(s.live, v)
+	s.doomed[v] = true
 	vq := s.req[v]
 	delete(s.req, v)
 	acts = s.grantActions(acts, grants)
-	return append(acts, LockAction{Kind: LockAbort, Req: vq})
+	return append(acts, LockAction{Kind: LockAbort, Req: vq, Txn: v, Client: s.client[v]})
 }
 
 // CommitRelease ends a committed transaction: all held locks release in
@@ -128,6 +220,7 @@ func (s *LockServer) CommitRelease(txn ids.Txn) []LockAction {
 	grants := s.locks.Release(txn)
 	s.waits.RemoveTxn(txn)
 	delete(s.live, txn)
+	s.forget(txn)
 	return s.grantActions(nil, grants)
 }
 
@@ -137,7 +230,16 @@ func (s *LockServer) CommitRelease(txn ids.Txn) []LockAction {
 func (s *LockServer) AbortRelease(txn ids.Txn) []LockAction {
 	grants := s.locks.Release(txn)
 	s.waits.RemoveTxn(txn)
+	s.forget(txn)
 	return s.grantActions(nil, grants)
+}
+
+// forget drops a finished transaction's timestamp and client records.
+func (s *LockServer) forget(txn ids.Txn) {
+	delete(s.doomed, txn)
+	delete(s.shielded, txn)
+	delete(s.ts, txn)
+	delete(s.client, txn)
 }
 
 // grantActions converts promoted lock-table grants into ordered grant
@@ -151,7 +253,7 @@ func (s *LockServer) grantActions(acts []LockAction, grants []lock.Grant) []Lock
 		s.clearBlocked(g.Txn)
 		q := s.req[g.Txn]
 		delete(s.req, g.Txn)
-		acts = append(acts, LockAction{Kind: LockGrant, Req: q})
+		acts = append(acts, LockAction{Kind: LockGrant, Req: q, Txn: g.Txn, Client: q.Client})
 	}
 	return acts
 }
@@ -175,6 +277,7 @@ func (s *LockServer) CancelBlocked(txn ids.Txn) []LockAction {
 	s.clearBlocked(txn)
 	grants := s.locks.CancelWait(txn)
 	delete(s.live, txn)
+	s.doomed[txn] = true
 	delete(s.req, txn)
 	return s.grantActions(nil, grants)
 }
@@ -188,6 +291,10 @@ func (s *LockServer) Quiet() bool {
 // Live reports whether txn is still running from this core's view: it
 // requested at least one lock and has neither committed nor aborted.
 func (s *LockServer) Live(txn ids.Txn) bool { return s.live[txn] }
+
+// Shield marks txn wound-immune: it voted yes in 2PC and must survive
+// to the decision. Cleared when its locks release.
+func (s *LockServer) Shield(txn ids.Txn) { s.shielded[txn] = true }
 
 // WaitEdges returns a copy of txn's stored wait edges — the transactions
 // it is blocked behind, in the lock table's promotion order. Empty when
@@ -217,6 +324,9 @@ func (s *LockServer) Edges() int { return s.waits.Edges() }
 
 // Blocked reports whether txn currently has stored wait edges (test hook).
 func (s *LockServer) Blocked(txn ids.Txn) bool { return len(s.blocked[txn]) > 0 }
+
+// Causes returns the abort-cause counters accumulated so far.
+func (s *LockServer) Causes() stats.AbortCauses { return s.causes }
 
 // Validate checks the lock-table invariants (test hook).
 func (s *LockServer) Validate() error { return s.locks.Validate() }

@@ -23,7 +23,7 @@ func grantsOf(acts []LockAction) []LockAction {
 }
 
 func TestLockServerGrantAndCommitPromote(t *testing.T) {
-	s := NewLockServer(VictimRequester)
+	s := NewLockServer(VictimRequester, PolicyDetect)
 	acts := s.Request(req(1, 0, 1, true))
 	if len(acts) != 1 || acts[0].Kind != LockGrant || acts[0].Req.Txn != 1 {
 		t.Fatalf("first request: acts = %+v, want immediate grant to T1", acts)
@@ -58,7 +58,7 @@ func TestLockServerGrantAndCommitPromote(t *testing.T) {
 // request dies, its queued request disappears immediately, but its held
 // locks stay until AbortRelease completes the round trip.
 func TestLockServerDeadlockAbortsRequester(t *testing.T) {
-	s := NewLockServer(VictimRequester)
+	s := NewLockServer(VictimRequester, PolicyDetect)
 	s.Request(req(1, 0, 1, true)) // T1 holds x1
 	s.Request(req(2, 1, 2, true)) // T2 holds x2
 	if acts := s.Request(req(1, 0, 2, true)); len(acts) != 0 {
@@ -96,7 +96,7 @@ func TestLockServerDeadlockAbortsRequester(t *testing.T) {
 // promotion grant is emitted before the abort notice, matching the
 // engine's wire order.
 func TestLockServerVictimCancelPromotesWaiterBehind(t *testing.T) {
-	s := NewLockServer(VictimLeastHeld)
+	s := NewLockServer(VictimLeastHeld, PolicyDetect)
 	s.Request(req(1, 0, 1, false)) // T1 holds x1 shared
 	s.Request(req(2, 1, 2, true))  // T2 holds x2
 	if acts := s.Request(req(2, 1, 1, true)); len(acts) != 0 {
@@ -135,7 +135,7 @@ func TestLockServerVictimCancelPromotesWaiterBehind(t *testing.T) {
 // guard: a waiter that was aborted between queueing and promotion emits
 // no grant.
 func TestLockServerGrantSkipsDeadWaiter(t *testing.T) {
-	s := NewLockServer(VictimRequester)
+	s := NewLockServer(VictimRequester, PolicyDetect)
 	s.Request(req(1, 0, 1, true))
 	s.Request(req(2, 1, 2, true))
 	s.Request(req(2, 1, 1, true)) // T2 queues on x1

@@ -38,17 +38,23 @@ type PartAction struct {
 // cycles need the coordinator's assembled graph.
 type Participant struct {
 	shard    int
+	deadlock DeadlockPolicy
 	core     *LockServer
 	reported map[ids.Txn]int  // block epoch reported and not yet cleared
 	prepared map[ids.Txn]bool // yes votes cast, awaiting the decision
 }
 
 // NewParticipant returns a participant for shard index shard using the
-// given local deadlock victim policy.
-func NewParticipant(shard int, policy VictimPolicy) *Participant {
+// given local deadlock victim policy and deadlock policy. Under an
+// avoidance policy the participant never reports blocks: timestamp order
+// is global (ids are assigned by one monotonic source), so no
+// cross-shard cycle can form and the coordinator's detector has nothing
+// to assemble.
+func NewParticipant(shard int, policy VictimPolicy, deadlock DeadlockPolicy) *Participant {
 	return &Participant{
 		shard:    shard,
-		core:     NewLockServer(policy),
+		deadlock: deadlock,
+		core:     NewLockServer(policy, deadlock),
 		reported: make(map[ids.Txn]int),
 		prepared: make(map[ids.Txn]bool),
 	}
@@ -62,7 +68,7 @@ func (p *Participant) Shard() int { return p.shard }
 // material of global deadlock detection.
 func (p *Participant) Request(q LockRequest) []PartAction {
 	acts := p.relay(nil, p.core.Request(q))
-	if p.core.Blocked(q.Txn) {
+	if !p.deadlock.Avoidance() && p.core.Blocked(q.Txn) {
 		p.reported[q.Txn] = q.Epoch
 		acts = append(acts, PartAction{
 			Kind:     PartBlocked,
@@ -83,6 +89,9 @@ func (p *Participant) Request(q LockRequest) []PartAction {
 func (p *Participant) Prepare(txn ids.Txn) []PartAction {
 	if p.prepared[txn] || (p.core.Live(txn) && !p.core.Blocked(txn)) {
 		p.prepared[txn] = true
+		// A yes voter is committed to the decision: under Wound-Wait it must
+		// not be wounded out from under the voting round.
+		p.core.Shield(txn)
 		return []PartAction{{Kind: PartVote, Txn: txn, Yes: true}}
 	}
 	acts := p.relay(nil, p.core.CancelBlocked(txn))
@@ -131,11 +140,11 @@ func (p *Participant) relay(acts []PartAction, lockActs []LockAction) []PartActi
 	for _, a := range lockActs {
 		switch a.Kind {
 		case LockGrant:
-			acts = p.clearReport(acts, a.Req.Txn)
-			acts = append(acts, PartAction{Kind: PartGrant, Req: a.Req})
+			acts = p.clearReport(acts, a.Txn)
+			acts = append(acts, PartAction{Kind: PartGrant, Req: a.Req, Txn: a.Txn, Client: a.Client})
 		case LockAbort:
-			acts = p.clearReport(acts, a.Req.Txn)
-			acts = append(acts, PartAction{Kind: PartAbort, Req: a.Req})
+			acts = p.clearReport(acts, a.Txn)
+			acts = append(acts, PartAction{Kind: PartAbort, Req: a.Req, Txn: a.Txn, Client: a.Client})
 		default:
 			panic("protocol: participant relaying unknown lock action")
 		}

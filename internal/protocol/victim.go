@@ -1,6 +1,10 @@
 package protocol
 
-import "repro/internal/ids"
+import (
+	"fmt"
+
+	"repro/internal/ids"
+)
 
 // VictimPolicy selects which transaction dies to break a deadlock cycle.
 type VictimPolicy int
@@ -15,6 +19,30 @@ const (
 	// youngest member.
 	VictimLeastHeld
 )
+
+// String returns the flag spelling of the policy.
+func (p VictimPolicy) String() string {
+	switch p {
+	case VictimRequester:
+		return "requester"
+	case VictimLeastHeld:
+		return "leastheld"
+	default:
+		panic(fmt.Sprintf("protocol: unknown VictimPolicy %d", int(p)))
+	}
+}
+
+// ParseVictimPolicy maps a flag value to a victim policy.
+func ParseVictimPolicy(s string) (VictimPolicy, error) {
+	switch s {
+	case "requester":
+		return VictimRequester, nil
+	case "leastheld":
+		return VictimLeastHeld, nil
+	default:
+		return VictimRequester, fmt.Errorf("protocol: unknown victim policy %q (want requester or leastheld)", s)
+	}
+}
 
 // VictimInfo reports whether a cycle member is a live abort candidate and
 // how many items it currently holds. Drivers supply the liveness rule

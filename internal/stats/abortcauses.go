@@ -1,0 +1,29 @@
+package stats
+
+// AbortCauses splits a run's aborts by why the policy layer killed the
+// transaction: a detected wait-for cycle (detect, and the coordinator's
+// global detector), a Wound-Wait preemption, a Wait-Die self-abort, a
+// No-Wait conflict, or a coordinator timeout on a stalled 2PC round.
+// Like TwoPC, the counters are filled by a single goroutine (a protocol
+// core or its driver) and harvested after shutdown.
+type AbortCauses struct {
+	Deadlock int64 // wait-for cycle victims (local or coordinator-side)
+	Wound    int64 // Wound-Wait: aborted by an older requester
+	Die      int64 // Wait-Die: younger requester aborted itself
+	NoWait   int64 // No-Wait: any conflict aborts the requester
+	Timeout  int64 // coordinator gave up on a stalled commit round
+}
+
+// Total returns the sum over all causes.
+func (c AbortCauses) Total() int64 {
+	return c.Deadlock + c.Wound + c.Die + c.NoWait + c.Timeout
+}
+
+// Merge adds other's counters into c.
+func (c *AbortCauses) Merge(other AbortCauses) {
+	c.Deadlock += other.Deadlock
+	c.Wound += other.Wound
+	c.Die += other.Die
+	c.NoWait += other.NoWait
+	c.Timeout += other.Timeout
+}

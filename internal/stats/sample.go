@@ -1,0 +1,62 @@
+package stats
+
+// Sample collects per-observation values for percentile estimation with
+// a bounded memory footprint and no randomness (the DES engines must stay
+// deterministic, so reservoir sampling with an RNG is out). It keeps
+// every stride-th observation: the stride starts at 1 and doubles each
+// time the buffer fills, halving the buffer by keeping alternate
+// elements. Observations arrive in commit order, so stride decimation is
+// a uniform-in-time thinning — tail quantiles stay representative.
+//
+// The zero value is ready to use.
+type Sample struct {
+	vals   []float64
+	stride int64
+	skip   int64 // observations to drop before the next keep
+	n      int64 // total observations offered
+}
+
+// sampleCap bounds the kept buffer. 1<<15 float64s is 256 KiB — enough
+// for exact percentiles on every quick-scale run; beyond that the stride
+// thinning takes over.
+const sampleCap = 1 << 15
+
+// Add offers one observation.
+func (s *Sample) Add(x float64) {
+	s.n++
+	if s.stride == 0 {
+		s.stride = 1
+	}
+	if s.skip > 0 {
+		s.skip--
+		return
+	}
+	s.skip = s.stride - 1
+	if len(s.vals) == sampleCap {
+		keep := s.vals[:0]
+		for i := 0; i < len(s.vals); i += 2 {
+			keep = append(keep, s.vals[i])
+		}
+		s.vals = keep
+		s.stride *= 2
+		s.skip = s.stride - 1
+	}
+	s.vals = append(s.vals, x)
+}
+
+// N returns the total number of observations offered.
+func (s *Sample) N() int64 { return s.n }
+
+// Percentile returns the p-quantile (0 <= p <= 1) of the kept
+// observations, 0 when empty.
+func (s *Sample) Percentile(p float64) float64 { return Percentile(s.vals, p) }
+
+// Merge folds another sample's kept values into s. Replication merges
+// only ever combine same-scale runs, so the simple concatenation (with
+// re-thinning once the cap is hit) keeps both sides represented.
+func (s *Sample) Merge(other *Sample) {
+	for _, v := range other.vals {
+		s.Add(v)
+	}
+	s.n += other.n - int64(len(other.vals))
+}
