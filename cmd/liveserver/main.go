@@ -18,6 +18,13 @@
 //
 //	liveserver -protocol s2pl -shards 4 -cross-ratio 0.5 -chaos-drop 0.2
 //	liveserver -protocol s2pl -shards 4 -cross-ratio 0.6 -bank -balance 100
+//
+// Partition windows take links down for whole intervals (the ARQ
+// quarantines the link and heals it by retransmission), and -crash-prob
+// crash-restarts shard sites mid-run, recovered from a write-ahead log:
+//
+//	liveserver -protocol g2pl -chaos-partition-prob 0.5 -chaos-partition-down 20ms
+//	liveserver -protocol s2pl -shards 4 -bank -crash-prob 0.02
 package main
 
 import (
@@ -46,6 +53,12 @@ func main() {
 	chaosDup := flag.Float64("chaos-dup", 0, "per-message probability of a duplicated delivery")
 	chaosJitter := flag.Duration("chaos-jitter", 0, "maximum extra per-message delivery delay")
 	chaosDrop := flag.Float64("chaos-drop", 0, "per-transmission probability of a delivery lost in flight")
+	partProb := flag.Float64("chaos-partition-prob", 0, "probability a link suffers periodic partition windows")
+	partDown := flag.Duration("chaos-partition-down", 0, "length of each partition window on an afflicted link")
+	partEvery := flag.Duration("chaos-partition-every", 0, "partition window period (0: 10x the window length)")
+	crashProb := flag.Float64("crash-prob", 0, "per-message probability a shard site crash-restarts (sharded only; implies -wal)")
+	crashMax := flag.Int("crash-max", 0, "maximum crashes per shard site (0: default 2)")
+	wal := flag.Bool("wal", false, "write-ahead log on shard sites (sharded only)")
 	arqRTO := flag.Duration("arq-rto", 0, "initial ARQ retransmission timeout (0: default)")
 	arqCap := flag.Int("arq-cap", 0, "retransmit attempts per message before the link is declared dead (0: default)")
 	noARQ := flag.Bool("no-arq", false, "disable ARQ retransmission; dropped messages then stall the run")
@@ -82,6 +95,11 @@ func main() {
 			Duplicate: *chaosDup,
 			Jitter:    *chaosJitter,
 			Drop:      *chaosDrop,
+			Partition: live.PartitionConfig{
+				Prob:  *partProb,
+				Down:  *partDown,
+				Every: *partEvery,
+			},
 		},
 		ARQ: live.ARQConfig{
 			Disabled:      *noARQ,
@@ -99,6 +117,11 @@ func main() {
 	}
 	cfg.Shards = *shards
 	cfg.CrossRatio = *crossRatio
+	cfg.WAL = *wal
+	if *crashProb > 0 {
+		cfg.Crash = live.CrashConfig{Prob: *crashProb, Max: *crashMax}
+		cfg.WAL = true // crash-restart without a log cannot recover
+	}
 	if *bank {
 		cfg.Bank = true
 		cfg.InitialBalance = *balance
@@ -131,6 +154,9 @@ func main() {
 		fmt.Printf("chaos: reorder=%v dup=%v jitter=%v drop=%v (seed %d)\n",
 			cfg.Chaos.Reorder, cfg.Chaos.Duplicate, cfg.Chaos.Jitter, cfg.Chaos.Drop, cfg.Seed)
 	}
+	if p := cfg.Chaos.Partition; p.Prob > 0 {
+		fmt.Printf("partition: prob=%v down=%v every=%v\n", p.Prob, p.Down, p.Every)
+	}
 	fmt.Printf("commits=%d aborts=%d messages=%d elapsed=%v mean-response=%v\n",
 		res.Stats.Commits, res.Stats.Aborts, res.Stats.Messages,
 		res.Stats.Elapsed.Round(time.Millisecond), res.Stats.MeanResponse.Round(time.Microsecond))
@@ -138,13 +164,18 @@ func main() {
 		res.Stats.P50.Round(time.Microsecond), res.Stats.P95.Round(time.Microsecond),
 		res.Stats.P99.Round(time.Microsecond), res.Stats.MeanBlocked.Round(time.Microsecond))
 	if c := res.Stats.Causes; c.Total() > 0 {
-		fmt.Printf("abort causes: deadlock=%d wound=%d die=%d nowait=%d timeout=%d\n",
-			c.Deadlock, c.Wound, c.Die, c.NoWait, c.Timeout)
+		fmt.Printf("abort causes: deadlock=%d wound=%d die=%d nowait=%d timeout=%d restart=%d\n",
+			c.Deadlock, c.Wound, c.Die, c.NoWait, c.Timeout, c.Restart)
 	}
-	if cfg.Chaos.Drop > 0 {
-		fmt.Printf("reliability: dropped=%d retransmits=%d acks=%d (coalesced=%d piggybacked=%d) max-rto=%v\n",
-			res.Stats.Dropped, res.Stats.Retransmits, res.Stats.AcksSent,
+	if cfg.Chaos.Drop > 0 || cfg.Chaos.Partition.Prob > 0 {
+		fmt.Printf("reliability: dropped=%d partition-drops=%d quarantined=%d retransmits=%d acks=%d (coalesced=%d piggybacked=%d) max-rto=%v\n",
+			res.Stats.Dropped, res.Stats.PartitionDrops, res.Stats.Quarantined,
+			res.Stats.Retransmits, res.Stats.AcksSent,
 			res.Stats.AcksCoalesced, res.Stats.AcksPiggybacked, res.Stats.MaxRTO)
+	}
+	if cfg.WAL || res.Stats.Crashes > 0 {
+		fmt.Printf("recovery: crashes=%d wal-appends=%d wal-replayed=%d\n",
+			res.Stats.Crashes, res.Stats.WALAppends, res.Stats.WALReplayed)
 	}
 	if tpc := res.Stats.TwoPC; tpc.Txns > 0 {
 		fmt.Printf("2pc: txns=%d cross=%.2f prepares=%d votes=%d/%d 1phase=%d forced-aborts=%d\n",

@@ -355,6 +355,9 @@ func DefaultConfig() *Config {
 				// coord→client outcomes.
 				"blockedMsg", "clearedMsg", "commitReqMsg", "prepareMsg",
 				"voteMsg", "decisionMsg", "outcomeMsg", "abortDoneMsg",
+				// Crash-restart (DESIGN.md §15): a recovered shard site tells
+				// every client its volatile state is gone.
+				"restartMsg",
 			},
 		},
 		EnumSums: map[string]bool{

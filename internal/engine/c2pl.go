@@ -72,7 +72,7 @@ func runC2PL(cfg Config) (Result, error) {
 	r := &c2plRun{
 		cfg:     cfg,
 		kernel:  k,
-		net:     netmodel.New(k, cfg.Latency),
+		net:     newNetwork(k, cfg),
 		col:     newCollector(k, cfg),
 		core:    protocol.NewCacheServer(cfg.Deadlock),
 		version: make(map[ids.Item]ids.Txn),
@@ -100,6 +100,7 @@ func runC2PL(cfg Config) (Result, error) {
 		return Result{}, fmt.Errorf("engine: c-2PL run hit MaxTime %d with %d/%d commits", cfg.MaxTime, r.col.commits, cfg.TargetCommits)
 	}
 	res := r.col.result(C2PL, r.net.Messages, r.net.Bytes, k.Now())
+	res.Held = r.net.Held
 	res.Events = k.Fired()
 	res.Causes = r.core.Causes()
 	if hasher != nil {

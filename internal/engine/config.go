@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/history"
 	"repro/internal/ids"
+	"repro/internal/netmodel"
 	"repro/internal/protocol"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -170,6 +171,15 @@ type Config struct {
 	// InitialBalance seeds every item's value before a Bank run.
 	InitialBalance int64
 
+	// PartitionAt/PartitionFor schedule one network outage window: every
+	// message sent in [PartitionAt, PartitionAt+PartitionFor) is held and
+	// delivered one latency after the heal point, in send order — the DES
+	// abstraction of a reliable transport retransmitting across a
+	// partition (DESIGN.md §15). PartitionFor 0 (the zero value) disables
+	// the window; the golden trajectories pin that equivalence.
+	PartitionAt  sim.Time
+	PartitionFor sim.Time
+
 	// RecordHistory captures every committed transaction's reads/writes
 	// for the serializability oracle. Costs memory; off in sweeps.
 	RecordHistory bool
@@ -221,6 +231,10 @@ func (c Config) Validate() error {
 		return fmt.Errorf("engine: Bank requires Shards >= 2, got %d", c.Shards)
 	case c.Bank && (c.Workload.MinTxnItems != 2 || c.Workload.MaxTxnItems != 2 || c.Workload.ReadProb != 0):
 		return fmt.Errorf("engine: Bank requires a 2-item all-write workload")
+	case c.PartitionAt < 0:
+		return fmt.Errorf("engine: PartitionAt must be >= 0, got %d", c.PartitionAt)
+	case c.PartitionFor < 0:
+		return fmt.Errorf("engine: PartitionFor must be >= 0, got %d", c.PartitionFor)
 	}
 	wl := c.Workload
 	if c.Shards > 1 && !c.HashShards {
@@ -240,6 +254,7 @@ type Result struct {
 
 	Messages int64 // network messages over the whole run
 	Bytes    int64 // abstract payload units over the whole run
+	Held     int64 // messages the partition window held to its heal point
 
 	// OpWait is the time from sending a data request to receiving the
 	// item, per operation, over the whole run — the queueing-delay lens
@@ -355,6 +370,17 @@ func installTracer(k *sim.Kernel, cfg Config) *sim.TrajectoryHasher {
 		k.SetTracer(tr)
 	}
 	return hasher
+}
+
+// newNetwork builds the run's network and installs the configured
+// partition window, if any. Every engine constructs its network through
+// this seam so the outage knobs reach all four protocols identically.
+func newNetwork(k *sim.Kernel, cfg Config) *netmodel.Network {
+	net := netmodel.New(k, cfg.Latency)
+	if cfg.PartitionFor > 0 {
+		net.SetOutage(cfg.PartitionAt, cfg.PartitionAt+cfg.PartitionFor)
+	}
+	return net
 }
 
 // collector implements the shared measurement protocol.

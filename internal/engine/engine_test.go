@@ -46,6 +46,8 @@ func TestValidateRejectsBadConfigs(t *testing.T) {
 		func(c *Config) { c.MaxForwardList = -1 },
 		func(c *Config) { c.Protocol = Protocol(9) },
 		func(c *Config) { c.Workload.Items = 0 },
+		func(c *Config) { c.PartitionAt = -1 },
+		func(c *Config) { c.PartitionFor = -1 },
 	}
 	for i, m := range mutations {
 		cfg := base
@@ -85,6 +87,39 @@ func TestG2PLCompletesAndMeasures(t *testing.T) {
 	}
 	if res.Throughput() <= 0 {
 		t.Fatal("throughput not positive")
+	}
+}
+
+// TestPartitionWindowDelaysButCompletes: a mid-run outage holds every
+// in-window message to the heal point, yet each protocol still reaches
+// its full commit target with a serializable history — the DES mirror of
+// the live transport's quarantine-and-heal guarantee. The window only
+// delays, so the run must take strictly longer than the unpartitioned
+// baseline, and a baseline run must hold nothing.
+func TestPartitionWindowDelaysButCompletes(t *testing.T) {
+	for _, p := range []Protocol{S2PL, G2PL, C2PL} {
+		t.Run(p.String(), func(t *testing.T) {
+			baseline := mustRun(t, testConfig(p))
+			if baseline.Held != 0 {
+				t.Fatalf("unpartitioned run held %d messages", baseline.Held)
+			}
+			cfg := testConfig(p)
+			cfg.PartitionAt = 10_000
+			cfg.PartitionFor = 8_000
+			res := mustRun(t, cfg)
+			if res.Commits != int64(cfg.TargetCommits) {
+				t.Fatalf("commits = %d, want %d despite the partition healing", res.Commits, cfg.TargetCommits)
+			}
+			if res.Held == 0 {
+				t.Fatal("partition window caught no messages")
+			}
+			if err := serial.Check(res.History); err != nil {
+				t.Fatalf("partitioned %v execution not serializable: %v", p, err)
+			}
+			if res.Duration <= baseline.Duration {
+				t.Fatalf("partitioned run duration %d not longer than baseline %d", res.Duration, baseline.Duration)
+			}
+		})
 	}
 }
 

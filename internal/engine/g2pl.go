@@ -115,7 +115,7 @@ func runG2PL(cfg Config) (Result, error) {
 	r := &g2plRun{
 		cfg:    cfg,
 		kernel: k,
-		net:    netmodel.New(k, cfg.Latency),
+		net:    newNetwork(k, cfg),
 		col:    newCollector(k, cfg),
 		disp: protocol.NewDispatcher(protocol.WindowOptions{
 			NoAvoidance:    cfg.NoAvoidance,
@@ -148,6 +148,7 @@ func runG2PL(cfg Config) (Result, error) {
 		return Result{}, fmt.Errorf("engine: g-2PL run hit MaxTime %d with %d/%d commits", cfg.MaxTime, r.col.commits, cfg.TargetCommits)
 	}
 	res := r.col.result(G2PL, r.net.Messages, r.net.Bytes, k.Now())
+	res.Held = r.net.Held
 	res.Events = k.Fired()
 	res.Causes = r.causes
 	if hasher != nil {

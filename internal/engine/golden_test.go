@@ -109,6 +109,31 @@ func goldenCases() []goldenCase {
 			})
 		}
 	}
+	// Partition-window points (DESIGN.md §15): one mid-run outage long
+	// enough to catch in-flight rounds of every protocol, plus a sharded
+	// point where held prepare/decide messages stress 2PC. The window
+	// changes delivery times, so these carry their own hashes; every case
+	// above runs with PartitionFor 0 and must stay byte-identical.
+	for _, p := range []Protocol{S2PL, G2PL, C2PL} {
+		cfg := goldenConfig(p, 1)
+		cfg.PartitionAt = 40_000
+		cfg.PartitionFor = 12_000
+		cases = append(cases, goldenCase{
+			name: fmt.Sprintf("%s/seed1/partition", p),
+			cfg:  cfg,
+		})
+	}
+	{
+		cfg := goldenConfig(S2PL, 1)
+		cfg.Shards = 2
+		cfg.CrossRatio = 0.4
+		cfg.PartitionAt = 40_000
+		cfg.PartitionFor = 12_000
+		cases = append(cases, goldenCase{
+			name: fmt.Sprintf("%s/shards2/seed1/partition", S2PL),
+			cfg:  cfg,
+		})
+	}
 	return cases
 }
 

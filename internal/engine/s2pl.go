@@ -83,7 +83,7 @@ func runS2PL(cfg Config) (Result, error) {
 	r := &s2plRun{
 		cfg:     cfg,
 		kernel:  k,
-		net:     netmodel.New(k, cfg.Latency),
+		net:     newNetwork(k, cfg),
 		col:     newCollector(k, cfg),
 		core:    protocol.NewLockServer(cfg.Victim, cfg.Deadlock),
 		version: make(map[ids.Item]ids.Txn),
@@ -110,6 +110,7 @@ func runS2PL(cfg Config) (Result, error) {
 		return Result{}, fmt.Errorf("engine: s-2PL run hit MaxTime %d with %d/%d commits", cfg.MaxTime, r.col.commits, cfg.TargetCommits)
 	}
 	res := r.col.result(S2PL, r.net.Messages, r.net.Bytes, k.Now())
+	res.Held = r.net.Held
 	res.Events = k.Fired()
 	res.Causes = r.core.Causes()
 	if hasher != nil {

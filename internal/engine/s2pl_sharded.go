@@ -101,7 +101,7 @@ func runS2PLSharded(cfg Config) (Result, error) {
 	r := &s2pcRun{
 		cfg:     cfg,
 		kernel:  k,
-		net:     netmodel.New(k, cfg.Latency),
+		net:     newNetwork(k, cfg),
 		col:     newCollector(k, cfg),
 		smap:    smap,
 		coord:   protocol.NewCoordinator(cfg.Victim, cfg.Deadlock),
@@ -143,6 +143,7 @@ func runS2PLSharded(cfg Config) (Result, error) {
 		return Result{}, fmt.Errorf("engine: sharded s-2PL run hit MaxTime %d with %d/%d commits", cfg.MaxTime, r.col.commits, cfg.TargetCommits)
 	}
 	res := r.col.result(S2PL, r.net.Messages, r.net.Bytes, k.Now())
+	res.Held = r.net.Held
 	res.Events = k.Fired()
 	res.TwoPC = r.coord.Counters()
 	res.Causes = r.coord.Causes()

@@ -164,6 +164,51 @@ func TestShardedBankInvariant(t *testing.T) {
 	}
 }
 
+// TestShardedBankSurvivesPartition drops the outage window on the 2PC
+// path: prepares, votes and decisions caught mid-flight are held to the
+// heal point, and atomicity must come out intact — the balance sum is
+// exact and the history serializable.
+func TestShardedBankSurvivesPartition(t *testing.T) {
+	wl := workload.Default()
+	wl.MinTxnItems = 2
+	wl.MaxTxnItems = 2
+	wl.ReadProb = 0
+	cfg := Config{
+		Protocol:       S2PL,
+		Clients:        10,
+		Workload:       wl,
+		Latency:        50,
+		Seed:           1,
+		TargetCommits:  400,
+		WarmupCommits:  50,
+		RecordHistory:  true,
+		MaxTime:        50_000_000,
+		Shards:         4,
+		CrossRatio:     0.6,
+		Bank:           true,
+		InitialBalance: 100,
+		PartitionAt:    10_000,
+		PartitionFor:   8_000,
+	}
+	res := mustRun(t, cfg)
+	if res.Commits != int64(cfg.TargetCommits) {
+		t.Fatalf("commits = %d", res.Commits)
+	}
+	if res.Held == 0 {
+		t.Fatal("partition window caught no 2PC traffic")
+	}
+	if err := serial.Check(res.History); err != nil {
+		t.Fatalf("partitioned bank execution not serializable: %v", err)
+	}
+	var sum int64
+	for i := 0; i < wl.Items; i++ {
+		sum += res.Values[ids.Item(i)]
+	}
+	if want := int64(wl.Items) * cfg.InitialBalance; sum != want {
+		t.Fatalf("global balance %d, want %d: the partition tore a transfer", sum, want)
+	}
+}
+
 // TestShardedZipfHotShard checks the skew knob reaches the sharded
 // engine: with range sharding, a Zipf access pattern concentrates
 // shard-confined transactions on the shard owning the hot head of the

@@ -86,6 +86,7 @@ type ackMsg struct {
 // debugger.
 type arqStats struct {
 	retransmits     int64
+	quarantined     int64 // retransmit fires deferred by a partition window
 	acksSent        int64 // standalone ack messages transmitted
 	acksCoalesced   int64 // ack-worthy arrivals absorbed by a pending ack
 	acksPiggybacked int64 // acks that rode on reverse-direction envelopes
@@ -323,6 +324,26 @@ func (a *arq) fireRetransmit(k linkKey, gen int) {
 		if lowest == 0 || seq < lowest {
 			lowest = seq
 		}
+	}
+	down := a.net.linkDown(k)
+	// Partitions are directed: the data path may be up while the reverse
+	// path eats every ack, which is just as unable to make progress. The
+	// quarantine oracle takes the round trip's worst half.
+	if rev := a.net.linkDown(linkKey{src: k.dst, dst: k.src}); rev > down {
+		down = rev
+	}
+	if down > 0 {
+		// Quarantine: the round trip crosses a partition window. An outage
+		// is an administrative fact about the link, not evidence the peer
+		// died, so this fire must burn neither retransmit attempts nor
+		// backoff — both pause, and the timer re-arms for the remaining
+		// down time so the retransmission lands right as the link heals.
+		a.stats.quarantined++
+		s.armed = true
+		s.gen++
+		gen := s.gen
+		s.timer = time.AfterFunc(down, func() { a.fireRetransmit(k, gen) })
+		return
 	}
 	if s.attempts >= a.cfg.RetransmitCap {
 		a.failed = true

@@ -85,6 +85,114 @@ func TestARQAckResetsBackoff(t *testing.T) {
 	if rto != time.Hour || attempts != 0 {
 		t.Fatalf("ack did not reset backoff: rto=%v attempts=%d", rto, attempts)
 	}
+	// Only frontier ADVANCE resets backoff: a duplicate of the same ack
+	// carries no evidence the link recovered, so the accumulated state
+	// must survive it untouched.
+	a.mu.Lock()
+	a.send[k].rto = 4 * time.Hour
+	a.send[k].attempts = 7
+	a.mu.Unlock()
+	a.onAck(k, 1)
+	a.mu.Lock()
+	rto, attempts = a.send[k].rto, a.send[k].attempts
+	a.mu.Unlock()
+	if rto != 4*time.Hour || attempts != 7 {
+		t.Fatalf("stale ack reset backoff: rto=%v attempts=%d, want 4h 7", rto, attempts)
+	}
+}
+
+// downPolicy builds a link policy whose every link is inside a partition
+// window essentially always: Down covers all but 1ms of each cycle, so
+// whatever phase a link draws, it is down at any sampled instant (bar a
+// one-in-3.6-million sliver, fixed by the seed).
+func downPolicy(seed uint64) *linkPolicy {
+	return newLinkPolicy(ChaosConfig{Partition: PartitionConfig{
+		Prob: 1, Down: time.Hour, Every: time.Hour + time.Millisecond,
+	}}, seed)
+}
+
+// TestARQQuarantinePausesCapAndBackoff drives the retransmit callback by
+// hand while the link is inside a partition window: every fire must be
+// quarantined — burning neither retransmit attempts nor backoff growth,
+// and never tripping the cap — because an outage is a property of the
+// link, not evidence the peer died.
+func TestARQQuarantinePausesCapAndBackoff(t *testing.T) {
+	policy := downPolicy(1)
+	sink := newMailbox(1024)
+	net := newNetwork(0, func(ids.Client) *mailbox { return sink }, policy)
+	var fatal error
+	net.arq = newARQ(ARQConfig{RTO: time.Hour, MaxRTO: 4 * time.Hour, RetransmitCap: 3}, net, func(err error) { fatal = err })
+	a := net.arq
+	defer a.stop()
+	k := linkKey{src: 0, dst: 1}
+	if net.linkDown(k) == 0 {
+		t.Fatal("precondition: link not inside a partition window")
+	}
+	retain(a, k, 1)
+	// Fire well past the cap of 3; every fire lands inside the window.
+	for i := 0; i < 10; i++ {
+		a.mu.Lock()
+		gen := a.send[k].gen
+		a.mu.Unlock()
+		a.fireRetransmit(k, gen)
+	}
+	a.mu.Lock()
+	attempts, rto := a.send[k].attempts, a.send[k].rto
+	a.mu.Unlock()
+	if attempts != 0 {
+		t.Fatalf("quarantined fires burned %d retransmit attempts", attempts)
+	}
+	if rto != time.Hour {
+		t.Fatalf("quarantined fires grew backoff to %v", rto)
+	}
+	st := arqStatsNow(a)
+	if st.quarantined != 10 {
+		t.Fatalf("quarantined = %d, want 10", st.quarantined)
+	}
+	if st.retransmits != 0 {
+		t.Fatalf("quarantined fires transmitted %d times into a down link", st.retransmits)
+	}
+	if fatal != nil {
+		t.Fatalf("quarantine tripped the retransmit cap: %v", fatal)
+	}
+}
+
+// TestARQStaleTimerAfterQuarantineAckIsNoop is the timer-audit
+// regression: a quarantine re-arm bumps the sender generation, so the
+// pre-quarantine timer — and any fire after an ack has drained the
+// envelope — must be inert. A stale fire that retransmitted an
+// already-acked envelope would resurrect it in the peer's resequencer
+// window and count phantom retransmits.
+func TestARQStaleTimerAfterQuarantineAckIsNoop(t *testing.T) {
+	policy := downPolicy(1)
+	sink := newMailbox(1024)
+	net := newNetwork(0, func(ids.Client) *mailbox { return sink }, policy)
+	net.arq = newARQ(ARQConfig{RTO: time.Hour, MaxRTO: 4 * time.Hour, RetransmitCap: 3}, net, nil)
+	a := net.arq
+	defer a.stop()
+	k := linkKey{src: 0, dst: 1}
+	retain(a, k, 1)
+	a.mu.Lock()
+	preGen := a.send[k].gen
+	a.mu.Unlock()
+	a.fireRetransmit(k, preGen) // quarantined: re-arms under preGen+1
+	if got := arqStatsNow(a).quarantined; got != 1 {
+		t.Fatalf("quarantined = %d, want 1", got)
+	}
+	// The ack lands while the quarantine timer is parked.
+	a.onAck(k, 1)
+	if n, _, _, _ := senderState(a, k); n != 0 {
+		t.Fatalf("unacked = %d after ack, want 0", n)
+	}
+	before := a.net.messages()
+	a.fireRetransmit(k, preGen)   // pre-quarantine timer: stale generation
+	a.fireRetransmit(k, preGen+1) // quarantine timer: generation retired by the ack
+	if got := a.net.messages(); got != before {
+		t.Fatalf("stale timer fire transmitted %d messages after the envelope was acked", got-before)
+	}
+	if st := arqStatsNow(a); st.retransmits != 0 || st.quarantined != 1 {
+		t.Fatalf("stale fires moved counters: retransmits=%d quarantined=%d", st.retransmits, st.quarantined)
+	}
 }
 
 // TestARQRetransmitBackoffScheduling lets the RTO timer fire for real:

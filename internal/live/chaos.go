@@ -10,13 +10,14 @@ import (
 
 // ChaosConfig turns the live network from a well-behaved link into an
 // adversarial one: deliveries may be reordered, duplicated, jittered and
-// dropped per link. The faults are drawn from deterministic streams
+// dropped per link, and whole directed links may go down for seeded
+// partition windows. The faults are drawn from deterministic streams
 // derived from Config.Seed, so a failing chaos run names a seed that
 // reproduces the same fault decisions. The protocol edge (sequence
 // numbers stamped by the sender, a resequencer at each mailbox, and —
-// once Drop is in play — the ARQ retransmission layer) must mask all of
-// it: the cores still see exactly-once, in-order event streams, and the
-// serializability oracle checks the result.
+// once Drop or Partition is in play — the ARQ retransmission layer) must
+// mask all of it: the cores still see exactly-once, in-order event
+// streams, and the serializability oracle checks the result.
 type ChaosConfig struct {
 	// Reorder is the per-message probability that a delivery is displaced
 	// behind up to three deliveries already queued at its destination.
@@ -35,11 +36,19 @@ type ChaosConfig struct {
 	// rolls: a transmission that is both dropped and duplicated still
 	// arrives once, via the duplicate copy.
 	Drop float64
+	// Partition puts directed links through recurring down windows during
+	// which every transmission — both copies of a duplicate — is lost.
+	// Unlike Drop, an outage is a property of the link, not of one
+	// transmission, so the ARQ layer quarantines the link (pausing
+	// retransmit-cap escalation and backoff growth) and heals it with a
+	// retransmission when the window ends. See PartitionConfig.
+	Partition PartitionConfig
 }
 
 // enabled reports whether any fault injection is configured.
 func (c ChaosConfig) enabled() bool {
-	return c.Reorder > 0 || c.Duplicate > 0 || c.Jitter > 0 || c.Drop > 0
+	return c.Reorder > 0 || c.Duplicate > 0 || c.Jitter > 0 || c.Drop > 0 ||
+		c.Partition.enabled()
 }
 
 // validate reports the first bad chaos knob.
@@ -54,6 +63,50 @@ func (c ChaosConfig) validate() error {
 	case c.Drop < 0 || c.Drop > 1:
 		return fmt.Errorf("live: Chaos.Drop must be in [0, 1], got %v", c.Drop)
 	}
+	return c.Partition.validate()
+}
+
+// PartitionConfig describes seeded-deterministic directed link outages:
+// each afflicted link cycles through a Down window every Every period,
+// with a per-link random phase so the windows do not line up across the
+// cluster. During a window the link delivers nothing; the ARQ layer
+// observes the window through the policy's down oracle and defers
+// retransmission to the heal point instead of declaring the link dead.
+type PartitionConfig struct {
+	// Prob is the probability that a directed link is partition-afflicted
+	// at all; afflicted links then cycle down windows for the whole run.
+	Prob float64
+	// Down is the length of each outage window on an afflicted link.
+	Down time.Duration
+	// Every is the period between consecutive window starts; it must
+	// exceed Down so the link has up-time to heal in. Zero defaults to
+	// 10×Down.
+	Every time.Duration
+}
+
+// enabled reports whether partition windows are configured.
+func (c PartitionConfig) enabled() bool { return c.Prob > 0 && c.Down > 0 }
+
+// withDefaults resolves the zero period to the documented default.
+func (c PartitionConfig) withDefaults() PartitionConfig {
+	if c.Every == 0 {
+		c.Every = 10 * c.Down
+	}
+	return c
+}
+
+// validate reports the first bad partition knob.
+func (c PartitionConfig) validate() error {
+	switch {
+	case c.Prob < 0 || c.Prob > 1:
+		return fmt.Errorf("live: Chaos.Partition.Prob must be in [0, 1], got %v", c.Prob)
+	case c.Down < 0:
+		return fmt.Errorf("live: Chaos.Partition.Down must be >= 0, got %v", c.Down)
+	case c.Every < 0:
+		return fmt.Errorf("live: Chaos.Partition.Every must be >= 0, got %v", c.Every)
+	case c.enabled() && c.Every > 0 && c.Every <= c.Down:
+		return fmt.Errorf("live: Chaos.Partition.Every (%v) must exceed Down (%v) — the link needs up-time to heal in", c.Every, c.Down)
+	}
 	return nil
 }
 
@@ -63,6 +116,9 @@ type directive struct {
 	duplicate bool
 	jitter    time.Duration
 	drop      bool
+	// partitioned kills the transmission entirely: the link is inside a
+	// down window, so the duplicate copy is lost too.
+	partitioned bool
 }
 
 // chaosSeq is the rng sequence selector reserved for the chaos policy,
@@ -70,52 +126,83 @@ type directive struct {
 // not shift the transaction mix.
 const chaosSeq = 0xC1A05
 
-// dropSplit is the label under which each link's drop stream is split
-// off its main fault stream.
-const dropSplit = 0xD20B
+// dropSplit and partSplit are the labels under which each link's drop
+// and partition streams are split off its main fault stream.
+const (
+	dropSplit = 0xD20B
+	partSplit = 0x9A27
+)
 
 // linkStreams are one directed link's deterministic fault sources: the
-// main stream feeds the reorder/duplicate/jitter decisions, and a
-// separately split stream feeds drop, so enabling Drop never shifts the
-// other fault decisions (and vice versa). The drop stream is split
-// unconditionally at link creation, keeping the main stream's draw
-// sequence identical whether or not Drop is configured.
+// main stream feeds the reorder/duplicate/jitter decisions, a separately
+// split stream feeds drop, and a third fixes the link's partition
+// affliction and window phase — so enabling one fault class never shifts
+// another's decisions. All three are split unconditionally at link
+// creation, in fixed code order, keeping every stream's draw sequence
+// identical whatever the configuration.
 type linkStreams struct {
 	main *rng.Stream
 	drop *rng.Stream
+
+	// Partition placement, fixed at link creation: whether this link
+	// suffers windows at all, and the phase offset of its window cycle.
+	afflicted bool
+	phase     time.Duration
 }
 
 // linkPolicy draws fault decisions from deterministic streams per
-// directed link, split lazily from a root stream seeded by Config.Seed.
+// directed link and answers the partition-window oracle the ARQ layer
+// quarantines by.
 type linkPolicy struct {
-	cfg ChaosConfig
+	cfg   ChaosConfig
+	seed  uint64
+	epoch time.Time // partition windows cycle relative to policy creation
 
 	mu    sync.Mutex
-	root  *rng.Stream
 	links map[linkKey]linkStreams
 }
 
 func newLinkPolicy(cfg ChaosConfig, seed uint64) *linkPolicy {
+	cfg.Partition = cfg.Partition.withDefaults()
 	return &linkPolicy{
 		cfg:   cfg,
-		root:  rng.New(seed, chaosSeq),
+		seed:  seed,
+		epoch: time.Now(),
 		links: make(map[linkKey]linkStreams),
 	}
 }
 
-// roll decides the faults applied to one transmission on link k.
-func (p *linkPolicy) roll(k linkKey) directive {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+// streamsLocked returns (creating on first use) link k's fault streams.
+// Every stream is derived from the seed and a stable per-link label
+// alone — never from shared stream state. Splitting a common root would
+// consume one draw from it per new link, making each link's fault
+// sequence depend on which links happened to transmit first: goroutine
+// scheduling, not the seed. TestChaosLinkStreamsOrderIndependent pins
+// this. Caller holds p.mu.
+func (p *linkPolicy) streamsLocked(k linkKey) linkStreams {
 	s, ok := p.links[k]
 	if !ok {
-		// A stable 64-bit label per directed link keeps the per-link
-		// streams independent of link creation order.
 		label := uint64(uint32(k.src))<<32 | uint64(uint32(k.dst))
-		s.main = p.root.Split(label)
+		s.main = rng.New(p.seed, chaosSeq).Split(label)
 		s.drop = s.main.Split(dropSplit)
+		part := s.main.Split(partSplit)
+		if pc := p.cfg.Partition; pc.enabled() {
+			s.afflicted = part.Bool(pc.Prob)
+			s.phase = time.Duration(part.Float64() * float64(pc.Every))
+		}
 		p.links[k] = s
 	}
+	return s
+}
+
+// roll decides the faults applied to one transmission on link k at time
+// now. The per-transmission draws happen whether or not the link is
+// inside a partition window, so a window never shifts the other fault
+// decisions on the link.
+func (p *linkPolicy) roll(k linkKey, now time.Time) directive {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s := p.streamsLocked(k)
 	var d directive
 	if p.cfg.Reorder > 0 && s.main.Bool(p.cfg.Reorder) {
 		d.displace = s.main.IntRange(1, 3)
@@ -129,5 +216,36 @@ func (p *linkPolicy) roll(k linkKey) directive {
 	if p.cfg.Drop > 0 && s.drop.Bool(p.cfg.Drop) {
 		d.drop = true
 	}
+	if p.downLocked(s, now) > 0 {
+		d.partitioned = true
+	}
 	return d
+}
+
+// downFor reports how much longer the directed link k remains inside a
+// partition window at now; zero means the link is up. This is the
+// oracle the ARQ layer quarantines by: a retransmission due during a
+// window is deferred to the heal point instead of burning the
+// retransmit cap against an outage that is known to end.
+func (p *linkPolicy) downFor(k linkKey, now time.Time) time.Duration {
+	if !p.cfg.Partition.enabled() {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.downLocked(p.streamsLocked(k), now)
+}
+
+// downLocked computes the remaining down time of one link's window
+// cycle. Caller holds p.mu.
+func (p *linkPolicy) downLocked(s linkStreams, now time.Time) time.Duration {
+	if !s.afflicted {
+		return 0
+	}
+	pc := p.cfg.Partition
+	off := (now.Sub(p.epoch) + s.phase) % pc.Every
+	if off < pc.Down {
+		return pc.Down - off
+	}
+	return 0
 }

@@ -190,6 +190,63 @@ func TestChaosDropRetransmitCapFailsLoudly(t *testing.T) {
 	waitNoLeaks(t, before, "retransmit-cap failure")
 }
 
+// TestChaosPartitionHealsBeyondRetransmitBudget is the transient-outage
+// regression test (the bug this PR fixes): a partition window much
+// longer than the whole retransmit budget (RetransmitCap × MaxRTO =
+// 3 × 2ms = 6ms vs a 40ms window) used to exhaust the cap and kill the
+// run with a dead-link error, even though the outage was transient. The
+// ARQ layer must instead quarantine the link for the window — pausing
+// cap escalation and backoff growth — and heal it with a retransmission
+// when the window ends, so every transaction still commits.
+func TestChaosPartitionHealsBeyondRetransmitBudget(t *testing.T) {
+	cfg := chaosConfig(G2PL, 1, ChaosConfig{
+		Partition: PartitionConfig{Prob: 1, Down: 40 * time.Millisecond, Every: 400 * time.Millisecond},
+	})
+	cfg.ARQ = ARQConfig{RTO: time.Millisecond, MaxRTO: 2 * time.Millisecond, RetransmitCap: 3, AckDelay: time.Millisecond}
+	cfg.StallTimeout = 30 * time.Second
+	before := runtime.NumGoroutine()
+	res := mustRun(t, cfg)
+	if want := int64(cfg.Clients * cfg.TxnsPerClient); res.Stats.Commits != want {
+		t.Fatalf("commits = %d, want %d — outage windows lost transactions", res.Stats.Commits, want)
+	}
+	if err := serial.Check(res.History); err != nil {
+		t.Fatalf("not serializable across partition windows: %v", err)
+	}
+	if res.Stats.PartitionDrops == 0 {
+		t.Fatal("Prob=1 partition windows killed no transmissions — windows never opened")
+	}
+	if res.Stats.Quarantined == 0 {
+		t.Fatal("no retransmission was quarantined — the ARQ layer never saw a window")
+	}
+	waitNoLeaks(t, before, "partition heal run")
+}
+
+// TestChaosPartitionSerializable sweeps partition windows combined with
+// the other fault classes across protocols and seeds: every run must
+// reach its commit target and stay serializable, with the default
+// retransmit budget kept honest by quarantine rather than headroom.
+func TestChaosPartitionSerializable(t *testing.T) {
+	part := PartitionConfig{Prob: 0.6, Down: 20 * time.Millisecond, Every: 200 * time.Millisecond}
+	modes := []struct {
+		name  string
+		chaos ChaosConfig
+	}{
+		{"part", ChaosConfig{Partition: part}},
+		{"part+drop", ChaosConfig{Drop: 0.2, Partition: part}},
+		{"part+all", ChaosConfig{Reorder: 0.35, Duplicate: 0.3, Jitter: 400 * time.Microsecond, Drop: 0.15, Partition: part}},
+	}
+	seeds := []uint64{1, 2}
+	for _, p := range []Protocol{S2PL, G2PL, C2PL} {
+		for _, mode := range modes {
+			for _, seed := range seeds {
+				t.Run(fmt.Sprintf("%v/%s/seed%d", p, mode.name, seed), func(t *testing.T) {
+					runChaos(t, chaosConfig(p, seed, mode.chaos))
+				})
+			}
+		}
+	}
+}
+
 // waitNoLeaks asserts every goroutine a failed run started is reclaimed,
 // tolerating the runtime's lag in reaping finished goroutines.
 func waitNoLeaks(t *testing.T, before int, what string) {

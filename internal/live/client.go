@@ -29,6 +29,12 @@ type liveTxn struct {
 	held    []heldItem
 	aborted bool
 	done    bool
+	// committing marks a sharded transaction whose commit request is with
+	// the coordinator: its fate belongs to 2PC now, so a shard's
+	// crash-restart announcement must not abort it from the client side —
+	// the restarted site either recovered its prepared state from the WAL
+	// or will vote no.
+	committing bool
 
 	// touched lists the distinct shards this transaction sent requests
 	// to (sharded topology only): the 2PC participant set, and the
@@ -222,6 +228,8 @@ func (c *client) handle(m message, arm func(time.Duration, func())) {
 		c.onGrant(msg, arm)
 	case recallMsg:
 		c.onRecall(msg)
+	case restartMsg:
+		c.onRestart(msg, arm)
 	default:
 		panic(fmt.Sprintf("live: client %v received unexpected %T", c.id, m))
 	}
@@ -417,6 +425,7 @@ func (c *client) commit(t *liveTxn, arm func(time.Duration, func())) {
 // counted — until the coordinator's outcome (or a victim notice) comes
 // back.
 func (c *client) commitSharded(t *liveTxn) {
+	t.committing = true
 	rec := history.Committed{Txn: t.id, Reads: t.reads}
 	writesBy := make(map[int][]writeUpdate)
 	delta := int64(t.id%7) + 1
@@ -489,6 +498,33 @@ func (c *client) abortSharded(t *liveTxn, arm func(time.Duration, func())) {
 		c.cur = nil
 		c.beginNext(arm)
 	}
+}
+
+// onRestart handles a shard site's crash-restart announcement. A current
+// transaction that sent requests to the restarted shard and is not yet
+// in its commit round lost state there — a queued or granted request the
+// fresh site has forgotten — so it aborts and retries rather than
+// waiting forever on a grant that will never come. The abort unwind is
+// safe against the restarted site: its release lands on a core that no
+// longer knows the transaction, which is a no-op. Committing
+// transactions are left to 2PC (see liveTxn.committing).
+func (c *client) onRestart(m restartMsg, arm func(time.Duration, func())) {
+	t := c.cur
+	if t == nil || t.done || t.committing {
+		return
+	}
+	touched := false
+	for _, s := range t.touched {
+		if s == m.shard {
+			touched = true
+			break
+		}
+	}
+	if !touched {
+		return
+	}
+	c.cl.restartAborts.Add(1)
+	c.abortSharded(t, arm)
 }
 
 // onAbort handles a deadlock-victim notice.

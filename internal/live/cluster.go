@@ -2,6 +2,7 @@ package live
 
 import (
 	"fmt"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -61,6 +62,9 @@ type cluster struct {
 	commits atomic.Int64
 	aborts  atomic.Int64
 	resp    atomic.Int64 // summed response nanoseconds over commits
+	// restartAborts counts transactions a client abandoned because a
+	// shard site they had state at crash-restarted (Causes.Restart).
+	restartAborts atomic.Int64
 
 	nextTxn atomic.Int64
 }
@@ -78,10 +82,11 @@ func newCluster(cfg Config) (*cluster, error) {
 		policy = newLinkPolicy(cfg.Chaos, cfg.Seed)
 	}
 	cl.net = newNetwork(cfg.Latency, cl.mailboxOf, policy)
-	if cfg.Chaos.Drop > 0 && !cfg.ARQ.Disabled {
-		// A link that can lose messages needs the retransmission layer;
-		// without Drop there is nothing to recover and the acks would be
-		// pure overhead.
+	if (cfg.Chaos.Drop > 0 || cfg.Chaos.Partition.enabled()) && !cfg.ARQ.Disabled {
+		// A link that can lose messages — per-transmission drops or whole
+		// partition windows — needs the retransmission layer; without
+		// either there is nothing to recover and the acks would be pure
+		// overhead.
 		cl.net.arq = newARQ(cfg.ARQ, cl.net, cl.fail)
 	}
 	if cl.sharded() {
@@ -154,6 +159,12 @@ func (cl *cluster) clientAtTarget() {
 	}
 }
 
+// debugStallDump (env LIVE_STALL_DUMP) prints a best-effort snapshot of
+// every client's current transaction when a run stalls. The reads are
+// deliberately unsynchronized — the owning goroutines are still live —
+// so this is a debugging aid for stall hunts, not for -race runs.
+var debugStallDump = os.Getenv("LIVE_STALL_DUMP") != ""
+
 func (cl *cluster) run() (*Result, error) {
 	start := time.Now()
 	var wg sync.WaitGroup
@@ -204,6 +215,20 @@ func (cl *cluster) run() (*Result, error) {
 	case <-stall.C:
 		stallErr = fmt.Errorf("live: cluster stalled with %d of %d commits",
 			cl.commits.Load(), cl.cfg.Clients*cl.cfg.TxnsPerClient)
+		if debugStallDump {
+			for _, c := range cl.clients {
+				t := c.cur
+				if t == nil {
+					fmt.Printf("STALL client %v: cur=nil committed=%d\n", c.id, c.committed)
+					continue
+				}
+				fmt.Printf("STALL client %v: committed=%d txn=%d ts=%d op=%d/%d committing=%v held=%d touched=%v\n",
+					c.id, c.committed, t.id, t.ts, t.opIdx, len(t.profile.Ops), t.committing, len(t.held), t.touched)
+			}
+			if cl.coord != nil {
+				fmt.Printf("STALL coord quiet=%v\n", cl.coord.coord.Quiet())
+			}
+		}
 	}
 
 	// Quiesce (reached targets only): the server must see every item home
@@ -212,8 +237,9 @@ func (cl *cluster) run() (*Result, error) {
 	// path is the same full shutdown, so no error return leaks goroutines
 	// or in-flight deliveries into subsequent runs.
 	quiet := false
+	var unquiet string
 	if stallErr == nil {
-		quiet = cl.quiesce()
+		quiet, unquiet = cl.quiesce()
 	}
 	cl.shutdown(&wg)
 
@@ -221,7 +247,7 @@ func (cl *cluster) run() (*Result, error) {
 		return nil, stallErr
 	}
 	if !quiet {
-		return nil, fmt.Errorf("live: cluster did not quiesce (commits=%d)", cl.commits.Load())
+		return nil, fmt.Errorf("live: cluster did not quiesce (commits=%d, unquiet: %s)", cl.commits.Load(), unquiet)
 	}
 
 	elapsed := time.Since(start)
@@ -231,12 +257,13 @@ func (cl *cluster) run() (*Result, error) {
 		mean = time.Duration(cl.resp.Load() / commits)
 	}
 	st := Stats{
-		Commits:      commits,
-		Aborts:       cl.aborts.Load(),
-		Messages:     cl.net.messages(),
-		Dropped:      cl.net.dropCount(),
-		Elapsed:      elapsed,
-		MeanResponse: mean,
+		Commits:        commits,
+		Aborts:         cl.aborts.Load(),
+		Messages:       cl.net.messages(),
+		Dropped:        cl.net.dropCount(),
+		PartitionDrops: cl.net.partDropCount(),
+		Elapsed:        elapsed,
+		MeanResponse:   mean,
 	}
 	// The client goroutines are gone (shutdown waited on them), so their
 	// latency accounting is safe to merge single-threaded here.
@@ -258,6 +285,8 @@ func (cl *cluster) run() (*Result, error) {
 		for _, ss := range cl.shards {
 			st.Causes.Merge(ss.part.Core().Causes())
 		}
+		// Restart aborts are attributed client-side (no core sees them).
+		st.Causes.Restart = cl.restartAborts.Load()
 	} else {
 		switch cl.cfg.Protocol {
 		case S2PL:
@@ -271,6 +300,7 @@ func (cl *cluster) run() (*Result, error) {
 	if cl.net.arq != nil {
 		as := cl.net.arq.snapshot()
 		st.Retransmits = as.retransmits
+		st.Quarantined = as.quarantined
 		st.AcksSent = as.acksSent
 		st.AcksCoalesced = as.acksCoalesced
 		st.AcksPiggybacked = as.acksPiggybacked
@@ -286,6 +316,11 @@ func (cl *cluster) run() (*Result, error) {
 		res.Stats.TwoPC = cl.coord.coord.Counters()
 		res.Values = make(map[ids.Item]int64)
 		for _, ss := range cl.shards {
+			res.Stats.Crashes += ss.crashes
+			res.Stats.WALReplayed += ss.replayed
+			if ss.wal != nil {
+				res.Stats.WALAppends += ss.wal.appends
+			}
 			for item, v := range ss.values {
 				res.Values[item] = v
 			}
@@ -308,36 +343,42 @@ var harnessTimeout = 2 * time.Second
 // timer is re-armed across all iterations — time.After here would
 // allocate two uncollected timers per poll, five thousand polls deep on a
 // busy cluster.
-func (cl *cluster) quiesce() bool {
+func (cl *cluster) quiesce() (bool, string) {
 	guard := time.NewTimer(harnessTimeout)
 	defer guard.Stop()
 	boxes := cl.protocolBoxes()
+	var unquiet string
 	for i := 0; i < 5000; i++ {
 		quietAll := true
+		unquiet = ""
 		for _, b := range boxes {
 			reply := make(chan bool, 1)
 			rearm(guard, harnessTimeout)
 			select {
 			case b.ch <- quiesceMsg{reply: reply}:
 			case <-guard.C:
-				return false
+				return false, fmt.Sprintf("site %v unresponsive", b.owner)
 			}
 			rearm(guard, harnessTimeout)
 			select {
 			case quiet := <-reply:
 				if !quiet {
 					quietAll = false
+					if unquiet != "" {
+						unquiet += ", "
+					}
+					unquiet += fmt.Sprint(b.owner)
 				}
 			case <-guard.C:
-				return false
+				return false, fmt.Sprintf("site %v unresponsive", b.owner)
 			}
 		}
 		if quietAll {
-			return true
+			return true, ""
 		}
 		time.Sleep(time.Millisecond)
 	}
-	return false
+	return false, unquiet
 }
 
 // rearm restarts a timer for its next wait: Stop, drain a fire that may

@@ -58,8 +58,12 @@ func TestQuiesceWedgedServerTimesOut(t *testing.T) {
 	defer func() { harnessTimeout = old }()
 
 	start := time.Now()
-	if cl.quiesce() {
+	quiet, unquiet := cl.quiesce()
+	if quiet {
 		t.Fatal("quiesce reported quiet with no server running")
+	}
+	if unquiet == "" {
+		t.Fatal("failed quiesce did not name the unquiet site")
 	}
 	if e := time.Since(start); e > 5*time.Second {
 		t.Fatalf("quiesce took %v to give up; want roughly the %v harness timeout", e, harnessTimeout)

@@ -75,12 +75,24 @@ type Config struct {
 	// reached their commit target within it, Run fails with a stall
 	// error. Zero means the two-minute default.
 	StallTimeout time.Duration
-	// Chaos injects link faults (reorder, duplicate, jitter, drop); the
-	// zero value leaves the network well-behaved.
+	// Chaos injects link faults (reorder, duplicate, jitter, drop,
+	// partition windows); the zero value leaves the network well-behaved.
 	Chaos ChaosConfig
-	// ARQ tunes the retransmission layer that masks Chaos.Drop; it is
-	// engaged only when Drop > 0 and not Disabled. See ARQConfig.
+	// ARQ tunes the retransmission layer that masks Chaos.Drop and heals
+	// Chaos.Partition windows; it is engaged only when Drop > 0 or
+	// Partition is configured, and not Disabled. See ARQConfig.
 	ARQ ARQConfig
+	// WAL turns on the shard sites' write-ahead log: prepare records are
+	// appended (and synced through the fsync seam) before a yes vote
+	// leaves the site, decision records before a commit installs, so a
+	// crashed site can redo committed writes and re-derive its 2PC
+	// participant state. Required by Crash; usable alone to measure the
+	// logging cost. Sharded clusters only.
+	WAL bool
+	// Crash injects shard-site crash-restart faults: between two protocol
+	// messages a site may lose all volatile state and rejoin by replaying
+	// its WAL. Requires WAL and a sharded cluster. See CrashConfig.
+	Crash CrashConfig
 	// Shards > 1 splits the lock space across that many range-partitioned
 	// lock-server shard sites with a 2PC commit coordinator (s-2PL only);
 	// Shards <= 1 keeps the classic single server.
@@ -145,11 +157,20 @@ func (c Config) Validate() error {
 		return fmt.Errorf("live: unknown victim policy %d", int(c.Victim))
 	case c.Deadlock < protocol.PolicyDetect || c.Deadlock > protocol.PolicyWoundWait:
 		return fmt.Errorf("live: unknown deadlock policy %d", int(c.Deadlock))
+	case c.WAL && c.Shards <= 1:
+		return fmt.Errorf("live: WAL requires a sharded cluster")
+	case c.Crash.enabled() && c.Shards <= 1:
+		return fmt.Errorf("live: Crash requires a sharded cluster")
+	case c.Crash.enabled() && !c.WAL:
+		return fmt.Errorf("live: Crash requires WAL — without redo, committed writes die with the site")
 	}
 	if err := c.Chaos.validate(); err != nil {
 		return err
 	}
 	if err := c.ARQ.validate(); err != nil {
+		return err
+	}
+	if err := c.Crash.validate(); err != nil {
 		return err
 	}
 	return c.effectiveWorkload().Validate()
@@ -176,6 +197,8 @@ type Stats struct {
 	// Reliability counters: what chaos did to the wire and what the ARQ
 	// layer did about it. All zero on a well-behaved network.
 	Dropped         int64 // transmissions lost to Chaos.Drop
+	PartitionDrops  int64 // transmissions killed inside partition windows
+	Quarantined     int64 // retransmit fires deferred by link quarantine
 	Retransmits     int64 // envelopes re-sent by the RTO timer
 	AcksSent        int64 // standalone cumulative acks transmitted
 	AcksCoalesced   int64 // ack-worthy arrivals absorbed by a pending ack
@@ -183,6 +206,12 @@ type Stats struct {
 	// MaxRTO is the longest retransmission timeout any link actually
 	// waited out; zero means no retransmission was ever needed.
 	MaxRTO time.Duration
+
+	// Failure-recovery counters: crash-restart faults and the WAL work
+	// that survived them. All zero without Config.Crash / Config.WAL.
+	Crashes     int64 // shard-site crash-restarts injected
+	WALAppends  int64 // records appended (and synced) to shard WALs
+	WALReplayed int64 // records replayed by redo passes after crashes
 
 	// TwoPC holds the coordinator's per-phase counters on a sharded run;
 	// all zero on a single-server cluster.
@@ -418,10 +447,11 @@ type network struct {
 	policy  *linkPolicy // nil: well-behaved links
 	arq     *arq        // nil: no retransmission layer
 
-	mu      sync.Mutex
-	msgs    int64
-	dropped int64
-	seqs    map[linkKey]uint64
+	mu       sync.Mutex
+	msgs     int64
+	dropped  int64
+	partDrop int64
+	seqs     map[linkKey]uint64
 
 	wg sync.WaitGroup
 }
@@ -462,23 +492,33 @@ func (n *network) send(src, dst ids.Client, m message) {
 // between stamp and delivery. A dropped transmission is counted and
 // discarded; a duplicated one is enqueued twice. Drop and duplicate are
 // independent: the duplicate copy of a dropped transmission still
-// arrives.
+// arrives. A partition window is not independent of anything — the link
+// itself is down, so both copies are lost.
 func (n *network) transmit(k linkKey, m message) {
+	now := time.Now()
 	var d directive
 	if n.policy != nil {
-		d = n.policy.roll(k)
+		d = n.policy.roll(k, now)
 	}
 	n.mu.Lock()
 	n.msgs++
 	if d.duplicate {
 		n.msgs++
 	}
+	if d.partitioned {
+		n.partDrop++
+		if d.duplicate {
+			n.partDrop++
+		}
+		n.mu.Unlock()
+		return
+	}
 	if d.drop {
 		n.dropped++
 	}
 	n.mu.Unlock()
 
-	at := time.Now().Add(n.latency + d.jitter)
+	at := now.Add(n.latency + d.jitter)
 	box := n.lookup(k.dst)
 	if !d.drop {
 		n.wg.Add(1)
@@ -500,6 +540,21 @@ func (n *network) dropCount() int64 {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	return n.dropped
+}
+
+func (n *network) partDropCount() int64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.partDrop
+}
+
+// linkDown reports how much longer link k stays inside a partition
+// window (zero: the link is up, or no partition chaos is configured).
+func (n *network) linkDown(k linkKey) time.Duration {
+	if n.policy == nil {
+		return 0
+	}
+	return n.policy.downFor(k, time.Now())
 }
 
 // auditLog is a concurrency-safe wrapper over history.Log.

@@ -48,6 +48,20 @@ func TestValidate(t *testing.T) {
 		func(c *Config) { c.ARQ = ARQConfig{RTO: 10 * time.Millisecond, MaxRTO: time.Millisecond} },
 		func(c *Config) { c.ARQ.RetransmitCap = -1 },
 		func(c *Config) { c.ARQ.AckDelay = -time.Microsecond },
+		func(c *Config) { c.Chaos.Partition.Prob = -0.1 },
+		func(c *Config) { c.Chaos.Partition.Prob = 1.5 },
+		func(c *Config) { c.Chaos.Partition = PartitionConfig{Prob: 0.5, Down: -time.Millisecond} },
+		func(c *Config) {
+			c.Chaos.Partition = PartitionConfig{Prob: 0.5, Down: 10 * time.Millisecond, Every: 5 * time.Millisecond}
+		},
+		func(c *Config) { c.Crash.Prob = -0.1 },
+		func(c *Config) { c.Crash.Prob = 1.5 },
+		func(c *Config) { c.Crash.Max = -1 },
+		// WAL and Crash are sharded-mode features: a single-site run has no
+		// shard sites to log or crash.
+		func(c *Config) { c.WAL = true },
+		func(c *Config) { c.Shards = 2; c.Crash = CrashConfig{Prob: 0.1}; c.WAL = false },
+		func(c *Config) { c.Crash = CrashConfig{Prob: 0.1}; c.WAL = true },
 	}
 	for i, mut := range cases {
 		cfg := testConfig(S2PL)

@@ -124,13 +124,14 @@ func TestChaosPolicyDeterministic(t *testing.T) {
 	b := newLinkPolicy(chaos, 7)
 	other := newLinkPolicy(chaos, 8)
 	k := linkKey{src: ids.Server, dst: 3}
+	now := time.Now()
 	same, diff := 0, 0
 	for i := 0; i < 200; i++ {
-		da, db := a.roll(k), b.roll(k)
+		da, db := a.roll(k, now), b.roll(k, now)
 		if da != db {
 			t.Fatalf("roll %d diverged for identical seeds: %+v vs %+v", i, da, db)
 		}
-		if da == other.roll(k) {
+		if da == other.roll(k, now) {
 			same++
 		} else {
 			diff++
@@ -152,9 +153,10 @@ func TestChaosDropIndependentStream(t *testing.T) {
 	a := newLinkPolicy(base, 7)
 	b := newLinkPolicy(withDrop, 7)
 	k := linkKey{src: ids.Server, dst: 3}
+	now := time.Now()
 	drops := 0
 	for i := 0; i < 500; i++ {
-		da, db := a.roll(k), b.roll(k)
+		da, db := a.roll(k, now), b.roll(k, now)
 		if da.displace != db.displace || da.duplicate != db.duplicate || da.jitter != db.jitter {
 			t.Fatalf("roll %d: enabling Drop shifted other fault decisions: %+v vs %+v", i, da, db)
 		}
@@ -179,15 +181,31 @@ func TestChaosConfigValidate(t *testing.T) {
 		{Jitter: -time.Second},
 		{Drop: -0.1},
 		{Drop: 1.5},
+		{Partition: PartitionConfig{Prob: -0.1}},
+		{Partition: PartitionConfig{Prob: 1.1}},
+		{Partition: PartitionConfig{Prob: 0.5, Down: -time.Millisecond}},
+		{Partition: PartitionConfig{Prob: 0.5, Down: 0, Every: -time.Second}},
+		// Every must exceed Down: a window that never closes can't heal.
+		{Partition: PartitionConfig{Prob: 0.5, Down: 10 * time.Millisecond, Every: 5 * time.Millisecond}},
+		{Partition: PartitionConfig{Prob: 0.5, Down: 10 * time.Millisecond, Every: 10 * time.Millisecond}},
 	}
 	for i, c := range bad {
 		if c.validate() == nil {
 			t.Errorf("case %d: invalid chaos config %+v accepted", i, c)
 		}
 	}
-	ok := ChaosConfig{Reorder: 1, Duplicate: 1, Jitter: time.Second, Drop: 1}
+	ok := ChaosConfig{Reorder: 1, Duplicate: 1, Jitter: time.Second, Drop: 1,
+		Partition: PartitionConfig{Prob: 1, Down: time.Millisecond, Every: time.Second}}
 	if err := ok.validate(); err != nil {
 		t.Errorf("valid chaos config rejected: %v", err)
+	}
+	// Zero Every is legal: withDefaults resolves it to 10×Down.
+	zeroEvery := PartitionConfig{Prob: 1, Down: 3 * time.Millisecond}
+	if err := (ChaosConfig{Partition: zeroEvery}).validate(); err != nil {
+		t.Errorf("partition config with default Every rejected: %v", err)
+	}
+	if got := zeroEvery.withDefaults().Every; got != 30*time.Millisecond {
+		t.Errorf("withDefaults Every = %v, want 10×Down = 30ms", got)
 	}
 	if (ChaosConfig{}).enabled() {
 		t.Error("zero chaos config reports enabled")
@@ -197,6 +215,82 @@ func TestChaosConfigValidate(t *testing.T) {
 	}
 	if !(ChaosConfig{Drop: 0.1}).enabled() {
 		t.Error("drop-only chaos config reports disabled")
+	}
+	if !(ChaosConfig{Partition: PartitionConfig{Prob: 0.1, Down: time.Millisecond}}).enabled() {
+		t.Error("partition-only chaos config reports disabled")
+	}
+	if (ChaosConfig{Partition: PartitionConfig{Prob: 0.1}}).enabled() {
+		t.Error("partition config with zero Down reports enabled")
+	}
+}
+
+// TestChaosPartitionIndependentStream pins that enabling Partition does
+// not shift the reorder/duplicate/jitter/drop decisions of an otherwise
+// identical seeded run: partition placement draws from its own split.
+func TestChaosPartitionIndependentStream(t *testing.T) {
+	base := ChaosConfig{Reorder: 0.3, Duplicate: 0.2, Jitter: time.Millisecond, Drop: 0.3}
+	withPart := base
+	withPart.Partition = PartitionConfig{Prob: 1, Down: time.Hour, Every: 2 * time.Hour}
+	a := newLinkPolicy(base, 7)
+	b := newLinkPolicy(withPart, 7)
+	k := linkKey{src: ids.Server, dst: 3}
+	start := time.Now()
+	parts := 0
+	for i := 0; i < 500; i++ {
+		// Sweep now across more than one full window cycle so the rolls
+		// sample both in-window and up-time instants whatever the phase.
+		now := start.Add(time.Duration(i) * 15 * time.Second)
+		da, db := a.roll(k, now), b.roll(k, now)
+		if da.displace != db.displace || da.duplicate != db.duplicate ||
+			da.jitter != db.jitter || da.drop != db.drop {
+			t.Fatalf("roll %d: enabling Partition shifted other fault decisions: %+v vs %+v", i, da, db)
+		}
+		if da.partitioned {
+			t.Fatalf("roll %d: policy without Partition rolled a window", i)
+		}
+		if db.partitioned {
+			parts++
+		}
+	}
+	if parts == 0 {
+		t.Fatal("Prob=1 hour-long window never marked a transmission partitioned")
+	}
+}
+
+// TestChaosLinkStreamsOrderIndependent pins the per-link stream
+// derivation: a link's fault sequence must depend only on the seed and
+// the link's endpoints, never on which links happened to transmit first.
+// Two policies with the same seed but opposite first-touch order must
+// still agree on every link's directives.
+func TestChaosLinkStreamsOrderIndependent(t *testing.T) {
+	chaos := ChaosConfig{Reorder: 0.4, Duplicate: 0.3, Jitter: time.Millisecond, Drop: 0.2,
+		Partition: PartitionConfig{Prob: 0.5, Down: time.Hour, Every: 2 * time.Hour}}
+	a := newLinkPolicy(chaos, 7)
+	b := newLinkPolicy(chaos, 7)
+	ka := linkKey{src: ids.Server, dst: 1}
+	kb := linkKey{src: 2, dst: ids.Server}
+	now := time.Now()
+	// Touch the links in opposite orders, interleaving draws.
+	var seqA, seqB []directive
+	for i := 0; i < 100; i++ {
+		seqA = append(seqA, a.roll(ka, now))
+		a.roll(kb, now)
+	}
+	for i := 0; i < 100; i++ {
+		b.roll(kb, now)
+		seqB = append(seqB, b.roll(ka, now))
+	}
+	for i := range seqA {
+		if seqA[i] != seqB[i] {
+			t.Fatalf("roll %d on %v diverged with different link first-touch order: %+v vs %+v",
+				i, ka, seqA[i], seqB[i])
+		}
+	}
+	// The partition oracle must agree too (same affliction and phase; the
+	// exact remaining time differs by the policies' creation-epoch delta,
+	// so compare only in-window state).
+	if da, db := a.downFor(ka, now), b.downFor(ka, now); (da > 0) != (db > 0) {
+		t.Fatalf("downFor diverged with different first-touch order: %v vs %v", da, db)
 	}
 }
 

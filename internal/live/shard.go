@@ -6,6 +6,7 @@ import (
 	"repro/internal/history"
 	"repro/internal/ids"
 	"repro/internal/protocol"
+	"repro/internal/rng"
 )
 
 // Sharded s-2PL messages (DESIGN.md §13). They ride the same chaos-proof
@@ -66,11 +67,22 @@ type (
 	abortDoneMsg struct {
 		txn ids.Txn
 	}
+	// restartMsg announces a shard site's crash-restart to every client:
+	// transactions with ungranted or unprepared state there were
+	// forgotten and must abort instead of waiting forever on grants that
+	// will never come. Prepared transactions were recovered from the WAL
+	// and are resolved by their 2PC round, so committing clients ignore
+	// the announcement.
+	restartMsg struct {
+		shard int
+	}
 )
 
 // shardSite is one lock-server shard: a goroutine owning one partition of
 // the item space — its locks (a protocol.Participant) and its slice of
-// the versioned store. All state is owned by the site goroutine.
+// the versioned store. All state is owned by the site goroutine. The
+// participant and store are volatile — a crash fault discards them — and
+// only the WAL survives a crash (DESIGN.md §15).
 type shardSite struct {
 	cl   *cluster
 	idx  int
@@ -79,6 +91,13 @@ type shardSite struct {
 
 	versions map[ids.Item]ids.Txn
 	values   map[ids.Item]int64
+
+	// Failure machinery: nil wal means no logging, nil crashRng means no
+	// crash faults. The counters feed Stats after shutdown.
+	wal      *wal
+	crashRng *rng.Stream
+	crashes  int64
+	replayed int64
 }
 
 func newShardSite(cl *cluster, idx int) *shardSite {
@@ -93,14 +112,27 @@ func newShardSite(cl *cluster, idx int) *shardSite {
 		versions: make(map[ids.Item]ids.Txn),
 		values:   make(map[ids.Item]int64),
 	}
-	if cl.cfg.InitialBalance != 0 {
-		for i := 0; i < cl.cfg.Workload.Items; i++ {
-			if cl.smap.Of(ids.Item(i)) == idx {
-				ss.values[ids.Item(i)] = cl.cfg.InitialBalance
-			}
+	if cl.cfg.WAL {
+		ss.wal = &wal{}
+	}
+	if cl.cfg.Crash.enabled() {
+		ss.crashRng = newCrashStream(cl.cfg.Seed, idx)
+	}
+	ss.seedBalances()
+	return ss
+}
+
+// seedBalances installs the initial per-item balances of a Bank run —
+// the store's time-zero state, re-applied before a WAL redo pass.
+func (ss *shardSite) seedBalances() {
+	if ss.cl.cfg.InitialBalance == 0 {
+		return
+	}
+	for i := 0; i < ss.cl.cfg.Workload.Items; i++ {
+		if ss.cl.smap.Of(ids.Item(i)) == ss.idx {
+			ss.values[ids.Item(i)] = ss.cl.cfg.InitialBalance
 		}
 	}
-	return ss
 }
 
 func (ss *shardSite) loop() {
@@ -109,8 +141,12 @@ func (ss *shardSite) loop() {
 		case <-ss.cl.stopc:
 			return
 		case m := <-ss.mbox.ch:
+			crashable := true
 			switch msg := m.(type) {
 			case quiesceMsg:
+				// The harness probe is not a protocol message; crashing on
+				// it would let the quiesce loop itself induce faults.
+				crashable = false
 				msg.reply <- ss.part.Quiet()
 			case reqMsg:
 				ss.shardRequest(msg)
@@ -123,7 +159,54 @@ func (ss *shardSite) loop() {
 			default:
 				panic(fmt.Sprintf("live: shard %d got unexpected %T", ss.idx, m))
 			}
+			if crashable {
+				ss.maybeCrash()
+			}
 		}
+	}
+}
+
+// maybeCrash rolls the crash fault after one protocol message. The
+// crash point sits between messages, never inside one, so a WAL append
+// is always atomic with the state transition it logs — the contract a
+// torn-write-detecting on-disk log would restore.
+func (ss *shardSite) maybeCrash() {
+	if ss.crashRng == nil || ss.crashes >= ss.cl.cfg.Crash.max() {
+		return
+	}
+	if !ss.crashRng.Bool(ss.cl.cfg.Crash.Prob) {
+		return
+	}
+	ss.crashRestart()
+}
+
+// crashRestart is the fault itself: every piece of volatile state —
+// participant (locks, queues, votes), versions, values — is discarded
+// and rebuilt from the WAL. Committed writes are redone, in-doubt
+// transactions (logged prepares without a logged decision) re-enter the
+// prepared state with their locks adopted, and every client is told the
+// site restarted so transactions with forgotten state here abort
+// promptly. The transport state (sequence numbers, resequencers, ARQ
+// buffers) deliberately survives: the modeled fault is a database
+// process crash behind a reliable session layer, so in-flight votes and
+// decisions still arrive exactly once.
+func (ss *shardSite) crashRestart() {
+	ss.crashes++
+	ss.part = protocol.NewParticipant(ss.idx, ss.cl.cfg.Victim, ss.cl.cfg.Deadlock)
+	ss.versions = make(map[ids.Item]ids.Txn)
+	ss.values = make(map[ids.Item]int64)
+	ss.seedBalances()
+	indoubt, replayed := ss.wal.replay(ss.versions, ss.values)
+	ss.replayed += replayed
+	if len(indoubt) > 0 {
+		recs := make([]protocol.RecoveredTxn, len(indoubt))
+		for i, r := range indoubt {
+			recs[i] = protocol.RecoveredTxn{Txn: r.txn, Client: r.client, Ts: r.ts, Locks: r.locks}
+		}
+		ss.part.Recover(recs)
+	}
+	for i := 0; i < ss.cl.cfg.Clients; i++ {
+		ss.cl.net.send(ids.ShardSite(ss.idx), ids.Client(i), restartMsg{shard: ss.idx})
 	}
 }
 
@@ -139,18 +222,50 @@ func (ss *shardSite) shardRelease(m releaseMsg) {
 	if !m.aborted {
 		panic(fmt.Sprintf("live: shard %d got a commit release for %v; commits ride decisions", ss.idx, m.txn))
 	}
+	if ss.wal != nil && ss.part.Prepared(m.txn) {
+		// The client's abort release can overtake the coordinator's abort
+		// decision (different links). A client only unwinds a transaction
+		// whose round is abort-decided, so the release carries the same
+		// authority — and it must leave the same log record, or a crash
+		// would replay the logged prepare as in-doubt and re-adopt locks
+		// the unwind already freed (conflicting with their next holder).
+		ss.wal.append(walRecord{kind: walDecide, txn: m.txn, commit: false})
+	}
 	ss.applyShard(ss.part.ClientAbort(m.txn))
 }
 
 func (ss *shardSite) shardPrepare(m prepareMsg) {
-	ss.applyShard(ss.part.Prepare(m.txn))
+	was := ss.part.Prepared(m.txn)
+	acts := ss.part.Prepare(m.txn)
+	if ss.wal != nil && !was && ss.part.Prepared(m.txn) {
+		// WAL before wire: once the yes vote leaves (applyShard below),
+		// the coordinator may decide commit, so the prepared state — and
+		// the locks pinning that decision's install — must already be
+		// durable.
+		snap := ss.part.PreparedSnapshot(m.txn)
+		ss.wal.append(walRecord{
+			kind: walPrepare, txn: m.txn, client: snap.Client, ts: snap.Ts, locks: snap.Locks,
+		})
+	}
+	ss.applyShard(acts)
 }
 
 // shardDecide applies the coordinator's decision. Commit writes install
 // only while the shard still carries the transaction — a duplicate or
 // presumed-abort decision must change nothing.
 func (ss *shardSite) shardDecide(m decisionMsg) {
-	if m.commit && ss.part.Involved(m.txn) {
+	install := m.commit && ss.part.Involved(m.txn)
+	if ss.wal != nil && (install || (!m.commit && ss.part.Prepared(m.txn))) {
+		// Commit installs are redone from this record. Aborts are logged
+		// only for prepared transactions: that is exactly what lets redo
+		// tell a decided transaction from an in-doubt one.
+		var writes []writeUpdate
+		if install {
+			writes = m.writes
+		}
+		ss.wal.append(walRecord{kind: walDecide, txn: m.txn, commit: m.commit, writes: writes})
+	}
+	if install {
 		for _, w := range m.writes {
 			ss.versions[w.item] = m.txn
 			ss.values[w.item] = w.value
@@ -208,10 +323,17 @@ func newCoordSite(cl *cluster) *coordSite {
 	mbox := newMailbox(16 * cl.cfg.Clients)
 	mbox.owner = ids.Coordinator
 	mbox.arq = cl.net.arq
+	coord := protocol.NewCoordinator(cl.cfg.Victim, cl.cfg.Deadlock)
+	if cl.cfg.Crash.enabled() {
+		// One-phase commit is not crash-durable (see SetAlwaysPrepare):
+		// under crash faults every commit runs a voting round, so the
+		// prepared state pinning its install is always WAL-logged.
+		coord.SetAlwaysPrepare(true)
+	}
 	return &coordSite{
 		cl:      cl,
 		mbox:    mbox,
-		coord:   protocol.NewCoordinator(cl.cfg.Victim, cl.cfg.Deadlock),
+		coord:   coord,
 		pending: make(map[ids.Txn]commitReqMsg),
 	}
 }

@@ -21,11 +21,18 @@ type Network struct {
 	kernel  *sim.Kernel
 	latency sim.Time
 
+	// Outage window [outageFrom, outageTo) in simulated time. The zero
+	// value (0, 0) fails the from<to guard, so an unconfigured network
+	// behaves exactly as before — the golden trajectories pin that.
+	outageFrom sim.Time
+	outageTo   sim.Time
+
 	// Counters. A "hop" is one message transfer; the round structure is
 	// protocol-level and tracked by the engines, but total hops are a
 	// network-level fact.
 	Messages int64 // total messages delivered
 	Bytes    int64 // total abstract payload units carried
+	Held     int64 // messages caught by the outage window and held to heal
 }
 
 // New returns a network over the given kernel with the given one-way
@@ -41,6 +48,19 @@ func New(k *sim.Kernel, latency sim.Time) *Network {
 // Latency returns the one-way message latency.
 func (n *Network) Latency() sim.Time { return n.latency }
 
+// SetOutage installs a partition window: messages sent at a time in
+// [from, to) are held and delivered one latency after the heal point, in
+// send order — the DES abstraction of a reliable transport retransmitting
+// across the partition (no message is lost, all are late; DESIGN.md §15).
+// The window must be well-formed; from >= to panics rather than silently
+// modeling nothing.
+func (n *Network) SetOutage(from, to sim.Time) {
+	if from < 0 || to <= from {
+		panic(fmt.Sprintf("netmodel: outage window [%d, %d) is empty or negative", from, to))
+	}
+	n.outageFrom, n.outageTo = from, to
+}
+
 // Send schedules deliver to run one latency from now and counts the
 // message. size is the abstract payload size (the paper argues size is
 // irrelevant at gigabit rates; we count it anyway so experiments can show
@@ -50,7 +70,15 @@ func (n *Network) Latency() sim.Time { return n.latency }
 func (n *Network) Send(size int, label string, deliver func()) {
 	n.Messages++
 	n.Bytes += int64(size)
-	n.kernel.AfterLabeled(n.latency, label, deliver)
+	delay := n.latency
+	if n.outageTo > n.outageFrom {
+		if now := n.kernel.Now(); now >= n.outageFrom && now < n.outageTo {
+			// In the window: hold to the heal point, then one latency.
+			delay = n.outageTo - now + n.latency
+			n.Held++
+		}
+	}
+	n.kernel.AfterLabeled(delay, label, deliver)
 }
 
 // Environment is a named row of the paper's Table 2.

@@ -76,6 +76,80 @@ func TestLatenciesAscending(t *testing.T) {
 	}
 }
 
+// TestOutageHoldsToHeal pins the partition semantics: a message sent
+// inside the window lands one latency after the heal point; sends before
+// and after the window are untouched; Held counts only the caught ones.
+func TestOutageHoldsToHeal(t *testing.T) {
+	k := sim.New()
+	n := New(k, 10)
+	n.SetOutage(100, 200)
+	arrivals := map[string]sim.Time{}
+	stamp := func(name string) func() {
+		return func() { arrivals[name] = k.Now() }
+	}
+	k.At(50, func() { n.Send(1, "before", stamp("before")) })
+	k.At(100, func() { n.Send(1, "edgeIn", stamp("edgeIn")) })
+	k.At(150, func() { n.Send(1, "mid", stamp("mid")) })
+	k.At(199, func() { n.Send(1, "lateIn", stamp("lateIn")) })
+	k.At(200, func() { n.Send(1, "after", stamp("after")) })
+	k.Run()
+	want := map[string]sim.Time{
+		"before": 60,  // clear of the window
+		"edgeIn": 210, // from is inclusive: held to 200, +latency
+		"mid":    210,
+		"lateIn": 210,
+		"after":  210, // to is exclusive: normal delivery, 200+10
+	}
+	for name, w := range want {
+		if arrivals[name] != w {
+			t.Fatalf("%s delivered at %d, want %d (all: %v)", name, arrivals[name], w, arrivals)
+		}
+	}
+	if n.Held != 3 {
+		t.Fatalf("Held = %d, want 3", n.Held)
+	}
+}
+
+// TestOutageHeldSendsPreserveOrder: messages caught by the same window
+// share a heal-point delivery time and must drain in send order — the
+// resequencing a real ARQ provides.
+func TestOutageHeldSendsPreserveOrder(t *testing.T) {
+	k := sim.New()
+	n := New(k, 5)
+	n.SetOutage(10, 40)
+	var order []int
+	for i := 0; i < 3; i++ {
+		i := i
+		k.At(sim.Time(10+i*5), func() {
+			n.Send(1, "held", func() { order = append(order, i) })
+		})
+	}
+	k.Run()
+	if len(order) != 3 {
+		t.Fatalf("delivered %d of 3 held messages: %v", len(order), order)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("held messages reordered: %v", order)
+		}
+	}
+}
+
+// TestSetOutageRejectsEmptyWindow: a malformed window must fail loudly at
+// configuration time, not silently model an always-up network.
+func TestSetOutageRejectsEmptyWindow(t *testing.T) {
+	for _, w := range []struct{ from, to sim.Time }{{-1, 5}, {5, 5}, {9, 3}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("SetOutage(%d, %d) did not panic", w.from, w.to)
+				}
+			}()
+			New(sim.New(), 1).SetOutage(w.from, w.to)
+		}()
+	}
+}
+
 func TestSequentialSendsPreserveOrder(t *testing.T) {
 	k := sim.New()
 	n := New(k, 5)

@@ -89,8 +89,26 @@ type Coordinator struct {
 	blocked  map[ids.Txn]*coordBlocked
 	pending  map[ids.Txn]*coordPending
 	aborted  map[ids.Txn]bool // victims awaiting the client's AbortDone
-	tpc      stats.TwoPC
-	causes   stats.AbortCauses
+	// alwaysPrepare forces a voting round even for single-shard
+	// transactions. One-phase commit is a pure latency win on a reliable
+	// cluster, but it is not crash-durable: an acknowledged commit whose
+	// decision is still in flight to a crashing shard vanishes — the
+	// restarted site has no prepared (WAL-logged) state to pin the
+	// install on, and presumed abort makes it skip the writes. Drivers
+	// running crash faults set this.
+	alwaysPrepare bool
+	// done tombstones finished transactions (replied rounds and completed
+	// abort unwinds). Transaction ids are never reused, so a block report
+	// arriving for a done transaction is necessarily stale — the signature
+	// case is a report from a shard that crash-restarted before sending
+	// the paired clear, arriving after the client's AbortDone. Without the
+	// tombstone that report would sit in the blocked set forever (no
+	// clear is coming from a site that forgot it sent the report) and the
+	// coordinator could even victim the dead transaction, leaving an
+	// aborted mark no AbortDone will ever close.
+	done   map[ids.Txn]bool
+	tpc    stats.TwoPC
+	causes stats.AbortCauses
 }
 
 // NewCoordinator returns an empty commit coordinator using the given
@@ -106,6 +124,7 @@ func NewCoordinator(policy VictimPolicy, deadlock DeadlockPolicy) *Coordinator {
 		blocked:  make(map[ids.Txn]*coordBlocked),
 		pending:  make(map[ids.Txn]*coordPending),
 		aborted:  make(map[ids.Txn]bool),
+		done:     make(map[ids.Txn]bool),
 	}
 }
 
@@ -117,7 +136,7 @@ func (c *Coordinator) Blocked(txn ids.Txn, client ids.Client, epoch, held int, w
 	if c.deadlock.Avoidance() {
 		return nil // avoidance: no global graph, nothing to assemble
 	}
-	if c.pending[txn] != nil || c.aborted[txn] {
+	if c.pending[txn] != nil || c.aborted[txn] || c.done[txn] {
 		return nil
 	}
 	if prev := c.blocked[txn]; prev != nil && prev.epoch >= epoch {
@@ -145,7 +164,7 @@ func (c *Coordinator) Blocked(txn ids.Txn, client ids.Client, epoch, held int, w
 // may be chosen over the fallback requester.
 func (c *Coordinator) victimInfo(id ids.Txn) (alive bool, held int) {
 	b := c.blocked[id]
-	if b == nil || c.pending[id] != nil || c.aborted[id] {
+	if b == nil || c.pending[id] != nil || c.aborted[id] || c.done[id] {
 		return false, 0
 	}
 	return true, b.held
@@ -195,10 +214,10 @@ func (c *Coordinator) dropEdges(txn ids.Txn) {
 
 // CommitRequest starts the commit of a fully-granted transaction touching
 // the given shards. A single-shard transaction commits in one phase — the
-// decision ships with the request's reply and no vote is collected; a
-// cross-shard transaction enters its voting round. A request racing a
-// victim abort is answered with an abort reply, which the client (already
-// unwinding) ignores.
+// decision ships with the request's reply and no vote is collected —
+// unless alwaysPrepare is set; a cross-shard transaction enters its
+// voting round. A request racing a victim abort is answered with an
+// abort reply, which the client (already unwinding) ignores.
 func (c *Coordinator) CommitRequest(txn ids.Txn, client ids.Client, shards []int) []CoordAction {
 	if c.pending[txn] != nil {
 		return nil // duplicate request; the voting round is underway
@@ -215,7 +234,7 @@ func (c *Coordinator) CommitRequest(txn ids.Txn, client ids.Client, shards []int
 		c.tpc.Aborts++
 		return c.decide(nil, txn, nil, false, client, true)
 	}
-	if len(shards) == 1 {
+	if len(shards) == 1 && !c.alwaysPrepare {
 		c.tpc.OnePhase++
 		c.tpc.Commits++
 		return c.decide(nil, txn, shards, true, client, true)
@@ -279,6 +298,7 @@ func (c *Coordinator) Vote(txn ids.Txn, shard int, yes bool) []CoordAction {
 // dies here with abort decisions to its shards — the client is already
 // gone, so no reply is sent.
 func (c *Coordinator) AbortDone(txn ids.Txn) []CoordAction {
+	c.done[txn] = true
 	c.dropEdges(txn)
 	delete(c.aborted, txn)
 	p := c.pending[txn]
@@ -309,6 +329,11 @@ func (c *Coordinator) Timeout(txn ids.Txn) []CoordAction {
 // plus, when reply is set, the client's CoordReply — the single funnel
 // every coordinator decision routes through (repolint pins its callers).
 func (c *Coordinator) decide(acts []CoordAction, txn ids.Txn, shards []int, commit bool, client ids.Client, reply bool) []CoordAction {
+	if reply {
+		// The round is over for this transaction; tombstone it so stale
+		// block reports (a crashed shard's unretracted report) bounce.
+		c.done[txn] = true
+	}
 	for _, s := range shards {
 		acts = append(acts, CoordAction{Kind: CoordDecide, Txn: txn, Shard: s, Commit: commit})
 	}
@@ -317,6 +342,11 @@ func (c *Coordinator) decide(acts []CoordAction, txn ids.Txn, shards []int, comm
 	}
 	return acts
 }
+
+// SetAlwaysPrepare forces voting rounds for single-shard transactions
+// (see the alwaysPrepare field: one-phase commit is not crash-durable).
+// Call before the first CommitRequest.
+func (c *Coordinator) SetAlwaysPrepare(v bool) { c.alwaysPrepare = v }
 
 // Quiet reports whether no voting round, block report or victim unwind is
 // in flight — the live cluster's coordinator quiescence condition.

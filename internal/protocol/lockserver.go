@@ -1,6 +1,8 @@
 package protocol
 
 import (
+	"slices"
+
 	"repro/internal/ids"
 	"repro/internal/lock"
 	"repro/internal/stats"
@@ -286,6 +288,56 @@ func (s *LockServer) CancelBlocked(txn ids.Txn) []LockAction {
 // empty — the live cluster's quiescence condition.
 func (s *LockServer) Quiet() bool {
 	return len(s.blocked) == 0 && s.waits.Edges() == 0
+}
+
+// HeldLocks returns txn's currently held locks in ascending item order —
+// the durable snapshot a 2PC driver logs before a yes vote leaves.
+func (s *LockServer) HeldLocks(txn ids.Txn) []RecoveredLock {
+	held := s.locks.HeldBy(txn)
+	items := make([]ids.Item, 0, len(held))
+	//repolint:allow maprange -- keys are sorted before use
+	for item := range held {
+		items = append(items, item)
+	}
+	slices.Sort(items)
+	out := make([]RecoveredLock, len(items))
+	for i, item := range items {
+		out[i] = RecoveredLock{Item: item, Write: held[item] == lock.Exclusive}
+	}
+	return out
+}
+
+// ClientOf returns the client that issued txn's requests (zero when the
+// core has forgotten or never seen it).
+func (s *LockServer) ClientOf(txn ids.Txn) ids.Client { return s.client[txn] }
+
+// Ts returns txn's priority timestamp, defaulting to its id.
+func (s *LockServer) Ts(txn ids.Txn) ids.Txn { return s.tsOf(txn) }
+
+// Adopt reinstates a recovered transaction's locks on a freshly built
+// core: live again, shielded (it voted yes and must survive to the
+// decision), and every logged lock re-acquired. Adoption runs before the
+// restarted core sees any request, so the table holds only other adopted
+// transactions' locks — which a prepared set can never conflict with
+// (two prepared exclusives on one item cannot have coexisted). A blocked
+// acquisition is therefore a recovery bug, not a protocol outcome.
+func (s *LockServer) Adopt(txn ids.Txn, client ids.Client, ts ids.Txn, locks []RecoveredLock) {
+	s.live[txn] = true
+	s.client[txn] = client
+	if ts == 0 {
+		ts = txn
+	}
+	s.ts[txn] = ts
+	for _, l := range locks {
+		mode := lock.Shared
+		if l.Write {
+			mode = lock.Exclusive
+		}
+		if !s.locks.Acquire(txn, l.Item, mode) {
+			panic("protocol: recovered lock blocked during adoption")
+		}
+	}
+	s.shielded[txn] = true
 }
 
 // Live reports whether txn is still running from this core's view: it

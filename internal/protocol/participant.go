@@ -108,6 +108,58 @@ func (p *Participant) Involved(txn ids.Txn) bool {
 	return p.prepared[txn] || p.core.Live(txn)
 }
 
+// Prepared reports whether txn has voted yes here and is awaiting the
+// decision — the driver's WAL gate: the prepare record must be durable
+// before the vote leaves, and a decision record is only worth logging
+// for a transaction in this state.
+func (p *Participant) Prepared(txn ids.Txn) bool { return p.prepared[txn] }
+
+// RecoveredLock is one lock a crashed participant's WAL says a prepared
+// transaction held at vote time.
+type RecoveredLock struct {
+	Item  ids.Item
+	Write bool
+}
+
+// RecoveredTxn is one in-doubt transaction after a crash-restart: a
+// logged prepare without a logged decision.
+type RecoveredTxn struct {
+	Txn    ids.Txn
+	Client ids.Client
+	Ts     ids.Txn
+	Locks  []RecoveredLock
+}
+
+// PreparedSnapshot returns the durable facts a driver must log before
+// emitting a yes vote: the client the outcome concerns, the priority
+// timestamp, and the locks held at vote time. Read locks are included
+// deliberately — an in-doubt transaction's reads must stay locked
+// through recovery too, or a conflicting writer could slip between the
+// vote and the decision and the committed read would be of a version
+// that no longer precedes it (write skew).
+func (p *Participant) PreparedSnapshot(txn ids.Txn) RecoveredTxn {
+	return RecoveredTxn{
+		Txn:    txn,
+		Client: p.core.ClientOf(txn),
+		Ts:     p.core.Ts(txn),
+		Locks:  p.core.HeldLocks(txn),
+	}
+}
+
+// Recover re-enters in-doubt transactions on a freshly restarted
+// participant: each returns to the prepared set with its logged locks
+// adopted into the empty core, so the pending decision finds the same
+// shielded state the crash destroyed. Presumed abort covers everything
+// else — transactions the crash made the site forget get no votes when
+// their prepares arrive, and decisions for them find nothing to apply.
+// Must run before the participant sees any post-restart event.
+func (p *Participant) Recover(txns []RecoveredTxn) {
+	for _, r := range txns {
+		p.prepared[r.Txn] = true
+		p.core.Adopt(r.Txn, r.Client, r.Ts, r.Locks)
+	}
+}
+
 // Decide applies the coordinator's decision: a commit releases the held
 // locks in one step (strictness held through the voting round), an abort
 // cancels and releases whatever remains. Both are idempotent on a

@@ -1,0 +1,140 @@
+package protocol
+
+import (
+	"testing"
+
+	"repro/internal/ids"
+)
+
+// prepareOnShard drives one transaction to the prepared state on a fresh
+// participant: a write lock on item 1, a read lock on item 2, then a yes
+// vote.
+func prepareOnShard(t *testing.T) *Participant {
+	t.Helper()
+	p := NewParticipant(0, VictimRequester, PolicyDetect)
+	if acts := p.Request(LockRequest{Txn: 10, Client: 1, Item: 1, Write: true, Ts: 10}); len(acts) != 1 || acts[0].Kind != PartGrant {
+		t.Fatalf("write request not granted: %+v", acts)
+	}
+	if acts := p.Request(LockRequest{Txn: 10, Client: 1, Item: 2, Ts: 10}); len(acts) != 1 || acts[0].Kind != PartGrant {
+		t.Fatalf("read request not granted: %+v", acts)
+	}
+	acts := p.Prepare(10)
+	if len(acts) != 1 || acts[0].Kind != PartVote || !acts[0].Yes {
+		t.Fatalf("prepare did not vote yes: %+v", acts)
+	}
+	return p
+}
+
+// TestParticipantPreparedSnapshot pins the durable facts a WAL prepare
+// record carries: client, priority timestamp, and every held lock — read
+// locks included, because an in-doubt transaction's reads must stay
+// locked through recovery or a writer slipping between vote and decision
+// produces write skew.
+func TestParticipantPreparedSnapshot(t *testing.T) {
+	p := prepareOnShard(t)
+	snap := p.PreparedSnapshot(10)
+	if snap.Txn != 10 || snap.Client != 1 || snap.Ts != 10 {
+		t.Fatalf("snapshot identity wrong: %+v", snap)
+	}
+	want := []RecoveredLock{{Item: 1, Write: true}, {Item: 2, Write: false}}
+	if len(snap.Locks) != len(want) {
+		t.Fatalf("snapshot locks = %+v, want %+v", snap.Locks, want)
+	}
+	for i, l := range want {
+		if snap.Locks[i] != l {
+			t.Fatalf("snapshot lock %d = %+v, want %+v (read locks must be included, ascending)", i, snap.Locks[i], l)
+		}
+	}
+}
+
+// TestParticipantRecoverCommit replays a crash at the worst point — after
+// the yes vote, before the decision. The restarted participant re-enters
+// the prepared state from the logged snapshot: the adopted locks block
+// conflicting writers exactly as the lost ones did, and the late commit
+// decision finds the transaction installable and releases them.
+func TestParticipantRecoverCommit(t *testing.T) {
+	snap := prepareOnShard(t).PreparedSnapshot(10)
+
+	// The crash: a brand-new participant, then recovery before any event.
+	p := NewParticipant(0, VictimRequester, PolicyDetect)
+	p.Recover([]RecoveredTxn{snap})
+	if !p.Prepared(10) || !p.Involved(10) {
+		t.Fatal("recovered transaction not back in the prepared state")
+	}
+	if p.Quiet() {
+		t.Fatal("participant quiet with an in-doubt transaction pending")
+	}
+
+	// A conflicting writer must block behind the adopted read lock: if
+	// recovery dropped read locks, this grant would be the write-skew hole.
+	acts := p.Request(LockRequest{Txn: 20, Client: 2, Item: 2, Write: true, Ts: 20})
+	for _, a := range acts {
+		if a.Kind == PartGrant {
+			t.Fatalf("writer granted over an in-doubt read lock: %+v", acts)
+		}
+	}
+
+	// The decision arrives: commit releases everything and the waiting
+	// writer gets its grant.
+	acts = p.Decide(10, true)
+	granted := false
+	for _, a := range acts {
+		if a.Kind == PartGrant && a.Txn == 20 {
+			granted = true
+		}
+	}
+	if !granted {
+		t.Fatalf("commit decision did not release adopted locks to the waiter: %+v", acts)
+	}
+	if p.Prepared(10) {
+		t.Fatal("decision left the prepared mark")
+	}
+}
+
+// TestParticipantRecoverAbort: the presumed-abort decision for a
+// recovered in-doubt transaction unwinds the adopted locks the same way.
+func TestParticipantRecoverAbort(t *testing.T) {
+	snap := prepareOnShard(t).PreparedSnapshot(10)
+	p := NewParticipant(0, VictimRequester, PolicyDetect)
+	p.Recover([]RecoveredTxn{snap})
+	p.Decide(10, false)
+	if p.Involved(10) {
+		t.Fatal("abort decision left recovered state behind")
+	}
+	// The lock space must be free again.
+	if acts := p.Request(LockRequest{Txn: 30, Client: 3, Item: 1, Write: true, Ts: 30}); len(acts) != 1 || acts[0].Kind != PartGrant {
+		t.Fatalf("item still locked after recovered abort: %+v", acts)
+	}
+	if !p.Quiet() {
+		t.Fatal("participant not quiet after recovered abort")
+	}
+}
+
+// TestCoordinatorStaleBlockAfterDone is the quiescence regression from
+// the crash fault: a shard reports a block, crash-restarts (losing the
+// report bookkeeping, so no clear will ever follow), and the client's
+// AbortDone overtakes the report in flight. The tombstoned coordinator
+// must bounce the stale report instead of storing a block nothing will
+// ever retract — and must never pick the dead transaction as a victim.
+func TestCoordinatorStaleBlockAfterDone(t *testing.T) {
+	c := NewCoordinator(VictimRequester, PolicyDetect)
+	if acts := c.AbortDone(5); len(acts) != 0 {
+		t.Fatalf("unprompted AbortDone emitted actions: %+v", acts)
+	}
+	if acts := c.Blocked(5, 1, 3, 1, []ids.Txn{7}); len(acts) != 0 {
+		t.Fatalf("stale block report emitted actions: %+v", acts)
+	}
+	if !c.Quiet() {
+		t.Fatal("stale block report wedged the coordinator")
+	}
+
+	// Same staleness after a replied round: the commit reply finishes txn
+	// 8, so a crashed shard's late report for it must bounce too.
+	c.CommitRequest(8, 2, []int{0})
+	if acts := c.Blocked(8, 2, 4, 1, []ids.Txn{9}); len(acts) != 0 {
+		t.Fatalf("post-commit stale report emitted actions: %+v", acts)
+	}
+	if !c.Quiet() {
+		t.Fatal("post-commit stale report wedged the coordinator")
+	}
+}

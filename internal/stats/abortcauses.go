@@ -1,22 +1,24 @@
 package stats
 
-// AbortCauses splits a run's aborts by why the policy layer killed the
-// transaction: a detected wait-for cycle (detect, and the coordinator's
-// global detector), a Wound-Wait preemption, a Wait-Die self-abort, a
-// No-Wait conflict, or a coordinator timeout on a stalled 2PC round.
-// Like TwoPC, the counters are filled by a single goroutine (a protocol
-// core or its driver) and harvested after shutdown.
+// AbortCauses splits a run's aborts by why the transaction was killed: a
+// detected wait-for cycle (detect, and the coordinator's global
+// detector), a Wound-Wait preemption, a Wait-Die self-abort, a No-Wait
+// conflict, a coordinator timeout on a stalled 2PC round, or a shard
+// site's crash-restart that forgot the transaction's state. Like TwoPC,
+// the counters are filled by a single goroutine (a protocol core or its
+// driver) and harvested after shutdown.
 type AbortCauses struct {
 	Deadlock int64 // wait-for cycle victims (local or coordinator-side)
 	Wound    int64 // Wound-Wait: aborted by an older requester
 	Die      int64 // Wait-Die: younger requester aborted itself
 	NoWait   int64 // No-Wait: any conflict aborts the requester
 	Timeout  int64 // coordinator gave up on a stalled commit round
+	Restart  int64 // a shard crash-restart forgot the transaction's state
 }
 
 // Total returns the sum over all causes.
 func (c AbortCauses) Total() int64 {
-	return c.Deadlock + c.Wound + c.Die + c.NoWait + c.Timeout
+	return c.Deadlock + c.Wound + c.Die + c.NoWait + c.Timeout + c.Restart
 }
 
 // Merge adds other's counters into c.
@@ -26,4 +28,5 @@ func (c *AbortCauses) Merge(other AbortCauses) {
 	c.Die += other.Die
 	c.NoWait += other.NoWait
 	c.Timeout += other.Timeout
+	c.Restart += other.Restart
 }

@@ -48,7 +48,10 @@ func (s *Sample) Add(x float64) {
 func (s *Sample) N() int64 { return s.n }
 
 // Percentile returns the p-quantile (0 <= p <= 1) of the kept
-// observations, 0 when empty.
+// observations. An empty sample yields the sentinel 0 — callers
+// rendering quantile tables must treat 0-with-N()==0 as "no data", not
+// as a measured zero (latency observations are strictly positive, so
+// the sentinel is unambiguous there).
 func (s *Sample) Percentile(p float64) float64 { return Percentile(s.vals, p) }
 
 // Merge folds another sample's kept values into s. Replication merges

@@ -200,7 +200,9 @@ func Mean(xs []float64) float64 {
 }
 
 // Percentile returns the p-quantile (0 <= p <= 1) of xs by linear
-// interpolation on a sorted copy. Empty input yields 0.
+// interpolation on a sorted copy. Empty input yields the sentinel 0;
+// callers must disambiguate it from a measured zero by checking the
+// sample size (see Sample.Percentile).
 func Percentile(xs []float64, p float64) float64 {
 	if len(xs) == 0 {
 		return 0

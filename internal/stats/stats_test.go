@@ -192,6 +192,81 @@ func TestMeanAndPercentile(t *testing.T) {
 	}
 }
 
+// TestSampleSmallN pins the quantile edges a dashboard actually hits on
+// short or failed runs: an empty sample returns the 0 sentinel at every
+// p, a single observation is every quantile of itself, and a buffer
+// smaller than a full decimation stride still answers exactly.
+func TestSampleSmallN(t *testing.T) {
+	quantiles := []float64{0.5, 0.95, 0.99}
+	var empty Sample
+	if empty.N() != 0 {
+		t.Fatalf("empty N = %d", empty.N())
+	}
+	for _, p := range quantiles {
+		if got := empty.Percentile(p); got != 0 {
+			t.Fatalf("empty p%v = %v, want 0 sentinel", p*100, got)
+		}
+	}
+
+	var one Sample
+	one.Add(42.5)
+	if one.N() != 1 {
+		t.Fatalf("N = %d after one Add", one.N())
+	}
+	for _, p := range quantiles {
+		if got := one.Percentile(p); got != 42.5 {
+			t.Fatalf("single-value p%v = %v, want 42.5", p*100, got)
+		}
+	}
+	if got := one.Percentile(0); got != 42.5 {
+		t.Fatalf("single-value p0 = %v, want 42.5", got)
+	}
+
+	// Fewer observations than the post-cap stride would keep: with three
+	// values every one is retained and interpolation is exact.
+	var few Sample
+	for _, x := range []float64{30, 10, 20} {
+		few.Add(x)
+	}
+	if got := few.Percentile(0.5); got != 20 {
+		t.Fatalf("3-value median = %v, want 20", got)
+	}
+	if got := few.Percentile(0.95); !almostEqual(got, 29, 1e-9) {
+		t.Fatalf("3-value p95 = %v, want 29", got)
+	}
+	if got := few.Percentile(0.99); !almostEqual(got, 29.8, 1e-9) {
+		t.Fatalf("3-value p99 = %v, want 29.8", got)
+	}
+	if got := few.Percentile(1); got != 30 {
+		t.Fatalf("3-value p100 = %v, want 30", got)
+	}
+}
+
+// Property: quantiles are monotone in p (p50 <= p95 <= p99) and bracketed
+// by the sample's extremes, for any observation set including sizes below
+// every decimation threshold.
+func TestSampleQuantileOrderingProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		var s Sample
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			s.Add(v)
+			lo, hi = math.Min(lo, v), math.Max(hi, v)
+		}
+		p50, p95, p99 := s.Percentile(0.5), s.Percentile(0.95), s.Percentile(0.99)
+		if s.N() == 0 {
+			return p50 == 0 && p95 == 0 && p99 == 0
+		}
+		return p50 <= p95 && p95 <= p99 && lo <= p50 && p99 <= hi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // Property: confidence interval always contains the sample mean and
 // half-width is nonnegative.
 func TestEstimateProperty(t *testing.T) {

@@ -8,7 +8,7 @@
 #   3. live cluster: end-to-end commits/sec per protocol, goroutines,
 #      mailboxes and shutdown included.
 #
-# Usage: scripts/bench.sh [out.json]     (default BENCH_8.json)
+# Usage: scripts/bench.sh [out.json]     (default BENCH_9.json)
 #
 # The output is committed so perf regressions are visible in review the
 # same way golden-hash breaks are; absolute numbers are machine-bound,
@@ -16,7 +16,7 @@
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-out=${1:-BENCH_8.json}
+out=${1:-BENCH_9.json}
 raw=$(mktemp)
 trap 'rm -f "$raw"' EXIT
 
@@ -38,7 +38,7 @@ go test ./internal/live -run '^$' -count=1 -bench 'BenchmarkLiveCluster' \
 # and every value/unit pair becomes a field keyed by its unit.
 awk -v goversion="$(go version | { read -r _ _ v _; echo "$v"; })" '
 BEGIN {
-	printf "{\n  \"suite\": \"bench_8\",\n  \"go\": \"%s\",\n  \"benches\": [\n", goversion
+	printf "{\n  \"suite\": \"bench_9\",\n  \"go\": \"%s\",\n  \"benches\": [\n", goversion
 	sep = ""
 }
 /^Benchmark/ {

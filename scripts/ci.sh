@@ -36,6 +36,11 @@ go test -race ./internal/live -run 'TestARQ|TestChaosDrop|TestResequencer' -coun
 echo "== race detector: sharded 2PC cluster — chaos matrix + bank invariant =="
 go test -race -short ./internal/live -run 'TestSharded' -count=1
 
+echo "== race detector: failure layer — partition windows, crash-restart, WAL redo =="
+go test -race ./internal/live -run 'TestChaosPartition|TestWAL|TestShardedCrash' -count=1
+go test ./internal/engine -run 'TestPartitionWindowDelaysButCompletes|TestShardedBankSurvivesPartition' -count=1
+go test ./internal/netmodel -count=1
+
 echo "== race detector: deadlock-policy sweep (4 policies x 3 protocols, oracle-checked) =="
 go test -race ./internal/live -run 'TestChaosPolicyMatrix|TestShardedPolicyChaos|TestPolicyStatsSurface' -count=1
 go test ./internal/engine -run 'TestPolic|TestShardedPolic' -count=1
