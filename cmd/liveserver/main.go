@@ -25,6 +25,15 @@
 //
 //	liveserver -protocol g2pl -chaos-partition-prob 0.5 -chaos-partition-down 20ms
 //	liveserver -protocol s2pl -shards 4 -bank -crash-prob 0.02
+//
+// The coordinator itself can crash too (-crash-coord-prob): it restarts
+// from its own commit log, re-drives decided-but-unacknowledged rounds,
+// and answers in-doubt shards' termination-protocol inquiries (presumed
+// abort for anything unlogged). -wal-checkpoint-every bounds both logs
+// with fuzzy checkpoints and prefix truncation:
+//
+//	liveserver -protocol s2pl -shards 4 -bank -crash-coord-prob 0.01
+//	liveserver -protocol s2pl -shards 4 -bank -crash-prob 0.02 -crash-coord-prob 0.01 -wal-checkpoint-every 64
 package main
 
 import (
@@ -57,7 +66,9 @@ func main() {
 	partDown := flag.Duration("chaos-partition-down", 0, "length of each partition window on an afflicted link")
 	partEvery := flag.Duration("chaos-partition-every", 0, "partition window period (0: 10x the window length)")
 	crashProb := flag.Float64("crash-prob", 0, "per-message probability a shard site crash-restarts (sharded only; implies -wal)")
-	crashMax := flag.Int("crash-max", 0, "maximum crashes per shard site (0: default 2)")
+	crashCoordProb := flag.Float64("crash-coord-prob", 0, "per-message probability the 2PC coordinator crash-restarts from its commit log (sharded only; implies -wal)")
+	crashMax := flag.Int("crash-max", 0, "maximum crashes per site (0: default 2)")
+	walCkptEvery := flag.Int("wal-checkpoint-every", 0, "roll a fuzzy checkpoint and truncate each WAL every N appends (0: never)")
 	wal := flag.Bool("wal", false, "write-ahead log on shard sites (sharded only)")
 	arqRTO := flag.Duration("arq-rto", 0, "initial ARQ retransmission timeout (0: default)")
 	arqCap := flag.Int("arq-cap", 0, "retransmit attempts per message before the link is declared dead (0: default)")
@@ -118,10 +129,11 @@ func main() {
 	cfg.Shards = *shards
 	cfg.CrossRatio = *crossRatio
 	cfg.WAL = *wal
-	if *crashProb > 0 {
-		cfg.Crash = live.CrashConfig{Prob: *crashProb, Max: *crashMax}
+	if *crashProb > 0 || *crashCoordProb > 0 {
+		cfg.Crash = live.CrashConfig{Prob: *crashProb, CoordProb: *crashCoordProb, Max: *crashMax}
 		cfg.WAL = true // crash-restart without a log cannot recover
 	}
+	cfg.WALCheckpointEvery = *walCkptEvery
 	if *bank {
 		cfg.Bank = true
 		cfg.InitialBalance = *balance
@@ -174,8 +186,13 @@ func main() {
 			res.Stats.AcksCoalesced, res.Stats.AcksPiggybacked, res.Stats.MaxRTO)
 	}
 	if cfg.WAL || res.Stats.Crashes > 0 {
-		fmt.Printf("recovery: crashes=%d wal-appends=%d wal-replayed=%d\n",
-			res.Stats.Crashes, res.Stats.WALAppends, res.Stats.WALReplayed)
+		fmt.Printf("recovery: crashes=%d coord-restarts=%d wal-appends=%d wal-replayed=%d wal-checkpoints=%d wal-truncated=%d\n",
+			res.Stats.Crashes, res.Stats.CoordRestarts, res.Stats.WALAppends, res.Stats.WALReplayed,
+			res.Stats.WALCheckpoints, res.Stats.WALTruncated)
+		if res.Stats.Inquiries > 0 {
+			fmt.Printf("termination: inquiries=%d in-doubt-commit=%d in-doubt-abort=%d\n",
+				res.Stats.Inquiries, res.Stats.InDoubtResolvedCommit, res.Stats.InDoubtResolvedAbort)
+		}
 	}
 	if tpc := res.Stats.TwoPC; tpc.Txns > 0 {
 		fmt.Printf("2pc: txns=%d cross=%.2f prepares=%d votes=%d/%d 1phase=%d forced-aborts=%d\n",

@@ -251,8 +251,11 @@ func DefaultConfig() *Config {
 				// message a shard site or the coordinator site sends is
 				// the image of a protocol-core action, emitted through
 				// exactly one function per site kind.
-				"applyShard": {"shardRequest", "shardRelease", "shardPrepare", "shardDecide"},
-				"apply2PC":   {"coordBlocked", "coordVote", "coordCommitReq", "coordAbortDone"},
+				// loop is sanctioned for the coordinator-restart resync:
+				// re-filed block reports are grant-free by construction
+				// (Resync only re-emits PartBlocked).
+				"applyShard": {"shardRequest", "shardRelease", "shardPrepare", "shardDecide", "loop"},
+				"apply2PC":   {"coordBlocked", "coordVote", "coordCommitReq", "coordAbortDone", "coordInquire", "crashRestart"},
 			},
 		},
 		Funnels: map[string]map[string][]string{
@@ -263,7 +266,10 @@ func DefaultConfig() *Config {
 			// site is exactly how a transaction ends up committed at one
 			// shard and aborted at another.
 			"repro/internal/protocol": {
-				"decide": {"CommitRequest", "Vote", "AbortDone", "Timeout"},
+				// Inquire (termination protocol) and Recover (restart
+				// replay) re-emit already-made decisions through the same
+				// funnel (DESIGN.md §16).
+				"decide": {"CommitRequest", "Vote", "AbortDone", "Timeout", "Inquire", "Recover"},
 				// The deadlock-policy seam (DESIGN.md §14): every avoidance
 				// decision routes through JudgeBlock, consulted at exactly
 				// one block point per core — a second judge site is how two
@@ -358,6 +364,13 @@ func DefaultConfig() *Config {
 				// Crash-restart (DESIGN.md §15): a recovered shard site tells
 				// every client its volatile state is gone.
 				"restartMsg",
+				// Coordinator crash-recovery and the termination protocol
+				// (DESIGN.md §16): in-doubt shards inquire, shards
+				// acknowledge commit decisions so the coordinator log can
+				// truncate, and a restarted coordinator announces itself to
+				// clients (retry commit requests) and shards (resync block
+				// reports).
+				"inquireMsg", "decideAckMsg", "coordRestartMsg",
 			},
 		},
 		EnumSums: map[string]bool{

@@ -236,15 +236,15 @@ func (r *s2pcRun) applyPart(s int, acts []protocol.PartAction) {
 		case protocol.PartBlocked:
 			txn, cli, epoch, held, waits := a.Txn, a.Client, a.Epoch, a.Held, a.WaitsFor
 			r.net.Send(sizeControl, "2pc.blocked", func() {
-				r.applyCoord(r.coord.Blocked(txn, cli, epoch, held, waits))
+				r.applyCoord(r.coord.Blocked(txn, cli, s, epoch, held, waits))
 			})
 		case protocol.PartCleared:
 			txn, epoch := a.Txn, a.Epoch
 			r.net.Send(sizeControl, "2pc.cleared", func() { r.coord.Cleared(txn, epoch) })
 		case protocol.PartVote:
-			txn, yes := a.Txn, a.Yes
+			txn, epoch, yes := a.Txn, a.Epoch, a.Yes
 			r.net.Send(sizeControl, "2pc.vote", func() {
-				r.applyCoord(r.coord.Vote(txn, s, yes))
+				r.applyCoord(r.coord.Vote(txn, s, epoch, yes))
 			})
 		default:
 			panic(fmt.Sprintf("engine: unknown participant action kind %d", int(a.Kind)))
@@ -335,8 +335,8 @@ func (r *s2pcRun) applyCoord(acts []protocol.CoordAction) {
 	for _, a := range acts {
 		switch a.Kind {
 		case protocol.CoordPrepare:
-			s, txn := a.Shard, a.Txn
-			r.net.Send(sizeControl, "2pc.prepare", func() { r.shardPrepare(s, txn) })
+			s, txn, epoch := a.Shard, a.Txn, a.Epoch
+			r.net.Send(sizeControl, "2pc.prepare", func() { r.shardPrepare(s, txn, epoch) })
 		case protocol.CoordDecide:
 			s, txn, commit := a.Shard, a.Txn, a.Commit
 			var writes []s2pcWrite
@@ -362,8 +362,8 @@ func (r *s2pcRun) applyCoord(acts []protocol.CoordAction) {
 }
 
 // shardPrepare delivers a prepare at its shard and routes the vote back.
-func (r *s2pcRun) shardPrepare(s int, txn ids.Txn) {
-	r.applyPart(s, r.parts[s].Prepare(txn))
+func (r *s2pcRun) shardPrepare(s int, txn ids.Txn, epoch int) {
+	r.applyPart(s, r.parts[s].Prepare(txn, epoch))
 }
 
 // shardDecide delivers the commit/abort decision at one shard. Commit

@@ -230,6 +230,8 @@ func (c *client) handle(m message, arm func(time.Duration, func())) {
 		c.onRecall(msg)
 	case restartMsg:
 		c.onRestart(msg, arm)
+	case coordRestartMsg:
+		c.onCoordRestart()
 	default:
 		panic(fmt.Sprintf("live: client %v received unexpected %T", c.id, m))
 	}
@@ -525,6 +527,21 @@ func (c *client) onRestart(m restartMsg, arm func(time.Duration, func())) {
 	}
 	c.cl.restartAborts.Add(1)
 	c.abortSharded(t, arm)
+}
+
+// onCoordRestart handles the coordinator's crash-restart announcement: a
+// transaction whose commit request is unresolved re-sends it, because its
+// voting round may have died with the old process. The re-send is built
+// from the same held state, so it is byte-identical to the original; if
+// the round actually survived (decided and logged before the crash), the
+// restarted coordinator's done tombstone filters the duplicate and the
+// original outcome reply — already on the wire — resolves the wait.
+func (c *client) onCoordRestart() {
+	t := c.cur
+	if t == nil || t.done || !t.committing {
+		return
+	}
+	c.commitSharded(t)
 }
 
 // onAbort handles a deadlock-victim notice.

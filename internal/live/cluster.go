@@ -222,11 +222,19 @@ func (cl *cluster) run() (*Result, error) {
 					fmt.Printf("STALL client %v: cur=nil committed=%d\n", c.id, c.committed)
 					continue
 				}
-				fmt.Printf("STALL client %v: committed=%d txn=%d ts=%d op=%d/%d committing=%v held=%d touched=%v\n",
-					c.id, c.committed, t.id, t.ts, t.opIdx, len(t.profile.Ops), t.committing, len(t.held), t.touched)
+				done := false
+				if cl.coord != nil {
+					done = cl.coord.coord.Done(t.id)
+				}
+				fmt.Printf("STALL client %v: committed=%d txn=%d ts=%d op=%d/%d committing=%v held=%d touched=%v coordDone=%v\n",
+					c.id, c.committed, t.id, t.ts, t.opIdx, len(t.profile.Ops), t.committing, len(t.held), t.touched, done)
 			}
 			if cl.coord != nil {
-				fmt.Printf("STALL coord quiet=%v\n", cl.coord.coord.Quiet())
+				fmt.Printf("STALL coord quiet=%v crashes=%d pending=%d logged=%d\n",
+					cl.coord.coord.Quiet(), cl.coord.crashes, len(cl.coord.pending), len(cl.coord.logged))
+			}
+			for _, ss := range cl.shards {
+				fmt.Printf("STALL shard %d: crashes=%d prepared=%v\n", ss.idx, ss.crashes, ss.part.PreparedTxns())
 			}
 		}
 	}
@@ -314,12 +322,24 @@ func (cl *cluster) run() (*Result, error) {
 		// The site goroutines are gone (shutdown waited on them), so their
 		// state is safe to harvest single-threaded here.
 		res.Stats.TwoPC = cl.coord.coord.Counters()
+		res.Stats.CoordRestarts = cl.coord.crashes
+		res.Stats.Inquiries = cl.coord.inquiries
+		res.Stats.InDoubtResolvedCommit = cl.coord.resolvedCommit
+		res.Stats.InDoubtResolvedAbort = cl.coord.resolvedAbort
+		res.Stats.WALReplayed += cl.coord.replayed
+		if cw := cl.coord.cwal; cw != nil {
+			res.Stats.WALAppends += cw.appends
+			res.Stats.WALCheckpoints += cw.checkpoints
+			res.Stats.WALTruncated += cw.truncated
+		}
 		res.Values = make(map[ids.Item]int64)
 		for _, ss := range cl.shards {
 			res.Stats.Crashes += ss.crashes
 			res.Stats.WALReplayed += ss.replayed
 			if ss.wal != nil {
 				res.Stats.WALAppends += ss.wal.appends
+				res.Stats.WALCheckpoints += ss.wal.checkpoints
+				res.Stats.WALTruncated += ss.wal.truncated
 			}
 			for item, v := range ss.values {
 				res.Values[item] = v
@@ -392,6 +412,18 @@ func rearm(t *time.Timer, d time.Duration) {
 		}
 	}
 	t.Reset(d)
+}
+
+// stopTimer disarms a timer without re-arming it: Stop plus the same
+// non-blocking drain, so a fire already sitting in the channel cannot be
+// mistaken for a fresh one after a later Reset.
+func stopTimer(t *time.Timer) {
+	if !t.Stop() {
+		select {
+		case <-t.C:
+		default:
+		}
+	}
 }
 
 // shutdown stops everything the cluster started — the server and client

@@ -1,0 +1,107 @@
+package live
+
+import (
+	"slices"
+
+	"repro/internal/ids"
+)
+
+// The coordinator's write-ahead log (DESIGN.md §16). Presumed abort makes
+// it tiny: only commit decisions are logged — forced before the first
+// commit Decide leaves the site — because an abort needs no durable trace
+// (a restarted coordinator answers any inquiry it has no record of with
+// abort, which is exactly the decision an unlogged round must resolve
+// to). Each commit record carries the round's shards and staged writes so
+// a restarted coordinator can re-send complete decisions without the
+// volatile pending table.
+
+// coordRecKind discriminates coordinator WAL records.
+type coordRecKind int
+
+const (
+	// coordCommit is one decided commit round, logged before any of its
+	// Decide messages leave.
+	coordCommit coordRecKind = iota
+	// coordCheckpoint snapshots the decided-but-unacknowledged rounds.
+	// Fully-acknowledged rounds are omitted — no inquiry for them can
+	// ever arrive (every shard resolved its prepared state to produce the
+	// ack) — so the checkpoint is the truncation high-water mark: the log
+	// prefix before it is dropped.
+	coordCheckpoint
+)
+
+// coordRound is one commit round as the coordinator WAL and its in-memory
+// mirror see it. The acked set is volatile — acknowledgments are not
+// logged (that would double the write traffic for bookkeeping a restart
+// can reconstruct by re-sending decisions and collecting acks again).
+type coordRound struct {
+	txn      ids.Txn
+	client   ids.Client
+	shards   []int
+	writesBy map[int][]writeUpdate
+	acked    map[int]bool
+}
+
+// coordRec is one coordinator WAL append.
+type coordRec struct {
+	kind     coordRecKind
+	round    coordRound   // coordCommit
+	ckRounds []coordRound // coordCheckpoint: unacked rounds, ascending txn
+}
+
+// coordWAL is the coordinator's write-ahead log, same in-memory-with-
+// real-discipline shape as the shard wal: appended and synced before the
+// state transition it makes durable (the Decide transmissions).
+type coordWAL struct {
+	records     []coordRec
+	appends     int64
+	checkpoints int64
+	truncated   int64
+	sinceCkpt   int
+	syncFn      func() // fsync seam; nil means the sync point is a no-op
+}
+
+// append adds one record and passes the sync point.
+func (w *coordWAL) append(r coordRec) {
+	w.records = append(w.records, r)
+	w.appends++
+	w.sinceCkpt++
+	if w.syncFn != nil {
+		w.syncFn()
+	}
+}
+
+// checkpoint appends the checkpoint record and truncates the prefix it
+// supersedes, so records[0] is always the latest checkpoint afterwards.
+func (w *coordWAL) checkpoint(r coordRec) {
+	w.append(r)
+	w.checkpoints++
+	cut := len(w.records) - 1
+	w.truncated += int64(cut)
+	w.records = append([]coordRec(nil), w.records[cut:]...)
+	w.sinceCkpt = 0
+}
+
+// replay rebuilds the restarted coordinator's durable state: every commit
+// round logged at or after the last checkpoint, in decision order, with
+// fresh (empty) ack sets — acknowledgments are volatile, so recovery
+// re-sends every replayed round's decisions and collects acks again. A
+// round that was fully acknowledged before the crash but not yet
+// truncated is resurrected too; its re-sent decisions find nothing to
+// apply at the shards, which simply ack again until the round drains.
+func (w *coordWAL) replay() (rounds []coordRound, replayed int64) {
+	for _, r := range w.records {
+		replayed++
+		switch r.kind {
+		case coordCommit:
+			rounds = append(rounds, r.round)
+		case coordCheckpoint:
+			rounds = append([]coordRound(nil), r.ckRounds...)
+		}
+	}
+	for i := range rounds {
+		rounds[i].shards = slices.Clone(rounds[i].shards)
+		rounds[i].acked = make(map[int]bool, len(rounds[i].shards))
+	}
+	return rounds, replayed
+}

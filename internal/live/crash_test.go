@@ -112,8 +112,9 @@ func TestShardedWALCleanRun(t *testing.T) {
 	if st.WALAppends == 0 {
 		t.Fatal("WAL run logged nothing")
 	}
-	if st.Crashes != 0 || st.WALReplayed != 0 {
-		t.Fatalf("crash-free run reports crashes=%d replayed=%d", st.Crashes, st.WALReplayed)
+	if st.Crashes != 0 || st.CoordRestarts != 0 || st.WALReplayed != 0 {
+		t.Fatalf("crash-free run reports crashes=%d coordRestarts=%d replayed=%d",
+			st.Crashes, st.CoordRestarts, st.WALReplayed)
 	}
 }
 
@@ -193,4 +194,203 @@ func TestShardedCrashMaxCapsFaults(t *testing.T) {
 	if res.Stats.Crashes > int64(cfg.Shards) {
 		t.Fatalf("crashes = %d with Max 1 over %d shards", res.Stats.Crashes, cfg.Shards)
 	}
+}
+
+// TestCoordWALReplay pins the coordinator log on a hand-built history:
+// a checkpoint record supersedes (and truncates) the prefix before it,
+// replay returns the checkpointed rounds plus every commit logged after,
+// and the ack sets come back empty — acknowledgments are volatile, so a
+// restarted coordinator re-sends decisions and collects them again.
+func TestCoordWALReplay(t *testing.T) {
+	syncs := 0
+	w := &coordWAL{syncFn: func() { syncs++ }}
+	w.append(coordRec{kind: coordCommit, round: coordRound{txn: 10, client: 1, shards: []int{0, 1}}})
+	w.append(coordRec{kind: coordCommit, round: coordRound{txn: 20, client: 2, shards: []int{1}}})
+	// Txn 10 fully acked before the checkpoint: it is omitted from the
+	// snapshot and its record vanishes with the truncated prefix.
+	w.checkpoint(coordRec{kind: coordCheckpoint, ckRounds: []coordRound{
+		{txn: 20, client: 2, shards: []int{1}},
+	}})
+	// A post-checkpoint commit with a partially-collected ack set.
+	w.append(coordRec{kind: coordCommit, round: coordRound{
+		txn: 30, client: 3, shards: []int{0, 2}, acked: map[int]bool{0: true},
+	}})
+
+	if w.appends != 4 || syncs != 4 {
+		t.Fatalf("appends=%d syncs=%d, want 4 4 — every append (checkpoints too) must pass the sync point", w.appends, syncs)
+	}
+	if w.checkpoints != 1 || w.truncated != 2 {
+		t.Fatalf("checkpoints=%d truncated=%d, want 1 2", w.checkpoints, w.truncated)
+	}
+	if len(w.records) != 2 || w.records[0].kind != coordCheckpoint {
+		t.Fatalf("records[0] must be the latest checkpoint after truncation: %+v", w.records)
+	}
+	rounds, replayed := w.replay()
+	if replayed != 2 {
+		t.Fatalf("replayed = %d, want 2 (only the suffix from the checkpoint on)", replayed)
+	}
+	if len(rounds) != 2 || rounds[0].txn != 20 || rounds[1].txn != 30 {
+		t.Fatalf("rounds = %+v, want txns [20 30] in decision order", rounds)
+	}
+	for _, r := range rounds {
+		if len(r.acked) != 0 {
+			t.Fatalf("replay must reset the volatile ack set: %+v", r)
+		}
+	}
+}
+
+// TestCoordRetryAfterPresumedAbortGetsReply pins the liveness hole the
+// coordinator-crash soak found: a crash loses a pending round, the
+// in-doubt shard's inquiry makes the restarted coordinator presume
+// abort, and then the client's retried commit request arrives. The
+// tombstone the inquiry left must not absorb the retry at the site
+// layer — the abort promise was made to the shard, never to the client,
+// so the client is still owed a reply. Absorbing it stalls that client
+// forever.
+func TestCoordRetryAfterPresumedAbortGetsReply(t *testing.T) {
+	cfg := bankLiveConfig(2, 1, ChaosConfig{})
+	cfg.WAL = true
+	cfg.Crash = CrashConfig{CoordProb: 0.5}
+	cl, err := newCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := cl.coord
+	req := commitReqMsg{txn: 7, client: 1, shards: []int{0, 1}}
+	cs.coordCommitReq(req) // round opens, prepares go out
+	cs.crashRestart()      // the pending round is volatile and dies
+	cs.coordInquire(inquireMsg{txn: 7, shard: 0})
+	if cs.resolvedAbort != 1 {
+		t.Fatalf("inquiry for the lost round must resolve presumed-abort: %d", cs.resolvedAbort)
+	}
+	cs.coordCommitReq(req) // the client's retry, sent on coordRestartMsg
+	if _, ok := cs.pending[7]; ok {
+		t.Fatal("retry after presumed abort leaked its stored request")
+	}
+	deadline := time.After(5 * time.Second)
+	for {
+		select {
+		case m := <-cl.clients[1].mbox.ch:
+			out, ok := m.(outcomeMsg)
+			if !ok {
+				continue // the restart broadcast precedes the reply
+			}
+			if out.txn != 7 || out.commit {
+				t.Fatalf("retry must be answered with the presumed abort: %+v", out)
+			}
+			return
+		case <-deadline:
+			t.Fatal("retried commit request after presumed abort got no reply")
+		}
+	}
+}
+
+// TestShardedCoordCrashBankInvariant is the acceptance oracle for the
+// tentpole fault: the coordinator itself crashes mid-run — losing its
+// pending voting rounds, block-report graph, and collected acks — then
+// restarts from its WAL, re-drives decided-but-unacked commits, and
+// answers in-doubt inquiries (presuming abort for anything unlogged).
+// Every seed must still reach its commit target with a serializable
+// history and an exactly conserved balance: a torn decision shows up as
+// a moved sum, a stalled in-doubt shard as a missed target. CI runs
+// this under -race.
+func TestShardedCoordCrashBankInvariant(t *testing.T) {
+	var restarts, inquiries, resolved int64
+	for _, seed := range []uint64{1, 2, 3} {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			cfg := bankLiveConfig(4, seed, ChaosConfig{})
+			cfg.WAL = true
+			cfg.Crash = CrashConfig{CoordProb: 0.01}
+			res := runSharded(t, cfg)
+			want := int64(cfg.Workload.Items) * cfg.InitialBalance
+			if got := bankSum(res, cfg.Workload.Items); got != want {
+				t.Fatalf("global balance %d, want %d: coordinator restart tore a decision", got, want)
+			}
+			st := res.Stats
+			if st.Crashes != 0 {
+				t.Fatalf("coordinator-only fault crashed %d shard sites", st.Crashes)
+			}
+			restarts += st.CoordRestarts
+			inquiries += st.Inquiries
+			resolved += st.InDoubtResolvedCommit + st.InDoubtResolvedAbort
+		})
+	}
+	// Crash points depend on message counts, which vary with scheduling;
+	// over three seeds at CoordProb 0.01 a zero total means the fault is
+	// wired to nothing.
+	if restarts == 0 {
+		t.Fatal("coordinator never crashed across all seeds")
+	}
+	t.Logf("coordRestarts=%d inquiries=%d inDoubtResolved=%d", restarts, inquiries, resolved)
+}
+
+// TestShardedCorrelatedCrashChaos is the full failure matrix: shard
+// crashes AND coordinator crashes on top of loss and partition windows.
+// This is where the termination protocol earns its keep — a shard left
+// prepared by a crashed coordinator (or whose decision was dropped by
+// the network) must inquire its way to the decision rather than stall,
+// and the answer must agree with what any other shard was told.
+func TestShardedCorrelatedCrashChaos(t *testing.T) {
+	modes := []struct {
+		name  string
+		chaos ChaosConfig
+	}{
+		{"drop", ChaosConfig{Drop: 0.15}},
+		{"part", ChaosConfig{Partition: PartitionConfig{Prob: 0.5, Down: 20 * time.Millisecond, Every: 200 * time.Millisecond}}},
+	}
+	for _, mode := range modes {
+		for _, seed := range []uint64{1, 2} {
+			t.Run(fmt.Sprintf("%s/seed%d", mode.name, seed), func(t *testing.T) {
+				cfg := crashBankConfig(3, seed, mode.chaos)
+				cfg.Crash.CoordProb = 0.005
+				res := runSharded(t, cfg)
+				want := int64(cfg.Workload.Items) * cfg.InitialBalance
+				if got := bankSum(res, cfg.Workload.Items); got != want {
+					t.Fatalf("global balance %d, want %d under correlated crashes + %s", got, want, mode.name)
+				}
+			})
+		}
+	}
+}
+
+// TestWALCheckpointBoundsLog pins the truncation contract: with fuzzy
+// checkpoints every N appends, no site's log — shard or coordinator —
+// retains more than one checkpoint interval of records (plus the
+// checkpoint itself and the handful a single message can append before
+// the roll), even across a crash soak. Without truncation the logs grow
+// with the run; with it the replay cost after a crash is bounded by N.
+func TestWALCheckpointBoundsLog(t *testing.T) {
+	const every = 32
+	cfg := crashBankConfig(4, 2, ChaosConfig{})
+	cfg.Crash.CoordProb = 0.005
+	cfg.WALCheckpointEvery = every
+	cl, err := newCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := cl.run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int64(cfg.Workload.Items) * cfg.InitialBalance
+	if got := bankSum(res, cfg.Workload.Items); got != want {
+		t.Fatalf("global balance %d, want %d", got, want)
+	}
+	st := res.Stats
+	if st.WALCheckpoints == 0 || st.WALTruncated == 0 {
+		t.Fatalf("checkpoint soak rolled nothing: checkpoints=%d truncated=%d", st.WALCheckpoints, st.WALTruncated)
+	}
+	// maybeCheckpoint runs after every message, so a log can exceed the
+	// interval only by the appends of the single message that tripped it.
+	const slack = 4
+	for _, ss := range cl.shards {
+		if n := len(ss.wal.records); n > every+slack {
+			t.Fatalf("shard %d log holds %d records, want <= %d: truncation not keeping up", ss.idx, n, every+slack)
+		}
+	}
+	if n := len(cl.coord.cwal.records); n > every+slack {
+		t.Fatalf("coordinator log holds %d records, want <= %d: truncation not keeping up", n, every+slack)
+	}
+	t.Logf("appends=%d checkpoints=%d truncated=%d crashes=%d coordRestarts=%d",
+		st.WALAppends, st.WALCheckpoints, st.WALTruncated, st.Crashes, st.CoordRestarts)
 }

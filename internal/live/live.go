@@ -89,9 +89,15 @@ type Config struct {
 	// participant state. Required by Crash; usable alone to measure the
 	// logging cost. Sharded clusters only.
 	WAL bool
-	// Crash injects shard-site crash-restart faults: between two protocol
-	// messages a site may lose all volatile state and rejoin by replaying
-	// its WAL. Requires WAL and a sharded cluster. See CrashConfig.
+	// WALCheckpointEvery rolls a checkpoint into each WAL (shard and
+	// coordinator) after that many appends, truncating the log prefix the
+	// snapshot supersedes; zero never checkpoints, so logs grow without
+	// bound. Requires WAL.
+	WALCheckpointEvery int
+	// Crash injects site crash-restart faults: between two protocol
+	// messages a shard site (Prob) or the coordinator (CoordProb) may
+	// lose all volatile state and rejoin by replaying its WAL. Requires
+	// WAL and a sharded cluster. See CrashConfig.
 	Crash CrashConfig
 	// Shards > 1 splits the lock space across that many range-partitioned
 	// lock-server shard sites with a 2PC commit coordinator (s-2PL only);
@@ -163,6 +169,10 @@ func (c Config) Validate() error {
 		return fmt.Errorf("live: Crash requires a sharded cluster")
 	case c.Crash.enabled() && !c.WAL:
 		return fmt.Errorf("live: Crash requires WAL — without redo, committed writes die with the site")
+	case c.WALCheckpointEvery < 0:
+		return fmt.Errorf("live: WALCheckpointEvery must be >= 0, got %d", c.WALCheckpointEvery)
+	case c.WALCheckpointEvery > 0 && !c.WAL:
+		return fmt.Errorf("live: WALCheckpointEvery requires WAL")
 	}
 	if err := c.Chaos.validate(); err != nil {
 		return err
@@ -210,8 +220,17 @@ type Stats struct {
 	// Failure-recovery counters: crash-restart faults and the WAL work
 	// that survived them. All zero without Config.Crash / Config.WAL.
 	Crashes     int64 // shard-site crash-restarts injected
-	WALAppends  int64 // records appended (and synced) to shard WALs
+	WALAppends  int64 // records appended (and synced) to all WALs
 	WALReplayed int64 // records replayed by redo passes after crashes
+	// Coordinator recovery and termination-protocol counters
+	// (DESIGN.md §16); all zero without coordinator crashes.
+	CoordRestarts         int64 // coordinator crash-restarts injected
+	Inquiries             int64 // in-doubt inquiries the coordinator answered
+	InDoubtResolvedCommit int64 // inquiries resolved commit (from the log)
+	InDoubtResolvedAbort  int64 // inquiries resolved abort (presumed)
+	// Checkpoint/truncation counters; zero unless WALCheckpointEvery > 0.
+	WALCheckpoints int64 // checkpoint records rolled across all WALs
+	WALTruncated   int64 // log records dropped by checkpoint truncation
 
 	// TwoPC holds the coordinator's per-phase counters on a sharded run;
 	// all zero on a single-server cluster.

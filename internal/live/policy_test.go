@@ -85,3 +85,25 @@ func TestPolicyStatsSurface(t *testing.T) {
 		})
 	}
 }
+
+// TestWoundWaitAlwaysPrepares pins the wound-vs-one-phase-commit fix: a
+// Wound-Wait cluster must run a voting round even for single-shard
+// transactions. Wound-Wait is the one policy that kills a RUNNING
+// holder, so a shard's wound can race the coordinator's unilateral
+// one-phase commit — the audit logs a commit whose writes the wounded
+// shard refuses to install. The prepare serializes the two at the
+// shard: it either shields the transaction or finds it wounded and
+// votes no.
+func TestWoundWaitAlwaysPrepares(t *testing.T) {
+	cfg := shardedLiveConfig(3, 1, ChaosConfig{})
+	cfg.Deadlock = protocol.PolicyWoundWait
+	cl, err := newCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.coord.coordCommitReq(commitReqMsg{txn: 1, client: 0, shards: []int{0}})
+	tpc := cl.coord.coord.Counters()
+	if tpc.OnePhase != 0 || tpc.Prepares != 1 {
+		t.Fatalf("single-shard commit under Wound-Wait must run a voting round: %+v", tpc)
+	}
+}

@@ -2,11 +2,24 @@ package live
 
 import (
 	"fmt"
+	"maps"
+	"slices"
+	"time"
 
 	"repro/internal/history"
 	"repro/internal/ids"
 	"repro/internal/protocol"
 	"repro/internal/rng"
+)
+
+// Termination-protocol backoff bounds: a shard with in-doubt (prepared)
+// transactions inquires after inquiryBase of silence, doubling up to
+// inquiryMax. The base sits well above a healthy decision round-trip so
+// clean runs almost never inquire, and well below the stall timeout so a
+// coordinator crash resolves long before the harness gives up.
+const (
+	inquiryBase = 2 * time.Millisecond
+	inquiryMax  = 50 * time.Millisecond
 )
 
 // Sharded s-2PL messages (DESIGN.md §13). They ride the same chaos-proof
@@ -15,10 +28,13 @@ import (
 // protocol asks of its network.
 type (
 	// blockedMsg reports a blocked transaction, with its local wait
-	// edges and block episode, from a shard to the coordinator.
+	// edges and block episode, from a shard to the coordinator. The
+	// reporting shard rides along so a shard's crash-restart can purge
+	// its unretracted reports.
 	blockedMsg struct {
 		txn    ids.Txn
 		client ids.Client
+		shard  int
 		epoch  int
 		held   int
 		waits  []ids.Txn
@@ -30,10 +46,12 @@ type (
 		txn   ids.Txn
 		epoch int
 	}
-	// voteMsg carries one shard's prepare vote to the coordinator.
+	// voteMsg carries one shard's prepare vote to the coordinator,
+	// echoing the soliciting prepare's coordinator epoch.
 	voteMsg struct {
 		txn   ids.Txn
 		shard int
+		epoch int
 		yes   bool
 	}
 	// commitReqMsg asks the coordinator to commit a fully-granted
@@ -47,9 +65,12 @@ type (
 		rec      history.Committed
 		writesBy map[int][]writeUpdate
 	}
-	// prepareMsg asks a shard to vote on a transaction.
+	// prepareMsg asks a shard to vote on a transaction. The epoch is the
+	// soliciting coordinator incarnation's; the vote echoes it so a
+	// restarted coordinator never counts a dead incarnation's answers.
 	prepareMsg struct {
-		txn ids.Txn
+		txn   ids.Txn
+		epoch int
 	}
 	// decisionMsg delivers the global commit/abort decision to one
 	// shard, carrying the writes a commit installs there.
@@ -76,6 +97,29 @@ type (
 	restartMsg struct {
 		shard int
 	}
+	// inquireMsg is the termination protocol (DESIGN.md §16): a prepared
+	// (in-doubt) shard asks the coordinator what became of a transaction
+	// whose decision never arrived — because the coordinator crashed, or
+	// because the shard itself restarted into the prepared state from its
+	// WAL. The coordinator answers from its commit log or presumes abort.
+	inquireMsg struct {
+		txn   ids.Txn
+		shard int
+	}
+	// decideAckMsg acknowledges a commit decision's arrival at a shard.
+	// Once every shard in a round acknowledges, the coordinator may forget
+	// the round and truncate its commit record — only then is "no record"
+	// proof of abort rather than amnesia.
+	decideAckMsg struct {
+		txn   ids.Txn
+		shard int
+	}
+	// coordRestartMsg announces the coordinator's crash-restart. Clients
+	// with an unresolved commit request re-send it (the round may have
+	// died with the old process, and a duplicate of a decided round is
+	// filtered by the done tombstone); shards re-send their live block
+	// reports, rebuilding the global deadlock graph the crash destroyed.
+	coordRestartMsg struct{}
 )
 
 // shardSite is one lock-server shard: a goroutine owning one partition of
@@ -98,6 +142,13 @@ type shardSite struct {
 	crashRng *rng.Stream
 	crashes  int64
 	replayed int64
+
+	// Termination-protocol timer: armed whenever the prepared (in-doubt)
+	// set is non-empty, firing inquiries with exponential backoff. inqC is
+	// nil when disarmed; inqDelay is the next backoff interval.
+	inqTimer *time.Timer
+	inqC     <-chan time.Time
+	inqDelay time.Duration
 }
 
 func newShardSite(cl *cluster, idx int) *shardSite {
@@ -115,7 +166,7 @@ func newShardSite(cl *cluster, idx int) *shardSite {
 	if cl.cfg.WAL {
 		ss.wal = &wal{}
 	}
-	if cl.cfg.Crash.enabled() {
+	if cl.cfg.Crash.Prob > 0 {
 		ss.crashRng = newCrashStream(cl.cfg.Seed, idx)
 	}
 	ss.seedBalances()
@@ -136,10 +187,15 @@ func (ss *shardSite) seedBalances() {
 }
 
 func (ss *shardSite) loop() {
+	ss.inqTimer = time.NewTimer(time.Hour)
+	defer ss.inqTimer.Stop()
 	for {
 		select {
 		case <-ss.cl.stopc:
 			return
+		case <-ss.inqC:
+			ss.inqC = nil
+			ss.fireInquiries()
 		case m := <-ss.mbox.ch:
 			crashable := true
 			switch msg := m.(type) {
@@ -156,14 +212,82 @@ func (ss *shardSite) loop() {
 				ss.shardPrepare(msg)
 			case decisionMsg:
 				ss.shardDecide(msg)
+			case coordRestartMsg:
+				// The restarted coordinator lost its assembled deadlock
+				// graph; re-file this shard's live block reports.
+				ss.applyShard(ss.part.Resync())
 			default:
 				panic(fmt.Sprintf("live: shard %d got unexpected %T", ss.idx, m))
 			}
 			if crashable {
+				ss.maybeCheckpoint()
 				ss.maybeCrash()
+				ss.armInquiry()
 			}
 		}
 	}
+}
+
+// armInquiry keeps the termination-protocol timer consistent with the
+// in-doubt set: armed (at the current backoff) while any prepared
+// transaction awaits its decision, disarmed — with the backoff reset —
+// once the set drains.
+func (ss *shardSite) armInquiry() {
+	if ss.wal == nil {
+		return // termination protocol rides the recovery layer
+	}
+	if ss.part.PreparedCount() == 0 {
+		if ss.inqC != nil {
+			stopTimer(ss.inqTimer)
+			ss.inqC = nil
+		}
+		ss.inqDelay = 0
+		return
+	}
+	if ss.inqC == nil {
+		if ss.inqDelay == 0 {
+			ss.inqDelay = inquiryBase
+		}
+		rearm(ss.inqTimer, ss.inqDelay)
+		ss.inqC = ss.inqTimer.C
+	}
+}
+
+// fireInquiries asks the coordinator about every in-doubt transaction,
+// then re-arms with doubled backoff. The answers are decisions (commit
+// from the coordinator's log, abort by presumption), so each inquiry
+// round either resolves the set or narrows it.
+func (ss *shardSite) fireInquiries() {
+	for _, txn := range ss.part.PreparedTxns() {
+		ss.cl.net.send(ids.ShardSite(ss.idx), ids.Coordinator, inquireMsg{txn: txn, shard: ss.idx})
+	}
+	ss.inqDelay *= 2
+	if ss.inqDelay > inquiryMax {
+		ss.inqDelay = inquiryMax
+	}
+	ss.armInquiry()
+}
+
+// maybeCheckpoint rolls a checkpoint once enough appends accumulated
+// since the last one: the store snapshot plus the in-doubt prepared set,
+// after which the log prefix is truncated.
+func (ss *shardSite) maybeCheckpoint() {
+	every := ss.cl.cfg.WALCheckpointEvery
+	if ss.wal == nil || every <= 0 || ss.wal.sinceCkpt < every {
+		return
+	}
+	ck := walRecord{
+		kind:       walCheckpoint,
+		ckVersions: maps.Clone(ss.versions),
+		ckValues:   maps.Clone(ss.values),
+	}
+	for _, txn := range ss.part.PreparedTxns() {
+		snap := ss.part.PreparedSnapshot(txn)
+		ck.ckPrepared = append(ck.ckPrepared, walRecord{
+			kind: walPrepare, txn: snap.Txn, client: snap.Client, ts: snap.Ts, locks: snap.Locks,
+		})
+	}
+	ss.wal.checkpoint(ck)
 }
 
 // maybeCrash rolls the crash fault after one protocol message. The
@@ -208,6 +332,10 @@ func (ss *shardSite) crashRestart() {
 	for i := 0; i < ss.cl.cfg.Clients; i++ {
 		ss.cl.net.send(ids.ShardSite(ss.idx), ids.Client(i), restartMsg{shard: ss.idx})
 	}
+	// The coordinator purges this shard's unretracted block reports: the
+	// restarted site forgot it filed them, so no clear is coming. FIFO on
+	// this link orders every pre-crash report before the notice.
+	ss.cl.net.send(ids.ShardSite(ss.idx), ids.Coordinator, restartMsg{shard: ss.idx})
 }
 
 func (ss *shardSite) shardRequest(m reqMsg) {
@@ -236,7 +364,7 @@ func (ss *shardSite) shardRelease(m releaseMsg) {
 
 func (ss *shardSite) shardPrepare(m prepareMsg) {
 	was := ss.part.Prepared(m.txn)
-	acts := ss.part.Prepare(m.txn)
+	acts := ss.part.Prepare(m.txn, m.epoch)
 	if ss.wal != nil && !was && ss.part.Prepared(m.txn) {
 		// WAL before wire: once the yes vote leaves (applyShard below),
 		// the coordinator may decide commit, so the prepared state — and
@@ -272,6 +400,14 @@ func (ss *shardSite) shardDecide(m decisionMsg) {
 		}
 	}
 	ss.applyShard(ss.part.Decide(m.txn, m.commit))
+	if ss.wal != nil && m.commit {
+		// Acknowledge every commit decision — even a duplicate that found
+		// nothing to install — so the coordinator's unacked round drains
+		// and its commit record becomes truncatable. Only a fully-acked
+		// record may be dropped: until then "no record" must mean abort,
+		// never amnesia.
+		ss.cl.net.send(ids.ShardSite(ss.idx), ids.Coordinator, decideAckMsg{txn: m.txn, shard: ss.idx})
+	}
 }
 
 // applyShard emits the participant core's ordered decisions as messages —
@@ -293,12 +429,12 @@ func (ss *shardSite) applyShard(acts []protocol.PartAction) {
 			ss.cl.net.send(ids.ShardSite(ss.idx), a.Client, abortMsg{txn: a.Txn})
 		case protocol.PartBlocked:
 			ss.cl.net.send(ids.ShardSite(ss.idx), ids.Coordinator, blockedMsg{
-				txn: a.Txn, client: a.Client, epoch: a.Epoch, held: a.Held, waits: a.WaitsFor,
+				txn: a.Txn, client: a.Client, shard: ss.idx, epoch: a.Epoch, held: a.Held, waits: a.WaitsFor,
 			})
 		case protocol.PartCleared:
 			ss.cl.net.send(ids.ShardSite(ss.idx), ids.Coordinator, clearedMsg{txn: a.Txn, epoch: a.Epoch})
 		case protocol.PartVote:
-			ss.cl.net.send(ids.ShardSite(ss.idx), ids.Coordinator, voteMsg{txn: a.Txn, shard: ss.idx, yes: a.Yes})
+			ss.cl.net.send(ids.ShardSite(ss.idx), ids.Coordinator, voteMsg{txn: a.Txn, shard: ss.idx, epoch: a.Epoch, yes: a.Yes})
 		default:
 			panic(fmt.Sprintf("live: shard %d emitting unknown action kind %d", ss.idx, int(a.Kind)))
 		}
@@ -317,6 +453,19 @@ type coordSite struct {
 	coord *protocol.Coordinator
 
 	pending map[ids.Txn]commitReqMsg
+
+	// Recovery machinery (DESIGN.md §16), nil/zero without cfg.WAL: the
+	// commit log, its in-memory mirror of decided-but-unacked rounds
+	// (rebuilt by replay; acks are volatile), the crash stream, and the
+	// observability counters harvested into Stats after shutdown.
+	cwal           *coordWAL
+	logged         map[ids.Txn]*coordRound
+	crashRng       *rng.Stream
+	crashes        int64
+	replayed       int64
+	inquiries      int64
+	resolvedCommit int64
+	resolvedAbort  int64
 }
 
 func newCoordSite(cl *cluster) *coordSite {
@@ -324,18 +473,37 @@ func newCoordSite(cl *cluster) *coordSite {
 	mbox.owner = ids.Coordinator
 	mbox.arq = cl.net.arq
 	coord := protocol.NewCoordinator(cl.cfg.Victim, cl.cfg.Deadlock)
-	if cl.cfg.Crash.enabled() {
+	if cl.cfg.Crash.Prob > 0 || cl.cfg.Deadlock == protocol.PolicyWoundWait {
 		// One-phase commit is not crash-durable (see SetAlwaysPrepare):
-		// under crash faults every commit runs a voting round, so the
-		// prepared state pinning its install is always WAL-logged.
+		// under participant crash faults every commit runs a voting round,
+		// so the prepared state pinning its install is always WAL-logged.
+		// Coordinator-only crashes keep one-phase: a one-phase decision is
+		// logged before it leaves, and no participant forgets state.
+		//
+		// Wound-Wait needs the round for a different reason: it is the one
+		// policy that kills a RUNNING holder, so a shard's wound can race
+		// the coordinator's unilateral one-phase commit — two deciders,
+		// and the shard drops the "committed" writes as not-involved. A
+		// voting round serializes them at the shard: the prepare either
+		// shields the transaction from wounds or finds it wounded and
+		// votes no.
 		coord.SetAlwaysPrepare(true)
 	}
-	return &coordSite{
+	cs := &coordSite{
 		cl:      cl,
 		mbox:    mbox,
 		coord:   coord,
 		pending: make(map[ids.Txn]commitReqMsg),
 	}
+	if cl.cfg.WAL {
+		coord.SetRecoverable(true)
+		cs.cwal = &coordWAL{}
+		cs.logged = make(map[ids.Txn]*coordRound)
+	}
+	if cl.cfg.Crash.CoordProb > 0 {
+		cs.crashRng = newCoordCrashStream(cl.cfg.Seed)
+	}
+	return cs
 }
 
 func (cs *coordSite) loop() {
@@ -344,8 +512,10 @@ func (cs *coordSite) loop() {
 		case <-cs.cl.stopc:
 			return
 		case m := <-cs.mbox.ch:
+			crashable := true
 			switch msg := m.(type) {
 			case quiesceMsg:
+				crashable = false
 				msg.reply <- cs.coord.Quiet()
 			case blockedMsg:
 				cs.coordBlocked(msg)
@@ -357,24 +527,186 @@ func (cs *coordSite) loop() {
 				cs.coordCommitReq(msg)
 			case abortDoneMsg:
 				cs.coordAbortDone(msg)
+			case inquireMsg:
+				cs.coordInquire(msg)
+			case decideAckMsg:
+				cs.coordAck(msg)
+			case restartMsg:
+				cs.coord.ShardRestarted(msg.shard)
 			default:
 				panic(fmt.Sprintf("live: coordinator got unexpected %T", m))
+			}
+			if crashable {
+				cs.maybeCheckpoint()
+				cs.maybeCrash()
 			}
 		}
 	}
 }
 
 func (cs *coordSite) coordBlocked(m blockedMsg) {
-	cs.apply2PC(cs.coord.Blocked(m.txn, m.client, m.epoch, m.held, m.waits))
+	cs.apply2PC(cs.coord.Blocked(m.txn, m.client, m.shard, m.epoch, m.held, m.waits))
 }
 
 func (cs *coordSite) coordVote(m voteMsg) {
-	cs.apply2PC(cs.coord.Vote(m.txn, m.shard, m.yes))
+	cs.apply2PC(cs.coord.Vote(m.txn, m.shard, m.epoch, m.yes))
 }
 
 func (cs *coordSite) coordCommitReq(m commitReqMsg) {
 	cs.pending[m.txn] = m
-	cs.apply2PC(cs.coord.CommitRequest(m.txn, m.client, m.shards))
+	acts := cs.coord.CommitRequest(m.txn, m.client, m.shards)
+	if len(acts) == 0 && cs.coord.Done(m.txn) {
+		// A client retry across a coordinator restart, for a round that was
+		// decided before the crash. The decision, its durable record and
+		// the outcome reply were all emitted atomically (crash points sit
+		// between messages), so the reply is already on the wire —
+		// re-answering would double-count the outcome. The core absorbs
+		// the retry; only the stored request must not leak. (A retry for a
+		// PRESUMED-abort tombstone is different: that promise was made to
+		// an inquiring shard, never to the client, so the core returns the
+		// owed abort reply and this branch is not taken.)
+		delete(cs.pending, m.txn)
+	}
+	cs.apply2PC(acts)
+}
+
+// coordInquire answers a termination-protocol inquiry, counting how each
+// in-doubt transaction resolved. An empty answer means the round is still
+// voting — the decision will arrive on its own and the shard's backoff
+// covers the wait.
+func (cs *coordSite) coordInquire(m inquireMsg) {
+	cs.inquiries++
+	acts := cs.coord.Inquire(m.txn, m.shard)
+	if len(acts) > 0 {
+		if acts[0].Commit {
+			cs.resolvedCommit++
+		} else {
+			cs.resolvedAbort++
+		}
+	}
+	cs.apply2PC(acts)
+}
+
+// coordAck drains one shard's commit-decision acknowledgment; a fully
+// acknowledged round leaves the mirror, making its log record dead weight
+// the next checkpoint truncates.
+func (cs *coordSite) coordAck(m decideAckMsg) {
+	cs.coord.Acked(m.txn, m.shard)
+	r := cs.logged[m.txn]
+	if r == nil {
+		return
+	}
+	r.acked[m.shard] = true
+	if len(r.acked) == len(r.shards) {
+		delete(cs.logged, m.txn)
+	}
+}
+
+// logCommit forces the commit record before the round's first Decide
+// leaves (WAL before wire): if the coordinator crashes past this point,
+// replay re-sends the decisions; if it crashes before, presumed abort
+// gives every prepared participant the same answer the round would now
+// never produce. Called only for freshly decided rounds — recovery
+// re-decides find their round already mirrored in logged.
+func (cs *coordSite) logCommit(txn ids.Txn) {
+	m, ok := cs.pending[txn]
+	if !ok {
+		return
+	}
+	shards := slices.Clone(m.shards)
+	slices.Sort(shards)
+	shards = slices.Compact(shards)
+	r := &coordRound{
+		txn:      txn,
+		client:   m.client,
+		shards:   shards,
+		writesBy: m.writesBy,
+		acked:    make(map[int]bool, len(shards)),
+	}
+	cs.cwal.append(coordRec{kind: coordCommit, round: *r})
+	cs.logged[txn] = r
+}
+
+// writesFor resolves the staged writes a commit decision installs at one
+// shard: from the live request record, or — after a coordinator restart
+// discarded the pending table — from the logged round that survives it.
+func (cs *coordSite) writesFor(txn ids.Txn, shard int) []writeUpdate {
+	if m, ok := cs.pending[txn]; ok {
+		return m.writesBy[shard]
+	}
+	if r := cs.logged[txn]; r != nil {
+		return r.writesBy[shard]
+	}
+	return nil
+}
+
+// maybeCheckpoint rolls a coordinator checkpoint once enough commit
+// records accumulated: the unacked rounds are snapshotted and the log
+// prefix — including every fully-acked commit record — is truncated.
+func (cs *coordSite) maybeCheckpoint() {
+	every := cs.cl.cfg.WALCheckpointEvery
+	if cs.cwal == nil || every <= 0 || cs.cwal.sinceCkpt < every {
+		return
+	}
+	ck := coordRec{kind: coordCheckpoint}
+	for _, txn := range slices.Sorted(maps.Keys(cs.logged)) {
+		r := cs.logged[txn]
+		ck.ckRounds = append(ck.ckRounds, coordRound{
+			txn: r.txn, client: r.client, shards: r.shards, writesBy: r.writesBy,
+		})
+	}
+	cs.cwal.checkpoint(ck)
+}
+
+// maybeCrash rolls the coordinator crash fault after one protocol
+// message, same between-messages contract as the shard sites'.
+func (cs *coordSite) maybeCrash() {
+	if cs.crashRng == nil || cs.crashes >= cs.cl.cfg.Crash.max() {
+		return
+	}
+	if !cs.crashRng.Bool(cs.cl.cfg.Crash.CoordProb) {
+		return
+	}
+	cs.crashRestart()
+}
+
+// crashRestart is the coordinator fault: the core (voting rounds, the
+// deadlock graph, tombstones), the pending request table and the logged
+// mirror are all discarded; only the WAL survives. Replay rebuilds the
+// decided-but-unacked rounds, recovery re-sends their commit decisions,
+// and the restart is announced so clients retry unresolved commit
+// requests and shards re-file their block reports. Everything the log
+// does not mention is presumed abort — the termination protocol's
+// inquiries resolve any participant left prepared by a dead round.
+func (cs *coordSite) crashRestart() {
+	cs.crashes++
+	coord := protocol.NewCoordinator(cs.cl.cfg.Victim, cs.cl.cfg.Deadlock)
+	if cs.cl.cfg.Crash.Prob > 0 {
+		coord.SetAlwaysPrepare(true)
+	}
+	coord.SetRecoverable(true)
+	// Each incarnation votes in its own epoch, so a retried round never
+	// counts yes votes a dead incarnation solicited (the voter may have
+	// been aborted by a termination-protocol answer in between).
+	coord.SetEpoch(int(cs.crashes))
+	cs.coord = coord
+	cs.pending = make(map[ids.Txn]commitReqMsg)
+	rounds, replayed := cs.cwal.replay()
+	cs.replayed += replayed
+	cs.logged = make(map[ids.Txn]*coordRound, len(rounds))
+	recs := make([]protocol.RecoveredRound, 0, len(rounds))
+	for i := range rounds {
+		r := &rounds[i]
+		cs.logged[r.txn] = r
+		recs = append(recs, protocol.RecoveredRound{Txn: r.txn, Client: r.client, Shards: r.shards})
+	}
+	cs.apply2PC(cs.coord.Recover(recs))
+	for i := 0; i < cs.cl.cfg.Clients; i++ {
+		cs.cl.net.send(ids.Coordinator, ids.Client(i), coordRestartMsg{})
+	}
+	for k := range cs.cl.shards {
+		cs.cl.net.send(ids.Coordinator, ids.ShardSite(k), coordRestartMsg{})
+	}
 }
 
 // coordAbortDone closes a victim unwind. If a commit request crossed the
@@ -392,11 +724,14 @@ func (cs *coordSite) apply2PC(acts []protocol.CoordAction) {
 	for _, a := range acts {
 		switch a.Kind {
 		case protocol.CoordPrepare:
-			cs.cl.net.send(ids.Coordinator, ids.ShardSite(a.Shard), prepareMsg{txn: a.Txn})
+			cs.cl.net.send(ids.Coordinator, ids.ShardSite(a.Shard), prepareMsg{txn: a.Txn, epoch: a.Epoch})
 		case protocol.CoordDecide:
 			var writes []writeUpdate
 			if a.Commit {
-				writes = cs.pending[a.Txn].writesBy[a.Shard]
+				if cs.cwal != nil && cs.logged[a.Txn] == nil {
+					cs.logCommit(a.Txn)
+				}
+				writes = cs.writesFor(a.Txn, a.Shard)
 			}
 			cs.cl.net.send(ids.Coordinator, ids.ShardSite(a.Shard), decisionMsg{
 				txn: a.Txn, commit: a.Commit, writes: writes,

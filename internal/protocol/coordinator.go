@@ -1,6 +1,7 @@
 package protocol
 
 import (
+	"maps"
 	"slices"
 
 	"repro/internal/ids"
@@ -31,6 +32,7 @@ type CoordAction struct {
 	Shard  int        // destination shard for Prepare/Decide
 	Client ids.Client // destination client for Reply/Victim
 	Commit bool       // the decision, for Decide/Reply
+	Epoch  int        // prepare: the coordinator epoch the vote must echo
 }
 
 // coordBlocked is the coordinator's view of one blocked transaction: who
@@ -39,9 +41,20 @@ type CoordAction struct {
 // (the transaction's operation index) the report belongs to.
 type coordBlocked struct {
 	client ids.Client
+	shard  int
 	epoch  int
 	held   int
 	edges  []ids.Txn
+}
+
+// coordCommitted is one decided-commit round whose decisions have not all
+// been acknowledged yet — the only per-transaction state a recoverable
+// coordinator keeps after deciding. Under presumed abort it is also the
+// only state worth making durable: an inquiry about any transaction not
+// in this set is safely answered with abort.
+type coordCommitted struct {
+	shards []int
+	acked  map[int]bool
 }
 
 // coordPending is one transaction in its voting round.
@@ -106,9 +119,36 @@ type Coordinator struct {
 	// clear is coming from a site that forgot it sent the report) and the
 	// coordinator could even victim the dead transaction, leaving an
 	// aborted mark no AbortDone will ever close.
-	done   map[ids.Txn]bool
-	tpc    stats.TwoPC
-	causes stats.AbortCauses
+	done map[ids.Txn]bool
+	// presumed marks done transactions whose abort was finalized by the
+	// termination protocol: an inquiry arrived for a round this
+	// incarnation has no record of, so abort was promised to the inquirer
+	// and is now irrevocable. A client retrying that round's commit
+	// request (its original died with the crashed incarnation) must learn
+	// the same verdict — opening a fresh voting round instead could
+	// commit, contradicting the promise. Terminal state like done, not
+	// part of quiescence.
+	presumed map[ids.Txn]bool
+	// epoch is this coordinator incarnation's number, stamped on every
+	// prepare and echoed by the vote it solicits. A vote from another
+	// epoch is dropped: after a crash, yes votes solicited by a dead
+	// incarnation can sit queued on the shard links, and a retried round
+	// that counted them could commit while the participant that cast them
+	// has since been aborted by a termination-protocol answer from an
+	// incarnation in between. Epoch matching restricts a round to votes
+	// its own prepares solicited, which reflect live prepared state. The
+	// driver bumps this on every restart via SetEpoch.
+	epoch int
+	// recoverable turns on commit-round tracking for crash recovery and the
+	// termination protocol: every commit decision registers the round in
+	// committed until all its shards acknowledge the decision, so Inquire
+	// can re-answer it and Recover can re-drive it after a restart. Off by
+	// default — the DES engines and clean live runs keep the classic
+	// stateless presumed-abort coordinator, byte-identical to before.
+	recoverable bool
+	committed   map[ids.Txn]*coordCommitted
+	tpc         stats.TwoPC
+	causes      stats.AbortCauses
 }
 
 // NewCoordinator returns an empty commit coordinator using the given
@@ -125,14 +165,33 @@ func NewCoordinator(policy VictimPolicy, deadlock DeadlockPolicy) *Coordinator {
 		pending:  make(map[ids.Txn]*coordPending),
 		aborted:  make(map[ids.Txn]bool),
 		done:     make(map[ids.Txn]bool),
+		presumed: make(map[ids.Txn]bool),
 	}
 }
 
+// SetRecoverable turns on commit-round tracking (see the recoverable
+// field). Call before the first CommitRequest; drivers that log commit
+// decisions to a coordinator WAL set this so acknowledged rounds can be
+// forgotten and in-doubt inquiries answered.
+func (c *Coordinator) SetRecoverable(v bool) {
+	c.recoverable = v
+	if v && c.committed == nil {
+		c.committed = make(map[ids.Txn]*coordCommitted)
+	}
+}
+
+// SetEpoch sets this incarnation's epoch (see the epoch field). Call
+// before the first CommitRequest; a restarting driver passes a number it
+// has never used for this coordinator position.
+func (c *Coordinator) SetEpoch(epoch int) { c.epoch = epoch }
+
 // Blocked ingests a participant's report that txn is waiting behind
-// waitsFor at one shard, then hunts for global deadlock cycles through
-// it. A report for a transaction already voting or already victimed is
-// stale and ignored; a repeat report replaces the stored edges.
-func (c *Coordinator) Blocked(txn ids.Txn, client ids.Client, epoch, held int, waitsFor []ids.Txn) []CoordAction {
+// waitsFor at shard, then hunts for global deadlock cycles through it. A
+// report for a transaction already voting or already victimed is stale
+// and ignored; a repeat report replaces the stored edges. The reporting
+// shard is remembered so ShardRestarted can purge reports a crashed
+// shard will never retract.
+func (c *Coordinator) Blocked(txn ids.Txn, client ids.Client, shard, epoch, held int, waitsFor []ids.Txn) []CoordAction {
 	if c.deadlock.Avoidance() {
 		return nil // avoidance: no global graph, nothing to assemble
 	}
@@ -143,7 +202,7 @@ func (c *Coordinator) Blocked(txn ids.Txn, client ids.Client, epoch, held int, w
 		return nil // a newer episode's report won the cross-link race
 	}
 	c.dropEdges(txn)
-	b := &coordBlocked{client: client, epoch: epoch, held: held, edges: slices.Clone(waitsFor)}
+	b := &coordBlocked{client: client, shard: shard, epoch: epoch, held: held, edges: slices.Clone(waitsFor)}
 	c.blocked[txn] = b
 	for _, w := range b.edges {
 		c.waits.AddEdge(txn, w)
@@ -222,6 +281,22 @@ func (c *Coordinator) CommitRequest(txn ids.Txn, client ids.Client, shards []int
 	if c.pending[txn] != nil {
 		return nil // duplicate request; the voting round is underway
 	}
+	if c.done[txn] {
+		if c.presumed[txn] {
+			// The round died with a crashed incarnation and the termination
+			// protocol already promised abort to an inquiring shard; the
+			// retried request gets that verdict, never a fresh round.
+			c.tpc.Txns++
+			c.tpc.Aborts++
+			return c.decide(nil, txn, nil, false, client, true)
+		}
+		// A re-sent request for an already-decided round (a client retrying
+		// across a coordinator restart whose original request was decided
+		// before the crash). The decision and its reply were emitted
+		// atomically with the durable commit record — the reply is already
+		// on the wire — so answering again would double-count the outcome.
+		return nil
+	}
 	shards = slices.Clone(shards)
 	slices.Sort(shards)
 	shards = slices.Compact(shards)
@@ -247,22 +322,27 @@ func (c *Coordinator) CommitRequest(txn ids.Txn, client ids.Client, shards []int
 	acts := make([]CoordAction, 0, len(shards))
 	for _, s := range shards {
 		c.tpc.Prepares++
-		acts = append(acts, CoordAction{Kind: CoordPrepare, Txn: txn, Shard: s})
+		acts = append(acts, CoordAction{Kind: CoordPrepare, Txn: txn, Shard: s, Epoch: c.epoch})
 	}
 	return acts
 }
 
-// Vote ingests one participant's vote. A yes vote for an unknown
-// transaction is presumed-abort's signature move: the decision was made
-// (or never requested) and forgotten, so the prepared participant is told
-// to abort; a no vote for an unknown transaction needs nothing — the
-// voter already unwound.
-func (c *Coordinator) Vote(txn ids.Txn, shard int, yes bool) []CoordAction {
+// Vote ingests one participant's vote, solicited by a prepare stamped
+// with the given epoch. A vote from another incarnation's epoch is
+// dropped — only answers to this round's own prepares reflect live
+// prepared state (see the epoch field for the split-decision scenario
+// stale votes enable). A vote for an unknown transaction is dropped too:
+// every way a round ends (commit, no-vote, timeout, AbortDone) sends
+// direct decisions to all its shards, so the voter is not owed an answer
+// here. A prepared voter whose round truly vanished resolves through the
+// termination protocol (Inquire), the one channel that answers from
+// durable state.
+func (c *Coordinator) Vote(txn ids.Txn, shard, epoch int, yes bool) []CoordAction {
+	if epoch != c.epoch {
+		return nil
+	}
 	p := c.pending[txn]
 	if p == nil {
-		if yes {
-			return c.decide(nil, txn, []int{shard}, false, 0, false)
-		}
 		return nil
 	}
 	if !slices.Contains(p.shards, shard) || p.voted[shard] {
@@ -333,6 +413,15 @@ func (c *Coordinator) decide(acts []CoordAction, txn ids.Txn, shards []int, comm
 		// The round is over for this transaction; tombstone it so stale
 		// block reports (a crashed shard's unretracted report) bounce.
 		c.done[txn] = true
+		if c.recoverable && commit {
+			// A freshly decided commit: track the round until every shard
+			// acknowledges the decision, so inquiries can be re-answered
+			// from state rather than wrongly presumed abort.
+			c.committed[txn] = &coordCommitted{
+				shards: slices.Clone(shards),
+				acked:  make(map[int]bool, len(shards)),
+			}
+		}
 	}
 	for _, s := range shards {
 		acts = append(acts, CoordAction{Kind: CoordDecide, Txn: txn, Shard: s, Commit: commit})
@@ -343,17 +432,113 @@ func (c *Coordinator) decide(acts []CoordAction, txn ids.Txn, shards []int, comm
 	return acts
 }
 
+// Acked records one shard's acknowledgment of a commit decision. Once
+// every shard in the round has acknowledged, the round is forgotten —
+// the driver may then truncate its durable commit record, because no
+// inquiry about it can ever arrive again (the inquirer's prepared state
+// resolved when it applied the decision it is now acknowledging).
+// Acknowledgments for unknown rounds (already forgotten, or a replay
+// resurrecting a pre-crash ack) are no-ops.
+func (c *Coordinator) Acked(txn ids.Txn, shard int) {
+	r := c.committed[txn]
+	if r == nil {
+		return
+	}
+	r.acked[shard] = true
+	if len(r.acked) == len(r.shards) {
+		delete(c.committed, txn)
+	}
+}
+
+// Inquire answers a prepared participant's termination-protocol inquiry
+// about txn. If the voting round is still underway there is nothing to
+// say — the decision will arrive on its own. If the round committed and
+// is still tracked, the commit decision is re-sent to the inquiring
+// shard. Everything else is presumed abort: either the round aborted
+// (never logged, by design), or it committed and was fully acknowledged —
+// in which case the inquirer's prepared state already resolved and this
+// inquiry is a stale duplicate whose abort answer finds nothing to apply.
+func (c *Coordinator) Inquire(txn ids.Txn, shard int) []CoordAction {
+	if c.pending[txn] != nil {
+		return nil
+	}
+	if c.committed[txn] != nil {
+		return c.decide(nil, txn, []int{shard}, true, 0, false)
+	}
+	if !c.done[txn] {
+		// A round this incarnation has never heard of: presuming abort
+		// here makes the abort irrevocable, so finalize it. Without the
+		// tombstones, a retried commit request for the same round could
+		// open a fresh voting round, collect the inquirer's stale queued
+		// yes votes, and commit while this abort answer is still in
+		// flight to the inquirer — a split decision.
+		c.done[txn] = true
+		c.presumed[txn] = true
+	}
+	return c.decide(nil, txn, []int{shard}, false, 0, false)
+}
+
+// RecoveredRound is one decided-but-unacknowledged commit round a
+// restarted coordinator's WAL replay produced.
+type RecoveredRound struct {
+	Txn    ids.Txn
+	Client ids.Client
+	Shards []int
+}
+
+// Recover re-enters decided commit rounds on a freshly restarted
+// coordinator: each is tombstoned done (so a retried commit request is
+// not answered twice), re-tracked as committed-unacked, and its commit
+// decisions re-sent to every shard — the decisions, not the replies: the
+// original reply left atomically with the durable commit record, and
+// presumed abort covers every round the log does not mention. Must run
+// before the coordinator sees any post-restart event.
+func (c *Coordinator) Recover(rounds []RecoveredRound) []CoordAction {
+	var acts []CoordAction
+	for _, r := range rounds {
+		c.done[r.Txn] = true
+		if c.recoverable {
+			c.committed[r.Txn] = &coordCommitted{
+				shards: slices.Clone(r.Shards),
+				acked:  make(map[int]bool, len(r.Shards)),
+			}
+		}
+		acts = c.decide(acts, r.Txn, r.Shards, true, 0, false)
+	}
+	return acts
+}
+
+// ShardRestarted purges every block report the given shard filed: a
+// crash-restarted shard forgot it sent them, so no paired clear is ever
+// coming, and the stale edges would jam the global graph (and the
+// coordinator's quiescence) forever. Per-link FIFO guarantees any report
+// the shard sent before crashing arrives before its restart notice, so
+// the purge cannot race a live report into oblivion.
+func (c *Coordinator) ShardRestarted(shard int) {
+	for _, txn := range slices.Sorted(maps.Keys(c.blocked)) {
+		if c.blocked[txn].shard == shard {
+			c.dropEdges(txn)
+		}
+	}
+}
+
 // SetAlwaysPrepare forces voting rounds for single-shard transactions
 // (see the alwaysPrepare field: one-phase commit is not crash-durable).
 // Call before the first CommitRequest.
 func (c *Coordinator) SetAlwaysPrepare(v bool) { c.alwaysPrepare = v }
 
-// Quiet reports whether no voting round, block report or victim unwind is
-// in flight — the live cluster's coordinator quiescence condition.
+// Quiet reports whether no voting round, block report, victim unwind or
+// (in recoverable mode) unacknowledged commit decision is in flight —
+// the live cluster's coordinator quiescence condition.
 func (c *Coordinator) Quiet() bool {
 	return len(c.pending) == 0 && len(c.blocked) == 0 &&
-		len(c.aborted) == 0 && c.waits.Edges() == 0
+		len(c.aborted) == 0 && len(c.committed) == 0 && c.waits.Edges() == 0
 }
+
+// Done reports whether txn's round concluded (replied, or its victim
+// unwind completed) — the driver's filter for client retries of decided
+// rounds across a coordinator restart.
+func (c *Coordinator) Done(txn ids.Txn) bool { return c.done[txn] }
 
 // Counters returns the accumulated 2PC phase counters.
 func (c *Coordinator) Counters() stats.TwoPC { return c.tpc }

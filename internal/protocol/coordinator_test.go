@@ -77,10 +77,10 @@ func TestCoordinatorTwoPhaseCommit(t *testing.T) {
 		acts[1].Kind != CoordPrepare || acts[1].Shard != 1 {
 		t.Fatalf("prepare round wrong (want ascending shards): %+v", acts)
 	}
-	if acts := c.Vote(1, 0, true); len(acts) != 0 {
+	if acts := c.Vote(1, 0, 0, true); len(acts) != 0 {
 		t.Fatalf("first yes vote must not decide: %+v", acts)
 	}
-	acts = c.Vote(1, 1, true)
+	acts = c.Vote(1, 1, 0, true)
 	want := []CoordActionKind{CoordDecide, CoordDecide, CoordReply}
 	got := kinds(acts)
 	if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] || got[2] != want[2] {
@@ -104,7 +104,7 @@ func TestCoordinatorTwoPhaseCommit(t *testing.T) {
 func TestCoordinatorVoteNoAborts(t *testing.T) {
 	c := NewCoordinator(VictimRequester, PolicyDetect)
 	c.CommitRequest(1, 3, []int{0, 1, 2})
-	acts := c.Vote(1, 1, false)
+	acts := c.Vote(1, 1, 0, false)
 	if len(acts) != 3 || acts[0].Shard != 0 || acts[1].Shard != 2 || acts[2].Kind != CoordReply {
 		t.Fatalf("no-vote actions wrong: %+v", acts)
 	}
@@ -113,12 +113,14 @@ func TestCoordinatorVoteNoAborts(t *testing.T) {
 			t.Fatalf("no-vote round must abort: %+v", a)
 		}
 	}
-	// Straggler yes votes after the decision hit presumed abort.
-	acts = c.Vote(1, 0, true)
-	if len(acts) != 1 || acts[0].Kind != CoordDecide || acts[0].Commit || acts[0].Shard != 0 {
-		t.Fatalf("presumed abort for late yes vote wrong: %+v", acts)
+	// Straggler votes after the decision are dropped — the round's direct
+	// abort decisions already covered every shard, and answering a stray
+	// yes vote with abort could race a restarted coordinator's retried
+	// round into a split decision. In-doubt voters use Inquire instead.
+	if acts := c.Vote(1, 0, 0, true); len(acts) != 0 {
+		t.Fatalf("late yes vote must be dropped: %+v", acts)
 	}
-	if acts := c.Vote(1, 2, false); len(acts) != 0 {
+	if acts := c.Vote(1, 2, 0, false); len(acts) != 0 {
 		t.Fatalf("late no vote needs nothing: %+v", acts)
 	}
 	if !c.Quiet() {
@@ -133,11 +135,11 @@ func TestCoordinatorDuplicatesIgnored(t *testing.T) {
 	if acts := c.CommitRequest(1, 3, []int{0, 1}); len(acts) != 0 {
 		t.Fatalf("duplicate commit request must be ignored: %+v", acts)
 	}
-	c.Vote(1, 0, true)
-	if acts := c.Vote(1, 0, true); len(acts) != 0 {
+	c.Vote(1, 0, 0, true)
+	if acts := c.Vote(1, 0, 0, true); len(acts) != 0 {
 		t.Fatalf("duplicate vote must be ignored: %+v", acts)
 	}
-	if acts := c.Vote(1, 5, true); len(acts) != 0 {
+	if acts := c.Vote(1, 5, 0, true); len(acts) != 0 {
 		t.Fatalf("vote from a non-member shard must be ignored: %+v", acts)
 	}
 }
@@ -146,10 +148,10 @@ func TestCoordinatorDuplicatesIgnored(t *testing.T) {
 // victim notice, and the client's AbortDone closes the unwind.
 func TestCoordinatorGlobalDeadlock(t *testing.T) {
 	c := NewCoordinator(VictimRequester, PolicyDetect)
-	if acts := c.Blocked(1, 10, 0, 1, []ids.Txn{2}); len(acts) != 0 {
+	if acts := c.Blocked(1, 10, 0, 0, 1, []ids.Txn{2}); len(acts) != 0 {
 		t.Fatalf("no cycle yet: %+v", acts)
 	}
-	acts := c.Blocked(2, 11, 0, 1, []ids.Txn{1})
+	acts := c.Blocked(2, 11, 0, 0, 1, []ids.Txn{1})
 	if len(acts) != 1 || acts[0].Kind != CoordVictim || acts[0].Txn != 2 || acts[0].Client != 11 {
 		t.Fatalf("victim choice wrong (requester policy): %+v", acts)
 	}
@@ -168,7 +170,7 @@ func TestCoordinatorGlobalDeadlock(t *testing.T) {
 func TestCoordinatorTimeout(t *testing.T) {
 	c := NewCoordinator(VictimRequester, PolicyDetect)
 	c.CommitRequest(1, 3, []int{0, 1})
-	c.Vote(1, 0, true)
+	c.Vote(1, 0, 0, true)
 	acts := c.Timeout(1)
 	if len(acts) != 3 || acts[0].Kind != CoordDecide || acts[0].Commit {
 		t.Fatalf("timeout must abort the round: %+v", acts)
@@ -185,8 +187,8 @@ func TestCoordinatorTimeout(t *testing.T) {
 // reply and consumes the victim mark.
 func TestCoordinatorVictimRace(t *testing.T) {
 	c := NewCoordinator(VictimRequester, PolicyDetect)
-	c.Blocked(1, 10, 0, 1, []ids.Txn{2})
-	acts := c.Blocked(2, 11, 0, 1, []ids.Txn{1})
+	c.Blocked(1, 10, 0, 0, 1, []ids.Txn{2})
+	acts := c.Blocked(2, 11, 0, 0, 1, []ids.Txn{1})
 	if len(acts) != 1 || acts[0].Kind != CoordVictim {
 		t.Fatalf("expected victim: %+v", acts)
 	}
@@ -207,14 +209,14 @@ func TestCoordinatorVictimRace(t *testing.T) {
 func TestCoordinatorEpochOrdering(t *testing.T) {
 	c := NewCoordinator(VictimRequester, PolicyDetect)
 	// Episode 3 at shard B is the live report.
-	c.Blocked(1, 10, 3, 1, []ids.Txn{2})
+	c.Blocked(1, 10, 0, 3, 1, []ids.Txn{2})
 	// Episode 1's clear from shard A arrives late: must be ignored.
 	c.Cleared(1, 1)
 	if c.Quiet() {
 		t.Fatal("stale clear erased a live episode's edges")
 	}
 	// Episode 1's report arrives even later: must not replace episode 3.
-	if acts := c.Blocked(1, 10, 1, 2, []ids.Txn{3}); len(acts) != 0 {
+	if acts := c.Blocked(1, 10, 0, 1, 2, []ids.Txn{3}); len(acts) != 0 {
 		t.Fatalf("stale report produced actions: %+v", acts)
 	}
 	c.Cleared(1, 1) // the stale report's paired clear: no stored match
@@ -236,7 +238,7 @@ func TestParticipantPrepareDecide(t *testing.T) {
 	if len(acts) != 1 || acts[0].Kind != PartGrant {
 		t.Fatalf("uncontended request must grant: %+v", acts)
 	}
-	acts = p.Prepare(1)
+	acts = p.Prepare(1, 0)
 	if len(acts) != 1 || acts[0].Kind != PartVote || !acts[0].Yes {
 		t.Fatalf("prepare of a granted txn must vote yes: %+v", acts)
 	}
@@ -274,13 +276,13 @@ func TestParticipantBlockReportAndClear(t *testing.T) {
 // votes no and unwinds locally.
 func TestParticipantVoteNoUnwinds(t *testing.T) {
 	p := NewParticipant(0, VictimRequester, PolicyDetect)
-	acts := p.Prepare(99)
+	acts := p.Prepare(99, 0)
 	if len(acts) != 1 || acts[0].Kind != PartVote || acts[0].Yes {
 		t.Fatalf("prepare of unknown txn must vote no: %+v", acts)
 	}
 	p.Request(LockRequest{Txn: 1, Client: 0, Item: 5, Write: true})
 	p.Request(LockRequest{Txn: 2, Client: 1, Item: 5, Write: true})
-	acts = p.Prepare(2) // blocked, not prepared
+	acts = p.Prepare(2, 0) // blocked, not prepared
 	var vote *PartAction
 	for i := range acts {
 		if acts[i].Kind == PartVote {

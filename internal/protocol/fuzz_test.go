@@ -18,12 +18,16 @@ import (
 // live transport's ARQ gives the protocol layer. Fuzz bytes choose which
 // link delivers next, inject duplicate deliveries on the coordinator-
 // facing links (the 2PC layer must be dup-tolerant by presumed-abort
-// design), and fire coordinator timeouts at random transactions. The
-// invariants checked after a deterministic drain are the atomicity core
-// of the tentpole: no transaction applies commit at one shard and abort
-// at another, an applied commit is applied at every participant shard,
-// the client-visible outcome matches the applied decisions, and all
-// cores quiesce.
+// design), fire coordinator timeouts at random transactions, crash the
+// coordinator mid-script (volatile state dies; the modeled commit log
+// survives and Recover re-drives it, with clients retrying unresolved
+// commit requests and participants re-filing block reports), and fire
+// termination-protocol inquiries from prepared shards. The invariants
+// checked after a deterministic drain are the atomicity core of the
+// tentpole: no transaction applies commit at one shard and abort at
+// another — across any number of coordinator incarnations — an applied
+// commit is applied at every participant shard, the client-visible
+// outcome matches the applied decisions, and all cores quiesce.
 
 const (
 	fzShards = 3
@@ -56,6 +60,8 @@ const (
 	fzAbortDone
 	fzReply // coordinator -> client
 	fzVictim
+	fzInquire // shard -> coordinator: termination-protocol inquiry
+	fzAck     // shard -> coordinator: commit-decision acknowledgment
 )
 
 type fzMsg struct {
@@ -96,22 +102,36 @@ type fzTxnState struct {
 
 type fzHarness struct {
 	t       *testing.T
+	pol     DeadlockPolicy
 	coord   *Coordinator
 	parts   []*Participant
 	smap    ShardMap
 	links   [fzNumLinks][]fzMsg
 	state   []fzTxnState
 	applied [][]int // [txn index][shard]: 0 none, 1 commit, 2 abort
+
+	// The modeled coordinator WAL: commit rounds logged (atomically with
+	// the decision that produced them) and not yet fully acknowledged.
+	// Fully-acked rounds leave the log — the truncation model — so a
+	// crash recovers exactly the decided-but-unacked residue.
+	wlog   []RecoveredRound
+	logged map[ids.Txn]bool
+	acked  map[ids.Txn]map[int]bool
+	epoch  int // current coordinator incarnation number
 }
 
 func newFzHarness(t *testing.T, pol DeadlockPolicy) *fzHarness {
 	h := &fzHarness{
 		t:       t,
+		pol:     pol,
 		coord:   NewCoordinator(VictimLeastHeld, pol),
 		smap:    NewRangeShardMap(fzShards, fzItems),
 		state:   make([]fzTxnState, len(fzScript)),
 		applied: make([][]int, len(fzScript)),
+		logged:  make(map[ids.Txn]bool),
+		acked:   make(map[ids.Txn]map[int]bool),
 	}
+	h.coord.SetRecoverable(true)
 	for s := 0; s < fzShards; s++ {
 		h.parts = append(h.parts, NewParticipant(s, VictimLeastHeld, pol))
 	}
@@ -120,6 +140,59 @@ func newFzHarness(t *testing.T, pol DeadlockPolicy) *fzHarness {
 		h.sendRequest(i)
 	}
 	return h
+}
+
+// crashCoord kills the coordinator between messages: every piece of
+// volatile state (voting rounds, the deadlock graph, tombstones, ack
+// progress) dies; only the commit log survives. Recovery re-drives the
+// logged rounds, then — as in the live cluster — clients with an
+// unresolved commit request re-send it and every participant re-files
+// its live block reports.
+func (h *fzHarness) crashCoord() {
+	h.coord = NewCoordinator(VictimLeastHeld, h.pol)
+	h.coord.SetRecoverable(true)
+	h.epoch++
+	h.coord.SetEpoch(h.epoch)
+	rounds := make([]RecoveredRound, len(h.wlog))
+	copy(rounds, h.wlog)
+	for _, r := range rounds {
+		h.acked[r.Txn] = make(map[int]bool) // acks are volatile
+	}
+	h.routeCoord(h.coord.Recover(rounds))
+	for i := range fzScript {
+		st := h.state[i]
+		if st.sentCommit && st.done == 0 {
+			h.push(fzC2Co, fzMsg{kind: fzCommitReq, txn: fzTxnOf(i),
+				client: fzClientOf(i), shards: h.fzShardSet(i)})
+		}
+	}
+	for s, p := range h.parts {
+		h.routePart(s, p.Resync())
+	}
+}
+
+// inquireAll fires the termination protocol from shard s: one inquiry
+// per in-doubt (prepared) transaction.
+func (h *fzHarness) inquireAll(s int) {
+	for _, txn := range h.parts[s].PreparedTxns() {
+		h.push(fzS2Co+s, fzMsg{kind: fzInquire, txn: txn, shard: s})
+	}
+}
+
+// noteAck records one shard's commit-decision ack, dropping the round
+// from the modeled log once every shard acknowledged — the point where a
+// real coordinator may truncate the record.
+func (h *fzHarness) noteAck(txn ids.Txn, shard int) {
+	h.coord.Acked(txn, shard)
+	set := h.acked[txn]
+	if set == nil {
+		return // round already truncated (or never logged)
+	}
+	set[shard] = true
+	if len(set) == len(h.fzShardSet(fzIndexOf(txn))) {
+		delete(h.acked, txn)
+		h.wlog = slices.DeleteFunc(h.wlog, func(r RecoveredRound) bool { return r.Txn == txn })
+	}
 }
 
 func (h *fzHarness) push(link int, m fzMsg) { h.links[link] = append(h.links[link], m) }
@@ -169,11 +242,11 @@ func (h *fzHarness) routePart(s int, acts []PartAction) {
 			// a blocked request, so its abort action carries a zero Req.
 			h.push(fzS2C+s, fzMsg{kind: fzLocalAbort, txn: a.Txn})
 		case PartBlocked:
-			h.push(fzS2Co+s, fzMsg{kind: fzBlocked, txn: a.Txn, client: a.Client, epoch: a.Epoch, held: a.Held, waits: a.WaitsFor})
+			h.push(fzS2Co+s, fzMsg{kind: fzBlocked, txn: a.Txn, shard: s, client: a.Client, epoch: a.Epoch, held: a.Held, waits: a.WaitsFor})
 		case PartCleared:
 			h.push(fzS2Co+s, fzMsg{kind: fzCleared, txn: a.Txn, epoch: a.Epoch})
 		case PartVote:
-			h.push(fzS2Co+s, fzMsg{kind: fzVote, txn: a.Txn, shard: s, yes: a.Yes})
+			h.push(fzS2Co+s, fzMsg{kind: fzVote, txn: a.Txn, shard: s, epoch: a.Epoch, yes: a.Yes})
 		default:
 			h.t.Fatalf("unknown participant action %v", a.Kind)
 		}
@@ -185,8 +258,17 @@ func (h *fzHarness) routeCoord(acts []CoordAction) {
 	for _, a := range acts {
 		switch a.Kind {
 		case CoordPrepare:
-			h.push(fzCo2S+a.Shard, fzMsg{kind: fzPrepare, txn: a.Txn})
+			h.push(fzCo2S+a.Shard, fzMsg{kind: fzPrepare, txn: a.Txn, epoch: a.Epoch})
 		case CoordDecide:
+			if a.Commit && !h.logged[a.Txn] {
+				// First commit decision for this round: the log append is
+				// atomic with the decision (no crash opcode can interleave),
+				// exactly the WAL-before-wire discipline of the live site.
+				h.logged[a.Txn] = true
+				i := fzIndexOf(a.Txn)
+				h.wlog = append(h.wlog, RecoveredRound{Txn: a.Txn, Client: fzClientOf(i), Shards: h.fzShardSet(i)})
+				h.acked[a.Txn] = make(map[int]bool)
+			}
 			h.push(fzCo2S+a.Shard, fzMsg{kind: fzDecide, txn: a.Txn, commit: a.Commit})
 		case CoordReply:
 			h.push(fzCo2C, fzMsg{kind: fzReply, txn: a.Txn, commit: a.Commit})
@@ -232,18 +314,24 @@ func (h *fzHarness) process(link int, m fzMsg) {
 		}
 		h.unwind(i)
 	case fzBlocked:
-		h.routeCoord(h.coord.Blocked(m.txn, m.client, m.epoch, m.held, m.waits))
+		h.routeCoord(h.coord.Blocked(m.txn, m.client, m.shard, m.epoch, m.held, m.waits))
 	case fzCleared:
 		h.coord.Cleared(m.txn, m.epoch)
 	case fzVote:
-		h.routeCoord(h.coord.Vote(m.txn, m.shard, m.yes))
+		h.routeCoord(h.coord.Vote(m.txn, m.shard, m.epoch, m.yes))
 	case fzPrepare:
 		s := link - fzCo2S
-		h.routePart(s, h.parts[s].Prepare(m.txn))
+		h.routePart(s, h.parts[s].Prepare(m.txn, m.epoch))
 	case fzDecide:
 		s := link - fzCo2S
 		involved := h.parts[s].Involved(m.txn)
 		h.routePart(s, h.parts[s].Decide(m.txn, m.commit))
+		if m.commit {
+			// Ack every commit decision, duplicates included, like the live
+			// shard: a restarted coordinator re-sends already-applied rounds
+			// and needs the re-acks to drain them.
+			h.push(fzS2Co+s, fzMsg{kind: fzAck, txn: m.txn, shard: s})
+		}
 		if involved {
 			i := fzIndexOf(m.txn)
 			want := 2
@@ -270,6 +358,10 @@ func (h *fzHarness) process(link int, m fzMsg) {
 			return
 		}
 		h.unwind(i)
+	case fzInquire:
+		h.routeCoord(h.coord.Inquire(m.txn, m.shard))
+	case fzAck:
+		h.noteAck(m.txn, m.shard)
 	case fzVictim:
 		i := fzIndexOf(m.txn)
 		if h.state[i].done != 0 {
@@ -316,10 +408,13 @@ func (h *fzHarness) deliver(start int, dup bool) bool {
 // FuzzCoordinator2PC drives the sharded lock cluster's pure cores — one
 // Coordinator, three Participants — through fuzz-chosen interleavings of
 // per-link FIFO deliveries, duplicate deliveries of 2PC-layer messages,
-// and coordinator timeouts, then drains and checks atomicity: a
-// transaction never applies commit at one shard and abort at another, an
-// applied commit reaches every shard it touched, client-visible outcomes
-// match applied decisions, and every core quiesces.
+// coordinator timeouts, coordinator crash-recoveries, and termination-
+// protocol inquiries, then drains (resolving any residual in-doubt state
+// through the termination protocol) and checks atomicity: a transaction
+// never applies commit at one shard and abort at another — across
+// coordinator incarnations — an applied commit reaches every shard it
+// touched, client-visible outcomes match applied decisions, and every
+// core quiesces.
 func FuzzCoordinator2PC(f *testing.F) {
 	f.Add([]byte{})
 	for pol := byte(0); pol < 4; pol++ {
@@ -329,6 +424,10 @@ func FuzzCoordinator2PC(f *testing.F) {
 		f.Add([]byte{pol, 13, 12, 11, 10, 9, 8, 7, 6, 5, 4, 3, 2, 1, 0})
 		f.Add([]byte{pol, 0, 0, 0, 240, 241, 1, 1, 224, 225, 2, 2, 245, 230, 12, 13})
 		f.Add([]byte{pol, 3, 14, 159, 26, 53, 58, 97, 93, 238, 46, 224, 251, 83, 27, 9})
+		// Crash the coordinator mid-commit, then again, with inquiries and
+		// timeouts interleaved: the recovery/termination soak.
+		f.Add([]byte{pol, 0, 1, 2, 3, 4, 5, 6, 12, 7, 8, 240, 9, 10, 232, 233, 234,
+			11, 12, 13, 248, 226, 240, 0, 1, 2, 3, 250, 235, 12, 13})
 	}
 	f.Fuzz(func(t *testing.T, data []byte) {
 		pol := PolicyDetect
@@ -339,21 +438,46 @@ func FuzzCoordinator2PC(f *testing.F) {
 		h := newFzHarness(t, pol)
 		for _, b := range data {
 			switch {
-			case b >= 240:
+			case b >= 248:
 				// Coordinator timeout on a fuzz-chosen transaction.
-				h.routeCoord(h.coord.Timeout(fzTxnOf(int(b-240) % len(fzScript))))
+				h.routeCoord(h.coord.Timeout(fzTxnOf(int(b-248) % len(fzScript))))
+			case b >= 240:
+				h.crashCoord()
+			case b >= 232:
+				// Termination protocol from a fuzz-chosen shard: inquire
+				// about every transaction it holds prepared.
+				h.inquireAll(int(b-232) % fzShards)
 			case b >= 224:
 				h.deliver(fzDupBase+int(b-224)%(fzNumLinks-fzDupBase), true)
 			default:
 				h.deliver(int(b)%fzNumLinks, false)
 			}
 		}
-		// Deterministic drain: always the first nonempty link.
-		for i := 0; ; i++ {
-			if i > 100000 {
-				t.Fatalf("cluster did not drain: links %v", lens(h.links[:]))
+		// Deterministic drain: always the first nonempty link. A shard can
+		// be left in doubt when its round died with a crashed coordinator
+		// incarnation, so between drains the termination protocol fires for
+		// every still-prepared transaction; each inquiry resolves at least
+		// one, so the rounds are bounded.
+		for round := 0; ; round++ {
+			if round > 50 {
+				t.Fatalf("in-doubt transactions never terminated")
 			}
-			if !h.deliver(0, false) {
+			for i := 0; ; i++ {
+				if i > 100000 {
+					t.Fatalf("cluster did not drain: links %v", lens(h.links[:]))
+				}
+				if !h.deliver(0, false) {
+					break
+				}
+			}
+			indoubt := false
+			for s, p := range h.parts {
+				if p.PreparedCount() > 0 {
+					h.inquireAll(s)
+					indoubt = true
+				}
+			}
+			if !indoubt {
 				break
 			}
 		}

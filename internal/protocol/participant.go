@@ -1,6 +1,11 @@
 package protocol
 
-import "repro/internal/ids"
+import (
+	"maps"
+	"slices"
+
+	"repro/internal/ids"
+)
 
 // PartActionKind discriminates Participant outputs.
 type PartActionKind int
@@ -25,7 +30,7 @@ type PartAction struct {
 	Req      LockRequest // grant/abort: the request being answered
 	Txn      ids.Txn
 	Client   ids.Client // blocked: whom the coordinator notifies on victim abort
-	Epoch    int        // blocked/cleared: the block episode (operation index)
+	Epoch    int        // blocked/cleared: block episode; vote: echoed coordinator epoch
 	Held     int        // blocked: local items held, for victim selection
 	WaitsFor []ids.Txn  // blocked: local wait edges
 	Yes      bool       // vote
@@ -83,21 +88,23 @@ func (p *Participant) Request(q LockRequest) []PartAction {
 }
 
 // Prepare casts this shard's vote: yes iff the transaction is live and
-// running free here. A no vote unwinds the local state immediately —
-// under presumed abort the no voter needs no decision message, so it must
-// not leave locks behind for one.
-func (p *Participant) Prepare(txn ids.Txn) []PartAction {
+// running free here. The vote echoes the soliciting prepare's epoch so
+// the coordinator can tell its own round's answers from a dead
+// incarnation's. A no vote unwinds the local state immediately — under
+// presumed abort the no voter needs no decision message, so it must not
+// leave locks behind for one.
+func (p *Participant) Prepare(txn ids.Txn, epoch int) []PartAction {
 	if p.prepared[txn] || (p.core.Live(txn) && !p.core.Blocked(txn)) {
 		p.prepared[txn] = true
 		// A yes voter is committed to the decision: under Wound-Wait it must
 		// not be wounded out from under the voting round.
 		p.core.Shield(txn)
-		return []PartAction{{Kind: PartVote, Txn: txn, Yes: true}}
+		return []PartAction{{Kind: PartVote, Txn: txn, Epoch: epoch, Yes: true}}
 	}
 	acts := p.relay(nil, p.core.CancelBlocked(txn))
 	acts = p.clearReport(acts, txn)
 	acts = p.relay(acts, p.core.AbortRelease(txn))
-	return append(acts, PartAction{Kind: PartVote, Txn: txn, Yes: false})
+	return append(acts, PartAction{Kind: PartVote, Txn: txn, Epoch: epoch, Yes: false})
 }
 
 // Involved reports whether this shard still carries state for txn — the
@@ -214,6 +221,43 @@ func (p *Participant) clearReport(acts []PartAction, txn ids.Txn) []PartAction {
 	}
 	delete(p.reported, txn)
 	return append(acts, PartAction{Kind: PartCleared, Txn: txn, Epoch: epoch})
+}
+
+// PreparedTxns returns the in-doubt set — every transaction that voted
+// yes here and is still awaiting its decision — in ascending id order.
+// This is what the termination protocol inquires about and what a
+// checkpoint record snapshots.
+func (p *Participant) PreparedTxns() []ids.Txn {
+	return slices.Sorted(maps.Keys(p.prepared))
+}
+
+// PreparedCount returns the number of in-doubt transactions.
+func (p *Participant) PreparedCount() int { return len(p.prepared) }
+
+// Resync re-emits a PartBlocked report for every block currently
+// reported and not yet cleared, with fresh edges and the originally
+// reported episode. A restarted coordinator lost its assembled wait-for
+// graph (it is volatile by design — blocks are transient), and reports
+// are sent once per episode, so without a resync a cross-shard deadlock
+// formed before the crash would go undetected forever. The coordinator's
+// episode filter absorbs the duplicates this creates when the original
+// report is still in flight.
+func (p *Participant) Resync() []PartAction {
+	var acts []PartAction
+	for _, txn := range slices.Sorted(maps.Keys(p.reported)) {
+		if !p.core.Blocked(txn) {
+			continue // cleared since; the PartCleared is already on the wire
+		}
+		acts = append(acts, PartAction{
+			Kind:     PartBlocked,
+			Txn:      txn,
+			Client:   p.core.ClientOf(txn),
+			Epoch:    p.reported[txn],
+			Held:     p.core.HeldCount(txn),
+			WaitsFor: p.core.WaitEdges(txn),
+		})
+	}
+	return acts
 }
 
 // Quiet reports whether the wrapped core is idle and no vote is awaiting

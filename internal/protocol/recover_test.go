@@ -18,7 +18,7 @@ func prepareOnShard(t *testing.T) *Participant {
 	if acts := p.Request(LockRequest{Txn: 10, Client: 1, Item: 2, Ts: 10}); len(acts) != 1 || acts[0].Kind != PartGrant {
 		t.Fatalf("read request not granted: %+v", acts)
 	}
-	acts := p.Prepare(10)
+	acts := p.Prepare(10, 0)
 	if len(acts) != 1 || acts[0].Kind != PartVote || !acts[0].Yes {
 		t.Fatalf("prepare did not vote yes: %+v", acts)
 	}
@@ -121,7 +121,7 @@ func TestCoordinatorStaleBlockAfterDone(t *testing.T) {
 	if acts := c.AbortDone(5); len(acts) != 0 {
 		t.Fatalf("unprompted AbortDone emitted actions: %+v", acts)
 	}
-	if acts := c.Blocked(5, 1, 3, 1, []ids.Txn{7}); len(acts) != 0 {
+	if acts := c.Blocked(5, 1, 0, 3, 1, []ids.Txn{7}); len(acts) != 0 {
 		t.Fatalf("stale block report emitted actions: %+v", acts)
 	}
 	if !c.Quiet() {
@@ -131,7 +131,7 @@ func TestCoordinatorStaleBlockAfterDone(t *testing.T) {
 	// Same staleness after a replied round: the commit reply finishes txn
 	// 8, so a crashed shard's late report for it must bounce too.
 	c.CommitRequest(8, 2, []int{0})
-	if acts := c.Blocked(8, 2, 4, 1, []ids.Txn{9}); len(acts) != 0 {
+	if acts := c.Blocked(8, 2, 0, 4, 1, []ids.Txn{9}); len(acts) != 0 {
 		t.Fatalf("post-commit stale report emitted actions: %+v", acts)
 	}
 	if !c.Quiet() {
